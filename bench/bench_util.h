@@ -1,0 +1,57 @@
+#ifndef SIGMUND_BENCH_BENCH_UTIL_H_
+#define SIGMUND_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment benches. Each bench binary reproduces
+// one table/figure/claim of the paper (see DESIGN.md §3 for the index and
+// EXPERIMENTS.md for paper-vs-measured results).
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/grid_search.h"
+#include "data/world_generator.h"
+
+namespace sigmund::bench {
+
+// A mid-sized retailer with enough signal for stable metrics.
+// `bundles_per_item` > 0 adds exact item-to-item browse links (non-low-rank
+// structure that favors co-occurrence models on head items).
+inline data::RetailerWorld MakeWorld(uint64_t seed, int items,
+                                     double sessions_per_user = 4.0,
+                                     int bundles_per_item = 0) {
+  data::WorldConfig config;
+  config.seed = seed;
+  config.mean_sessions_per_user = sessions_per_user;
+  config.bundles_per_item = bundles_per_item;
+  data::WorldGenerator generator(config);
+  return generator.GenerateRetailer(0, items);
+}
+
+// Trains one config on a prepared split, aborting the process on error
+// (benches have no recovery path).
+inline core::TrainOutput Train(const data::RetailerWorld& world,
+                               const data::TrainTestSplit& split,
+                               const core::HyperParams& params,
+                               int num_threads = 1) {
+  core::TrainRequest request;
+  request.catalog = &world.data.catalog;
+  request.train_histories = &split.train;
+  request.holdout = &split.holdout;
+  request.params = params;
+  request.num_threads = num_threads;
+  StatusOr<core::TrainOutput> output = core::TrainOneModel(request);
+  SIGCHECK(output.ok());
+  return std::move(output).value();
+}
+
+inline core::HyperParams DefaultParams(int factors = 16, int epochs = 12) {
+  core::HyperParams params;
+  params.num_factors = factors;
+  params.num_epochs = epochs;
+  params.use_taxonomy = true;
+  return params;
+}
+
+}  // namespace sigmund::bench
+
+#endif  // SIGMUND_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,130 @@
+// E10: Lightweight serving (§II-A, §V of the paper) — all computation
+// happens offline; serving is an in-memory lookup of materialized lists,
+// batch-updated per retailer. Measures lookup latency, context-serving
+// latency, and batch-load throughput.
+//
+// google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/inference.h"
+#include "serving/store.h"
+#include "serving/tiered_store.h"
+#include "sfs/mem_filesystem.h"
+
+using namespace sigmund;
+
+namespace {
+
+constexpr int kItems = 5000;
+constexpr int kRetailers = 50;
+
+std::vector<core::ItemRecommendations> MakeRetailerRecs(int items,
+                                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::ItemRecommendations> recs(items);
+  for (int i = 0; i < items; ++i) {
+    recs[i].query = i;
+    for (int k = 0; k < 10; ++k) {
+      recs[i].view_based.push_back(
+          {static_cast<data::ItemIndex>(rng.Uniform(items)),
+           rng.UniformDouble()});
+      recs[i].purchase_based.push_back(
+          {static_cast<data::ItemIndex>(rng.Uniform(items)),
+           rng.UniformDouble()});
+    }
+  }
+  return recs;
+}
+
+serving::RecommendationStore& LoadedStore() {
+  static serving::RecommendationStore* store = [] {
+    auto* s = new serving::RecommendationStore;
+    for (data::RetailerId r = 0; r < kRetailers; ++r) {
+      s->LoadRetailer(r, MakeRetailerRecs(kItems, r));
+    }
+    return s;
+  }();
+  return *store;
+}
+
+void BM_ServingLookup(benchmark::State& state) {
+  serving::RecommendationStore& store = LoadedStore();
+  Rng rng(1);
+  for (auto _ : state) {
+    data::RetailerId retailer =
+        static_cast<data::RetailerId>(rng.Uniform(kRetailers));
+    data::ItemIndex item = static_cast<data::ItemIndex>(rng.Uniform(kItems));
+    auto recs =
+        store.Lookup(retailer, item, serving::RecommendationKind::kViewBased);
+    benchmark::DoNotOptimize(recs);
+  }
+}
+BENCHMARK(BM_ServingLookup);
+
+void BM_ServeContext(benchmark::State& state) {
+  serving::RecommendationStore& store = LoadedStore();
+  Rng rng(2);
+  core::Context context = {{3, data::ActionType::kView},
+                           {7, data::ActionType::kSearch},
+                           {11, data::ActionType::kConversion}};
+  for (auto _ : state) {
+    data::RetailerId retailer =
+        static_cast<data::RetailerId>(rng.Uniform(kRetailers));
+    context.back().item = static_cast<data::ItemIndex>(rng.Uniform(kItems));
+    auto recs = store.ServeContext(retailer, context);
+    benchmark::DoNotOptimize(recs);
+  }
+}
+BENCHMARK(BM_ServeContext);
+
+void BM_BatchLoadRetailer(benchmark::State& state) {
+  serving::RecommendationStore store;
+  const int items = static_cast<int>(state.range(0));
+  auto recs = MakeRetailerRecs(items, 9);
+  for (auto _ : state) {
+    auto copy = recs;
+    store.LoadRetailer(0, std::move(copy));
+  }
+  state.counters["items/s"] = benchmark::Counter(
+      static_cast<double>(items) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchLoadRetailer)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+
+// Two-tier store (§II-A "main-memory and flash"): lookup latency under a
+// Zipf-ish access pattern, by pinned hot fraction (arg = hot percent).
+// The counters show how much traffic the memory tier absorbs.
+void BM_TieredLookupZipf(benchmark::State& state) {
+  static sfs::MemFileSystem* fs = new sfs::MemFileSystem;
+  serving::TieredStore::Options options;
+  options.hot_fraction = static_cast<double>(state.range(0)) / 100.0;
+  options.cache_capacity = 256;
+  serving::TieredStore store(fs, options);
+  auto recs = MakeRetailerRecs(kItems, 3);
+  // Popularity: item i has weight ~ 1/(i+1).
+  std::vector<int64_t> popularity(kItems);
+  for (int i = 0; i < kItems; ++i) popularity[i] = kItems / (i + 1);
+  benchmark::DoNotOptimize(store.LoadRetailer(0, recs, popularity));
+
+  Rng rng(5);
+  for (auto _ : state) {
+    // Zipf-ish draw: squash a uniform draw toward small indices.
+    double u = rng.UniformDouble();
+    data::ItemIndex item =
+        static_cast<data::ItemIndex>(u * u * u * (kItems - 1));
+    auto result =
+        store.Lookup(0, item, serving::RecommendationKind::kViewBased);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["flash_frac"] = store.stats().FlashReadFraction();
+  state.counters["mem_hits"] =
+      static_cast<double>(store.stats().memory_hits);
+}
+BENCHMARK(BM_TieredLookupZipf)->Arg(1)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

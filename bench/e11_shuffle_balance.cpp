@@ -1,0 +1,85 @@
+// E11: Random permutation of config records balances the training
+// MapReduce — "The input config records are randomly permuted before being
+// written ... We also rely on this randomization strategy to balance the
+// work within a MapReduce job. Workers assigned small retailers process
+// more training tasks, and those with larger retailers process fewer
+// training tasks in a single job." (§IV-B1 of the paper.)
+//
+// Simulates a training job whose per-record cost is proportional to the
+// retailer's interaction count, split contiguously into map tasks, under
+// three input orders: sorted by retailer (adversarial-but-natural, as a
+// sweep planner would naturally emit), random permutation (Sigmund), and
+// the unreachable ideal (total/machines).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/simulation.h"
+#include "common/random.h"
+#include "data/world_generator.h"
+#include "mapreduce/mapreduce.h"
+
+using namespace sigmund;
+
+namespace {
+
+// Makespan of list-scheduling the map-task chunks on `machines` machines.
+double Makespan(const std::vector<double>& record_costs, int map_tasks,
+                int machines) {
+  auto splits = mapreduce::ComputeSplits(
+      static_cast<int64_t>(record_costs.size()), map_tasks);
+  std::vector<cluster::SimTask> tasks;
+  for (size_t t = 0; t < splits.size(); ++t) {
+    double cost = 0;
+    for (int64_t i = splits[t].first; i < splits[t].second; ++i) {
+      cost += record_costs[i];
+    }
+    tasks.push_back({static_cast<int64_t>(t), cost});
+  }
+  cluster::Cell cell = cluster::Cell::Uniform("c", machines, 4, 32);
+  cluster::SimJobRunner runner(cell, cluster::CostModel());
+  cluster::SimJobConfig config;
+  config.checkpoint_interval_seconds = 0;
+  return runner.Run(tasks, config).makespan_seconds;
+}
+
+}  // namespace
+
+int main() {
+  // 40 retailers x 12 configs each; config cost ~ retailer interactions.
+  data::WorldConfig config;
+  config.min_items = 50;
+  config.max_items = 10000;
+  data::WorldGenerator generator(config);
+  Rng rng(7);
+  std::vector<double> sorted_costs;
+  for (int r = 0; r < 40; ++r) {
+    int items = generator.SampleCatalogSize(&rng);
+    double cost_per_config = items * 0.02;  // seconds, ~interactions
+    for (int m = 0; m < 12; ++m) sorted_costs.push_back(cost_per_config);
+  }
+  double total = 0;
+  for (double c : sorted_costs) total += c;
+
+  std::vector<double> shuffled = sorted_costs;
+  Rng shuffle_rng(42);
+  shuffle_rng.Shuffle(&shuffled);
+
+  const int kMachines = 8;
+  std::printf("E11 shuffle balance | %zu config records, %.0fs total work, "
+              "%d machines\n",
+              sorted_costs.size(), total, kMachines);
+  std::printf("\n%-10s %-24s %-24s %-10s\n", "map-tasks", "sorted-makespan(s)",
+              "shuffled-makespan(s)", "ideal(s)");
+  for (int map_tasks : {8, 16, 32, 64}) {
+    double sorted_makespan = Makespan(sorted_costs, map_tasks, kMachines);
+    double shuffled_makespan = Makespan(shuffled, map_tasks, kMachines);
+    std::printf("%-10d %-24.0f %-24.0f %-10.0f\n", map_tasks,
+                sorted_makespan, shuffled_makespan, total / kMachines);
+  }
+  std::printf("\npaper: random permutation spreads the heavy retailers "
+              "across tasks; sorted input concentrates them in a few "
+              "stragglers (§IV-B1)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E12: Negative-sampling heuristics (§III-B3 of the paper) — Sigmund
+// combines taxonomy-aware sampling, co-occurrence exclusion, and
+// affinity-based (adaptive) sampling. Trains the same model with each
+// sampler and reports hold-out metrics.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace sigmund;
+
+int main() {
+  data::RetailerWorld world = bench::MakeWorld(81, 600, 4.0);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  std::printf("E12 negative sampling | items=%d holdout=%zu\n",
+              world.data.num_items(), split.holdout.size());
+
+  std::printf("\n%-14s %-9s %-9s %-9s %-12s\n", "sampler", "map@10", "auc",
+              "recall@10", "mean_rank");
+  for (core::NegativeSamplerKind kind :
+       {core::NegativeSamplerKind::kUniform,
+        core::NegativeSamplerKind::kPopularity,
+        core::NegativeSamplerKind::kTaxonomy,
+        core::NegativeSamplerKind::kAdaptive}) {
+    core::HyperParams params = bench::DefaultParams(16, 10);
+    params.sampler = kind;
+    core::TrainOutput output = bench::Train(world, split, params);
+    std::printf("%-14s %-9.4f %-9.4f %-9.4f %-12.1f\n",
+                core::NegativeSamplerKindName(kind), output.metrics.map_at_k,
+                output.metrics.auc, output.metrics.recall_at_k,
+                output.metrics.mean_rank);
+  }
+  std::printf("\n(all samplers are wrapped in co-occurrence exclusion, as "
+              "in production; §III-B3)\n");
+  return 0;
+}

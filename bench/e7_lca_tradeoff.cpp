@@ -1,0 +1,93 @@
+// E7: LCA expansion radius — "Using a small value of k keeps the
+// recommendations precise, but will decrease coverage for tail items ...
+// Empirically we found that setting k = 2 provides a good trade-off
+// between quality and coverage" for view-based candidates, and lca1 best
+// for purchase-based (§III-D1 of the paper).
+//
+// For k = 1..4 we measure, over hold-out examples:
+//   recall  — is the user's actual next item inside the candidate set of
+//             their last-viewed item? (quality ceiling of the stage)
+//   size    — mean candidates per item (cost)
+//   density — recall per 100 candidates (precision of the stage)
+//   coverage— fraction of items with a non-trivial candidate set
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/candidate_selector.h"
+#include "core/cooccurrence.h"
+
+using namespace sigmund;
+
+int main() {
+  data::RetailerWorld world = bench::MakeWorld(51, 800, 4.0);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  core::CooccurrenceModel cooccurrence = core::CooccurrenceModel::Build(
+      split.train, world.data.num_items(), {});
+  core::RepurchaseEstimator repurchase = core::RepurchaseEstimator::Build(
+      split.train, world.data.catalog, {});
+  core::CandidateSelector selector(&world.data.catalog, &cooccurrence,
+                                   &repurchase);
+  std::printf("E7 LCA trade-off | items=%d holdout=%zu\n",
+              world.data.num_items(), split.holdout.size());
+
+  std::printf("\nview-based candidates:\n");
+  std::printf("%-4s %-10s %-10s %-14s %-10s\n", "k", "recall", "size",
+              "recall/100c", "coverage");
+  for (int k = 1; k <= 4; ++k) {
+    core::CandidateSelector::Options options;
+    options.view_lca_k = k;
+    options.max_candidates = 100000;  // uncapped: measure the raw stage
+
+    // Recall over hold-out transitions.
+    int hits = 0, evaluated = 0;
+    for (const data::HoldoutExample& example : split.holdout) {
+      const auto& history = split.train[example.user];
+      if (history.empty()) continue;
+      data::ItemIndex query = history.back().item;
+      auto candidates = selector.ViewBased(query, options);
+      ++evaluated;
+      if (std::binary_search(candidates.begin(), candidates.end(),
+                             example.held_out)) {
+        ++hits;
+      }
+    }
+
+    // Mean size + coverage across the catalog.
+    int64_t total_size = 0;
+    int covered = 0;
+    for (data::ItemIndex i = 0; i < world.data.num_items(); ++i) {
+      size_t size = selector.ViewBased(i, options).size();
+      total_size += static_cast<int64_t>(size);
+      if (size >= 10) ++covered;
+    }
+    double recall = static_cast<double>(hits) / std::max(1, evaluated);
+    double mean_size =
+        static_cast<double>(total_size) / world.data.num_items();
+    std::printf("%-4d %-10.3f %-10.0f %-14.3f %-10.3f\n", k, recall,
+                mean_size, 100.0 * recall / std::max(mean_size, 1.0),
+                static_cast<double>(covered) / world.data.num_items());
+  }
+
+  std::printf("\npurchase-based candidates (substitutes removed):\n");
+  std::printf("%-4s %-10s %-10s\n", "k", "size", "coverage");
+  for (int k = 1; k <= 3; ++k) {
+    core::CandidateSelector::Options options;
+    options.purchase_lca_k = k;
+    options.max_candidates = 100000;
+    int64_t total_size = 0;
+    int covered = 0;
+    for (data::ItemIndex i = 0; i < world.data.num_items(); ++i) {
+      size_t size = selector.PurchaseBased(i, options).size();
+      total_size += static_cast<int64_t>(size);
+      if (size >= 10) ++covered;
+    }
+    std::printf("%-4d %-10.0f %-10.3f\n", k,
+                static_cast<double>(total_size) / world.data.num_items(),
+                static_cast<double>(covered) / world.data.num_items());
+  }
+  std::printf("\npaper: k=2 balances quality vs coverage for view-based; "
+              "lca1 suffices for purchase-based (§III-D1)\n");
+  return 0;
+}

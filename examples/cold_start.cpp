@@ -1,0 +1,110 @@
+// Cold start: how taxonomy features place brand-new items sensibly.
+//
+// The paper (§III-B4) uses a hierarchical additive item model so "the item
+// embedding for an iPhone 6 needs to be similar to the embedding for an
+// iPhone 6s, and for the upcoming iPhone 7s". We demonstrate exactly that:
+// after training, we add items the model has never seen an interaction
+// for, and compare how a taxonomy-aware model vs. a plain matrix
+// factorization scores them against user contexts that like the item's
+// category.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/grid_search.h"
+#include "data/world_generator.h"
+
+using namespace sigmund;  // example code; library code never does this
+
+namespace {
+
+// Mean score margin of a category's cold item over a random cold item,
+// across users whose history concentrates in that category.
+double ColdItemAdvantage(const core::BprModel& model,
+                         const data::RetailerWorld& world,
+                         const data::TrainTestSplit& split,
+                         data::ItemIndex cold_item, Rng* rng) {
+  const data::Catalog& catalog = world.data.catalog;
+  data::CategoryId category = catalog.item(cold_item).category;
+  std::vector<float> user_vec(model.dim());
+  double margin = 0.0;
+  int n = 0;
+  for (data::UserIndex u = 0; u < world.data.num_users(); ++u) {
+    const auto& history = split.train[u];
+    if (history.size() < 3) continue;
+    // Does this user's history concentrate in the cold item's category?
+    int in_category = 0;
+    core::Context context;
+    for (const data::Interaction& event : history) {
+      if (catalog.item(event.item).category == category) ++in_category;
+      context.push_back({event.item, event.action});
+    }
+    if (in_category * 2 < static_cast<int>(history.size())) continue;
+    model.UserEmbedding(context, user_vec.data());
+    data::ItemIndex random_item =
+        static_cast<data::ItemIndex>(rng->Uniform(world.data.num_items()));
+    margin += model.Score(user_vec.data(), cold_item) -
+              model.Score(user_vec.data(), random_item);
+    ++n;
+  }
+  return n > 0 ? margin / n : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  data::WorldConfig config;
+  config.seed = 11;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 400);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+
+  // Train twice: with and without taxonomy features.
+  auto train = [&](bool use_taxonomy) {
+    core::TrainRequest request;
+    request.catalog = &world.data.catalog;
+    request.train_histories = &split.train;
+    request.holdout = &split.holdout;
+    request.params.num_factors = 16;
+    request.params.use_taxonomy = use_taxonomy;
+    request.params.num_epochs = 12;
+    StatusOr<core::TrainOutput> output = core::TrainOneModel(request);
+    SIGCHECK(output.ok());
+    return std::move(output).value();
+  };
+  core::TrainOutput with_taxonomy = train(true);
+  core::TrainOutput without_taxonomy = train(false);
+  std::printf("with taxonomy:    %s\n",
+              with_taxonomy.metrics.ToString().c_str());
+  std::printf("without taxonomy: %s\n",
+              without_taxonomy.metrics.ToString().c_str());
+
+  // Introduce 10 brand-new items (zero interactions) into the catalog.
+  Rng rng(5);
+  data::AdvanceOneDay(generator, &world, /*new_items=*/10, /*seed=*/99);
+  // Grow both models for the new catalog; new rows are random (no
+  // training on them!), so only shared structure can place them.
+  Rng grow_rng(7);
+  with_taxonomy.model.ResizeForCatalog(&grow_rng);
+  without_taxonomy.model.ResizeForCatalog(&grow_rng);
+
+  std::printf("\ncold-item advantage (score margin for category fans over "
+              "random items):\n");
+  double tax_total = 0, plain_total = 0;
+  for (data::ItemIndex cold = 400; cold < 410; ++cold) {
+    double tax =
+        ColdItemAdvantage(with_taxonomy.model, world, split, cold, &rng);
+    double plain =
+        ColdItemAdvantage(without_taxonomy.model, world, split, cold, &rng);
+    tax_total += tax;
+    plain_total += plain;
+    std::printf("  new item %d (category %d): taxonomy %+.3f | plain %+.3f\n",
+                cold, world.data.catalog.item(cold).category, tax, plain);
+  }
+  std::printf("mean: taxonomy %+.3f | plain %+.3f\n", tax_total / 10,
+              plain_total / 10);
+  std::printf("-> the hierarchical additive model gives unseen items a "
+              "useful prior from their category; plain MF cannot.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Daily multi-tenant service: the whole Sigmund pipeline over three days.
+//
+// Day 1: first start — full hyper-parameter sweep for every retailer,
+//        training MapReduce on (simulated) pre-emptible machines with
+//        time-interval checkpointing, model selection by MAP@10,
+//        inference MapReduce with bin-packed cells, serving-store load.
+// Day 2: new interaction data + catalog churn arrive, one retailer signs
+//        up — incremental sweep (top-3 warm-started per old retailer,
+//        full grid for the new one).
+// Day 3: heavy preemption weather; the pipeline still completes thanks to
+//        checkpoints and MapReduce retries.
+
+#include <cstdio>
+
+#include "data/world_generator.h"
+#include "pipeline/service.h"
+#include "sfs/mem_filesystem.h"
+
+using namespace sigmund;  // example code; library code never does this
+
+namespace {
+
+void ShowSample(const pipeline::SigmundService& service,
+                data::RetailerId retailer) {
+  auto recs = service.store().ServeContext(
+      retailer, {{/*item=*/1, data::ActionType::kView}});
+  if (!recs.ok()) {
+    std::printf("  retailer %d: %s\n", retailer,
+                recs.status().ToString().c_str());
+    return;
+  }
+  std::printf("  retailer %d, context [view item 1] ->", retailer);
+  for (const core::ScoredItem& item : *recs) {
+    std::printf(" %d", item.item);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  data::WorldConfig world_config;
+  world_config.seed = 7;
+  data::WorldGenerator generator(world_config);
+  data::RetailerWorld small = generator.GenerateRetailer(0, 80);
+  data::RetailerWorld medium = generator.GenerateRetailer(1, 300);
+  data::RetailerWorld large = generator.GenerateRetailer(2, 900);
+
+  sfs::MemFileSystem fs;
+  pipeline::SigmundService::Options options;
+  options.sweep.grid.factors = {8, 16};
+  options.sweep.grid.lambdas_v = {0.1, 0.01};
+  options.sweep.grid.lambdas_vc = {0.01};
+  options.sweep.grid.num_epochs = 8;
+  options.sweep.incremental_top_k = 3;
+  options.training.num_map_tasks = 8;
+  options.training.max_parallel_tasks = 2;
+  options.training.checkpoint_interval_seconds = 120.0;
+  options.training.simulated_seconds_per_step = 1e-2;
+  options.inference.num_cells = 2;
+  options.inference.inference.top_k = 5;
+
+  pipeline::SigmundService service(&fs, options);
+  service.UpsertRetailer(&small.data);
+  service.UpsertRetailer(&medium.data);
+  service.UpsertRetailer(&large.data);
+
+  // --- Day 1: full sweep.
+  StatusOr<pipeline::DailyReport> day1 = service.RunDaily();
+  if (!day1.ok()) {
+    std::printf("day 1 failed: %s\n", day1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 1: %s\n", day1->ToString().c_str());
+  ShowSample(service, 0);
+  ShowSample(service, 2);
+
+  // --- Day 2: data arrives, catalogs churn, a new retailer signs up.
+  data::AdvanceOneDay(generator, &small, /*new_items=*/4, 101);
+  data::AdvanceOneDay(generator, &medium, 10, 102);
+  data::AdvanceOneDay(generator, &large, 25, 103);
+  data::RetailerWorld newcomer = generator.GenerateRetailer(3, 60);
+  service.UpsertRetailer(&small.data);
+  service.UpsertRetailer(&medium.data);
+  service.UpsertRetailer(&large.data);
+  service.UpsertRetailer(&newcomer.data);
+
+  StatusOr<pipeline::DailyReport> day2 = service.RunDaily();
+  if (!day2.ok()) {
+    std::printf("day 2 failed: %s\n", day2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 2: %s\n", day2->ToString().c_str());
+  ShowSample(service, 3);
+
+  // --- Day 3: preemption storm.
+  pipeline::SigmundService::Options stormy = options;
+  // (options are fixed at construction; model the storm via the same
+  // service by noting day-3 numbers below come from a service configured
+  // with preemption injection.)
+  stormy.training.preemption_prob_per_epoch = 0.25;
+  stormy.training.map_task_failure_prob = 0.2;
+  stormy.training.max_attempts_per_task = 30;
+  stormy.training.simulated_seconds_per_step = 1.0;
+  stormy.training.checkpoint_interval_seconds = 30.0;
+  pipeline::SigmundService stormy_service(&fs, stormy);
+  stormy_service.UpsertRetailer(&small.data);
+  stormy_service.UpsertRetailer(&medium.data);
+  stormy_service.UpsertRetailer(&large.data);
+  stormy_service.UpsertRetailer(&newcomer.data);
+  StatusOr<pipeline::DailyReport> day3 = stormy_service.RunDaily();
+  if (!day3.ok()) {
+    std::printf("day 3 failed: %s\n", day3.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 3 (preemption storm): %s\n", day3->ToString().c_str());
+  std::printf("  -> survived %lld preemptions + %lld task failures; all "
+              "models delivered\n",
+              static_cast<long long>(day3->preemptions),
+              static_cast<long long>(day3->map_failures));
+  return 0;
+}

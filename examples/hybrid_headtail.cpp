@@ -1,0 +1,112 @@
+// Head/tail hybrid: co-occurrence for popular items, factorization for
+// the long tail (§III-E, §VII of the paper).
+//
+// Prints, for the most- and least-popular items, what each recommender
+// produces, and the inventory coverage of pure co-occurrence vs. the
+// hybrid.
+
+#include <cstdio>
+
+#include "core/candidate_selector.h"
+#include "common/logging.h"
+#include "core/grid_search.h"
+#include "core/hybrid.h"
+#include "data/world_generator.h"
+
+using namespace sigmund;  // example code; library code never does this
+
+namespace {
+
+void PrintList(const char* label, const std::vector<core::ScoredItem>& list) {
+  std::printf("  %-14s", label);
+  if (list.empty()) std::printf(" (nothing)");
+  for (const core::ScoredItem& item : list) {
+    std::printf(" %d(%.2f)", item.item, item.score);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  data::WorldConfig config;
+  config.seed = 17;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 600);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+
+  core::TrainRequest request;
+  request.catalog = &world.data.catalog;
+  request.train_histories = &split.train;
+  request.holdout = &split.holdout;
+  request.params.num_factors = 16;
+  request.params.num_epochs = 12;
+  StatusOr<core::TrainOutput> trained = core::TrainOneModel(request);
+  SIGCHECK(trained.ok());
+
+  core::CooccurrenceModel cooccurrence = core::CooccurrenceModel::Build(
+      world.data.histories, world.data.num_items(), {});
+  core::RepurchaseEstimator repurchase = core::RepurchaseEstimator::Build(
+      world.data.histories, world.data.catalog, {});
+  core::CandidateSelector selector(&world.data.catalog, &cooccurrence,
+                                   &repurchase);
+  core::InferenceEngine engine(&trained->model, &selector);
+  core::HybridRecommender hybrid(&cooccurrence, &engine);
+
+  core::HybridRecommender::Options options;
+  options.top_k = 5;
+  options.min_pair_count = 3;
+
+  auto by_popularity = cooccurrence.ItemsByPopularity();
+  data::ItemIndex head = by_popularity.front();
+  data::ItemIndex tail = by_popularity.back();
+
+  std::printf("HEAD item %d (%lld views):\n", head,
+              static_cast<long long>(cooccurrence.view_counts()[head]));
+  std::vector<core::ScoredItem> head_coocc;
+  for (const auto& n : cooccurrence.CoViewed(head)) {
+    if (n.count >= options.min_pair_count) {
+      head_coocc.push_back({n.item, n.score});
+    }
+    if (head_coocc.size() >= 5) break;
+  }
+  PrintList("co-occurrence:", head_coocc);
+  core::InferenceEngine::Options inference;
+  inference.top_k = 5;
+  PrintList("factorization:",
+            engine.RecommendForItem(head, inference).view_based);
+  PrintList("hybrid:", hybrid.ViewBased(head, options));
+
+  std::printf("\nTAIL item %d (%lld views):\n", tail,
+              static_cast<long long>(cooccurrence.view_counts()[tail]));
+  std::vector<core::ScoredItem> tail_coocc;
+  for (const auto& n : cooccurrence.CoViewed(tail)) {
+    if (n.count >= options.min_pair_count) {
+      tail_coocc.push_back({n.item, n.score});
+    }
+  }
+  PrintList("co-occurrence:", tail_coocc);
+  PrintList("factorization:",
+            engine.RecommendForItem(tail, inference).view_based);
+  PrintList("hybrid:", hybrid.ViewBased(tail, options));
+
+  // Inventory coverage: fraction of items with a full top-5 list.
+  std::vector<std::vector<core::ScoredItem>> coocc_lists, hybrid_lists;
+  for (data::ItemIndex i = 0; i < world.data.num_items(); ++i) {
+    std::vector<core::ScoredItem> coocc;
+    for (const auto& n : cooccurrence.CoViewed(i)) {
+      if (n.count >= options.min_pair_count) coocc.push_back({n.item, n.score});
+      if (static_cast<int>(coocc.size()) >= options.top_k) break;
+    }
+    coocc_lists.push_back(std::move(coocc));
+    hybrid_lists.push_back(hybrid.ViewBased(i, options));
+  }
+  std::printf("\ncoverage (full top-5 lists): co-occurrence %.1f%% vs "
+              "hybrid %.1f%%\n",
+              100.0 * core::HybridRecommender::Coverage(coocc_lists, 5),
+              100.0 * core::HybridRecommender::Coverage(hybrid_lists, 5));
+  std::printf("-> \"using co-occurrence for the popular items, and "
+              "augmenting ... from factorization ... covers a much larger "
+              "fraction of the inventory\" (§VII)\n");
+  return 0;
+}

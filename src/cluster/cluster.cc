@@ -1,0 +1,24 @@
+#include "cluster/cluster.h"
+
+namespace sigmund::cluster {
+
+Cell Cell::Uniform(const std::string& name, int num_machines, double cpus,
+                   double ram_gb) {
+  Cell cell;
+  cell.name = name;
+  cell.machines.reserve(num_machines);
+  for (int i = 0; i < num_machines; ++i) {
+    cell.machines.push_back(Machine{i, cpus, ram_gb});
+  }
+  return cell;
+}
+
+int Cluster::TotalMachines() const {
+  int total = 0;
+  for (const Cell& cell : cells) {
+    total += static_cast<int>(cell.machines.size());
+  }
+  return total;
+}
+
+}  // namespace sigmund::cluster

@@ -1,0 +1,43 @@
+#ifndef SIGMUND_CLUSTER_CLUSTER_H_
+#define SIGMUND_CLUSTER_CLUSTER_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+
+namespace sigmund::cluster {
+
+// A physical machine in a cell. Sigmund trains one retailer per machine
+// at a time (Section IV-B2), so a machine executes a single task slot;
+// its CPU count determines how many Hogwild threads that task may use.
+struct Machine {
+  int id = 0;
+  double cpus = 4.0;
+  double ram_gb = 32.0;
+};
+
+// A datacenter ("cell" in Borg terminology) with some number of machines
+// available at a given priority class.
+struct Cell {
+  std::string name;
+  std::vector<Machine> machines;
+
+  // Returns a cell with `num_machines` identical machines.
+  static Cell Uniform(const std::string& name, int num_machines, double cpus,
+                      double ram_gb);
+};
+
+// A set of cells with spare capacity. The training and inference jobs are
+// split into one MapReduce per cell (Section IV-B1).
+struct Cluster {
+  std::vector<Cell> cells;
+
+  int TotalMachines() const;
+};
+
+}  // namespace sigmund::cluster
+
+#endif  // SIGMUND_CLUSTER_CLUSTER_H_

@@ -1,0 +1,16 @@
+#include "cluster/cost_model.h"
+
+namespace sigmund::cluster {
+
+double CostModel::PricePerCpuHour(VmPriority priority) const {
+  if (priority == VmPriority::kPreemptible) {
+    return regular_price_per_cpu_hour_ * (1.0 - preemptible_discount_);
+  }
+  return regular_price_per_cpu_hour_;
+}
+
+double CostModel::Price(const VmSpec& spec, double seconds) const {
+  return PricePerCpuHour(spec.priority) * spec.cpus * (seconds / 3600.0);
+}
+
+}  // namespace sigmund::cluster

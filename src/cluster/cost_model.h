@@ -1,0 +1,52 @@
+#ifndef SIGMUND_CLUSTER_COST_MODEL_H_
+#define SIGMUND_CLUSTER_COST_MODEL_H_
+
+#include <stdint.h>
+
+namespace sigmund::cluster {
+
+// VM priority classes, mirroring Borg / public-cloud offerings (Section
+// II-B of the paper): regular VMs are never torn down; preemptible VMs are
+// substantially cheaper but can be preempted at any time.
+enum class VmPriority {
+  kRegular = 0,
+  kPreemptible = 1,
+};
+
+// Shape of a VM request. The paper notes high-memory instances correlate
+// with high CPU ("four CPUs and 32GB rather than one CPU with 32GB").
+struct VmSpec {
+  double cpus = 1.0;
+  double ram_gb = 4.0;
+  VmPriority priority = VmPriority::kRegular;
+};
+
+// Linear pricing model. Defaults approximate the paper's claim that the
+// cost advantage of preemptible resources "can be nearly 70%": the
+// preemptible price is 30% of the regular price.
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(double regular_price_per_cpu_hour, double preemptible_discount)
+      : regular_price_per_cpu_hour_(regular_price_per_cpu_hour),
+        preemptible_discount_(preemptible_discount) {}
+
+  // Price of running `spec` for `seconds`, in dollars.
+  double Price(const VmSpec& spec, double seconds) const;
+
+  // Price per cpu-hour for the given priority.
+  double PricePerCpuHour(VmPriority priority) const;
+
+  double regular_price_per_cpu_hour() const {
+    return regular_price_per_cpu_hour_;
+  }
+  double preemptible_discount() const { return preemptible_discount_; }
+
+ private:
+  double regular_price_per_cpu_hour_ = 0.04;  // ~n1-standard on-demand
+  double preemptible_discount_ = 0.70;        // preemptible = 30% of regular
+};
+
+}  // namespace sigmund::cluster
+
+#endif  // SIGMUND_CLUSTER_COST_MODEL_H_

@@ -1,0 +1,144 @@
+#include "cluster/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sigmund::cluster {
+
+namespace {
+
+// State of one logical task while it makes (possibly repeated) attempts.
+struct PendingTask {
+  int64_t id = 0;
+  double work_left = 0.0;  // work not yet durably checkpointed
+  int attempts = 0;
+  double ready_time = 0.0;  // earliest time the next attempt may start
+};
+
+// Earliest-free machine queue entry.
+struct MachineSlot {
+  double free_time = 0.0;
+  int machine = 0;
+  bool operator>(const MachineSlot& other) const {
+    return free_time > other.free_time ||
+           (free_time == other.free_time && machine > other.machine);
+  }
+};
+
+// Work progress durably saved after `work_time` seconds of execution:
+// the k-th checkpoint captures progress k*interval and becomes durable
+// write_seconds later (checkpoints are asynchronous).
+double LastDurableProgress(double work_time, double work_left,
+                           double interval, double write_seconds) {
+  if (interval <= 0.0) return 0.0;
+  double k = std::floor((work_time - write_seconds) / interval);
+  if (k < 0) return 0.0;
+  return std::min(k * interval, work_left);
+}
+
+}  // namespace
+
+std::string SimJobStats::ToString() const {
+  return StrFormat(
+      "makespan=%.1fs busy=%.1fs lost=%.1fs checkpoints=%.1fs "
+      "preemptions=%lld cost=$%.4f",
+      makespan_seconds, busy_vm_seconds, lost_work_seconds,
+      checkpoint_seconds, static_cast<long long>(num_preemptions),
+      cost_dollars);
+}
+
+SimJobStats SimJobRunner::Run(const std::vector<SimTask>& tasks,
+                              const SimJobConfig& config) const {
+  SIGCHECK_GT(num_machines_, 0);
+  SimJobStats stats;
+  Rng rng(config.seed);
+
+  std::deque<PendingTask> pending;
+  for (const SimTask& t : tasks) {
+    SIGCHECK_GE(t.work_seconds, 0.0);
+    pending.push_back(PendingTask{t.id, t.work_seconds, 0, 0.0});
+  }
+
+  std::priority_queue<MachineSlot, std::vector<MachineSlot>,
+                      std::greater<MachineSlot>>
+      machines;
+  for (int m = 0; m < num_machines_; ++m) machines.push({0.0, m});
+
+  const bool preemptible =
+      config.vm.priority == VmPriority::kPreemptible &&
+      config.preemption_rate_per_hour > 0.0;
+  const double lambda = config.preemption_rate_per_hour / 3600.0;
+
+  while (!pending.empty()) {
+    PendingTask task = pending.front();
+    pending.pop_front();
+    MachineSlot slot = machines.top();
+    machines.pop();
+
+    const double start = std::max(slot.free_time, task.ready_time);
+    const double overhead =
+        task.attempts == 0 ? 0.0 : config.restart_overhead_seconds;
+    const double full_duration = overhead + task.work_left;
+
+    double preempt_at = std::numeric_limits<double>::infinity();
+    if (preemptible) {
+      // Exponential inter-preemption time (memoryless Borg-style evictions).
+      double u = std::max(rng.UniformDouble(), 1e-300);
+      preempt_at = -std::log(u) / lambda;
+    }
+
+    if (preempt_at >= full_duration) {
+      // Attempt runs to completion.
+      const double finish = start + full_duration;
+      stats.busy_vm_seconds += full_duration;
+      if (config.checkpoint_interval_seconds > 0.0) {
+        stats.checkpoint_seconds +=
+            std::floor(task.work_left / config.checkpoint_interval_seconds) *
+            config.checkpoint_write_seconds;
+      }
+      stats.makespan_seconds = std::max(stats.makespan_seconds, finish);
+      machines.push({finish, slot.machine});
+    } else {
+      // Preempted mid-attempt.
+      ++stats.num_preemptions;
+      stats.busy_vm_seconds += preempt_at;
+      const double work_time = std::max(0.0, preempt_at - overhead);
+      const double saved = LastDurableProgress(
+          work_time, task.work_left, config.checkpoint_interval_seconds,
+          config.checkpoint_write_seconds);
+      stats.lost_work_seconds += work_time - saved;
+      if (config.checkpoint_interval_seconds > 0.0) {
+        stats.checkpoint_seconds +=
+            std::floor(saved / config.checkpoint_interval_seconds) *
+            config.checkpoint_write_seconds;
+      }
+      task.work_left -= saved;
+      ++task.attempts;
+      task.ready_time = start + preempt_at;
+      pending.push_back(task);
+      machines.push({start + preempt_at, slot.machine});
+    }
+  }
+
+  stats.cost_dollars = cost_model_.Price(config.vm, stats.busy_vm_seconds);
+  return stats;
+}
+
+double MakespanLowerBound(const std::vector<SimTask>& tasks, int machines) {
+  SIGCHECK_GT(machines, 0);
+  double longest = 0.0;
+  double total = 0.0;
+  for (const SimTask& t : tasks) {
+    longest = std::max(longest, t.work_seconds);
+    total += t.work_seconds;
+  }
+  return std::max(longest, total / machines);
+}
+
+}  // namespace sigmund::cluster

@@ -1,0 +1,95 @@
+#ifndef SIGMUND_CLUSTER_SIMULATION_H_
+#define SIGMUND_CLUSTER_SIMULATION_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "common/random.h"
+
+namespace sigmund::cluster {
+
+// A unit of simulated work (e.g. training one model, or scoring one
+// retailer's inventory). `work_seconds` is single-machine wall time.
+struct SimTask {
+  int64_t id = 0;
+  double work_seconds = 0.0;
+};
+
+// Fault-tolerance & scheduling policy for a simulated job.
+struct SimJobConfig {
+  VmSpec vm;
+
+  // Mean preemptions per VM-hour when vm.priority == kPreemptible.
+  // Regular VMs are never preempted. Borg-style preemption is memoryless,
+  // so we model inter-preemption times as exponential.
+  double preemption_rate_per_hour = 0.5;
+
+  // Interval between asynchronous checkpoints, in seconds of task runtime.
+  // <= 0 disables checkpointing (a preempted task restarts from scratch).
+  // The paper schedules checkpoints on a fixed *time* interval, not a fixed
+  // iteration count (Section IV-B3).
+  double checkpoint_interval_seconds = 300.0;
+
+  // Wall-time cost of writing one checkpoint ("very fast ... negligible
+  // compared to the training time" — but configurable so experiments can
+  // probe the trade-off).
+  double checkpoint_write_seconds = 1.0;
+
+  // Overhead of rescheduling + restoring state after a preemption.
+  double restart_overhead_seconds = 30.0;
+
+  uint64_t seed = 42;
+};
+
+// Outcome of a simulated job.
+struct SimJobStats {
+  double makespan_seconds = 0.0;   // finish time of the last task
+  double busy_vm_seconds = 0.0;    // billable VM time, incl. redone work
+  double lost_work_seconds = 0.0;  // work redone because of preemptions
+  double checkpoint_seconds = 0.0; // time spent writing checkpoints
+  int64_t num_preemptions = 0;
+  double cost_dollars = 0.0;
+
+  std::string ToString() const;
+};
+
+// Discrete-event simulator for a bag-of-tasks job on one cell's machines.
+//
+// Scheduling is list scheduling: tasks are assigned, in the order given,
+// to the machine that frees up earliest. This matches the paper's setup:
+// the order of `tasks` IS the (possibly randomly permuted) order of config
+// records in the MapReduce input, so permutation-based load balancing
+// (Section IV-B1) and first-fit-decreasing bin-packing (Section IV-C1)
+// are both expressible by ordering the input.
+//
+// Preemptions: while a task runs on a preemptible VM, inter-preemption
+// times are drawn Exp(rate). On preemption the task loses all progress
+// since its last checkpoint and is re-queued (list scheduling again), plus
+// a restart overhead. With checkpointing disabled it restarts from zero.
+class SimJobRunner {
+ public:
+  SimJobRunner(const Cell& cell, const CostModel& cost_model)
+      : num_machines_(static_cast<int>(cell.machines.size())),
+        cost_model_(cost_model) {}
+
+  // Runs `tasks` to completion and returns aggregate stats.
+  SimJobStats Run(const std::vector<SimTask>& tasks,
+                  const SimJobConfig& config) const;
+
+ private:
+  int num_machines_;
+  CostModel cost_model_;
+};
+
+// Lower bound on makespan for a bag of tasks on `machines` machines:
+// max(longest task, total work / machines). Useful for reporting
+// scheduling efficiency.
+double MakespanLowerBound(const std::vector<SimTask>& tasks, int machines);
+
+}  // namespace sigmund::cluster
+
+#endif  // SIGMUND_CLUSTER_SIMULATION_H_

@@ -1,0 +1,94 @@
+#ifndef SIGMUND_COMMON_BINARY_IO_H_
+#define SIGMUND_COMMON_BINARY_IO_H_
+
+#include <stdint.h>
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigmund {
+
+// Little helpers for length-prefixed binary encoding of pipeline payloads
+// (retailer data shards, model checkpoints). Host-endian: the simulated
+// cluster is homogeneous, as Borg cells are.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buffer_.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  void WriteString(std::string_view text) {
+    Write<uint64_t>(text.size());
+    buffer_.append(text.data(), text.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    if (!values.empty()) {
+      buffer_.append(reinterpret_cast<const char*>(values.data()),
+                     values.size() * sizeof(T));
+    }
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+// Reads values back; every method returns false on truncation, never
+// aborts — corrupted shards must surface as Status, not crashes.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > data_.size()) return false;
+    std::memcpy(value, data_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string* text) {
+    uint64_t size = 0;
+    if (!Read(&size) || offset_ + size > data_.size()) return false;
+    text->assign(data_.data() + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Read(&count)) return false;
+    if (offset_ + count * sizeof(T) > data_.size()) return false;
+    values->resize(count);
+    if (count > 0) {
+      std::memcpy(values->data(), data_.data() + offset_,
+                  count * sizeof(T));
+    }
+    offset_ += count * sizeof(T);
+    return true;
+  }
+
+  bool Done() const { return offset_ == data_.size(); }
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_BINARY_IO_H_

@@ -1,0 +1,30 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace sigmund {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::Get() {
+  static RealClock* clock = new RealClock;
+  return clock;
+}
+
+void SimClock::AdvanceMicros(int64_t delta_micros) {
+  SIGCHECK_GE(delta_micros, 0);
+  now_micros_ += delta_micros;
+}
+
+void SimClock::SetMicros(int64_t t) {
+  SIGCHECK_GE(t, now_micros_);
+  now_micros_ = t;
+}
+
+}  // namespace sigmund

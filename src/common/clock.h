@@ -1,0 +1,51 @@
+#ifndef SIGMUND_COMMON_CLOCK_H_
+#define SIGMUND_COMMON_CLOCK_H_
+
+#include <stdint.h>
+
+namespace sigmund {
+
+// Time source abstraction. Production code uses RealClock; the cluster
+// simulator and the fault-tolerance tests use SimClock so that experiments
+// over hours of simulated training complete in milliseconds and are
+// deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+
+  double NowSeconds() const { return NowMicros() * 1e-6; }
+};
+
+// Wall-clock backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+
+  // Process-wide instance (no destruction-order issues: leaked singleton).
+  static RealClock* Get();
+};
+
+// Manually advanced clock for simulations and tests.
+class SimClock : public Clock {
+ public:
+  SimClock() = default;
+  explicit SimClock(int64_t start_micros) : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_micros_; }
+
+  void AdvanceMicros(int64_t delta_micros);
+  void AdvanceSeconds(double seconds) {
+    AdvanceMicros(static_cast<int64_t>(seconds * 1e6));
+  }
+  void SetMicros(int64_t t);
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_CLOCK_H_

@@ -1,0 +1,89 @@
+#ifndef SIGMUND_COMMON_LOGGING_H_
+#define SIGMUND_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sigmund {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global minimum severity that is actually emitted. Defaults to kInfo.
+// Thread-safe to read; set once at startup (tests lower it to silence logs).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+// Stream-style log sink. Emits on destruction; aborts for kFatal.
+// Use via the SIGLOG / SIGCHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the severity is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace sigmund
+
+// Leveled logging: SIGLOG(INFO) << "trained " << n << " models";
+#define SIGLOG(severity) SIGLOG_##severity
+#define SIGLOG_DEBUG                                                  \
+  ::sigmund::internal_logging::LogMessage(                            \
+      ::sigmund::LogSeverity::kDebug, __FILE__, __LINE__)             \
+      .stream()
+#define SIGLOG_INFO                                                   \
+  ::sigmund::internal_logging::LogMessage(                            \
+      ::sigmund::LogSeverity::kInfo, __FILE__, __LINE__)              \
+      .stream()
+#define SIGLOG_WARNING                                                \
+  ::sigmund::internal_logging::LogMessage(                            \
+      ::sigmund::LogSeverity::kWarning, __FILE__, __LINE__)           \
+      .stream()
+#define SIGLOG_ERROR                                                  \
+  ::sigmund::internal_logging::LogMessage(                            \
+      ::sigmund::LogSeverity::kError, __FILE__, __LINE__)             \
+      .stream()
+#define SIGLOG_FATAL                                                  \
+  ::sigmund::internal_logging::LogMessage(                            \
+      ::sigmund::LogSeverity::kFatal, __FILE__, __LINE__)             \
+      .stream()
+
+// Internal-invariant checks; these abort the process on failure (the
+// condition represents a programming error, not a recoverable state).
+#define SIGCHECK(condition)                                        \
+  while (!(condition))                                             \
+  SIGLOG(FATAL) << "Check failed: " #condition " "
+#define SIGCHECK_OK(expr)                                          \
+  do {                                                             \
+    ::sigmund::Status _s = (expr);                                 \
+    while (!_s.ok()) SIGLOG(FATAL) << "Status not OK: " << _s.ToString(); \
+  } while (0)
+#define SIGCHECK_EQ(a, b) SIGCHECK((a) == (b))
+#define SIGCHECK_NE(a, b) SIGCHECK((a) != (b))
+#define SIGCHECK_LT(a, b) SIGCHECK((a) < (b))
+#define SIGCHECK_LE(a, b) SIGCHECK((a) <= (b))
+#define SIGCHECK_GT(a, b) SIGCHECK((a) > (b))
+#define SIGCHECK_GE(a, b) SIGCHECK((a) >= (b))
+
+#endif  // SIGMUND_COMMON_LOGGING_H_

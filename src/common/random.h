@@ -1,0 +1,71 @@
+#ifndef SIGMUND_COMMON_RANDOM_H_
+#define SIGMUND_COMMON_RANDOM_H_
+
+#include <stdint.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sigmund {
+
+// Fast, reproducible PRNG (xoshiro256**, public-domain algorithm by
+// Blackman & Vigna), seeded via SplitMix64. Deterministic for a given seed
+// across platforms, which Sigmund relies on for reproducible grid-search
+// trials and tests. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Samples an index from unnormalized non-negative `weights`.
+  // Returns weights.size() if all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derives a new independent seed (for spawning per-thread RNGs).
+  uint64_t Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// SplitMix64 step; useful for stateless hashing of ids into seeds.
+uint64_t SplitMix64(uint64_t x);
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_RANDOM_H_

@@ -1,0 +1,130 @@
+#ifndef SIGMUND_COMMON_STATUS_H_
+#define SIGMUND_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sigmund {
+
+// Canonical error space, modeled after absl::StatusCode / rocksdb::Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,   // transient failure; retry may succeed (e.g. preemption)
+  kDataLoss,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type result of an operation that can fail. Sigmund does not use
+// exceptions (per the style guide); fallible functions return Status or
+// StatusOr<T>.
+//
+// Example:
+//   Status s = fs->Write(path, payload);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such file".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Factory helpers, mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+
+// A Status or a value of type T. Accessing value() on a non-OK StatusOr
+// aborts the process (there are no exceptions to throw).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return value;` and `return status;` both work.
+  StatusOr(const T& value) : status_(), value_(value) {}          // NOLINT
+  StatusOr(T&& value) : status_(), value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}         // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+// Aborts the process with `status` printed to stderr. Out of line to keep
+// StatusOr header-light.
+[[noreturn]] void DieBecauseNotOk(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfNotOk() const {
+  if (!status_.ok()) internal_status::DieBecauseNotOk(status_);
+}
+
+}  // namespace sigmund
+
+// Propagates a non-OK Status from an expression, RocksDB/absl style.
+#define SIGMUND_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::sigmund::Status _sigmund_status = (expr);        \
+    if (!_sigmund_status.ok()) return _sigmund_status; \
+  } while (0)
+
+#endif  // SIGMUND_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef SIGMUND_COMMON_STRING_UTIL_H_
+#define SIGMUND_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sigmund {
+
+// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parses a decimal integer / double; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* value);
+bool ParseDouble(std::string_view text, double* value);
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+#ifndef SIGMUND_COMMON_THREAD_POOL_H_
+#define SIGMUND_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sigmund {
+
+// Fixed-size worker pool. Used by the Hogwild trainer, the MapReduce
+// runtime and the inference engine. Tasks are plain std::function<void()>;
+// error reporting is the task's own responsibility (capture a Status).
+//
+// Thread-safe. Destruction waits for queued tasks to drain.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker thread.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every task scheduled so far has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  // Convenience for data-parallel loops.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_THREAD_POOL_H_

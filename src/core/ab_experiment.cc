@@ -1,0 +1,54 @@
+#include "core/ab_experiment.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+AbExperiment::Outcome AbExperiment::Run(
+    const data::RetailerWorld& world,
+    const std::vector<std::vector<data::Interaction>>& contexts,
+    const Arm& control, const Arm& treatment, const Options& options) {
+  Outcome outcome;
+  outcome.control.name = control.name;
+  outcome.treatment.name = treatment.name;
+
+  data::CtrSimulator simulator(&world.truth, options.ctr);
+  Rng rng(options.seed);
+
+  for (data::UserIndex u = 0;
+       u < static_cast<data::UserIndex>(contexts.size()); ++u) {
+    if (contexts[u].empty()) continue;
+    // Sticky 50/50 split by user hash (independent of the RNG stream).
+    const bool in_treatment = (SplitMix64(u * 2654435761ULL + 17) & 1) != 0;
+    const Arm& arm = in_treatment ? treatment : control;
+    ArmResult& result = in_treatment ? outcome.treatment : outcome.control;
+
+    data::ItemIndex query = contexts[u].back().item;
+    std::vector<data::ItemIndex> list = arm.policy(u, query);
+    if (list.empty()) continue;
+    for (int round = 0; round < options.rounds_per_user; ++round) {
+      ++result.impressions;
+      if (simulator.SimulateImpression(u, list, &rng) >= 0) {
+        ++result.clicks;
+      }
+    }
+  }
+
+  // Two-proportion z-test on per-impression click rates.
+  const double n1 = static_cast<double>(outcome.control.impressions);
+  const double n2 = static_cast<double>(outcome.treatment.impressions);
+  if (n1 > 0 && n2 > 0) {
+    const double p1 = outcome.control.Ctr();
+    const double p2 = outcome.treatment.Ctr();
+    const double pooled =
+        (outcome.control.clicks + outcome.treatment.clicks) / (n1 + n2);
+    const double se =
+        std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+    if (se > 0) outcome.z_score = (p2 - p1) / se;
+  }
+  return outcome;
+}
+
+}  // namespace sigmund::core

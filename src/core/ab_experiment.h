@@ -1,0 +1,76 @@
+#ifndef SIGMUND_CORE_AB_EXPERIMENT_H_
+#define SIGMUND_CORE_AB_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/ctr_simulator.h"
+#include "data/retailer_data.h"
+
+namespace sigmund::core {
+
+// Online A/B experimentation harness, simulating the paper's practice:
+// "Offline metrics do not directly translate to improvements in online
+// metrics ... we relied on a series of carefully structured online
+// experiments to inform our design choices" (§V).
+//
+// Users are split into arms by a hash of their id (sticky assignment, as
+// production experiment frameworks do); each arm's policy produces a
+// ranked list per (user, query-item) impression; clicks come from the
+// hidden ground-truth CTR simulator; the outcome reports per-arm CTR and
+// a two-proportion z-test.
+class AbExperiment {
+ public:
+  // A policy maps (user, query item) to a ranked recommendation list.
+  using Policy = std::function<std::vector<data::ItemIndex>(
+      data::UserIndex, data::ItemIndex)>;
+
+  struct Arm {
+    std::string name;
+    Policy policy;
+  };
+
+  struct ArmResult {
+    std::string name;
+    int64_t impressions = 0;  // lists shown
+    int64_t clicks = 0;
+    double Ctr() const {
+      return impressions > 0 ? static_cast<double>(clicks) / impressions
+                             : 0.0;
+    }
+  };
+
+  struct Outcome {
+    ArmResult control;
+    ArmResult treatment;
+    // z-score of the two-proportion test on per-impression click rate;
+    // |z| > 1.96 is significant at the 5% level.
+    double z_score = 0.0;
+    bool SignificantAt95() const { return std::abs(z_score) > 1.96; }
+    double RelativeLift() const {
+      return control.Ctr() > 0
+                 ? treatment.Ctr() / control.Ctr() - 1.0
+                 : 0.0;
+    }
+  };
+
+  struct Options {
+    // Impressions simulated per eligible user context.
+    int rounds_per_user = 3;
+    uint64_t seed = 42;
+    data::CtrSimulator::Config ctr;
+  };
+
+  // Replays each user's last training interaction as the query context
+  // and simulates clicks on each arm's list. Users are hash-split 50/50.
+  static Outcome Run(
+      const data::RetailerWorld& world,
+      const std::vector<std::vector<data::Interaction>>& contexts,
+      const Arm& control, const Arm& treatment, const Options& options);
+};
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_AB_EXPERIMENT_H_

@@ -1,0 +1,88 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+StatusOr<ScoreCalibrator> ScoreCalibrator::Fit(
+    const std::vector<double>& scores, const std::vector<bool>& clicked) {
+  return Fit(scores, clicked, Options());
+}
+
+StatusOr<ScoreCalibrator> ScoreCalibrator::Fit(
+    const std::vector<double>& scores, const std::vector<bool>& clicked,
+    const Options& options) {
+  if (scores.size() != clicked.size()) {
+    return InvalidArgumentError("scores/clicked size mismatch");
+  }
+  int positives = 0, negatives = 0;
+  for (bool c : clicked) (c ? positives : negatives)++;
+  if (positives == 0 || negatives == 0) {
+    return FailedPreconditionError(
+        "calibration needs both clicks and non-clicks");
+  }
+
+  // Newton-Raphson on the 2-parameter logistic log-likelihood.
+  double a = 1.0, b = 0.0;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    double g_a = options.ridge * a, g_b = options.ridge * b;
+    double h_aa = options.ridge, h_ab = 0.0, h_bb = options.ridge;
+    for (size_t n = 0; n < scores.size(); ++n) {
+      double s = scores[n];
+      double p = Sigmoid(a * s + b);
+      double y = clicked[n] ? 1.0 : 0.0;
+      double r = p - y;
+      double w = p * (1.0 - p);
+      g_a += r * s;
+      g_b += r;
+      h_aa += w * s * s;
+      h_ab += w * s;
+      h_bb += w;
+    }
+    // Solve the 2x2 Newton system H d = g.
+    double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::abs(det) < 1e-18) break;
+    double da = (g_a * h_bb - g_b * h_ab) / det;
+    double db = (g_b * h_aa - g_a * h_ab) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) + std::abs(db) < options.tolerance) break;
+  }
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return InternalError("calibration diverged");
+  }
+  return ScoreCalibrator(a, b);
+}
+
+double ScoreCalibrator::Probability(double score) const {
+  return Sigmoid(a_ * score + b_);
+}
+
+double ScoreCalibrator::LogLoss(const std::vector<double>& scores,
+                                const std::vector<bool>& clicked) const {
+  SIGCHECK_EQ(scores.size(), clicked.size());
+  if (scores.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t n = 0; n < scores.size(); ++n) {
+    double p = std::clamp(Probability(scores[n]), 1e-12, 1.0 - 1e-12);
+    loss += clicked[n] ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return loss / scores.size();
+}
+
+}  // namespace sigmund::core

@@ -1,0 +1,63 @@
+#ifndef SIGMUND_CORE_CALIBRATION_H_
+#define SIGMUND_CORE_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace sigmund::core {
+
+// Platt scaling of raw BPR affinities into click probabilities.
+//
+// The paper's future-work section (§VII): a ranking objective "makes it
+// easy to produce a ranked list ... but it is difficult to estimate the
+// absolute relevance of the recommendation, particularly if we want to
+// make a decision on whether to display to the user. We are considering
+// future approaches that combine the advantages of a BPR-style ranking
+// objective with the ability to provide a relevance score that can be
+// compared to a threshold." This class is that combination: a 2-parameter
+// logistic regression P(click | score) = sigmoid(a * score + b), fitted
+// by Newton-Raphson on observed (score, clicked) pairs from serving logs.
+class ScoreCalibrator {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    double tolerance = 1e-10;
+    // L2 damping on (a, b) keeps the fit stable on tiny samples.
+    double ridge = 1e-6;
+  };
+
+  // Fits on parallel arrays of model scores and click outcomes. Requires
+  // at least one positive and one negative example. The two-argument
+  // overload uses default Options.
+  static StatusOr<ScoreCalibrator> Fit(const std::vector<double>& scores,
+                                       const std::vector<bool>& clicked,
+                                       const Options& options);
+  static StatusOr<ScoreCalibrator> Fit(const std::vector<double>& scores,
+                                       const std::vector<bool>& clicked);
+
+  // Calibrated click probability for a raw model score.
+  double Probability(double score) const;
+
+  // Display decision against an absolute relevance bar.
+  bool ShouldDisplay(double score, double threshold) const {
+    return Probability(score) >= threshold;
+  }
+
+  double slope() const { return a_; }
+  double intercept() const { return b_; }
+
+  // Mean log-loss of the fit on a dataset (for tests / monitoring).
+  double LogLoss(const std::vector<double>& scores,
+                 const std::vector<bool>& clicked) const;
+
+ private:
+  ScoreCalibrator(double a, double b) : a_(a), b_(b) {}
+
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_CALIBRATION_H_

@@ -1,0 +1,165 @@
+#include "core/candidate_selector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+RepurchaseEstimator RepurchaseEstimator::Build(
+    const std::vector<std::vector<data::Interaction>>& histories,
+    const data::Catalog& catalog, const Options& options) {
+  const int num_categories = catalog.taxonomy().num_categories();
+  std::vector<int64_t> buyers(num_categories, 0);
+  std::vector<int64_t> repeat_buyers(num_categories, 0);
+  std::vector<double> gap_day_sum(num_categories, 0.0);
+  std::vector<int64_t> gap_count(num_categories, 0);
+
+  for (const auto& history : histories) {
+    // Conversion timestamps per category for this user.
+    std::map<data::CategoryId, std::vector<int64_t>> purchases;
+    for (const data::Interaction& event : history) {
+      if (event.action != data::ActionType::kConversion) continue;
+      purchases[catalog.item(event.item).category].push_back(event.timestamp);
+    }
+    for (auto& [category, times] : purchases) {
+      ++buyers[category];
+      if (times.size() > 1) {
+        ++repeat_buyers[category];
+        std::sort(times.begin(), times.end());
+        for (size_t k = 1; k < times.size(); ++k) {
+          gap_day_sum[category] += (times[k] - times[k - 1]) / 86400.0;
+          ++gap_count[category];
+        }
+      }
+    }
+  }
+
+  RepurchaseEstimator estimator;
+  estimator.repurchasable_.assign(num_categories, false);
+  estimator.mean_days_.assign(num_categories, 0.0);
+  for (data::CategoryId c = 0; c < num_categories; ++c) {
+    if (buyers[c] >= options.min_buyers &&
+        static_cast<double>(repeat_buyers[c]) / buyers[c] >=
+            options.min_repeat_fraction) {
+      estimator.repurchasable_[c] = true;
+      estimator.mean_days_[c] =
+          gap_count[c] > 0 ? gap_day_sum[c] / gap_count[c] : 0.0;
+    }
+  }
+  return estimator;
+}
+
+bool RepurchaseEstimator::IsRepurchasable(data::CategoryId c) const {
+  SIGCHECK_GE(c, 0);
+  SIGCHECK_LT(c, static_cast<data::CategoryId>(repurchasable_.size()));
+  return repurchasable_[c];
+}
+
+double RepurchaseEstimator::MeanDaysBetween(data::CategoryId c) const {
+  SIGCHECK_GE(c, 0);
+  SIGCHECK_LT(c, static_cast<data::CategoryId>(mean_days_.size()));
+  return mean_days_[c];
+}
+
+int RepurchaseEstimator::CountRepurchasable() const {
+  int count = 0;
+  for (bool r : repurchasable_) count += r;
+  return count;
+}
+
+void CandidateSelector::CollectLca(data::ItemIndex i, int k,
+                                   std::vector<data::ItemIndex>* out) const {
+  const data::CategoryId category = catalog_->item(i).category;
+  for (data::CategoryId c :
+       catalog_->taxonomy().CategoriesWithinLca(category, k)) {
+    const auto& items = catalog_->ItemsInCategory(c);
+    out->insert(out->end(), items.begin(), items.end());
+  }
+}
+
+std::vector<data::ItemIndex> CandidateSelector::Finalize(
+    data::ItemIndex query, std::vector<data::ItemIndex> items,
+    const Options& options) const {
+  // Dedup, drop the query itself (unless re-purchasable logic already kept
+  // it deliberately — handled by callers passing it explicitly), apply the
+  // late-funnel facet filter, cap.
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+
+  std::vector<data::ItemIndex> result;
+  result.reserve(std::min<size_t>(items.size(), options.max_candidates));
+  const int32_t query_facet = catalog_->item(query).facet;
+  for (data::ItemIndex item : items) {
+    if (options.late_funnel && catalog_->item(item).facet != query_facet) {
+      continue;
+    }
+    result.push_back(item);
+    if (static_cast<int>(result.size()) >= options.max_candidates) break;
+  }
+  return result;
+}
+
+std::vector<data::ItemIndex> CandidateSelector::ViewBased(
+    data::ItemIndex i, const Options& options) const {
+  std::vector<data::ItemIndex> pool;
+  const auto& neighbors = cooccurrence_->CoViewed(i);
+  const int expand = std::min<int>(options.max_co_items,
+                                   static_cast<int>(neighbors.size()));
+  for (int n = 0; n < expand; ++n) {
+    CollectLca(neighbors[n].item, options.view_lca_k, &pool);
+  }
+  if (pool.empty()) {
+    // Cold item: no co-view data; use its own taxonomy neighborhood.
+    CollectLca(i, options.view_lca_k, &pool);
+  }
+  pool.erase(std::remove(pool.begin(), pool.end(), i), pool.end());
+  return Finalize(i, std::move(pool), options);
+}
+
+std::vector<data::ItemIndex> CandidateSelector::PurchaseBased(
+    data::ItemIndex i, const Options& options) const {
+  const data::CategoryId category = catalog_->item(i).category;
+  const bool repurchasable = repurchase_->IsRepurchasable(category);
+
+  std::vector<data::ItemIndex> pool;
+  const auto& neighbors = cooccurrence_->CoBought(i);
+  const int expand = std::min<int>(options.max_co_items,
+                                   static_cast<int>(neighbors.size()));
+  for (int n = 0; n < expand; ++n) {
+    CollectLca(neighbors[n].item, options.purchase_lca_k, &pool);
+  }
+  if (pool.empty()) {
+    // No co-purchase data: fall back to a wider taxonomy neighborhood so
+    // cold items still get accessory candidates.
+    CollectLca(i, options.purchase_lca_k + 1, &pool);
+  }
+
+  if (!repurchasable) {
+    // Remove substitutes: everything within lca_1 of i (same category).
+    std::unordered_set<data::ItemIndex> substitutes;
+    std::vector<data::ItemIndex> own;
+    CollectLca(i, 1, &own);
+    substitutes.insert(own.begin(), own.end());
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [&substitutes](data::ItemIndex item) {
+                                return substitutes.count(item) > 0;
+                              }),
+               pool.end());
+  } else {
+    // Re-purchasable: keep same-category items and the item itself for
+    // periodic re-recommendation.
+    std::vector<data::ItemIndex> own;
+    CollectLca(i, 1, &own);
+    pool.insert(pool.end(), own.begin(), own.end());
+  }
+  if (!repurchasable) {
+    pool.erase(std::remove(pool.begin(), pool.end(), i), pool.end());
+  }
+  return Finalize(i, std::move(pool), options);
+}
+
+}  // namespace sigmund::core

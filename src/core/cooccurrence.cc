@@ -1,0 +1,147 @@
+#include "core/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+uint64_t CooccurrenceModel::PairKey(data::ItemIndex a, data::ItemIndex b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+CooccurrenceModel CooccurrenceModel::Build(
+    const std::vector<std::vector<data::Interaction>>& histories,
+    int num_items, const Options& options) {
+  CooccurrenceModel model;
+  model.view_counts_.assign(num_items, 0);
+  model.buy_counts_.assign(num_items, 0);
+
+  for (const auto& history : histories) {
+    // Split into sessions on time gaps; count co-views within a sliding
+    // window inside each session.
+    std::vector<data::ItemIndex> session_views;
+    std::vector<data::ItemIndex> purchases;
+    int64_t last_time = 0;
+
+    auto flush_session = [&]() { session_views.clear(); };
+
+    for (const data::Interaction& event : history) {
+      if (!session_views.empty() &&
+          event.timestamp - last_time > options.session_gap_seconds) {
+        flush_session();
+      }
+      last_time = event.timestamp;
+
+      if (event.action == data::ActionType::kConversion) {
+        ++model.buy_counts_[event.item];
+        for (data::ItemIndex prev : purchases) {
+          if (prev != event.item) {
+            ++model.buy_pairs_[PairKey(prev, event.item)];
+          }
+        }
+        purchases.push_back(event.item);
+      }
+      // Every event implies the item page was seen; count it as a view
+      // exposure for co-view purposes.
+      ++model.view_counts_[event.item];
+      ++model.total_view_events_;
+      int start = std::max<int>(
+          0, static_cast<int>(session_views.size()) - options.window);
+      for (size_t k = start; k < session_views.size(); ++k) {
+        if (session_views[k] != event.item) {
+          ++model.view_pairs_[PairKey(session_views[k], event.item)];
+        }
+      }
+      session_views.push_back(event.item);
+    }
+  }
+
+  // Build per-item top-neighbor lists.
+  std::vector<std::vector<Neighbor>> viewed(num_items), bought(num_items);
+  auto fill = [&](const std::unordered_map<uint64_t, int64_t>& pairs,
+                  const std::vector<int64_t>& counts,
+                  std::vector<std::vector<Neighbor>>* out) {
+    for (const auto& [key, count] : pairs) {
+      if (count < options.min_count) continue;
+      data::ItemIndex a = static_cast<data::ItemIndex>(key >> 32);
+      data::ItemIndex b = static_cast<data::ItemIndex>(key & 0xffffffffu);
+      // Cosine-style normalization: c_ab / sqrt(c_a * c_b).
+      double denom = std::sqrt(static_cast<double>(
+          std::max<int64_t>(1, counts[a]) * std::max<int64_t>(1, counts[b])));
+      double score = count / denom;
+      (*out)[a].push_back(Neighbor{b, score, count});
+      (*out)[b].push_back(Neighbor{a, score, count});
+    }
+    for (auto& neighbors : *out) {
+      std::sort(neighbors.begin(), neighbors.end(),
+                [](const Neighbor& x, const Neighbor& y) {
+                  if (x.score != y.score) return x.score > y.score;
+                  return x.item < y.item;
+                });
+      if (static_cast<int>(neighbors.size()) > options.max_neighbors) {
+        neighbors.resize(options.max_neighbors);
+      }
+    }
+  };
+  fill(model.view_pairs_, model.view_counts_, &viewed);
+  fill(model.buy_pairs_, model.buy_counts_, &bought);
+  model.co_viewed_ = std::move(viewed);
+  model.co_bought_ = std::move(bought);
+  return model;
+}
+
+int64_t CooccurrenceModel::CoViewCount(data::ItemIndex a,
+                                       data::ItemIndex b) const {
+  auto it = view_pairs_.find(PairKey(a, b));
+  return it == view_pairs_.end() ? 0 : it->second;
+}
+
+int64_t CooccurrenceModel::CoBuyCount(data::ItemIndex a,
+                                      data::ItemIndex b) const {
+  auto it = buy_pairs_.find(PairKey(a, b));
+  return it == buy_pairs_.end() ? 0 : it->second;
+}
+
+double CooccurrenceModel::Pmi(data::ItemIndex a, data::ItemIndex b) const {
+  int64_t joint = CoViewCount(a, b);
+  if (joint == 0 || total_view_events_ == 0) return -1e30;
+  double p_joint = static_cast<double>(joint) / total_view_events_;
+  double p_a = static_cast<double>(std::max<int64_t>(1, view_counts_[a])) /
+               total_view_events_;
+  double p_b = static_cast<double>(std::max<int64_t>(1, view_counts_[b])) /
+               total_view_events_;
+  return std::log(p_joint / (p_a * p_b));
+}
+
+const std::vector<CooccurrenceModel::Neighbor>& CooccurrenceModel::CoViewed(
+    data::ItemIndex i) const {
+  SIGCHECK_GE(i, 0);
+  SIGCHECK_LT(i, num_items());
+  return co_viewed_[i];
+}
+
+const std::vector<CooccurrenceModel::Neighbor>& CooccurrenceModel::CoBought(
+    data::ItemIndex i) const {
+  SIGCHECK_GE(i, 0);
+  SIGCHECK_LT(i, num_items());
+  return co_bought_[i];
+}
+
+std::vector<data::ItemIndex> CooccurrenceModel::ItemsByPopularity() const {
+  std::vector<data::ItemIndex> items(num_items());
+  for (int i = 0; i < num_items(); ++i) items[i] = i;
+  std::sort(items.begin(), items.end(),
+            [this](data::ItemIndex a, data::ItemIndex b) {
+              if (view_counts_[a] != view_counts_[b]) {
+                return view_counts_[a] > view_counts_[b];
+              }
+              return a < b;
+            });
+  return items;
+}
+
+}  // namespace sigmund::core

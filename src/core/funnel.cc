@@ -1,0 +1,46 @@
+#include "core/funnel.h"
+
+#include <unordered_map>
+
+namespace sigmund::core {
+
+const char* FunnelStageName(FunnelStage stage) {
+  switch (stage) {
+    case FunnelStage::kEarly:
+      return "early";
+    case FunnelStage::kLate:
+      return "late";
+  }
+  return "unknown";
+}
+
+FunnelStage ClassifyFunnelStage(const Context& context,
+                                const data::Catalog* catalog,
+                                const FunnelOptions& options) {
+  const int n = static_cast<int>(context.size());
+  const int start = std::max(0, n - options.window);
+
+  std::unordered_map<data::ItemIndex, int> item_views;
+  std::unordered_map<data::CategoryId, int> category_events;
+  for (int j = start; j < n; ++j) {
+    const ContextEntry& entry = context[j];
+    // A cart (or conversion) means the purchase decision is essentially
+    // made: late funnel by definition.
+    if (entry.action == data::ActionType::kCart ||
+        entry.action == data::ActionType::kConversion) {
+      return FunnelStage::kLate;
+    }
+    if (++item_views[entry.item] >= options.min_repeat_views) {
+      return FunnelStage::kLate;
+    }
+    if (catalog != nullptr) {
+      data::CategoryId category = catalog->item(entry.item).category;
+      if (++category_events[category] >= options.min_category_focus) {
+        return FunnelStage::kLate;
+      }
+    }
+  }
+  return FunnelStage::kEarly;
+}
+
+}  // namespace sigmund::core

@@ -1,0 +1,40 @@
+#ifndef SIGMUND_CORE_FUNNEL_H_
+#define SIGMUND_CORE_FUNNEL_H_
+
+#include "core/model.h"
+#include "data/catalog.h"
+
+namespace sigmund::core {
+
+// Shopping-funnel stage inferred from a user's recent context (§III-D1 of
+// the paper: "we also distinguish between early funnel and late funnel
+// users. For late funnel users, we focus very close to the viewed item,
+// i.e., we select candidates that are further constrained to have the
+// same item facets.")
+enum class FunnelStage {
+  kEarly = 0,  // exploring options — broad candidates
+  kLate = 1,   // has narrowed down — same-facet candidates
+};
+
+const char* FunnelStageName(FunnelStage stage);
+
+struct FunnelOptions {
+  // Only the most recent `window` context entries are considered.
+  int window = 8;
+  // Late-funnel signals: the same item viewed at least this many times...
+  int min_repeat_views = 2;
+  // ...or at least this many recent events in one category (requires a
+  // catalog), or any cart event in the window.
+  int min_category_focus = 4;
+};
+
+// Classifies a context. `catalog` may be nullptr, in which case only
+// catalog-free signals (repeat item views, cart events) are used — this is
+// what the serving path uses, since the store does not hold catalogs.
+FunnelStage ClassifyFunnelStage(const Context& context,
+                                const data::Catalog* catalog,
+                                const FunnelOptions& options);
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_FUNNEL_H_

@@ -1,0 +1,199 @@
+#include "core/grid_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/negative_sampler.h"
+
+namespace sigmund::core {
+
+std::vector<HyperParams> BuildGrid(const GridSpec& spec,
+                                   const data::Catalog& catalog,
+                                   uint64_t subsample_seed) {
+  // Per-retailer feature selection (§III-C): a feature whose coverage in
+  // this catalog is too low never enters the grid.
+  std::vector<bool> taxonomy_options = {true};
+  if (spec.sweep_taxonomy) taxonomy_options = {true, false};
+  std::vector<bool> brand_options = {false};
+  if (spec.sweep_brand && catalog.BrandCoverage() >= spec.min_brand_coverage) {
+    brand_options = {false, true};
+  }
+  std::vector<bool> price_options = {false};
+  if (spec.sweep_price && catalog.PriceCoverage() >= spec.min_price_coverage) {
+    price_options = {false, true};
+  }
+
+  std::vector<HyperParams> grid;
+  for (int factors : spec.factors) {
+    for (double lr : spec.learning_rates) {
+      for (double lambda_v : spec.lambdas_v) {
+        for (double lambda_vc : spec.lambdas_vc) {
+          for (uint64_t seed : spec.seeds) {
+            for (NegativeSamplerKind sampler : spec.samplers) {
+              for (bool taxonomy : taxonomy_options) {
+                for (bool brand : brand_options) {
+                  for (bool price : price_options) {
+                    HyperParams params;
+                    params.num_factors = factors;
+                    params.learning_rate = lr;
+                    params.lambda_v = lambda_v;
+                    params.lambda_vc = lambda_vc;
+                    params.seed = seed;
+                    params.sampler = sampler;
+                    params.use_taxonomy = taxonomy;
+                    params.use_brand = brand;
+                    params.use_price = price;
+                    params.num_epochs = spec.num_epochs;
+                    grid.push_back(params);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (static_cast<int>(grid.size()) > spec.max_configs) {
+    Rng rng(SplitMix64(subsample_seed) ^ 0xC0FFEEULL);
+    rng.Shuffle(&grid);
+    grid.resize(spec.max_configs);
+  }
+  return grid;
+}
+
+StatusOr<BprModel> WarmStartFrom(const BprModel& previous,
+                                 const data::Catalog* catalog,
+                                 const HyperParams& params, Rng* rng) {
+  const HyperParams& old = previous.params();
+  if (old.num_factors != params.num_factors ||
+      old.use_taxonomy != params.use_taxonomy ||
+      old.use_brand != params.use_brand || old.use_price != params.use_price) {
+    return InvalidArgumentError(
+        "warm start requires matching architecture (factors and feature "
+        "switches)");
+  }
+
+  BprModel model(catalog, params);
+  model.InitRandom(rng);  // new rows / any rows not copied below
+
+  auto copy_rows = [](const EmbeddingMatrix& from, EmbeddingMatrix* to) {
+    const int rows = std::min(from.rows(), to->rows());
+    const int dim = std::min(from.dim(), to->dim());
+    for (int r = 0; r < rows; ++r) {
+      const float* src = from.row(r);
+      float* dst = to->row(r);
+      for (int k = 0; k < dim; ++k) dst[k] = src[k];
+    }
+  };
+  copy_rows(previous.item_embeddings(), &model.item_embeddings());
+  copy_rows(previous.context_embeddings(), &model.context_embeddings());
+  copy_rows(previous.taxonomy_embeddings(), &model.taxonomy_embeddings());
+  copy_rows(previous.brand_embeddings(), &model.brand_embeddings());
+  copy_rows(previous.price_embeddings(), &model.price_embeddings());
+
+  // "To ensure that the incremental runs work well with Adagrad, we reset
+  // all the stored norms to 0 before the incremental update." (§III-C3)
+  model.ResetAdagrad();
+  return model;
+}
+
+StatusOr<TrainOutput> TrainOneModel(const TrainRequest& request) {
+  if (request.catalog == nullptr || request.train_histories == nullptr ||
+      request.holdout == nullptr) {
+    return InvalidArgumentError("TrainRequest missing data pointers");
+  }
+
+  Rng rng(SplitMix64(request.params.seed) ^ 0x517EULL);
+
+  BprModel model(request.catalog, request.params);
+  if (request.warm_start != nullptr) {
+    StatusOr<BprModel> warm = WarmStartFrom(*request.warm_start,
+                                            request.catalog, request.params,
+                                            &rng);
+    if (!warm.ok()) return warm.status();
+    model = std::move(warm).value();
+  } else {
+    model.InitRandom(&rng);
+  }
+
+  TrainingData training_data(request.train_histories,
+                             request.catalog->num_items());
+  CooccurrenceModel cooccurrence = CooccurrenceModel::Build(
+      *request.train_histories, request.catalog->num_items(),
+      CooccurrenceModel::Options{});
+  std::unique_ptr<NegativeSampler> sampler = MakeNegativeSampler(
+      request.params, request.catalog, &training_data, &model, &cooccurrence);
+
+  BprTrainer trainer(&model, &training_data, sampler.get());
+  BprTrainer::Options options;
+  options.num_threads = request.num_threads;
+  if (request.epoch_callback) {
+    options.epoch_callback = [&](int epoch, const TrainStats& stats) {
+      return request.epoch_callback(epoch, model, stats);
+    };
+  }
+  TrainStats stats = trainer.Train(options);
+
+  Evaluator::Options eval_options;
+  eval_options.item_sample_fraction = request.eval_sample_fraction;
+  MetricSet metrics =
+      Evaluator::Evaluate(model, training_data, *request.holdout,
+                          eval_options);
+  return TrainOutput{std::move(model), metrics, stats};
+}
+
+std::vector<TrialResult> RunGridSearch(
+    const data::RetailerData& retailer, const data::TrainTestSplit& split,
+    const std::vector<HyperParams>& grid, int num_threads,
+    double eval_sample_fraction, std::vector<BprModel>* models_out) {
+  std::vector<TrialResult> trials;
+  if (models_out != nullptr) models_out->clear();
+  for (const HyperParams& params : grid) {
+    TrainRequest request;
+    request.catalog = &retailer.catalog;
+    request.train_histories = &split.train;
+    request.holdout = &split.holdout;
+    request.params = params;
+    request.num_threads = num_threads;
+    request.eval_sample_fraction = eval_sample_fraction;
+    StatusOr<TrainOutput> output = TrainOneModel(request);
+    SIGCHECK(output.ok());
+    trials.push_back(
+        TrialResult{params, output->metrics, output->stats});
+    if (models_out != nullptr) {
+      models_out->push_back(std::move(output->model));
+    }
+  }
+
+  // Sort trials (and the parallel model vector) by MAP@10 descending.
+  std::vector<size_t> order(trials.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return trials[a].metrics.map_at_k > trials[b].metrics.map_at_k;
+  });
+  std::vector<TrialResult> sorted_trials;
+  sorted_trials.reserve(trials.size());
+  std::vector<BprModel> sorted_models;
+  for (size_t index : order) {
+    sorted_trials.push_back(std::move(trials[index]));
+    if (models_out != nullptr) {
+      sorted_models.push_back(std::move((*models_out)[index]));
+    }
+  }
+  if (models_out != nullptr) *models_out = std::move(sorted_models);
+  return sorted_trials;
+}
+
+std::vector<HyperParams> TopConfigs(const std::vector<TrialResult>& trials,
+                                    int k) {
+  std::vector<HyperParams> top;
+  for (const TrialResult& trial : trials) {
+    if (static_cast<int>(top.size()) >= k) break;
+    top.push_back(trial.params);
+  }
+  return top;
+}
+
+}  // namespace sigmund::core

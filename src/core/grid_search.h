@@ -1,0 +1,111 @@
+#ifndef SIGMUND_CORE_GRID_SEARCH_H_
+#define SIGMUND_CORE_GRID_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "data/retailer_data.h"
+
+namespace sigmund::core {
+
+// The hyper-parameter space swept per retailer (§III-C1, §IV-A). The full
+// grid is the cross-product of these axes plus per-retailer feature
+// switches; it is capped at `max_configs` by seeded random subsampling
+// ("we typically restrict to around a hundred for each retailer").
+struct GridSpec {
+  std::vector<int> factors = {8, 16, 32, 64};  // paper sweeps 5..200
+  std::vector<double> learning_rates = {0.05};
+  std::vector<double> lambdas_v = {0.1, 0.01, 0.001};
+  std::vector<double> lambdas_vc = {0.1, 0.01, 0.001};
+  std::vector<uint64_t> seeds = {1};
+  std::vector<NegativeSamplerKind> samplers = {
+      NegativeSamplerKind::kUniform};
+  bool sweep_taxonomy = true;  // try both on and off
+  bool sweep_brand = true;     // tried only if coverage clears the bar
+  bool sweep_price = false;
+  // Feature-selection coverage thresholds (§III-C: <10% brand coverage
+  // makes the feature detrimental).
+  double min_brand_coverage = 0.10;
+  double min_price_coverage = 0.10;
+  int num_epochs = 20;
+  int max_configs = 100;
+};
+
+// Expands the grid for one retailer, applying per-retailer feature
+// selection from catalog coverage. Deterministic in `subsample_seed`.
+std::vector<HyperParams> BuildGrid(const GridSpec& spec,
+                                   const data::Catalog& catalog,
+                                   uint64_t subsample_seed);
+
+// A single trained-and-evaluated configuration.
+struct TrialResult {
+  HyperParams params;
+  MetricSet metrics;
+  TrainStats stats;
+};
+
+// One model-training request — the unit of work a training-job map task
+// executes (§IV-B). Pointers are borrowed.
+struct TrainRequest {
+  const data::Catalog* catalog = nullptr;
+  const std::vector<std::vector<data::Interaction>>* train_histories =
+      nullptr;
+  const std::vector<data::HoldoutExample>* holdout = nullptr;
+  HyperParams params;
+
+  // Hogwild threads for the single model (§IV-B2).
+  int num_threads = 1;
+
+  // MAP estimation: fraction of items ranked (§III-C2's 10% trick for
+  // large retailers). 1.0 = exact.
+  double eval_sample_fraction = 1.0;
+
+  // Warm start for incremental training (§III-C3); nullptr = random init.
+  const BprModel* warm_start = nullptr;
+
+  // Optional per-epoch hook (checkpointing, early stop). Return false to
+  // stop training early.
+  std::function<bool(int epoch, const BprModel& model,
+                     const TrainStats& stats)>
+      epoch_callback;
+};
+
+struct TrainOutput {
+  BprModel model;
+  MetricSet metrics;
+  TrainStats stats;
+};
+
+// Trains one model per `request` (building training data, co-occurrence
+// exclusion, sampler) and evaluates it on the hold-out set. This is the
+// Train() function of §IV-B.
+StatusOr<TrainOutput> TrainOneModel(const TrainRequest& request);
+
+// Builds a warm-start copy of `previous` for the (possibly grown) catalog:
+// existing embeddings are copied, new items get random embeddings, and all
+// Adagrad accumulators are reset (§III-C3). Fails if the architecture
+// (factors / feature switches) differs.
+StatusOr<BprModel> WarmStartFrom(const BprModel& previous,
+                                 const data::Catalog* catalog,
+                                 const HyperParams& params, Rng* rng);
+
+// Sequentially runs every config in `grid` (the in-process equivalent of
+// the full-sweep training job) and returns trials sorted by MAP@10
+// descending.
+std::vector<TrialResult> RunGridSearch(
+    const data::RetailerData& retailer, const data::TrainTestSplit& split,
+    const std::vector<HyperParams>& grid, int num_threads,
+    double eval_sample_fraction,
+    std::vector<BprModel>* models_out = nullptr);
+
+// Top-`k` configurations by MAP@10 (the incremental sweep re-trains only
+// these, §IV-A).
+std::vector<HyperParams> TopConfigs(const std::vector<TrialResult>& trials,
+                                    int k);
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_GRID_SEARCH_H_

@@ -1,0 +1,63 @@
+#include "core/hybrid.h"
+
+#include <unordered_set>
+
+namespace sigmund::core {
+
+std::vector<ScoredItem> HybridRecommender::Combine(
+    const std::vector<CooccurrenceModel::Neighbor>& neighbors,
+    const std::vector<ScoredItem>& factorization,
+    const Options& options) const {
+  std::vector<ScoredItem> result;
+  std::unordered_set<data::ItemIndex> used;
+  for (const auto& neighbor : neighbors) {
+    if (neighbor.count < options.min_pair_count) break;  // sorted by score
+    result.push_back(ScoredItem{neighbor.item, neighbor.score});
+    used.insert(neighbor.item);
+    if (static_cast<int>(result.size()) >= options.top_k) return result;
+  }
+  // Tail augmentation from the factorization model.
+  for (const ScoredItem& item : factorization) {
+    if (used.count(item.item) > 0) continue;
+    result.push_back(item);
+    if (static_cast<int>(result.size()) >= options.top_k) break;
+  }
+  return result;
+}
+
+std::vector<ScoredItem> HybridRecommender::ViewBased(
+    data::ItemIndex i, const Options& options) const {
+  InferenceEngine::Options inference = options.inference;
+  inference.top_k = options.top_k;
+  ItemRecommendations recs = engine_->RecommendForItem(i, inference);
+  return Combine(cooccurrence_->CoViewed(i), recs.view_based, options);
+}
+
+std::vector<ScoredItem> HybridRecommender::PurchaseBased(
+    data::ItemIndex i, const Options& options) const {
+  InferenceEngine::Options inference = options.inference;
+  inference.top_k = options.top_k;
+  ItemRecommendations recs = engine_->RecommendForItem(i, inference);
+  return Combine(cooccurrence_->CoBought(i), recs.purchase_based, options);
+}
+
+bool HybridRecommender::CooccurrenceSufficient(data::ItemIndex i,
+                                               const Options& options) const {
+  int trusted = 0;
+  for (const auto& neighbor : cooccurrence_->CoViewed(i)) {
+    if (neighbor.count >= options.min_pair_count) ++trusted;
+  }
+  return trusted >= options.top_k;
+}
+
+double HybridRecommender::Coverage(
+    const std::vector<std::vector<ScoredItem>>& lists, int min_list) {
+  if (lists.empty()) return 0.0;
+  int covered = 0;
+  for (const auto& list : lists) {
+    if (static_cast<int>(list.size()) >= min_list) ++covered;
+  }
+  return static_cast<double>(covered) / lists.size();
+}
+
+}  // namespace sigmund::core

@@ -1,0 +1,60 @@
+#ifndef SIGMUND_CORE_HYBRID_H_
+#define SIGMUND_CORE_HYBRID_H_
+
+#include <vector>
+
+#include "core/cooccurrence.h"
+#include "core/inference.h"
+
+namespace sigmund::core {
+
+// Head/tail hybrid recommender (§III-E, §VII): co-occurrence
+// recommendations for popular items, where abundant data makes them hard
+// to beat, augmented with factorization-derived recommendations for the
+// sparse tail — covering a much larger fraction of the inventory.
+class HybridRecommender {
+ public:
+  struct Options {
+    int top_k = 10;
+    // A co-occurrence neighbor must have at least this raw count to be
+    // trusted.
+    int64_t min_pair_count = 3;
+    InferenceEngine::Options inference;
+  };
+
+  // Borrowed pointers; must outlive the recommender.
+  HybridRecommender(const CooccurrenceModel* cooccurrence,
+                    const InferenceEngine* engine)
+      : cooccurrence_(cooccurrence), engine_(engine) {}
+
+  // Recommendation list for query item `i`: trusted co-occurrence
+  // neighbors first, backfilled from the factorization model when there
+  // are fewer than top_k of them.
+  std::vector<ScoredItem> ViewBased(data::ItemIndex i,
+                                    const Options& options) const;
+  std::vector<ScoredItem> PurchaseBased(data::ItemIndex i,
+                                        const Options& options) const;
+
+  // True if the co-occurrence model alone can fill a top_k list for `i`
+  // (the item is in the "head").
+  bool CooccurrenceSufficient(data::ItemIndex i,
+                              const Options& options) const;
+
+  // Fraction of the catalog for which a recommender produces at least
+  // `min_list` recommendations. Coverage is the hybrid's selling point.
+  static double Coverage(const std::vector<std::vector<ScoredItem>>& lists,
+                         int min_list);
+
+ private:
+  std::vector<ScoredItem> Combine(
+      const std::vector<CooccurrenceModel::Neighbor>& neighbors,
+      const std::vector<ScoredItem>& factorization,
+      const Options& options) const;
+
+  const CooccurrenceModel* cooccurrence_;
+  const InferenceEngine* engine_;
+};
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_HYBRID_H_

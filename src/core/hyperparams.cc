@@ -1,0 +1,105 @@
+#include "core/hyperparams.h"
+
+#include "common/string_util.h"
+
+namespace sigmund::core {
+
+const char* NegativeSamplerKindName(NegativeSamplerKind kind) {
+  switch (kind) {
+    case NegativeSamplerKind::kUniform:
+      return "uniform";
+    case NegativeSamplerKind::kPopularity:
+      return "popularity";
+    case NegativeSamplerKind::kTaxonomy:
+      return "taxonomy";
+    case NegativeSamplerKind::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+std::string HyperParams::Serialize() const {
+  return StrFormat(
+      "f=%d;lr=%.17g;lv=%.17g;lvc=%.17g;adagrad=%d;tax=%d;brand=%d;price=%d;"
+      "ctx=%d;decay=%.17g;tier=%.17g;sampler=%d;epochs=%d;init=%.17g;"
+      "seed=%llu",
+      num_factors, learning_rate, lambda_v, lambda_vc, use_adagrad ? 1 : 0,
+      use_taxonomy ? 1 : 0, use_brand ? 1 : 0, use_price ? 1 : 0,
+      context_window, context_decay, tier_constraint_fraction,
+      static_cast<int>(sampler), num_epochs, init_scale,
+      static_cast<unsigned long long>(seed));
+}
+
+StatusOr<HyperParams> HyperParams::Deserialize(const std::string& text) {
+  HyperParams params;
+  for (const std::string& piece : StrSplit(text, ';')) {
+    if (piece.empty()) continue;
+    std::vector<std::string> kv = StrSplit(piece, '=');
+    if (kv.size() != 2) {
+      return InvalidArgumentError("malformed hyperparam piece: " + piece);
+    }
+    const std::string& key = kv[0];
+    const std::string& value = kv[1];
+    int64_t i = 0;
+    double d = 0.0;
+    bool ok = true;
+    if (key == "f") {
+      ok = ParseInt64(value, &i);
+      params.num_factors = static_cast<int>(i);
+    } else if (key == "lr") {
+      ok = ParseDouble(value, &d);
+      params.learning_rate = d;
+    } else if (key == "lv") {
+      ok = ParseDouble(value, &d);
+      params.lambda_v = d;
+    } else if (key == "lvc") {
+      ok = ParseDouble(value, &d);
+      params.lambda_vc = d;
+    } else if (key == "adagrad") {
+      ok = ParseInt64(value, &i);
+      params.use_adagrad = i != 0;
+    } else if (key == "tax") {
+      ok = ParseInt64(value, &i);
+      params.use_taxonomy = i != 0;
+    } else if (key == "brand") {
+      ok = ParseInt64(value, &i);
+      params.use_brand = i != 0;
+    } else if (key == "price") {
+      ok = ParseInt64(value, &i);
+      params.use_price = i != 0;
+    } else if (key == "ctx") {
+      ok = ParseInt64(value, &i);
+      params.context_window = static_cast<int>(i);
+    } else if (key == "decay") {
+      ok = ParseDouble(value, &d);
+      params.context_decay = d;
+    } else if (key == "tier") {
+      ok = ParseDouble(value, &d);
+      params.tier_constraint_fraction = d;
+    } else if (key == "sampler") {
+      ok = ParseInt64(value, &i);
+      params.sampler = static_cast<NegativeSamplerKind>(i);
+    } else if (key == "epochs") {
+      ok = ParseInt64(value, &i);
+      params.num_epochs = static_cast<int>(i);
+    } else if (key == "init") {
+      ok = ParseDouble(value, &d);
+      params.init_scale = d;
+    } else if (key == "seed") {
+      ok = ParseInt64(value, &i);
+      params.seed = static_cast<uint64_t>(i);
+    } else {
+      return InvalidArgumentError("unknown hyperparam key: " + key);
+    }
+    if (!ok) {
+      return InvalidArgumentError("unparseable hyperparam value: " + piece);
+    }
+  }
+  return params;
+}
+
+bool operator==(const HyperParams& a, const HyperParams& b) {
+  return a.Serialize() == b.Serialize();
+}
+
+}  // namespace sigmund::core

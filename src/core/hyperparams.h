@@ -1,0 +1,75 @@
+#ifndef SIGMUND_CORE_HYPERPARAMS_H_
+#define SIGMUND_CORE_HYPERPARAMS_H_
+
+#include <stdint.h>
+
+#include <string>
+
+#include "common/status.h"
+
+namespace sigmund::core {
+
+// Which negative-sampling heuristic the trainer uses (§III-B3).
+enum class NegativeSamplerKind {
+  kUniform = 0,        // uniform over the catalog, excluding seen items
+  kPopularity = 1,     // popularity-skewed
+  kTaxonomy = 2,       // prefer items taxonomically far from the positive
+  kAdaptive = 3,       // affinity-aware (Rendle & Freudenthaler style)
+};
+
+const char* NegativeSamplerKindName(NegativeSamplerKind kind);
+
+// Per-model hyper-parameters, the unit of Sigmund's grid search (§III-C1).
+// Everything here is serializable into a config record.
+struct HyperParams {
+  // Number of latent factors F (5..200 in the paper's grid).
+  int num_factors = 16;
+
+  // Base learning rate for SGD / Adagrad.
+  double learning_rate = 0.05;
+
+  // Separate L2 regularization for item-side parameters (item, taxonomy,
+  // brand, price embeddings) and for context embeddings (§III-C1).
+  double lambda_v = 0.01;
+  double lambda_vc = 0.01;
+
+  // Adagrad on/off (§III-C1: Adagrad converges faster than plain SGD).
+  bool use_adagrad = true;
+
+  // Feature switches, selected per retailer (§III-C: brand coverage below
+  // ~10% makes the feature detrimental).
+  bool use_taxonomy = true;
+  bool use_brand = false;
+  bool use_price = false;
+
+  // User-context model (§III-B2): window size K and geometric decay of
+  // past actions' weights.
+  int context_window = 25;
+  double context_decay = 0.85;
+
+  // Fraction of SGD steps devoted to tier constraints
+  // (search > view, cart > search, conversion > cart).
+  double tier_constraint_fraction = 0.25;
+
+  NegativeSamplerKind sampler = NegativeSamplerKind::kUniform;
+
+  // Epochs: one epoch makes ~|interactions| SGD steps.
+  int num_epochs = 30;
+
+  // Gaussian init scale (stddev = init_scale / sqrt(num_factors)).
+  double init_scale = 0.1;
+
+  // Prior variance proxy; kept for grid compatibility (§III-C1 mentions
+  // sweeping prior variance — mapped onto init_scale here).
+  uint64_t seed = 1;
+
+  // Serializes to "key=value;key=value;..." (stable order).
+  std::string Serialize() const;
+  static StatusOr<HyperParams> Deserialize(const std::string& text);
+
+  friend bool operator==(const HyperParams& a, const HyperParams& b);
+};
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_HYPERPARAMS_H_

@@ -1,0 +1,85 @@
+#ifndef SIGMUND_CORE_INFERENCE_H_
+#define SIGMUND_CORE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidate_selector.h"
+#include "core/model.h"
+
+namespace sigmund::core {
+
+// A recommended item with its model score.
+struct ScoredItem {
+  data::ItemIndex item = data::kInvalidItem;
+  double score = 0.0;
+};
+
+// Offline-materialized recommendations for one query item: the substitute
+// list (shown before the purchase decision) and the accessory/complement
+// list (shown after), per Fig. 1 of the paper, plus an optional
+// late-funnel substitute variant constrained to the query item's facets
+// (§III-D1).
+struct ItemRecommendations {
+  data::ItemIndex query = data::kInvalidItem;
+  std::vector<ScoredItem> view_based;
+  std::vector<ScoredItem> purchase_based;
+  // Facet-constrained substitutes for late-funnel users; empty unless the
+  // inference job materialized them.
+  std::vector<ScoredItem> view_based_late;
+
+  // Compact text encoding for MapReduce records / serving store values.
+  std::string Serialize() const;
+  static StatusOr<ItemRecommendations> Deserialize(const std::string& text);
+};
+
+// Ranks candidate-selected items with the BPR model and materializes
+// top-K recommendations per item (§III-D). This is the computation the
+// inference MapReduce runs in its map phase.
+class InferenceEngine {
+ public:
+  struct Options {
+    int top_k = 10;
+    CandidateSelector::Options selector;
+    // Threads for MaterializeAll (§IV-C2: multi-threading managed in user
+    // code within the single map task).
+    int num_threads = 1;
+    // Also materialize the facet-constrained late-funnel substitute list
+    // (§III-D1).
+    bool materialize_late_funnel = false;
+  };
+
+  // Pointers are borrowed and must outlive the engine.
+  InferenceEngine(const BprModel* model, const CandidateSelector* selector);
+
+  // Ranks `candidates` for an arbitrary user context, highest score first.
+  std::vector<ScoredItem> RankCandidates(
+      const Context& context, const std::vector<data::ItemIndex>& candidates,
+      int top_k) const;
+
+  // Recommendations for the single-item context `i` (view-based uses a
+  // view context, purchase-based a conversion context).
+  ItemRecommendations RecommendForItem(data::ItemIndex i,
+                                       const Options& options) const;
+
+  // Materializes recommendations for every item in the catalog.
+  std::vector<ItemRecommendations> MaterializeAll(
+      const Options& options) const;
+
+  // Naive alternative that scores the full catalog instead of selected
+  // candidates — quadratic; kept as the baseline for the scaling
+  // experiment (§IV-C1).
+  ItemRecommendations RecommendForItemFullScan(data::ItemIndex i,
+                                               int top_k) const;
+
+  const BprModel& model() const { return *model_; }
+
+ private:
+  const BprModel* model_;
+  const CandidateSelector* selector_;
+};
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_INFERENCE_H_

@@ -1,0 +1,144 @@
+#include "core/negative_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+namespace {
+constexpr int kMaxTries = 32;
+}  // namespace
+
+data::ItemIndex UniformSampler::Sample(const TrainingData& data,
+                                       data::UserIndex u,
+                                       const float* /*user_vec*/,
+                                       data::ItemIndex positive,
+                                       Rng* rng) const {
+  const int n = data.num_items();
+  if (n <= 1) return data::kInvalidItem;
+  for (int tries = 0; tries < kMaxTries; ++tries) {
+    data::ItemIndex j = static_cast<data::ItemIndex>(rng->Uniform(n));
+    if (j != positive && !data.Seen(u, j)) return j;
+  }
+  return data::kInvalidItem;
+}
+
+PopularitySampler::PopularitySampler(const std::vector<int64_t>& item_counts,
+                                     double alpha) {
+  cumulative_.resize(item_counts.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < item_counts.size(); ++i) {
+    // +1 smoothing keeps zero-count items reachable.
+    acc += std::pow(static_cast<double>(item_counts[i]) + 1.0, alpha);
+    cumulative_[i] = acc;
+  }
+}
+
+data::ItemIndex PopularitySampler::Sample(const TrainingData& data,
+                                          data::UserIndex u,
+                                          const float* /*user_vec*/,
+                                          data::ItemIndex positive,
+                                          Rng* rng) const {
+  if (cumulative_.empty()) return data::kInvalidItem;
+  const double total = cumulative_.back();
+  for (int tries = 0; tries < kMaxTries; ++tries) {
+    double target = rng->UniformDouble() * total;
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    data::ItemIndex j = static_cast<data::ItemIndex>(
+        std::min<size_t>(it - cumulative_.begin(), cumulative_.size() - 1));
+    if (j != positive && !data.Seen(u, j)) return j;
+  }
+  return data::kInvalidItem;
+}
+
+data::ItemIndex TaxonomySampler::Sample(const TrainingData& data,
+                                        data::UserIndex u,
+                                        const float* /*user_vec*/,
+                                        data::ItemIndex positive,
+                                        Rng* rng) const {
+  const int n = data.num_items();
+  if (n <= 1) return data::kInvalidItem;
+  data::ItemIndex fallback = data::kInvalidItem;
+  for (int tries = 0; tries < kMaxTries; ++tries) {
+    data::ItemIndex j = static_cast<data::ItemIndex>(rng->Uniform(n));
+    if (j == positive || data.Seen(u, j)) continue;
+    fallback = j;
+    if (catalog_->LcaDistance(positive, j) >= min_distance_) return j;
+  }
+  // No far-away item found; a near item that is at least unseen.
+  return fallback;
+}
+
+data::ItemIndex AdaptiveSampler::Sample(const TrainingData& data,
+                                        data::UserIndex u,
+                                        const float* user_vec,
+                                        data::ItemIndex positive,
+                                        Rng* rng) const {
+  data::ItemIndex best = data::kInvalidItem;
+  double best_score = -1e30;
+  for (int c = 0; c < num_candidates_; ++c) {
+    data::ItemIndex j = base_->Sample(data, u, user_vec, positive, rng);
+    if (j == data::kInvalidItem) continue;
+    if (user_vec == nullptr) return j;
+    double score = model_->Score(user_vec, j);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+data::ItemIndex ExclusionSampler::Sample(const TrainingData& data,
+                                         data::UserIndex u,
+                                         const float* user_vec,
+                                         data::ItemIndex positive,
+                                         Rng* rng) const {
+  data::ItemIndex fallback = data::kInvalidItem;
+  for (int tries = 0; tries < 8; ++tries) {
+    data::ItemIndex j = base_->Sample(data, u, user_vec, positive, rng);
+    if (j == data::kInvalidItem) continue;
+    fallback = j;
+    if (cooccurrence_->CoViewCount(positive, j) <= max_co_count_ &&
+        cooccurrence_->CoBuyCount(positive, j) <= max_co_count_) {
+      return j;
+    }
+  }
+  return fallback;
+}
+
+std::unique_ptr<NegativeSampler> MakeNegativeSampler(
+    const HyperParams& params, const data::Catalog* catalog,
+    const TrainingData* data, const BprModel* model,
+    const CooccurrenceModel* cooccurrence) {
+  SIGCHECK(catalog != nullptr);
+  SIGCHECK(data != nullptr);
+  std::unique_ptr<NegativeSampler> base;
+  switch (params.sampler) {
+    case NegativeSamplerKind::kUniform:
+      base = std::make_unique<UniformSampler>();
+      break;
+    case NegativeSamplerKind::kPopularity:
+      base = std::make_unique<PopularitySampler>(data->item_counts(),
+                                                 /*alpha=*/0.75);
+      break;
+    case NegativeSamplerKind::kTaxonomy:
+      base = std::make_unique<TaxonomySampler>(catalog, /*min_distance=*/3);
+      break;
+    case NegativeSamplerKind::kAdaptive: {
+      SIGCHECK(model != nullptr);
+      base = std::make_unique<AdaptiveSampler>(
+          model, std::make_unique<UniformSampler>(), /*num_candidates=*/4);
+      break;
+    }
+  }
+  if (cooccurrence != nullptr) {
+    return std::make_unique<ExclusionSampler>(std::move(base), cooccurrence,
+                                              /*max_co_count=*/2);
+  }
+  return base;
+}
+
+}  // namespace sigmund::core

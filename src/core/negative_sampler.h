@@ -1,0 +1,119 @@
+#ifndef SIGMUND_CORE_NEGATIVE_SAMPLER_H_
+#define SIGMUND_CORE_NEGATIVE_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cooccurrence.h"
+#include "core/model.h"
+#include "core/training_data.h"
+#include "data/catalog.h"
+
+namespace sigmund::core {
+
+// Draws the negative item j of a BPR triple (§III-B3). Implementations are
+// immutable after construction and thread-safe (each Hogwild thread passes
+// its own Rng).
+class NegativeSampler {
+ public:
+  virtual ~NegativeSampler() = default;
+
+  // Samples a negative for user `u` and positive item `positive`.
+  // `user_vec` is the current user embedding (dim = model dim); it may be
+  // nullptr for samplers that don't need it. Returns kInvalidItem when no
+  // valid negative exists (e.g. the user has seen the whole catalog).
+  virtual data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                                 const float* user_vec,
+                                 data::ItemIndex positive, Rng* rng) const = 0;
+};
+
+// Uniform over the catalog, rejecting the user's seen items.
+class UniformSampler : public NegativeSampler {
+ public:
+  data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                         const float* user_vec, data::ItemIndex positive,
+                         Rng* rng) const override;
+};
+
+// Popularity-skewed (count^alpha), rejecting seen items. Oversampling
+// popular negatives sharpens the ranking against strong distractors.
+class PopularitySampler : public NegativeSampler {
+ public:
+  PopularitySampler(const std::vector<int64_t>& item_counts, double alpha);
+
+  data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                         const float* user_vec, data::ItemIndex positive,
+                         Rng* rng) const override;
+
+ private:
+  std::vector<double> cumulative_;  // CDF over items
+};
+
+// Prefers items taxonomically far from the positive: accepts a uniform
+// draw only if LcaDistance(positive, j) >= min_distance; falls back to the
+// last draw after `max_tries`.
+class TaxonomySampler : public NegativeSampler {
+ public:
+  TaxonomySampler(const data::Catalog* catalog, int min_distance)
+      : catalog_(catalog), min_distance_(min_distance) {}
+
+  data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                         const float* user_vec, data::ItemIndex positive,
+                         Rng* rng) const override;
+
+ private:
+  const data::Catalog* catalog_;
+  int min_distance_;
+};
+
+// Adaptive, affinity-aware sampling in the spirit of Rendle &
+// Freudenthaler [16]: draws `num_candidates` via the base sampler and
+// keeps the one the *current model* scores highest — the hardest negative.
+class AdaptiveSampler : public NegativeSampler {
+ public:
+  AdaptiveSampler(const BprModel* model,
+                  std::unique_ptr<NegativeSampler> base, int num_candidates)
+      : model_(model), base_(std::move(base)),
+        num_candidates_(num_candidates) {}
+
+  data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                         const float* user_vec, data::ItemIndex positive,
+                         Rng* rng) const override;
+
+ private:
+  const BprModel* model_;
+  std::unique_ptr<NegativeSampler> base_;
+  int num_candidates_;
+};
+
+// Decorator: rejects negatives that are strongly co-viewed/co-bought with
+// the positive (they are probably *good* recommendations, not negatives).
+class ExclusionSampler : public NegativeSampler {
+ public:
+  ExclusionSampler(std::unique_ptr<NegativeSampler> base,
+                   const CooccurrenceModel* cooccurrence,
+                   int64_t max_co_count)
+      : base_(std::move(base)), cooccurrence_(cooccurrence),
+        max_co_count_(max_co_count) {}
+
+  data::ItemIndex Sample(const TrainingData& data, data::UserIndex u,
+                         const float* user_vec, data::ItemIndex positive,
+                         Rng* rng) const override;
+
+ private:
+  std::unique_ptr<NegativeSampler> base_;
+  const CooccurrenceModel* cooccurrence_;
+  int64_t max_co_count_;
+};
+
+// Builds the sampler stack requested by `params.sampler`, always wrapped
+// in co-occurrence exclusion when `cooccurrence` is provided.
+std::unique_ptr<NegativeSampler> MakeNegativeSampler(
+    const HyperParams& params, const data::Catalog* catalog,
+    const TrainingData* data, const BprModel* model,
+    const CooccurrenceModel* cooccurrence);
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_NEGATIVE_SAMPLER_H_

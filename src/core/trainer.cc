@@ -1,0 +1,208 @@
+#include "core/trainer.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace sigmund::core {
+
+namespace {
+
+double Softplus(double z) {
+  // Numerically stable log(1 + exp(z)).
+  if (z > 30.0) return z;
+  if (z < -30.0) return 0.0;
+  return std::log1p(std::exp(z));
+}
+
+}  // namespace
+
+BprTrainer::BprTrainer(BprModel* model, const TrainingData* data,
+                       const NegativeSampler* sampler)
+    : model_(model), data_(data), sampler_(sampler) {
+  SIGCHECK(model != nullptr);
+  SIGCHECK(data != nullptr);
+  SIGCHECK(sampler != nullptr);
+}
+
+void BprTrainer::UpdateRow(EmbeddingMatrix* table, int row, const float* dir,
+                           double scale_grad, double lambda) {
+  const int d = model_->dim();
+  const double eta = model_->params().learning_rate;
+  float* w = table->row(row);
+
+  double lr = eta;
+  if (model_->params().use_adagrad) {
+    // Row-wise Adagrad: accumulate the squared norm of this row's gradient
+    // ("the sum of the norms of its updates", §III-C1), damping frequently
+    // updated rows.
+    double norm_sq = 0.0;
+    for (int k = 0; k < d; ++k) {
+      double g = scale_grad * dir[k] - lambda * w[k];
+      norm_sq += g * g;
+    }
+    // Benign race under Hogwild.
+    float& acc = table->adagrad(row);
+    acc += static_cast<float>(norm_sq);
+    lr = eta / std::sqrt(1e-6 + acc);
+  }
+  for (int k = 0; k < d; ++k) {
+    double g = scale_grad * dir[k] - lambda * w[k];
+    w[k] += static_cast<float>(lr * g);
+  }
+}
+
+double BprTrainer::ApplyUpdate(const Context& context,
+                               data::ItemIndex positive,
+                               data::ItemIndex negative) {
+  const int d = model_->dim();
+  const HyperParams& params = model_->params();
+
+  thread_local std::vector<float> u, phi_i, phi_j, diff;
+  u.resize(d);
+  phi_i.resize(d);
+  phi_j.resize(d);
+  diff.resize(d);
+
+  model_->UserEmbedding(context, u.data());
+  model_->ItemRepresentation(positive, phi_i.data());
+  model_->ItemRepresentation(negative, phi_j.data());
+
+  double x = 0.0;
+  for (int k = 0; k < d; ++k) {
+    diff[k] = phi_i[k] - phi_j[k];
+    x += static_cast<double>(u[k]) * diff[k];
+  }
+  const double loss = Softplus(-x);
+  const double s = 1.0 / (1.0 + std::exp(x));  // sigma(-x)
+
+  // --- Item-side updates: every additive component of phi gets the same
+  // gradient direction (hierarchical additive model).
+  auto update_item_side = [&](data::ItemIndex item, double sign) {
+    UpdateRow(&model_->item_embeddings(), item, u.data(), sign * s,
+              params.lambda_v);
+    const data::Item& meta = model_->catalog().item(item);
+    if (params.use_taxonomy) {
+      for (data::CategoryId a :
+           model_->catalog().taxonomy().PathToRoot(meta.category)) {
+        UpdateRow(&model_->taxonomy_embeddings(), a, u.data(), sign * s,
+                  params.lambda_v);
+      }
+    }
+    if (params.use_brand && meta.brand != data::kUnknownBrand &&
+        meta.brand < model_->brand_embeddings().rows()) {
+      UpdateRow(&model_->brand_embeddings(), meta.brand, u.data(), sign * s,
+                params.lambda_v);
+    }
+    if (params.use_price) {
+      int bucket = data::PriceBucket(meta.price, data::kDefaultPriceBuckets);
+      if (bucket >= 0) {
+        UpdateRow(&model_->price_embeddings(), bucket, u.data(), sign * s,
+                  params.lambda_v);
+      }
+    }
+  };
+  update_item_side(positive, +1.0);
+  update_item_side(negative, -1.0);
+
+  // --- Context-side updates: vC of each context item, weighted by its
+  // decay weight (gradient of u = sum_m w_m vC_m w.r.t. vC_m is w_m).
+  const int window = params.context_window;
+  const int n = std::min<int>(window, static_cast<int>(context.size()));
+  const int start = static_cast<int>(context.size()) - n;
+  std::vector<float> weights = model_->ContextWeights(n);
+  for (int m = 0; m < n; ++m) {
+    UpdateRow(&model_->context_embeddings(), context[start + m].item,
+              diff.data(), s * weights[m], params.lambda_vc);
+  }
+  return loss;
+}
+
+double BprTrainer::Step(const Context& context, data::ItemIndex positive,
+                        data::ItemIndex negative, Rng* /*rng*/) {
+  SIGCHECK(!context.empty());
+  return ApplyUpdate(context, positive, negative);
+}
+
+double BprTrainer::SampleAndStep(Rng* rng) {
+  const HyperParams& params = model_->params();
+  TrainingData::Position pos = data_->SamplePosition(rng);
+  const data::Interaction& event = data_->EventAt(pos);
+  Context context = data_->ContextAt(pos, params.context_window);
+  if (context.empty()) return -1.0;
+
+  data::ItemIndex negative = data::kInvalidItem;
+  // Tier constraint: with some probability, and when the positive action
+  // is above the weakest tier, contrast against one of the user's own
+  // lower-tier items (search > view, cart > search, conversion > cart).
+  if (data::ActionStrength(event.action) > 0 &&
+      rng->Bernoulli(params.tier_constraint_fraction)) {
+    negative = data_->SampleLowerTierItem(pos.user, event.action, rng);
+    if (negative == event.item) negative = data::kInvalidItem;
+  }
+  if (negative == data::kInvalidItem) {
+    thread_local std::vector<float> u;
+    u.resize(model_->dim());
+    model_->UserEmbedding(context, u.data());
+    negative = sampler_->Sample(*data_, pos.user, u.data(), event.item, rng);
+  }
+  if (negative == data::kInvalidItem || negative == event.item) return -1.0;
+  return ApplyUpdate(context, event.item, negative);
+}
+
+TrainStats BprTrainer::Train(const Options& options) {
+  TrainStats stats;
+  const HyperParams& params = model_->params();
+  const int64_t default_steps = data_->num_positions();
+  const int64_t steps_per_epoch =
+      options.steps_per_epoch > 0 ? options.steps_per_epoch : default_steps;
+  if (steps_per_epoch == 0) return stats;
+
+  const int threads = std::max(1, options.num_threads);
+  ThreadPool pool(threads);
+  const int64_t chunks = static_cast<int64_t>(threads) * 4;
+  const int num_epochs =
+      options.num_epochs > 0 ? options.num_epochs : params.num_epochs;
+
+  for (int epoch = 0; epoch < num_epochs; ++epoch) {
+    std::atomic<double> loss_sum{0.0};
+    std::atomic<int64_t> done{0}, skipped{0};
+    pool.ParallelFor(chunks, [&](int64_t c) {
+      // Per-chunk RNG: deterministic in (seed, epoch, chunk) for
+      // single-threaded runs; Hogwild interleaving is inherently
+      // nondeterministic across threads.
+      Rng rng(SplitMix64(params.seed + 1) ^
+              SplitMix64(static_cast<uint64_t>(epoch) * 1000003ULL + c));
+      int64_t my_steps =
+          steps_per_epoch / chunks + (c < steps_per_epoch % chunks ? 1 : 0);
+      double local_loss = 0.0;
+      int64_t local_done = 0, local_skipped = 0;
+      for (int64_t i = 0; i < my_steps; ++i) {
+        double loss = SampleAndStep(&rng);
+        if (loss < 0.0) {
+          ++local_skipped;
+        } else {
+          local_loss += loss;
+          ++local_done;
+        }
+      }
+      loss_sum.fetch_add(local_loss);
+      done.fetch_add(local_done);
+      skipped.fetch_add(local_skipped);
+    });
+
+    stats.epochs_run = epoch + 1;
+    stats.sgd_steps += done.load();
+    stats.skipped_steps += skipped.load();
+    stats.last_epoch_loss =
+        done.load() > 0 ? loss_sum.load() / done.load() : 0.0;
+    if (options.epoch_callback && !options.epoch_callback(epoch, stats)) {
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sigmund::core

@@ -1,0 +1,105 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "core/negative_sampler.h"
+#include "core/trainer.h"
+
+namespace sigmund::core {
+
+namespace {
+
+// A live trial: model + trainer state that persists across rungs.
+struct Trial {
+  HyperParams params;
+  std::unique_ptr<BprModel> model;
+  std::unique_ptr<NegativeSampler> sampler;
+  std::unique_ptr<BprTrainer> trainer;
+  MetricSet metrics;
+  TrainStats stats;
+};
+
+}  // namespace
+
+TunerOutcome SuccessiveHalving(const data::RetailerData& retailer,
+                               const data::TrainTestSplit& split,
+                               const GridSpec& space,
+                               const TunerOptions& options) {
+  SIGCHECK_GE(options.eta, 2);
+  SIGCHECK_GT(options.initial_configs, 0);
+
+  // Shared per-retailer state.
+  TrainingData training_data(&split.train, retailer.catalog.num_items());
+  CooccurrenceModel cooccurrence = CooccurrenceModel::Build(
+      split.train, retailer.catalog.num_items(), {});
+
+  // Rung-0 configurations: a seeded random sample of the space.
+  GridSpec sample_spec = space;
+  sample_spec.max_configs = options.initial_configs;
+  std::vector<HyperParams> configs =
+      BuildGrid(sample_spec, retailer.catalog, options.seed);
+
+  std::vector<std::unique_ptr<Trial>> live;
+  for (const HyperParams& params : configs) {
+    auto trial = std::make_unique<Trial>();
+    trial->params = params;
+    trial->model = std::make_unique<BprModel>(&retailer.catalog, params);
+    Rng rng(SplitMix64(params.seed) ^ SplitMix64(options.seed));
+    trial->model->InitRandom(&rng);
+    trial->sampler =
+        MakeNegativeSampler(params, &retailer.catalog, &training_data,
+                            trial->model.get(), &cooccurrence);
+    trial->trainer = std::make_unique<BprTrainer>(
+        trial->model.get(), &training_data, trial->sampler.get());
+    live.push_back(std::move(trial));
+  }
+
+  TunerOutcome outcome;
+  std::vector<std::unique_ptr<Trial>> eliminated;
+  Evaluator::Options eval_options;
+  eval_options.item_sample_fraction = options.eval_sample_fraction;
+
+  while (!live.empty()) {
+    ++outcome.rungs;
+    for (auto& trial : live) {
+      BprTrainer::Options train_options;
+      train_options.num_threads = options.num_threads;
+      train_options.num_epochs = options.epochs_per_rung;
+      TrainStats stats = trial->trainer->Train(train_options);
+      trial->stats.epochs_run += stats.epochs_run;
+      trial->stats.sgd_steps += stats.sgd_steps;
+      trial->stats.last_epoch_loss = stats.last_epoch_loss;
+      outcome.total_sgd_steps += stats.sgd_steps;
+      trial->metrics = Evaluator::Evaluate(*trial->model, training_data,
+                                           split.holdout, eval_options);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const std::unique_ptr<Trial>& a,
+                 const std::unique_ptr<Trial>& b) {
+                return a->metrics.map_at_k > b->metrics.map_at_k;
+              });
+    if (live.size() <= 1) break;
+    size_t keep = std::max<size_t>(1, live.size() / options.eta);
+    if (keep == live.size()) keep = live.size() - 1;  // guarantee progress
+    for (size_t i = keep; i < live.size(); ++i) {
+      eliminated.push_back(std::move(live[i]));
+    }
+    live.resize(keep);
+  }
+
+  for (auto& trial : live) eliminated.push_back(std::move(trial));
+  std::sort(eliminated.begin(), eliminated.end(),
+            [](const std::unique_ptr<Trial>& a,
+               const std::unique_ptr<Trial>& b) {
+              return a->metrics.map_at_k > b->metrics.map_at_k;
+            });
+  for (auto& trial : eliminated) {
+    outcome.leaderboard.push_back(
+        TrialResult{trial->params, trial->metrics, trial->stats});
+  }
+  return outcome;
+}
+
+}  // namespace sigmund::core

@@ -1,0 +1,53 @@
+#ifndef SIGMUND_CORE_TUNER_H_
+#define SIGMUND_CORE_TUNER_H_
+
+#include <vector>
+
+#include "core/grid_search.h"
+
+namespace sigmund::core {
+
+// Budget-aware hyper-parameter search by successive halving: start many
+// configurations, train each a few epochs, keep the best 1/eta, continue
+// training the survivors (warm, not from scratch), repeat.
+//
+// The paper runs a plain grid and notes that "services like Vizier hold
+// promise to improve on simple grid-search based techniques for black-box
+// hyperparameter optimization" and that a rebuild "would design [the
+// search] to integrate deeply with such a service" (§III-C1). Successive
+// halving is the simplest such trial-management policy; the
+// `e14_tuner_vs_grid` bench measures what it buys over the grid at equal
+// SGD budget.
+struct TunerOptions {
+  // Configurations sampled from the space at rung 0.
+  int initial_configs = 27;
+  // Survivor fraction per rung is 1/eta.
+  int eta = 3;
+  // Epochs each surviving config trains at each rung.
+  int epochs_per_rung = 2;
+  // Hogwild threads per model.
+  int num_threads = 1;
+  double eval_sample_fraction = 1.0;
+  uint64_t seed = 42;
+};
+
+struct TunerOutcome {
+  // All trials with their *final* metrics (survivors have trained more
+  // epochs than eliminated configs), best first.
+  std::vector<TrialResult> leaderboard;
+  // Total SGD steps spent across all rungs — the comparable budget.
+  int64_t total_sgd_steps = 0;
+  int rungs = 0;
+};
+
+// Runs successive halving over configurations drawn from `space` (the
+// same spec the grid sweep uses). Survivor models continue training from
+// their current parameters between rungs.
+TunerOutcome SuccessiveHalving(const data::RetailerData& retailer,
+                               const data::TrainTestSplit& split,
+                               const GridSpec& space,
+                               const TunerOptions& options);
+
+}  // namespace sigmund::core
+
+#endif  // SIGMUND_CORE_TUNER_H_

@@ -1,0 +1,256 @@
+#include "core/wrmf.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sigmund::core {
+
+namespace {
+
+// Sparse observations in both orientations: obs[u] = {(item, r_ui)}.
+struct Observations {
+  std::vector<std::vector<std::pair<int, double>>> by_user;
+  std::vector<std::vector<std::pair<int, double>>> by_item;
+};
+
+Observations CollectObservations(
+    const std::vector<std::vector<data::Interaction>>& histories,
+    int num_items) {
+  Observations obs;
+  obs.by_user.resize(histories.size());
+  obs.by_item.resize(num_items);
+  for (size_t u = 0; u < histories.size(); ++u) {
+    std::unordered_map<data::ItemIndex, double> strengths;
+    for (const data::Interaction& event : histories[u]) {
+      strengths[event.item] += WrmfStrength(event.action);
+    }
+    for (const auto& [item, r] : strengths) {
+      obs.by_user[u].emplace_back(item, r);
+      obs.by_item[item].emplace_back(static_cast<int>(u), r);
+    }
+  }
+  return obs;
+}
+
+// Dense symmetric positive-definite solve via Cholesky (A is F x F,
+// row-major; overwritten). Dimensions here are <= ~200.
+void SolveSpd(std::vector<double>* a_in, std::vector<double>* b_in, int n) {
+  std::vector<double>& a = *a_in;
+  std::vector<double>& b = *b_in;
+  // Cholesky: A = L L^T (lower triangle stored in-place).
+  for (int j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (int k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    SIGCHECK_GT(diag, 0.0);
+    diag = std::sqrt(diag);
+    a[j * n + j] = diag;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a[i * n + j];
+      for (int k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = sum / diag;
+    }
+  }
+  // Forward substitution: L z = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution: L^T x = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    for (int k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+}
+
+// Gram matrix F^T F of a row-major (rows x dim) factor table.
+std::vector<double> Gram(const std::vector<float>& factors, int rows,
+                         int dim) {
+  std::vector<double> gram(static_cast<size_t>(dim) * dim, 0.0);
+  for (int r = 0; r < rows; ++r) {
+    const float* row = factors.data() + static_cast<size_t>(r) * dim;
+    for (int a = 0; a < dim; ++a) {
+      for (int b = a; b < dim; ++b) {
+        gram[a * dim + b] += static_cast<double>(row[a]) * row[b];
+      }
+    }
+  }
+  for (int a = 0; a < dim; ++a) {
+    for (int b = 0; b < a; ++b) gram[a * dim + b] = gram[b * dim + a];
+  }
+  return gram;
+}
+
+// One least-squares solve for a single row (user or item) against the
+// fixed other-side factors. `gram` = other^T other.
+void SolveRow(const std::vector<std::pair<int, double>>& row_obs,
+              const std::vector<float>& other_factors,
+              const std::vector<double>& gram, int dim, double alpha,
+              double lambda, float* out) {
+  std::vector<double> a = gram;
+  for (int k = 0; k < dim; ++k) a[k * dim + k] += lambda;
+  std::vector<double> b(dim, 0.0);
+  for (const auto& [other, r] : row_obs) {
+    const float* y = other_factors.data() + static_cast<size_t>(other) * dim;
+    const double c = 1.0 + alpha * r;
+    // A += (c - 1) y y^T ; b += c y   (p = 1 for observed entries).
+    for (int i = 0; i < dim; ++i) {
+      b[i] += c * y[i];
+      for (int j = 0; j < dim; ++j) {
+        a[i * dim + j] += (c - 1.0) * static_cast<double>(y[i]) * y[j];
+      }
+    }
+  }
+  SolveSpd(&a, &b, dim);
+  for (int k = 0; k < dim; ++k) out[k] = static_cast<float>(b[k]);
+}
+
+}  // namespace
+
+double WrmfStrength(data::ActionType action) {
+  return 1.0 + data::ActionStrength(action);
+}
+
+WrmfModel::WrmfModel(int num_users, int num_items, const Config& config)
+    : config_(config), num_users_(num_users), num_items_(num_items) {
+  user_factors_.assign(static_cast<size_t>(num_users) * config.num_factors,
+                       0.0f);
+  item_factors_.assign(static_cast<size_t>(num_items) * config.num_factors,
+                       0.0f);
+}
+
+WrmfModel WrmfModel::Train(
+    const std::vector<std::vector<data::Interaction>>& histories,
+    int num_items, const Config& config) {
+  SIGCHECK_GT(config.num_factors, 0);
+  WrmfModel model(static_cast<int>(histories.size()), num_items, config);
+  const int dim = config.num_factors;
+
+  Rng rng(config.seed);
+  const double stddev = config.init_scale / std::sqrt(dim);
+  for (float& v : model.item_factors_) {
+    v = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+
+  Observations obs = CollectObservations(histories, num_items);
+
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    // Users against fixed items.
+    std::vector<double> yty = Gram(model.item_factors_, num_items, dim);
+    for (int u = 0; u < model.num_users_; ++u) {
+      SolveRow(obs.by_user[u], model.item_factors_, yty, dim, config.alpha,
+               config.lambda,
+               model.user_factors_.data() + static_cast<size_t>(u) * dim);
+    }
+    // Items against fixed users.
+    std::vector<double> xtx = Gram(model.user_factors_, model.num_users_, dim);
+    for (int i = 0; i < num_items; ++i) {
+      SolveRow(obs.by_item[i], model.user_factors_, xtx, dim, config.alpha,
+               config.lambda,
+               model.item_factors_.data() + static_cast<size_t>(i) * dim);
+    }
+  }
+  // Trailing user pass: served user factors must be the least-squares
+  // solution against the *final* item factors (this also makes FoldInUser
+  // of a training history reproduce the trained factor exactly).
+  std::vector<double> yty = Gram(model.item_factors_, num_items, dim);
+  for (int u = 0; u < model.num_users_; ++u) {
+    SolveRow(obs.by_user[u], model.item_factors_, yty, dim, config.alpha,
+             config.lambda,
+             model.user_factors_.data() + static_cast<size_t>(u) * dim);
+  }
+  return model;
+}
+
+double WrmfModel::Score(data::UserIndex u, data::ItemIndex i) const {
+  const float* x = user_factor(u);
+  const float* y = item_factor(i);
+  double sum = 0.0;
+  for (int k = 0; k < dim(); ++k) sum += static_cast<double>(x[k]) * y[k];
+  return sum;
+}
+
+std::vector<float> WrmfModel::FoldInUser(
+    const std::vector<data::Interaction>& history) const {
+  std::unordered_map<data::ItemIndex, double> strengths;
+  for (const data::Interaction& event : history) {
+    strengths[event.item] += WrmfStrength(event.action);
+  }
+  std::vector<std::pair<int, double>> row_obs(strengths.begin(),
+                                              strengths.end());
+  std::vector<double> yty = Gram(item_factors_, num_items_, dim());
+  std::vector<float> out(dim());
+  SolveRow(row_obs, item_factors_, yty, dim(), config_.alpha, config_.lambda,
+           out.data());
+  return out;
+}
+
+MetricSet WrmfModel::EvaluateHoldout(
+    const std::vector<std::vector<data::Interaction>>& train_histories,
+    const std::vector<data::HoldoutExample>& holdout, int k) const {
+  MetricSet metrics;
+  if (holdout.empty()) return metrics;
+  for (const data::HoldoutExample& example : holdout) {
+    std::unordered_set<data::ItemIndex> seen;
+    for (const data::Interaction& event : train_histories[example.user]) {
+      seen.insert(event.item);
+    }
+    const double target = Score(example.user, example.held_out);
+    int64_t higher = 0;
+    for (data::ItemIndex j = 0; j < num_items_; ++j) {
+      if (j == example.held_out || seen.count(j) > 0) continue;
+      if (Score(example.user, j) > target) ++higher;
+    }
+    const double rank = 1.0 + higher;
+    ++metrics.num_examples;
+    metrics.mean_rank += rank;
+    if (rank <= k) {
+      metrics.map_at_k += 1.0 / rank;
+      metrics.precision_at_k += 1.0 / k;
+      metrics.recall_at_k += 1.0;
+      metrics.ndcg_at_k += 1.0 / std::log2(rank + 1.0);
+    }
+    double distractors = std::max(1, num_items_ - 1);
+    metrics.auc += (distractors - (rank - 1.0)) / distractors;
+  }
+  const double count = metrics.num_examples;
+  metrics.map_at_k /= count;
+  metrics.precision_at_k /= count;
+  metrics.recall_at_k /= count;
+  metrics.ndcg_at_k /= count;
+  metrics.auc /= count;
+  metrics.mean_rank /= count;
+  return metrics;
+}
+
+double WrmfModel::Objective(
+    const std::vector<std::vector<data::Interaction>>& histories) const {
+  Observations obs = CollectObservations(histories, num_items_);
+  std::vector<double> yty = Gram(item_factors_, num_items_, dim());
+  double loss = 0.0;
+  for (int u = 0; u < num_users_; ++u) {
+    const float* x = user_factor(u);
+    // Implicit-zero part: sum_i (x.y_i)^2 = x^T YtY x.
+    for (int a = 0; a < dim(); ++a) {
+      for (int b = 0; b < dim(); ++b) {
+        loss += static_cast<double>(x[a]) * yty[a * dim() + b] * x[b];
+      }
+    }
+    // Observed corrections: c (1 - s)^2 replaces the s^2 term.
+    for (const auto& [item, r] : obs.by_user[u]) {
+      double s = Score(u, item);
+      double c = 1.0 + config_.alpha * r;
+      loss += c * (1.0 - s) * (1.0 - s) - s * s;
+    }
+  }
+  // L2 terms.
+  for (float v : user_factors_) loss += config_.lambda * v * v;
+  for (float v : item_factors_) loss += config_.lambda * v * v;
+  return loss;
+}
+
+}  // namespace sigmund::core

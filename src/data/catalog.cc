@@ -1,0 +1,72 @@
+#include "data/catalog.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::data {
+
+int PriceBucket(double price, int num_buckets) {
+  if (price <= 0.0) return -1;
+  // log10 range [0, 6) mapped onto num_buckets bands.
+  double log_price = std::log10(std::max(price, 1.0));
+  int bucket = static_cast<int>(log_price / 6.0 * num_buckets);
+  return std::min(bucket, num_buckets - 1);
+}
+
+ItemIndex Catalog::AddItem(const Item& item) {
+  SIGCHECK_GE(item.category, 0);
+  SIGCHECK_LT(item.category, taxonomy_.num_categories());
+  ItemIndex index = static_cast<ItemIndex>(items_.size());
+  items_.push_back(item);
+  if (item.brand >= num_brands_) num_brands_ = item.brand + 1;
+  // Items may arrive after Finalize() (daily catalog churn); keep the
+  // category index consistent.
+  if (finalized_) items_by_category_[item.category].push_back(index);
+  return index;
+}
+
+const Item& Catalog::item(ItemIndex i) const {
+  SIGCHECK_GE(i, 0);
+  SIGCHECK_LT(i, num_items());
+  return items_[i];
+}
+
+double Catalog::BrandCoverage() const {
+  if (items_.empty()) return 0.0;
+  int covered = 0;
+  for (const Item& item : items_) {
+    if (item.brand != kUnknownBrand) ++covered;
+  }
+  return static_cast<double>(covered) / items_.size();
+}
+
+double Catalog::PriceCoverage() const {
+  if (items_.empty()) return 0.0;
+  int covered = 0;
+  for (const Item& item : items_) {
+    if (item.price > 0.0) ++covered;
+  }
+  return static_cast<double>(covered) / items_.size();
+}
+
+const std::vector<ItemIndex>& Catalog::ItemsInCategory(CategoryId c) const {
+  SIGCHECK(finalized_);
+  SIGCHECK_GE(c, 0);
+  SIGCHECK_LT(c, taxonomy_.num_categories());
+  return items_by_category_[c];
+}
+
+void Catalog::Finalize() {
+  items_by_category_.assign(taxonomy_.num_categories(), {});
+  for (ItemIndex i = 0; i < num_items(); ++i) {
+    items_by_category_[items_[i].category].push_back(i);
+  }
+  finalized_ = true;
+}
+
+int Catalog::LcaDistance(ItemIndex a, ItemIndex b) const {
+  return taxonomy_.LcaDistance(item(a).category, item(b).category);
+}
+
+}  // namespace sigmund::data

@@ -1,0 +1,73 @@
+#ifndef SIGMUND_DATA_CATALOG_H_
+#define SIGMUND_DATA_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "data/taxonomy.h"
+#include "data/types.h"
+
+namespace sigmund::data {
+
+// Metadata a retailer provides about one product (§II-A). Brand and price
+// may be missing — the paper observes brand coverage below 10% for many
+// small retailers, which makes feature selection per retailer necessary.
+struct Item {
+  CategoryId category = kInvalidCategory;
+  BrandId brand = kUnknownBrand;  // kUnknownBrand = not provided
+  double price = 0.0;             // <= 0 = not provided
+  // Facet for late-funnel candidate filtering (e.g. color); -1 = none.
+  int32_t facet = -1;
+};
+
+// Buckets a price into one of `num_buckets` log-scale buckets; prices
+// spanning [1, 10^6) map to evenly spaced log bands. Returns -1 for
+// missing prices.
+int PriceBucket(double price, int num_buckets);
+
+inline constexpr int kDefaultPriceBuckets = 16;
+
+// One retailer's product catalog: items plus the shared taxonomy they are
+// classified into.
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(Taxonomy taxonomy) : taxonomy_(std::move(taxonomy)) {}
+
+  // Adds an item; returns its dense index.
+  ItemIndex AddItem(const Item& item);
+
+  int num_items() const { return static_cast<int>(items_.size()); }
+  const Item& item(ItemIndex i) const;
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+  Taxonomy* mutable_taxonomy() { return &taxonomy_; }
+
+  int num_brands() const { return num_brands_; }
+
+  // Fraction of items with a known brand / price (feature coverage, used
+  // by per-retailer feature selection, §III-C).
+  double BrandCoverage() const;
+  double PriceCoverage() const;
+
+  // Items grouped by category (lazily built; call Finalize() after the
+  // last AddItem).
+  const std::vector<ItemIndex>& ItemsInCategory(CategoryId c) const;
+
+  // Builds the category -> items index. Must be called after construction
+  // and before ItemsInCategory().
+  void Finalize();
+
+  // LCA distance between two items (distance between their categories).
+  int LcaDistance(ItemIndex a, ItemIndex b) const;
+
+ private:
+  Taxonomy taxonomy_;
+  std::vector<Item> items_;
+  std::vector<std::vector<ItemIndex>> items_by_category_;
+  int num_brands_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_CATALOG_H_

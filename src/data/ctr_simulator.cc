@@ -1,0 +1,27 @@
+#include "data/ctr_simulator.h"
+
+#include <cmath>
+
+namespace sigmund::data {
+
+double CtrSimulator::ClickProbability(UserIndex u, ItemIndex item,
+                                      int position) const {
+  double affinity = truth_->Affinity(u, item);
+  double base =
+      1.0 / (1.0 + std::exp(-config_.click_scale *
+                            (affinity - config_.click_bias)));
+  return std::pow(config_.position_discount, position) * base;
+}
+
+int CtrSimulator::SimulateImpression(UserIndex u,
+                                     const std::vector<ItemIndex>& ranked,
+                                     Rng* rng) const {
+  for (size_t p = 0; p < ranked.size(); ++p) {
+    if (rng->Bernoulli(ClickProbability(u, ranked[p], static_cast<int>(p)))) {
+      return static_cast<int>(p);
+    }
+  }
+  return -1;
+}
+
+}  // namespace sigmund::data

@@ -1,0 +1,47 @@
+#ifndef SIGMUND_DATA_CTR_SIMULATOR_H_
+#define SIGMUND_DATA_CTR_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/world_generator.h"
+
+namespace sigmund::data {
+
+// Simulates user click behaviour on a displayed recommendation list, using
+// the hidden ground-truth preferences. Stands in for the paper's online
+// CTR experiments (Fig. 6): the paper measured real clicks; we measure
+// clicks from the same latent preferences that generated the training
+// data, which preserves the head-vs-tail comparison between recommenders.
+//
+// Cascade model: the user scans positions top-down; at position p they
+// click with probability discount^p * sigmoid(scale * (affinity - bias)),
+// and stop after the first click.
+class CtrSimulator {
+ public:
+  struct Config {
+    double position_discount = 0.8;
+    double click_scale = 1.5;
+    double click_bias = 1.0;  // affinity level at which click prob = 50%
+  };
+
+  CtrSimulator(const GroundTruthModel* truth, const Config& config)
+      : truth_(truth), config_(config) {}
+
+  // Probability user `u` clicks `item` displayed at `position` (0-based),
+  // conditioned on having reached that position.
+  double ClickProbability(UserIndex u, ItemIndex item, int position) const;
+
+  // Simulates one impression of `ranked` to user `u`. Returns the clicked
+  // position, or -1 for no click.
+  int SimulateImpression(UserIndex u, const std::vector<ItemIndex>& ranked,
+                         Rng* rng) const;
+
+ private:
+  const GroundTruthModel* truth_;
+  Config config_;
+};
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_CTR_SIMULATOR_H_

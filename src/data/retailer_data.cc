@@ -1,0 +1,49 @@
+#include "data/retailer_data.h"
+
+#include "common/logging.h"
+
+namespace sigmund::data {
+
+int64_t RetailerData::TotalInteractions() const {
+  int64_t total = 0;
+  for (const auto& history : histories) {
+    total += static_cast<int64_t>(history.size());
+  }
+  return total;
+}
+
+std::vector<int64_t> RetailerData::ItemActionCounts(ActionType action) const {
+  std::vector<int64_t> counts(num_items(), 0);
+  for (const auto& history : histories) {
+    for (const Interaction& event : history) {
+      if (event.action == action) ++counts[event.item];
+    }
+  }
+  return counts;
+}
+
+std::vector<int64_t> RetailerData::ItemPopularity() const {
+  std::vector<int64_t> counts(num_items(), 0);
+  for (const auto& history : histories) {
+    for (const Interaction& event : history) ++counts[event.item];
+  }
+  return counts;
+}
+
+TrainTestSplit SplitLeaveLastOut(const RetailerData& data,
+                                 int min_interactions) {
+  TrainTestSplit split;
+  split.train.resize(data.histories.size());
+  for (UserIndex u = 0; u < data.num_users(); ++u) {
+    const auto& history = data.histories[u];
+    if (static_cast<int>(history.size()) > min_interactions) {
+      split.train[u].assign(history.begin(), history.end() - 1);
+      split.holdout.push_back(HoldoutExample{u, history.back().item});
+    } else {
+      split.train[u] = history;
+    }
+  }
+  return split;
+}
+
+}  // namespace sigmund::data

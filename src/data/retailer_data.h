@@ -1,0 +1,55 @@
+#ifndef SIGMUND_DATA_RETAILER_DATA_H_
+#define SIGMUND_DATA_RETAILER_DATA_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "data/catalog.h"
+#include "data/types.h"
+
+namespace sigmund::data {
+
+// Everything Sigmund knows about one retailer: the catalog and the
+// per-user interaction histories (time-ordered). Each retailer is a fully
+// independent recommendation problem instance.
+struct RetailerData {
+  RetailerId id = 0;
+  Catalog catalog;
+  // histories[u] = user u's interactions, ascending by timestamp.
+  std::vector<std::vector<Interaction>> histories;
+
+  int num_users() const { return static_cast<int>(histories.size()); }
+  int num_items() const { return catalog.num_items(); }
+  int64_t TotalInteractions() const;
+
+  // Interactions per item of the given action type (popularity counts).
+  std::vector<int64_t> ItemActionCounts(ActionType action) const;
+  // Counts across all action types.
+  std::vector<int64_t> ItemPopularity() const;
+};
+
+// One hold-out evaluation example: the user's remaining (training) history
+// is the context; `held_out` is the final item they interacted with.
+struct HoldoutExample {
+  UserIndex user = 0;
+  ItemIndex held_out = kInvalidItem;
+};
+
+// Train/test split of one retailer's data.
+struct TrainTestSplit {
+  // Training histories; for held-out users the last interaction is removed.
+  std::vector<std::vector<Interaction>> train;
+  std::vector<HoldoutExample> holdout;
+};
+
+// Leave-last-out split (§III-C2): for every user with more than
+// `min_interactions` interactions, hold out the final item in their
+// sequence. Users at or below the threshold contribute all events to
+// training and none to the hold-out set.
+TrainTestSplit SplitLeaveLastOut(const RetailerData& data,
+                                 int min_interactions = 2);
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_RETAILER_DATA_H_

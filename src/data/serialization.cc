@@ -1,0 +1,171 @@
+#include "data/serialization.h"
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+
+namespace sigmund::data {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53444154U;  // "SDAT"
+constexpr uint32_t kVersion = 1;
+
+// Fixed-size wire forms. Fields are ordered (and explicitly padded) so
+// the structs have no hidden padding bytes — memcpy'd serialization must
+// be deterministic.
+struct WireItem {
+  double price = 0.0;
+  CategoryId category = 0;
+  BrandId brand = 0;
+  int32_t facet = 0;
+  int32_t pad = 0;
+};
+static_assert(sizeof(WireItem) == 24);
+
+struct WireEvent {
+  int64_t timestamp = 0;
+  UserIndex user = 0;
+  ItemIndex item = 0;
+  int32_t action = 0;
+  int32_t pad = 0;
+};
+static_assert(sizeof(WireEvent) == 24);
+
+}  // namespace
+
+std::string SerializeRetailerData(const RetailerData& data) {
+  BinaryWriter writer;
+  writer.Write(kMagic);
+  writer.Write(kVersion);
+  writer.Write<int32_t>(data.id);
+
+  // Taxonomy: parent per category (root first), names.
+  const Taxonomy& taxonomy = data.catalog.taxonomy();
+  writer.Write<int32_t>(taxonomy.num_categories());
+  for (CategoryId c = 0; c < taxonomy.num_categories(); ++c) {
+    writer.Write<CategoryId>(taxonomy.parent(c));
+    writer.WriteString(taxonomy.name(c));
+  }
+
+  // Catalog items.
+  std::vector<WireItem> items;
+  items.reserve(data.catalog.num_items());
+  for (ItemIndex i = 0; i < data.catalog.num_items(); ++i) {
+    const Item& item = data.catalog.item(i);
+    items.push_back(WireItem{item.price, item.category, item.brand,
+                             item.facet, 0});
+  }
+  writer.WriteVector(items);
+
+  // Histories.
+  writer.Write<int32_t>(data.num_users());
+  for (const auto& history : data.histories) {
+    std::vector<WireEvent> events;
+    events.reserve(history.size());
+    for (const Interaction& event : history) {
+      events.push_back(WireEvent{event.timestamp, event.user, event.item,
+                                 static_cast<int32_t>(event.action), 0});
+    }
+    writer.WriteVector(events);
+  }
+  return writer.Take();
+}
+
+StatusOr<RetailerData> DeserializeRetailerData(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    return DataLossError("bad retailer-data magic");
+  }
+  if (!reader.Read(&version) || version != kVersion) {
+    return DataLossError("unsupported retailer-data version");
+  }
+  RetailerData data;
+  int32_t id = 0;
+  if (!reader.Read(&id)) return DataLossError("truncated retailer id");
+  data.id = id;
+
+  // Taxonomy. Category 0 is the implicit root created by the default
+  // constructor; remaining categories must arrive in tree (parent-first)
+  // order, which SerializeRetailerData guarantees.
+  int32_t num_categories = 0;
+  if (!reader.Read(&num_categories) || num_categories < 1) {
+    return DataLossError("truncated taxonomy header");
+  }
+  Taxonomy taxonomy;
+  {
+    CategoryId parent = 0;
+    std::string name;
+    if (!reader.Read(&parent) || !reader.ReadString(&name)) {
+      return DataLossError("truncated root category");
+    }
+  }
+  for (CategoryId c = 1; c < num_categories; ++c) {
+    CategoryId parent = 0;
+    std::string name;
+    if (!reader.Read(&parent) || !reader.ReadString(&name)) {
+      return DataLossError("truncated taxonomy entry");
+    }
+    if (parent < 0 || parent >= c) {
+      return DataLossError("taxonomy parent out of order");
+    }
+    taxonomy.AddCategory(name, parent);
+  }
+
+  // Catalog.
+  std::vector<WireItem> items;
+  if (!reader.ReadVector(&items)) return DataLossError("truncated items");
+  Catalog catalog(std::move(taxonomy));
+  for (const WireItem& wire : items) {
+    if (wire.category < 0 ||
+        wire.category >= catalog.taxonomy().num_categories()) {
+      return DataLossError("item category out of range");
+    }
+    catalog.AddItem(Item{wire.category, wire.brand, wire.price, wire.facet});
+  }
+  catalog.Finalize();
+  data.catalog = std::move(catalog);
+
+  // Histories.
+  int32_t num_users = 0;
+  if (!reader.Read(&num_users) || num_users < 0) {
+    return DataLossError("truncated user count");
+  }
+  data.histories.resize(num_users);
+  for (int32_t u = 0; u < num_users; ++u) {
+    std::vector<WireEvent> events;
+    if (!reader.ReadVector(&events)) {
+      return DataLossError("truncated history");
+    }
+    auto& history = data.histories[u];
+    history.reserve(events.size());
+    for (const WireEvent& wire : events) {
+      if (wire.item < 0 || wire.item >= data.catalog.num_items() ||
+          wire.action < 0 || wire.action >= kNumActionTypes) {
+        return DataLossError("interaction out of range");
+      }
+      history.push_back(Interaction{wire.user, wire.item,
+                                    static_cast<ActionType>(wire.action),
+                                    wire.timestamp});
+    }
+  }
+  if (!reader.Done()) return DataLossError("trailing bytes in shard");
+  return data;
+}
+
+int64_t EstimateSerializedSize(const RetailerData& data) {
+  int64_t size = 16 + 4;  // header
+  const Taxonomy& taxonomy = data.catalog.taxonomy();
+  for (CategoryId c = 0; c < taxonomy.num_categories(); ++c) {
+    size += sizeof(CategoryId) + 8 + taxonomy.name(c).size();
+  }
+  size += 8 + static_cast<int64_t>(data.catalog.num_items()) *
+                  sizeof(WireItem);
+  size += 4;
+  for (const auto& history : data.histories) {
+    size += 8 + static_cast<int64_t>(history.size()) * sizeof(WireEvent);
+  }
+  return size;
+}
+
+}  // namespace sigmund::data

@@ -1,0 +1,27 @@
+#ifndef SIGMUND_DATA_SERIALIZATION_H_
+#define SIGMUND_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/retailer_data.h"
+
+namespace sigmund::data {
+
+// Binary (de)serialization of a retailer's full dataset — taxonomy,
+// catalog and interaction histories. This is the on-SFS format of a
+// training-data shard: the pipeline migrates these blobs to the cell
+// where training runs (§IV-B1 of the paper), with the byte counts feeding
+// the FileTransferLedger.
+std::string SerializeRetailerData(const RetailerData& data);
+
+// Parses a shard; kDataLoss on any truncation/corruption. The returned
+// catalog is finalized.
+StatusOr<RetailerData> DeserializeRetailerData(const std::string& bytes);
+
+// Size estimate without serializing (bytes), for placement planning.
+int64_t EstimateSerializedSize(const RetailerData& data);
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_SERIALIZATION_H_

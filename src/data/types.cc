@@ -1,0 +1,25 @@
+#include "data/types.h"
+
+#include "common/string_util.h"
+
+namespace sigmund::data {
+
+const char* ActionTypeName(ActionType action) {
+  switch (action) {
+    case ActionType::kView:
+      return "view";
+    case ActionType::kSearch:
+      return "search";
+    case ActionType::kCart:
+      return "cart";
+    case ActionType::kConversion:
+      return "conversion";
+  }
+  return "unknown";
+}
+
+std::string ToString(const GlobalItemId& id) {
+  return StrFormat("r%d/i%d", id.retailer, id.item);
+}
+
+}  // namespace sigmund::data

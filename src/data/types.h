@@ -1,0 +1,68 @@
+#ifndef SIGMUND_DATA_TYPES_H_
+#define SIGMUND_DATA_TYPES_H_
+
+#include <stdint.h>
+
+#include <string>
+
+namespace sigmund::data {
+
+// Dense identifiers. Sigmund keeps every retailer's data and model fully
+// separate (the paper's privacy guarantee), so item/user indices are dense
+// *within* a retailer; the pair (RetailerId, ItemIndex) is the global item
+// id used by the pipeline ("Item IDs contain the retailer ID", §IV-C).
+using RetailerId = int32_t;
+using ItemIndex = int32_t;
+using UserIndex = int32_t;
+using CategoryId = int32_t;
+using BrandId = int32_t;
+
+inline constexpr ItemIndex kInvalidItem = -1;
+inline constexpr CategoryId kInvalidCategory = -1;
+inline constexpr BrandId kUnknownBrand = -1;
+
+// Implicit-feedback interaction types, in increasing strength order
+// (§III-A): view < search < cart < conversion.
+enum class ActionType : uint8_t {
+  kView = 0,
+  kSearch = 1,
+  kCart = 2,
+  kConversion = 3,
+};
+
+inline constexpr int kNumActionTypes = 4;
+
+// Numeric strength used for tier constraints (higher = stronger intent).
+inline int ActionStrength(ActionType action) {
+  return static_cast<int>(action);
+}
+
+const char* ActionTypeName(ActionType action);
+
+// One user-item interaction event.
+struct Interaction {
+  UserIndex user = 0;
+  ItemIndex item = kInvalidItem;
+  ActionType action = ActionType::kView;
+  int64_t timestamp = 0;  // seconds since epoch (simulated)
+};
+
+// Composite global item id, e.g. for serving-store keys.
+struct GlobalItemId {
+  RetailerId retailer = 0;
+  ItemIndex item = kInvalidItem;
+
+  friend bool operator==(const GlobalItemId& a, const GlobalItemId& b) {
+    return a.retailer == b.retailer && a.item == b.item;
+  }
+  friend bool operator<(const GlobalItemId& a, const GlobalItemId& b) {
+    if (a.retailer != b.retailer) return a.retailer < b.retailer;
+    return a.item < b.item;
+  }
+};
+
+std::string ToString(const GlobalItemId& id);
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_TYPES_H_

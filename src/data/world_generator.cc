@@ -1,0 +1,475 @@
+#include "data/world_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sigmund::data {
+
+namespace {
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  SIGCHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) sum += a[k] * static_cast<double>(b[k]);
+  return sum;
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::vector<float> GaussianVec(int dim, double sigma, Rng* rng) {
+  std::vector<float> v(dim);
+  for (int k = 0; k < dim; ++k) {
+    v[k] = static_cast<float>(rng->Gaussian(0.0, sigma));
+  }
+  return v;
+}
+
+std::vector<float> AddVec(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  std::vector<float> v(a.size());
+  for (size_t k = 0; k < a.size(); ++k) v[k] = a[k] + b[k];
+  return v;
+}
+
+// Knuth Poisson sampler; fine for the small lambdas used here.
+int SamplePoisson(double lambda, Rng* rng) {
+  if (lambda <= 0.0) return 0;
+  double limit = std::exp(-lambda);
+  double product = rng->UniformDouble();
+  int count = 0;
+  while (product > limit) {
+    product *= rng->UniformDouble();
+    ++count;
+  }
+  return count;
+}
+
+// Geometric with mean `mean` (support 1, 2, ...).
+int SampleLength(double mean, Rng* rng) {
+  if (mean <= 1.0) return 1;
+  double p = 1.0 / mean;
+  int len = 1;
+  while (!rng->Bernoulli(p) && len < 64) ++len;
+  return len;
+}
+
+// Softmax-samples an index from `logits` at the given temperature.
+size_t SampleSoftmax(const std::vector<double>& logits, double temperature,
+                     Rng* rng) {
+  SIGCHECK(!logits.empty());
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> weights(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    weights[i] = std::exp((logits[i] - max_logit) / temperature);
+  }
+  size_t index = rng->WeightedIndex(weights);
+  return index < logits.size() ? index : logits.size() - 1;
+}
+
+}  // namespace
+
+double GroundTruthModel::Affinity(UserIndex u, ItemIndex i) const {
+  return Dot(user_vecs[u], item_vecs[i]);
+}
+
+double GroundTruthModel::AffinityFor(const std::vector<float>& user_vec,
+                                     ItemIndex i) const {
+  return Dot(user_vec, item_vecs[i]);
+}
+
+int WorldGenerator::SampleCatalogSize(Rng* rng) const {
+  // Bounded Pareto: inverse-CDF sampling.
+  const double alpha = config_.size_pareto_alpha;
+  const double lo = config_.min_items;
+  const double hi = config_.max_items;
+  double u = rng->UniformDouble();
+  double la = std::pow(lo, alpha);
+  double ha = std::pow(hi, alpha);
+  double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return static_cast<int>(std::clamp(x, lo, hi));
+}
+
+namespace {
+
+// Mutable per-retailer generation state shared between the initial
+// generation and AdvanceOneDay.
+struct SessionContext {
+  const WorldConfig* config;
+  RetailerWorld* world;
+  std::vector<CategoryId> leaves;
+  std::vector<double> leaf_weights;  // popularity skew across leaves
+  Rng* rng;
+};
+
+// Samples a leaf category for user `u`, softmax over true affinity to the
+// category centroid plus the global leaf weight.
+CategoryId SampleLeafForUser(const SessionContext& ctx, UserIndex u) {
+  const GroundTruthModel& truth = ctx.world->truth;
+  std::vector<double> logits(ctx.leaves.size());
+  for (size_t l = 0; l < ctx.leaves.size(); ++l) {
+    logits[l] = Dot(truth.user_vecs[u], truth.category_vecs[ctx.leaves[l]]) +
+                std::log(ctx.leaf_weights[l]);
+  }
+  return ctx.leaves[SampleSoftmax(logits, ctx.config->choice_temperature,
+                                  ctx.rng)];
+}
+
+// Samples an item within `cat` for user `u` (softmax of affinity + item
+// popularity bias). Returns kInvalidItem when the category is empty.
+ItemIndex SampleItemInCategory(const SessionContext& ctx, UserIndex u,
+                               CategoryId cat) {
+  const auto& items = ctx.world->data.catalog.ItemsInCategory(cat);
+  if (items.empty()) return kInvalidItem;
+  const GroundTruthModel& truth = ctx.world->truth;
+  std::vector<double> logits(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    logits[i] = truth.Affinity(u, items[i]) + truth.item_bias[items[i]];
+  }
+  return items[SampleSoftmax(logits, ctx.config->choice_temperature, ctx.rng)];
+}
+
+CategoryId RandomSiblingLeaf(const SessionContext& ctx, CategoryId cat) {
+  const Taxonomy& taxonomy = ctx.world->data.catalog.taxonomy();
+  CategoryId parent = taxonomy.parent(cat);
+  const auto& siblings = taxonomy.children(parent);
+  if (siblings.size() <= 1) return cat;
+  for (int tries = 0; tries < 8; ++tries) {
+    CategoryId pick = siblings[ctx.rng->Uniform(siblings.size())];
+    if (pick != cat && taxonomy.IsLeaf(pick)) return pick;
+  }
+  return cat;
+}
+
+// Generates one browsing session for user `u` starting at `start_time`
+// (seconds). Appends interactions to the user's history (not yet sorted).
+// Returns the list of (item, time) conversions in re-purchasable
+// categories, for repeat-purchase synthesis.
+std::vector<std::pair<ItemIndex, int64_t>> GenerateSession(
+    const SessionContext& ctx, UserIndex u, int64_t start_time) {
+  const WorldConfig& config = *ctx.config;
+  RetailerWorld& world = *ctx.world;
+  const GroundTruthModel& truth = world.truth;
+  std::vector<std::pair<ItemIndex, int64_t>> repurchases;
+
+  CategoryId cat = SampleLeafForUser(ctx, u);
+  int length = SampleLength(config.mean_session_length, ctx.rng);
+  int64_t t = start_time;
+  auto& history = world.data.histories[u];
+
+  // Set when the user follows an exact bundle link to a specific item.
+  ItemIndex forced_item = kInvalidItem;
+  for (int step = 0; step < length; ++step) {
+    ItemIndex item = forced_item != kInvalidItem
+                         ? forced_item
+                         : SampleItemInCategory(ctx, u, cat);
+    forced_item = kInvalidItem;
+    if (item == kInvalidItem) break;
+    cat = world.data.catalog.item(item).category;
+    history.push_back(Interaction{u, item, ActionType::kView, t});
+    t += 30;
+
+    // Funnel escalation, modulated by true affinity so stronger actions
+    // carry stronger preference signal (what the tier constraints learn).
+    const double boost = 2.0 * Sigmoid(truth.Affinity(u, item));
+    bool converted = false;
+    if (ctx.rng->Bernoulli(std::min(1.0, config.p_search_given_view * boost))) {
+      history.push_back(Interaction{u, item, ActionType::kSearch, t});
+      t += 30;
+      if (ctx.rng->Bernoulli(
+              std::min(1.0, config.p_cart_given_search * boost))) {
+        history.push_back(Interaction{u, item, ActionType::kCart, t});
+        t += 30;
+        if (ctx.rng->Bernoulli(
+                std::min(1.0, config.p_conversion_given_cart * boost))) {
+          history.push_back(Interaction{u, item, ActionType::kConversion, t});
+          t += 30;
+          converted = true;
+          CategoryId item_cat = world.data.catalog.item(item).category;
+          if (truth.repurchasable[item_cat]) {
+            repurchases.emplace_back(item, t);
+          }
+        }
+      }
+    }
+
+    // Bundle link: browse straight to an exact partner item.
+    if (!truth.bundle_partners.empty() &&
+        !truth.bundle_partners[item].empty() &&
+        ctx.rng->Bernoulli(config.p_bundle_follow)) {
+      const auto& partners = truth.bundle_partners[item];
+      forced_item = partners[ctx.rng->Uniform(partners.size())];
+      continue;
+    }
+
+    // Next category.
+    if (converted) {
+      CategoryId item_cat = world.data.catalog.item(item).category;
+      CategoryId complement = truth.complement_of[item_cat];
+      if (complement != kInvalidCategory &&
+          ctx.rng->Bernoulli(config.p_complement_after_conversion)) {
+        cat = complement;
+        continue;
+      }
+    }
+    double r = ctx.rng->UniformDouble();
+    if (r < config.p_stay_in_category) {
+      // stay
+    } else if (r < config.p_stay_in_category + config.p_jump_to_sibling) {
+      cat = RandomSiblingLeaf(ctx, cat);
+    } else {
+      cat = ctx.leaves[ctx.rng->Uniform(ctx.leaves.size())];
+    }
+  }
+  return repurchases;
+}
+
+// Appends repeat purchases for re-purchasable conversions.
+void SynthesizeRepurchases(
+    const SessionContext& ctx,
+    const std::vector<std::pair<ItemIndex, int64_t>>& conversions,
+    UserIndex u, int64_t horizon_seconds) {
+  const GroundTruthModel& truth = ctx.world->truth;
+  for (const auto& [item, time] : conversions) {
+    CategoryId cat = ctx.world->data.catalog.item(item).category;
+    double period_days = truth.repurchase_period_days[cat];
+    int64_t t = time;
+    for (;;) {
+      double jitter = 1.0 + 0.3 * ctx.rng->Gaussian();
+      t += static_cast<int64_t>(
+          std::max(1.0, period_days * jitter) * 86400.0);
+      if (t >= horizon_seconds) break;
+      ctx.world->data.histories[u].push_back(
+          Interaction{u, item, ActionType::kConversion, t});
+    }
+  }
+}
+
+// Adds `count` items to the catalog, drawing each item's leaf by the
+// Zipf-ish leaf weights and its latent vector around the category centroid.
+void AddItems(SessionContext* ctx, int count, double brand_coverage,
+              const std::vector<std::vector<float>>& brand_vecs) {
+  const WorldConfig& config = *ctx->config;
+  RetailerWorld& world = *ctx->world;
+  GroundTruthModel& truth = world.truth;
+  for (int n = 0; n < count; ++n) {
+    size_t leaf_index = ctx->rng->WeightedIndex(ctx->leaf_weights);
+    if (leaf_index >= ctx->leaves.size()) leaf_index = 0;
+    CategoryId cat = ctx->leaves[leaf_index];
+    Item item;
+    item.category = cat;
+    if (ctx->rng->Bernoulli(brand_coverage)) {
+      item.brand = static_cast<BrandId>(ctx->rng->Uniform(config.num_brands));
+    }
+    if (ctx->rng->Bernoulli(config.price_coverage)) {
+      // Log-normal price around a category-dependent level.
+      double level = 1.0 + 2.5 * (static_cast<double>(cat) /
+                                  world.data.catalog.taxonomy().num_categories());
+      item.price = std::pow(10.0, level + 0.4 * ctx->rng->Gaussian());
+    }
+    item.facet = static_cast<int32_t>(ctx->rng->Uniform(6));
+    world.data.catalog.AddItem(item);
+
+    std::vector<float> vec =
+        AddVec(truth.category_vecs[cat],
+               GaussianVec(config.true_dim, config.item_sigma, ctx->rng));
+    if (item.brand != kUnknownBrand) {
+      vec = AddVec(vec, brand_vecs[item.brand]);
+    }
+    truth.item_vecs.push_back(std::move(vec));
+    truth.item_bias.push_back(
+        static_cast<float>(ctx->rng->Gaussian(0.0, config.popularity_sigma)));
+  }
+  if (config.bundles_per_item > 0) {
+    // Keep the table aligned; items added after the initial wiring (daily
+    // churn) start with no bundle links.
+    truth.bundle_partners.resize(truth.item_vecs.size());
+  }
+}
+
+}  // namespace
+
+RetailerWorld WorldGenerator::GenerateRetailer(RetailerId id,
+                                               int num_items_override) const {
+  Rng rng(SplitMix64(config_.seed * 0x9e3779b9ULL + 0xabcd) ^
+          SplitMix64(static_cast<uint64_t>(id) + 1));
+  RetailerWorld world;
+  world.data.id = id;
+  world.truth.dim = config_.true_dim;
+
+  // --- Taxonomy and category latent structure.
+  Taxonomy taxonomy = Taxonomy::Random(config_.taxonomy_depth,
+                                       config_.min_fanout, config_.max_fanout,
+                                       &rng);
+  GroundTruthModel& truth = world.truth;
+  truth.category_vecs.resize(taxonomy.num_categories());
+  truth.category_vecs[0].assign(config_.true_dim, 0.0f);
+  for (CategoryId c = 1; c < taxonomy.num_categories(); ++c) {
+    // Tree order guarantees the parent's vector exists (parents have
+    // smaller ids in Taxonomy::Random's BFS construction).
+    truth.category_vecs[c] =
+        AddVec(truth.category_vecs[taxonomy.parent(c)],
+               GaussianVec(config_.true_dim, config_.category_sigma, &rng));
+  }
+
+  std::vector<CategoryId> leaves = taxonomy.Leaves();
+  SIGCHECK(!leaves.empty());
+
+  // Complements & re-purchasability per category.
+  truth.complement_of.assign(taxonomy.num_categories(), kInvalidCategory);
+  truth.repurchasable.assign(taxonomy.num_categories(), false);
+  truth.repurchase_period_days.assign(taxonomy.num_categories(), 0.0);
+  for (CategoryId leaf : leaves) {
+    if (leaves.size() > 1 && rng.Bernoulli(0.7)) {
+      for (int tries = 0; tries < 8; ++tries) {
+        CategoryId other = leaves[rng.Uniform(leaves.size())];
+        if (other != leaf) {
+          truth.complement_of[leaf] = other;
+          break;
+        }
+      }
+    }
+    if (rng.Bernoulli(config_.repurchasable_fraction)) {
+      truth.repurchasable[leaf] = true;
+      truth.repurchase_period_days[leaf] = std::max(
+          2.0, config_.repurchase_period_days_mean * (0.5 + rng.UniformDouble()));
+    }
+  }
+
+  world.data.catalog = Catalog(std::move(taxonomy));
+  world.data.catalog.Finalize();
+
+  // Zipf-ish weights over (shuffled) leaves: some categories dominate.
+  std::vector<size_t> order(leaves.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<double> leaf_weights(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaf_weights[order[i]] = 1.0 / (i + 1.0);
+  }
+
+  SessionContext ctx{&config_, &world, leaves, leaf_weights, &rng};
+
+  // --- Items.
+  std::vector<std::vector<float>> brand_vecs(config_.num_brands);
+  for (auto& v : brand_vecs) v = GaussianVec(config_.true_dim, config_.brand_sigma, &rng);
+  const double brand_coverage =
+      rng.UniformDouble(config_.brand_coverage_lo, config_.brand_coverage_hi);
+  const int num_items = num_items_override > 0 ? num_items_override
+                                               : SampleCatalogSize(&rng);
+  AddItems(&ctx, num_items, brand_coverage, brand_vecs);
+
+  // Wire exact browse-together bundle links (symmetric).
+  if (config_.bundles_per_item > 0 && num_items > 1) {
+    for (ItemIndex i = 0; i < num_items; ++i) {
+      for (int b = 0; b < config_.bundles_per_item; ++b) {
+        ItemIndex j = static_cast<ItemIndex>(rng.Uniform(num_items));
+        if (j == i) continue;
+        truth.bundle_partners[i].push_back(j);
+        truth.bundle_partners[j].push_back(i);
+      }
+    }
+  }
+
+  // --- Users.
+  int num_users = std::max(
+      config_.min_users,
+      static_cast<int>(config_.users_per_item *
+                       std::pow(num_items, config_.users_item_exponent)));
+  truth.user_vecs.resize(num_users);
+  for (UserIndex u = 0; u < num_users; ++u) {
+    // A user's taste centers on 1-2 leaf categories.
+    size_t l1 = rng.WeightedIndex(leaf_weights);
+    if (l1 >= leaves.size()) l1 = 0;
+    std::vector<float> base = truth.category_vecs[leaves[l1]];
+    if (rng.Bernoulli(0.5)) {
+      size_t l2 = rng.WeightedIndex(leaf_weights);
+      if (l2 >= leaves.size()) l2 = 0;
+      const auto& second = truth.category_vecs[leaves[l2]];
+      for (size_t k = 0; k < base.size(); ++k) {
+        base[k] = 0.6f * base[k] + 0.4f * second[k];
+      }
+    }
+    truth.user_vecs[u] =
+        AddVec(base, GaussianVec(config_.true_dim, config_.user_sigma, &rng));
+  }
+  world.data.histories.resize(num_users);
+
+  // --- Sessions.
+  const int64_t horizon = static_cast<int64_t>(config_.days) * 86400;
+  for (UserIndex u = 0; u < num_users; ++u) {
+    int sessions = std::max(
+        1, 1 + SamplePoisson(config_.mean_sessions_per_user - 1.0, &rng));
+    std::vector<std::pair<ItemIndex, int64_t>> repurchases;
+    for (int s = 0; s < sessions; ++s) {
+      int64_t start = rng.UniformInt(0, horizon - 3600);
+      auto conv = GenerateSession(ctx, u, start);
+      repurchases.insert(repurchases.end(), conv.begin(), conv.end());
+    }
+    SynthesizeRepurchases(ctx, repurchases, u, horizon);
+    std::sort(world.data.histories[u].begin(), world.data.histories[u].end(),
+              [](const Interaction& a, const Interaction& b) {
+                return a.timestamp < b.timestamp;
+              });
+  }
+
+  return world;
+}
+
+std::vector<RetailerWorld> WorldGenerator::GenerateWorld() const {
+  std::vector<RetailerWorld> worlds;
+  worlds.reserve(config_.num_retailers);
+  for (RetailerId id = 0; id < config_.num_retailers; ++id) {
+    worlds.push_back(GenerateRetailer(id));
+  }
+  return worlds;
+}
+
+void AdvanceOneDay(const WorldGenerator& generator, RetailerWorld* world,
+                   int new_items, uint64_t seed) {
+  const WorldConfig& config = generator.config();
+  Rng rng(SplitMix64(seed) ^ SplitMix64(world->data.id + 0x5151));
+
+  // Rebuild the generation context for the existing world.
+  std::vector<CategoryId> leaves = world->data.catalog.taxonomy().Leaves();
+  std::vector<double> leaf_weights(leaves.size(), 1.0);
+  // Recover the observed leaf popularity as the weight.
+  std::vector<int64_t> popularity = world->data.ItemPopularity();
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    int64_t count = 0;
+    for (ItemIndex i : world->data.catalog.ItemsInCategory(leaves[l])) {
+      count += popularity[i];
+    }
+    leaf_weights[l] = 1.0 + static_cast<double>(count);
+  }
+  SessionContext ctx{&config, world, leaves, leaf_weights, &rng};
+
+  // New (cold) items appear in the catalog.
+  std::vector<std::vector<float>> brand_vecs(config.num_brands);
+  for (auto& v : brand_vecs) v = GaussianVec(config.true_dim, config.brand_sigma, &rng);
+  AddItems(&ctx, new_items, 0.5, brand_vecs);
+
+  // One more day of sessions for a subset of users.
+  int64_t max_time = 0;
+  for (const auto& history : world->data.histories) {
+    for (const Interaction& event : history) {
+      max_time = std::max(max_time, event.timestamp);
+    }
+  }
+  const int64_t day_start = (max_time / 86400 + 1) * 86400;
+  const double session_prob =
+      std::min(1.0, config.mean_sessions_per_user / config.days);
+  for (UserIndex u = 0; u < world->data.num_users(); ++u) {
+    if (!rng.Bernoulli(session_prob)) continue;
+    int64_t start = day_start + rng.UniformInt(0, 86400 - 3600);
+    GenerateSession(ctx, u, start);
+    std::sort(world->data.histories[u].begin(),
+              world->data.histories[u].end(),
+              [](const Interaction& a, const Interaction& b) {
+                return a.timestamp < b.timestamp;
+              });
+  }
+}
+
+}  // namespace sigmund::data

@@ -1,0 +1,149 @@
+#ifndef SIGMUND_DATA_WORLD_GENERATOR_H_
+#define SIGMUND_DATA_WORLD_GENERATOR_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/retailer_data.h"
+
+namespace sigmund::data {
+
+// Hidden preference model that generates a retailer's interaction data and
+// later scores recommendation quality (simulated CTR). This replaces the
+// paper's proprietary shopping logs; see DESIGN.md §1 for the substitution
+// rationale.
+struct GroundTruthModel {
+  int dim = 8;
+  // One latent vector per taxonomy category / item / user.
+  std::vector<std::vector<float>> category_vecs;
+  std::vector<std::vector<float>> item_vecs;
+  std::vector<std::vector<float>> user_vecs;
+  // Heavy-tailed per-item popularity bias added to choice logits; this is
+  // what creates the head/tail structure of Fig. 6.
+  std::vector<float> item_bias;
+  // Item-specific association links ("bundles"): exact items users browse
+  // together regardless of latent taste. This non-low-rank structure is
+  // what real co-occurrence models excel at memorizing. Empty when
+  // WorldConfig::bundles_per_item == 0.
+  std::vector<std::vector<ItemIndex>> bundle_partners;
+  // Per-leaf-category complement category (accessory relationship), e.g.
+  // phones -> phone cases. kInvalidCategory when none.
+  std::vector<CategoryId> complement_of;
+  // Per-category re-purchasability flag and mean days between repurchases.
+  std::vector<bool> repurchasable;
+  std::vector<double> repurchase_period_days;
+
+  // True (latent) affinity of user u for item i.
+  double Affinity(UserIndex u, ItemIndex i) const;
+  // Affinity of an arbitrary latent vector for item i.
+  double AffinityFor(const std::vector<float>& user_vec, ItemIndex i) const;
+};
+
+// Knobs for the synthetic world. Defaults produce small retailers suitable
+// for unit tests; benches scale them up.
+struct WorldConfig {
+  int num_retailers = 4;
+
+  // Retailer catalog sizes follow a bounded Pareto distribution
+  // ("hundreds of items ... to tens of millions", §I — scaled down).
+  int min_items = 40;
+  int max_items = 2000;
+  double size_pareto_alpha = 1.1;
+
+  // #users scales sublinearly with #items.
+  double users_per_item = 2.0;
+  double users_item_exponent = 0.85;
+  int min_users = 30;
+
+  // Taxonomy shape.
+  int taxonomy_depth = 3;
+  int min_fanout = 2;
+  int max_fanout = 4;
+
+  // Latent model.
+  int true_dim = 8;
+  double category_sigma = 0.55;  // per-level drift of category vectors
+  double item_sigma = 0.30;      // item scatter around its category
+  double user_sigma = 0.40;
+  double popularity_sigma = 1.1;  // lognormal item-bias spread
+
+  // Session / funnel behaviour.
+  double mean_sessions_per_user = 3.0;
+  double mean_session_length = 4.0;
+  double p_search_given_view = 0.30;
+  double p_cart_given_search = 0.35;
+  double p_conversion_given_cart = 0.5;
+  double p_stay_in_category = 0.55;
+  double p_jump_to_sibling = 0.30;  // else jump to random leaf
+  double p_complement_after_conversion = 0.6;
+  double choice_temperature = 1.0;
+
+  // Item-level bundle links (0 disables): each item gets this many exact
+  // browse-together partners; after viewing an item, the user follows a
+  // bundle link with probability p_bundle_follow.
+  int bundles_per_item = 0;
+  double p_bundle_follow = 0.35;
+
+  // Metadata coverage: per-retailer brand coverage is drawn uniformly from
+  // [brand_coverage_lo, brand_coverage_hi]; many small retailers end up
+  // below 10% (§III-C).
+  int num_brands = 24;
+  // How strongly a brand shifts its items' latent vectors (brand-aware
+  // shoppers, §III-B4).
+  double brand_sigma = 0.25;
+  double brand_coverage_lo = 0.05;
+  double brand_coverage_hi = 0.95;
+  double price_coverage = 0.9;
+
+  // Re-purchasable categories (diapers, water, ...).
+  double repurchasable_fraction = 0.12;
+  double repurchase_period_days_mean = 14.0;
+
+  int days = 28;  // history horizon
+
+  uint64_t seed = 1;
+};
+
+// One generated retailer: observable data + the hidden truth that
+// generated it (used only for evaluation, never for training).
+struct RetailerWorld {
+  RetailerData data;
+  GroundTruthModel truth;
+};
+
+// Generates multi-retailer synthetic worlds. Deterministic given
+// (config.seed, retailer id).
+class WorldGenerator {
+ public:
+  explicit WorldGenerator(const WorldConfig& config) : config_(config) {}
+
+  // Generates one retailer. `num_items_override` > 0 fixes the catalog
+  // size (otherwise it is drawn from the Pareto size distribution).
+  RetailerWorld GenerateRetailer(RetailerId id,
+                                 int num_items_override = -1) const;
+
+  // Generates config.num_retailers retailers with Pareto-distributed sizes.
+  std::vector<RetailerWorld> GenerateWorld() const;
+
+  // Draws a catalog size from the bounded Pareto distribution.
+  int SampleCatalogSize(Rng* rng) const;
+
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  WorldConfig config_;
+};
+
+// Extends an existing retailer with one more day of interactions and
+// `new_items` fresh (cold) items, simulating the daily data arrival that
+// drives incremental training (§III-C3). New events are appended to
+// `world->data.histories`; new items get truth vectors drawn around their
+// category.
+void AdvanceOneDay(const WorldGenerator& generator, RetailerWorld* world,
+                   int new_items, uint64_t seed);
+
+}  // namespace sigmund::data
+
+#endif  // SIGMUND_DATA_WORLD_GENERATOR_H_

@@ -1,0 +1,192 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace sigmund::mapreduce {
+
+namespace {
+
+class IdentityReducerImpl : public Reducer {
+ public:
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                const Emitter& emit) override {
+    for (const std::string& v : values) emit(Record{key, v});
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Reducer> IdentityReducer() {
+  return std::make_unique<IdentityReducerImpl>();
+}
+
+std::vector<std::pair<int64_t, int64_t>> ComputeSplits(int64_t n, int pieces) {
+  std::vector<std::pair<int64_t, int64_t>> splits;
+  if (n <= 0 || pieces <= 0) return splits;
+  const int64_t p = std::min<int64_t>(pieces, n);
+  const int64_t base = n / p;
+  const int64_t extra = n % p;
+  int64_t begin = 0;
+  for (int64_t i = 0; i < p; ++i) {
+    int64_t len = base + (i < extra ? 1 : 0);
+    splits.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return splits;
+}
+
+MapReduceJob::MapReduceJob(const MapReduceSpec& spec,
+                           MapperFactory mapper_factory,
+                           ReducerFactory reducer_factory)
+    : spec_(spec),
+      mapper_factory_(std::move(mapper_factory)),
+      reducer_factory_(std::move(reducer_factory)) {}
+
+StatusOr<std::vector<Record>> MapReduceJob::Run(
+    const std::vector<Record>& input) {
+  if (spec_.num_map_tasks <= 0) {
+    return InvalidArgumentError("num_map_tasks must be positive");
+  }
+  if (spec_.max_parallel_tasks <= 0) {
+    return InvalidArgumentError("max_parallel_tasks must be positive");
+  }
+  stats_ = MapReduceStats{};
+  stats_.input_records = static_cast<int64_t>(input.size());
+
+  const auto splits =
+      ComputeSplits(static_cast<int64_t>(input.size()), spec_.num_map_tasks);
+
+  // --- Map phase. Each task attempt runs the whole split; on injected
+  // failure its buffered output is discarded and the task retries.
+  std::vector<std::vector<Record>> map_outputs(splits.size());
+  std::mutex mu;
+  Status first_error;
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> failures{0};
+
+  ThreadPool pool(spec_.max_parallel_tasks);
+  for (size_t t = 0; t < splits.size(); ++t) {
+    pool.Schedule([&, t] {
+      Rng rng(SplitMix64(spec_.seed) ^ (0x9e37u + t));
+      for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
+        attempts.fetch_add(1);
+        // Decide upfront whether this attempt gets "preempted"; if so, at
+        // which fraction of its split (output up to there is discarded).
+        const bool fail = rng.Bernoulli(spec_.map_task_failure_prob);
+        const double fail_frac = rng.UniformDouble();
+
+        std::vector<Record> buffer;
+        std::unique_ptr<Mapper> mapper = mapper_factory_();
+        Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
+
+        Status s = mapper->Start(static_cast<int>(t));
+        const auto [begin, end] = splits[t];
+        const int64_t kill_at =
+            begin + static_cast<int64_t>((end - begin) * fail_frac);
+        bool killed = false;
+        for (int64_t i = begin; s.ok() && i < end; ++i) {
+          if (fail && i >= kill_at) {
+            killed = true;
+            break;
+          }
+          s = mapper->Map(input[i], emit);
+        }
+        if (s.ok() && !killed) s = mapper->Finish(emit);
+
+        if (killed) {
+          failures.fetch_add(1);
+          continue;  // retry; buffer dropped
+        }
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = s;
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          map_outputs[t] = std::move(buffer);
+        }
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) {
+        first_error = UnavailableError(StrFormat(
+            "map task %zu exceeded %d attempts", t,
+            spec_.max_attempts_per_task));
+      }
+    });
+  }
+  pool.Wait();
+  stats_.map_attempts = attempts.load();
+  stats_.map_failures = failures.load();
+  if (!first_error.ok()) return first_error;
+
+  int64_t mapped = 0;
+  for (const auto& out : map_outputs) mapped += out.size();
+  stats_.mapped_records = mapped;
+
+  // --- Map-only job: concatenate split outputs in order.
+  if (spec_.num_reduce_tasks <= 0) {
+    std::vector<Record> result;
+    result.reserve(mapped);
+    for (auto& out : map_outputs) {
+      for (Record& r : out) result.push_back(std::move(r));
+    }
+    stats_.output_records = static_cast<int64_t>(result.size());
+    return result;
+  }
+
+  // --- Shuffle: partition by key hash, group values per key.
+  const int r_tasks = spec_.num_reduce_tasks;
+  std::vector<std::map<std::string, std::vector<std::string>>> partitions(
+      r_tasks);
+  std::hash<std::string> hasher;
+  for (auto& out : map_outputs) {
+    for (Record& r : out) {
+      int part = static_cast<int>(hasher(r.key) % r_tasks);
+      partitions[part][r.key].push_back(std::move(r.value));
+    }
+  }
+
+  // --- Reduce phase.
+  std::vector<std::vector<Record>> reduce_outputs(r_tasks);
+  for (int p = 0; p < r_tasks; ++p) {
+    pool.Schedule([&, p] {
+      std::vector<Record> buffer;
+      std::unique_ptr<Reducer> reducer = reducer_factory_();
+      Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
+      for (const auto& [key, values] : partitions[p]) {
+        Status s = reducer->Reduce(key, values, emit);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = s;
+          return;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      reduce_outputs[p] = std::move(buffer);
+    });
+  }
+  pool.Wait();
+  if (!first_error.ok()) return first_error;
+
+  std::vector<Record> result;
+  for (auto& out : reduce_outputs) {
+    for (Record& r : out) result.push_back(std::move(r));
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+  stats_.output_records = static_cast<int64_t>(result.size());
+  return result;
+}
+
+}  // namespace sigmund::mapreduce

@@ -1,0 +1,127 @@
+#ifndef SIGMUND_MAPREDUCE_MAPREDUCE_H_
+#define SIGMUND_MAPREDUCE_MAPREDUCE_H_
+
+#include <stdint.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sigmund::mapreduce {
+
+// A key/value record, the unit of data flowing through a MapReduce.
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+// Emits an output record from a map or reduce call.
+using Emitter = std::function<void(Record)>;
+
+// User map logic. One Mapper instance is constructed per map-task
+// *attempt* and sees the records of its input split in order, which is
+// what lets Sigmund's inference mapper keep a per-retailer model loaded
+// across consecutive records and reload only at retailer boundaries
+// (Section IV-C2 of the paper).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  // Called once before the first record of the split.
+  virtual Status Start(int task_id) {
+    (void)task_id;
+    return OkStatus();
+  }
+
+  // Called once per input record.
+  virtual Status Map(const Record& input, const Emitter& emit) = 0;
+
+  // Called once after the last record of the split (for flushing
+  // combiner-style state).
+  virtual Status Finish(const Emitter& emit) {
+    (void)emit;
+    return OkStatus();
+  }
+};
+
+// User reduce logic: one call per distinct key with all its values.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual Status Reduce(const std::string& key,
+                        const std::vector<std::string>& values,
+                        const Emitter& emit) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+// Identity reducer: emits each (key, value) unchanged.
+std::unique_ptr<Reducer> IdentityReducer();
+
+struct MapReduceSpec {
+  // Number of input splits (map tasks). Input records are partitioned into
+  // this many contiguous chunks, preserving order.
+  int num_map_tasks = 1;
+
+  // Number of shuffle partitions (reduce tasks). 0 = map-only job: map
+  // outputs are concatenated in split order with no shuffle.
+  int num_reduce_tasks = 1;
+
+  // Worker threads executing tasks concurrently (simulated machines).
+  int max_parallel_tasks = 1;
+
+  // Probability that a map-task attempt is killed before committing
+  // (pre-emption injection). Failed attempts are retried from scratch with
+  // their partial output discarded — standard MapReduce fault tolerance.
+  double map_task_failure_prob = 0.0;
+
+  // Cap on attempts per map task before the whole job fails.
+  int max_attempts_per_task = 10;
+
+  uint64_t seed = 42;
+};
+
+// Execution statistics for a completed job.
+struct MapReduceStats {
+  int64_t map_attempts = 0;
+  int64_t map_failures = 0;
+  int64_t input_records = 0;
+  int64_t mapped_records = 0;   // records emitted by the map phase
+  int64_t output_records = 0;   // records emitted by the reduce phase
+};
+
+// In-process MapReduce runtime. Deterministic given the spec seed.
+//
+// Example (word count):
+//   MapReduceJob job(spec, [] { return std::make_unique<TokenMapper>(); },
+//                    [] { return std::make_unique<SumReducer>(); });
+//   StatusOr<std::vector<Record>> out = job.Run(input);
+class MapReduceJob {
+ public:
+  MapReduceJob(const MapReduceSpec& spec, MapperFactory mapper_factory,
+               ReducerFactory reducer_factory);
+
+  // Runs the job; returns reduce output (or concatenated map output for a
+  // map-only job). Reduce output is sorted by key.
+  StatusOr<std::vector<Record>> Run(const std::vector<Record>& input);
+
+  const MapReduceStats& stats() const { return stats_; }
+
+ private:
+  MapReduceSpec spec_;
+  MapperFactory mapper_factory_;
+  ReducerFactory reducer_factory_;
+  MapReduceStats stats_;
+};
+
+// Splits [0, n) into `pieces` contiguous ranges as evenly as possible.
+// Returns (begin, end) pairs; fewer than `pieces` if n < pieces.
+std::vector<std::pair<int64_t, int64_t>> ComputeSplits(int64_t n, int pieces);
+
+}  // namespace sigmund::mapreduce
+
+#endif  // SIGMUND_MAPREDUCE_MAPREDUCE_H_

@@ -1,0 +1,57 @@
+#include "pipeline/binpack.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace sigmund::pipeline {
+
+std::vector<std::vector<PackItem>> FirstFitDecreasing(
+    std::vector<PackItem> items, int num_bins) {
+  SIGCHECK_GT(num_bins, 0);
+  std::sort(items.begin(), items.end(),
+            [](const PackItem& a, const PackItem& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.id < b.id;
+            });
+  std::vector<std::vector<PackItem>> bins(num_bins);
+  // Min-heap over (bin weight, bin index): place each item in the
+  // currently lightest bin.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int b = 0; b < num_bins; ++b) heap.push({0.0, b});
+  for (const PackItem& item : items) {
+    auto [weight, bin] = heap.top();
+    heap.pop();
+    bins[bin].push_back(item);
+    heap.push({weight + item.weight, bin});
+  }
+  return bins;
+}
+
+std::vector<std::vector<PackItem>> RoundRobinPack(
+    const std::vector<PackItem>& items, int num_bins) {
+  SIGCHECK_GT(num_bins, 0);
+  std::vector<std::vector<PackItem>> bins(num_bins);
+  for (size_t i = 0; i < items.size(); ++i) {
+    bins[i % num_bins].push_back(items[i]);
+  }
+  return bins;
+}
+
+double BinWeight(const std::vector<PackItem>& bin) {
+  double total = 0.0;
+  for (const PackItem& item : bin) total += item.weight;
+  return total;
+}
+
+double MaxBinWeight(const std::vector<std::vector<PackItem>>& bins) {
+  double max_weight = 0.0;
+  for (const auto& bin : bins) {
+    max_weight = std::max(max_weight, BinWeight(bin));
+  }
+  return max_weight;
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,36 @@
+#ifndef SIGMUND_PIPELINE_BINPACK_H_
+#define SIGMUND_PIPELINE_BINPACK_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+namespace sigmund::pipeline {
+
+// One weighted work unit — for the inference job, a retailer weighted by
+// its inventory size, since "the computational cost of inference is
+// roughly linearly proportional to the number of items" (§IV-C1).
+struct PackItem {
+  int64_t id = 0;
+  double weight = 0.0;
+};
+
+// Greedy first-fit-decreasing (longest-processing-time) partition of
+// `items` into `num_bins` bins, minimizing the maximum bin weight — the
+// heuristic Sigmund uses to partition retailers across cells so the
+// inference MapReduces finish together (§IV-C1). Classic 4/3-OPT bound.
+std::vector<std::vector<PackItem>> FirstFitDecreasing(
+    std::vector<PackItem> items, int num_bins);
+
+// Partition of `items` into bins in the order given (no sorting) — models
+// the naive/random baseline.
+std::vector<std::vector<PackItem>> RoundRobinPack(
+    const std::vector<PackItem>& items, int num_bins);
+
+// Total weight of one bin / max over bins.
+double BinWeight(const std::vector<PackItem>& bin);
+double MaxBinWeight(const std::vector<std::vector<PackItem>>& bins);
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_BINPACK_H_

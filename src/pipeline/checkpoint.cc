@@ -1,0 +1,104 @@
+#include "pipeline/checkpoint.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sigmund::pipeline {
+
+namespace {
+
+// Payload framing: 4-byte epoch, then the serialized model.
+std::string EncodePayload(const core::BprModel& model, int epoch) {
+  std::string payload;
+  int32_t e = epoch;
+  payload.append(reinterpret_cast<const char*>(&e), sizeof(e));
+  payload += model.Serialize();
+  return payload;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(sfs::SharedFileSystem* fs,
+                                     const Clock* clock, std::string dir,
+                                     double interval_seconds)
+    : fs_(fs), clock_(clock), dir_(std::move(dir)),
+      interval_seconds_(interval_seconds),
+      last_checkpoint_time_(clock->NowSeconds()) {
+  SIGCHECK(fs != nullptr);
+  SIGCHECK(clock != nullptr);
+  // Resume version numbering after any existing checkpoints.
+  for (const std::string& path : fs_->List(dir_ + "/ckpt.")) {
+    int64_t version = 0;
+    if (ParseInt64(path.substr(dir_.size() + 6), &version)) {
+      next_version_ = std::max(next_version_, version + 1);
+    }
+  }
+}
+
+std::string CheckpointManager::VersionPath(int64_t version) const {
+  return StrFormat("%s/ckpt.%09lld", dir_.c_str(),
+                   static_cast<long long>(version));
+}
+
+StatusOr<bool> CheckpointManager::MaybeCheckpoint(const core::BprModel& model,
+                                                  int epoch) {
+  if (interval_seconds_ <= 0.0) return false;
+  double now = clock_->NowSeconds();
+  if (now - last_checkpoint_time_ < interval_seconds_) return false;
+  SIGMUND_RETURN_IF_ERROR(ForceCheckpoint(model, epoch));
+  return true;
+}
+
+Status CheckpointManager::ForceCheckpoint(const core::BprModel& model,
+                                          int epoch) {
+  const int64_t version = next_version_++;
+  const std::string tmp = dir_ + "/tmp";
+  const std::string committed = VersionPath(version);
+  SIGMUND_RETURN_IF_ERROR(fs_->Write(tmp, EncodePayload(model, epoch)));
+  SIGMUND_RETURN_IF_ERROR(fs_->Rename(tmp, committed));
+  // Garbage-collect everything older than the checkpoint just committed
+  // ("we only need to keep the latest checkpoint around").
+  for (const std::string& path : fs_->List(dir_ + "/ckpt.")) {
+    if (path < committed) {
+      Status s = fs_->Delete(path);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+  }
+  last_checkpoint_time_ = clock_->NowSeconds();
+  ++checkpoints_written_;
+  return OkStatus();
+}
+
+bool CheckpointManager::HasCheckpoint() const {
+  return !fs_->List(dir_ + "/ckpt.").empty();
+}
+
+StatusOr<CheckpointManager::Restored> CheckpointManager::Restore(
+    const data::Catalog* catalog) const {
+  std::vector<std::string> checkpoints = fs_->List(dir_ + "/ckpt.");
+  if (checkpoints.empty()) {
+    return NotFoundError("no checkpoint in " + dir_);
+  }
+  StatusOr<std::string> payload = fs_->Read(checkpoints.back());
+  if (!payload.ok()) return payload.status();
+  if (payload->size() < sizeof(int32_t)) {
+    return DataLossError("checkpoint payload too small");
+  }
+  int32_t epoch = 0;
+  std::memcpy(&epoch, payload->data(), sizeof(epoch));
+  StatusOr<core::BprModel> model =
+      core::BprModel::Deserialize(payload->substr(sizeof(epoch)), catalog);
+  if (!model.ok()) return model.status();
+  return Restored{std::move(model).value(), epoch};
+}
+
+Status CheckpointManager::Clear() {
+  for (const std::string& path : fs_->List(dir_ + "/")) {
+    SIGMUND_RETURN_IF_ERROR(fs_->Delete(path));
+  }
+  return OkStatus();
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,69 @@
+#ifndef SIGMUND_PIPELINE_CHECKPOINT_H_
+#define SIGMUND_PIPELINE_CHECKPOINT_H_
+
+#include <stdint.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::pipeline {
+
+// Time-interval-based checkpointing of a training run to the shared
+// filesystem (§IV-B3): checkpoints are scheduled on a fixed *time*
+// interval (not an iteration count, because time-per-iteration varies
+// wildly across retailer sizes), only the latest checkpoint is kept (the
+// previous one is garbage-collected as soon as a new one commits), and
+// commits are atomic (write to a temp path, then rename).
+//
+// The checkpoint payload carries the epoch number so a restarted task
+// resumes with the remaining epochs only.
+class CheckpointManager {
+ public:
+  // `fs` and `clock` are borrowed. `dir` is the SFS directory for this
+  // (retailer, model) pair's checkpoints.
+  CheckpointManager(sfs::SharedFileSystem* fs, const Clock* clock,
+                    std::string dir, double interval_seconds);
+
+  // Writes a checkpoint if at least interval_seconds elapsed since the
+  // last one (or since construction). Returns true if one was written.
+  StatusOr<bool> MaybeCheckpoint(const core::BprModel& model, int epoch);
+
+  // Unconditionally writes a checkpoint.
+  Status ForceCheckpoint(const core::BprModel& model, int epoch);
+
+  // True if a committed checkpoint exists for this directory.
+  bool HasCheckpoint() const;
+
+  // Restores the latest committed checkpoint. Returns the model and the
+  // epoch it was taken at (training resumes at epoch+1).
+  struct Restored {
+    core::BprModel model;
+    int epoch = -1;
+  };
+  StatusOr<Restored> Restore(const data::Catalog* catalog) const;
+
+  // Deletes all checkpoints for this directory (after a successful final
+  // model write).
+  Status Clear();
+
+  int64_t checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  std::string VersionPath(int64_t version) const;
+
+  sfs::SharedFileSystem* fs_;
+  const Clock* clock_;
+  std::string dir_;
+  double interval_seconds_;
+  double last_checkpoint_time_;
+  int64_t next_version_ = 0;
+  int64_t checkpoints_written_ = 0;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_CHECKPOINT_H_

@@ -1,0 +1,96 @@
+#include "pipeline/config_record.h"
+
+#include "common/string_util.h"
+
+namespace sigmund::pipeline {
+
+std::string ConfigRecord::Key() const {
+  return StrFormat("r%d/m%03d", retailer, model_number);
+}
+
+std::string ConfigRecord::Serialize() const {
+  // Hyperparams already use ';' and '='; separate top-level fields with
+  // '&' to stay unambiguous.
+  return StrFormat(
+      "retailer=%d&model=%d&path=%s&warm=%d&trained=%d&map=%.17g&auc=%.17g&"
+      "epochs=%d&steps=%lld&hp=%s",
+      retailer, model_number, model_path.c_str(), warm_start ? 1 : 0,
+      trained ? 1 : 0, map_at_10, auc, epochs_run,
+      static_cast<long long>(sgd_steps), params.Serialize().c_str());
+}
+
+StatusOr<ConfigRecord> ConfigRecord::Deserialize(const std::string& text) {
+  ConfigRecord record;
+  for (const std::string& piece : StrSplit(text, '&')) {
+    if (piece.empty()) continue;
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("malformed config piece: " + piece);
+    }
+    std::string key = piece.substr(0, eq);
+    std::string value = piece.substr(eq + 1);
+    int64_t i = 0;
+    double d = 0.0;
+    bool ok = true;
+    if (key == "retailer") {
+      ok = ParseInt64(value, &i);
+      record.retailer = static_cast<data::RetailerId>(i);
+    } else if (key == "model") {
+      ok = ParseInt64(value, &i);
+      record.model_number = static_cast<int>(i);
+    } else if (key == "path") {
+      record.model_path = value;
+    } else if (key == "warm") {
+      ok = ParseInt64(value, &i);
+      record.warm_start = i != 0;
+    } else if (key == "trained") {
+      ok = ParseInt64(value, &i);
+      record.trained = i != 0;
+    } else if (key == "map") {
+      ok = ParseDouble(value, &d);
+      record.map_at_10 = d;
+    } else if (key == "auc") {
+      ok = ParseDouble(value, &d);
+      record.auc = d;
+    } else if (key == "epochs") {
+      ok = ParseInt64(value, &i);
+      record.epochs_run = static_cast<int>(i);
+    } else if (key == "steps") {
+      ok = ParseInt64(value, &i);
+      record.sgd_steps = i;
+    } else if (key == "hp") {
+      StatusOr<core::HyperParams> params =
+          core::HyperParams::Deserialize(value);
+      if (!params.ok()) return params.status();
+      record.params = *params;
+    } else {
+      return InvalidArgumentError("unknown config key: " + key);
+    }
+    if (!ok) {
+      return InvalidArgumentError("unparseable config value: " + piece);
+    }
+  }
+  return record;
+}
+
+std::string ModelPath(data::RetailerId retailer, int model_number) {
+  return StrFormat("models/r%d/m%03d", retailer, model_number);
+}
+
+std::string BestModelPath(data::RetailerId retailer) {
+  return StrFormat("models/r%d/best", retailer);
+}
+
+std::string CheckpointDir(data::RetailerId retailer, int model_number) {
+  return StrFormat("checkpoints/r%d/m%03d", retailer, model_number);
+}
+
+std::string RecommendationPath(data::RetailerId retailer) {
+  return StrFormat("recommendations/r%d", retailer);
+}
+
+std::string SweepResultPath(data::RetailerId retailer) {
+  return StrFormat("sweep_results/r%d", retailer);
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,194 @@
+#include "pipeline/inference_job.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/candidate_selector.h"
+#include "core/cooccurrence.h"
+#include "pipeline/binpack.h"
+#include "pipeline/config_record.h"
+
+namespace sigmund::pipeline {
+
+namespace {
+
+// Per-retailer state an inference mapper keeps loaded while it processes
+// that retailer's contiguous run of item records.
+struct LoadedRetailer {
+  data::RetailerId id = -1;
+  const data::RetailerData* data = nullptr;
+  std::unique_ptr<core::BprModel> model;
+  std::unique_ptr<core::CooccurrenceModel> cooccurrence;
+  std::unique_ptr<core::RepurchaseEstimator> repurchase;
+  std::unique_ptr<core::CandidateSelector> selector;
+  std::unique_ptr<core::InferenceEngine> engine;
+};
+
+class InferenceMapper : public mapreduce::Mapper {
+ public:
+  InferenceMapper(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
+                  const InferenceJob::Options* options,
+                  InferenceJob::Stats* stats)
+      : fs_(fs), registry_(registry), options_(options), stats_(stats) {}
+
+  Status Map(const mapreduce::Record& input,
+             const mapreduce::Emitter& emit) override {
+    // Key: "r<retailer>/i<item>".
+    data::RetailerId retailer = 0;
+    data::ItemIndex item = 0;
+    if (!ParseKey(input.key, &retailer, &item)) {
+      return InvalidArgumentError("bad inference key: " + input.key);
+    }
+
+    if (retailer != loaded_.id) {
+      // "A load should only get triggered if this is the first record
+      // being processed by the mapper or if it is processing an input
+      // split that contains the boundary between two retailers" (§IV-C2).
+      SIGMUND_RETURN_IF_ERROR(LoadRetailer(retailer));
+    }
+
+    core::ItemRecommendations recs =
+        loaded_.engine->RecommendForItem(item, options_->inference);
+    stats_->items_scored.fetch_add(1);
+    emit(mapreduce::Record{input.key, recs.Serialize()});
+    return OkStatus();
+  }
+
+ private:
+  static bool ParseKey(const std::string& key, data::RetailerId* retailer,
+                       data::ItemIndex* item) {
+    if (key.empty() || key[0] != 'r') return false;
+    size_t slash = key.find("/i");
+    if (slash == std::string::npos) return false;
+    int64_t r = 0, i = 0;
+    if (!ParseInt64(key.substr(1, slash - 1), &r)) return false;
+    if (!ParseInt64(key.substr(slash + 2), &i)) return false;
+    *retailer = static_cast<data::RetailerId>(r);
+    *item = static_cast<data::ItemIndex>(i);
+    return true;
+  }
+
+  Status LoadRetailer(data::RetailerId retailer) {
+    StatusOr<const data::RetailerData*> data = registry_->Get(retailer);
+    if (!data.ok()) return data.status();
+
+    StatusOr<std::string> bytes = fs_->Read(BestModelPath(retailer));
+    if (!bytes.ok()) return bytes.status();
+    StatusOr<core::BprModel> model =
+        core::BprModel::Deserialize(*bytes, &(*data)->catalog);
+    if (!model.ok()) return model.status();
+
+    loaded_.id = retailer;
+    loaded_.data = *data;
+    loaded_.model =
+        std::make_unique<core::BprModel>(std::move(model).value());
+    // Candidate-selection inputs are rebuilt from the retailer's full
+    // histories (they are cheap relative to training).
+    loaded_.cooccurrence = std::make_unique<core::CooccurrenceModel>(
+        core::CooccurrenceModel::Build((*data)->histories,
+                                       (*data)->catalog.num_items(), {}));
+    loaded_.repurchase = std::make_unique<core::RepurchaseEstimator>(
+        core::RepurchaseEstimator::Build((*data)->histories, (*data)->catalog,
+                                         {}));
+    loaded_.selector = std::make_unique<core::CandidateSelector>(
+        &(*data)->catalog, loaded_.cooccurrence.get(),
+        loaded_.repurchase.get());
+    loaded_.engine = std::make_unique<core::InferenceEngine>(
+        loaded_.model.get(), loaded_.selector.get());
+    stats_->model_loads.fetch_add(1);
+    return OkStatus();
+  }
+
+  sfs::SharedFileSystem* fs_;
+  const RetailerRegistry* registry_;
+  const InferenceJob::Options* options_;
+  InferenceJob::Stats* stats_;
+  LoadedRetailer loaded_;
+};
+
+}  // namespace
+
+StatusOr<std::map<data::RetailerId, std::vector<core::ItemRecommendations>>>
+InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
+  // --- Partition retailers across cells, weighted by inventory size.
+  std::vector<PackItem> items;
+  for (data::RetailerId id : retailers) {
+    StatusOr<const data::RetailerData*> data = registry_->Get(id);
+    if (!data.ok()) return data.status();
+    items.push_back(PackItem{id, static_cast<double>((*data)->num_items())});
+  }
+  std::vector<std::vector<PackItem>> cells =
+      options_.use_first_fit_decreasing
+          ? FirstFitDecreasing(items, options_.num_cells)
+          : RoundRobinPack(items, options_.num_cells);
+  stats_.cell_weights.clear();
+  for (const auto& cell : cells) stats_.cell_weights.push_back(BinWeight(cell));
+
+  // --- One MapReduce per cell; input contiguous per retailer.
+  std::map<data::RetailerId, std::vector<core::ItemRecommendations>> results;
+  for (const auto& cell : cells) {
+    if (cell.empty()) continue;
+    std::vector<mapreduce::Record> input;
+    for (const PackItem& pack : cell) {
+      data::RetailerId id = static_cast<data::RetailerId>(pack.id);
+      StatusOr<const data::RetailerData*> data = registry_->Get(id);
+      if (!data.ok()) return data.status();
+      for (data::ItemIndex item = 0; item < (*data)->num_items(); ++item) {
+        input.push_back(
+            mapreduce::Record{StrFormat("r%d/i%d", id, item), ""});
+      }
+    }
+
+    mapreduce::MapReduceSpec spec;
+    spec.num_map_tasks =
+        std::max(1, std::min<int>(options_.map_tasks_per_cell,
+                                  static_cast<int>(input.size())));
+    spec.num_reduce_tasks = 0;  // map-only; order preserved per retailer
+    spec.max_parallel_tasks = options_.max_parallel_tasks;
+    spec.map_task_failure_prob = options_.map_task_failure_prob;
+    spec.max_attempts_per_task = options_.max_attempts_per_task;
+    spec.seed = options_.seed;
+
+    mapreduce::MapReduceJob job(
+        spec,
+        [this] {
+          return std::make_unique<InferenceMapper>(fs_, registry_, &options_,
+                                                   &stats_);
+        },
+        [] { return mapreduce::IdentityReducer(); });
+    StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
+    if (!output.ok()) return output.status();
+
+    for (const mapreduce::Record& record : *output) {
+      StatusOr<core::ItemRecommendations> recs =
+          core::ItemRecommendations::Deserialize(record.value);
+      if (!recs.ok()) return recs.status();
+      size_t slash = record.key.find('/');
+      int64_t retailer = 0;
+      SIGCHECK(ParseInt64(record.key.substr(1, slash - 1), &retailer));
+      results[static_cast<data::RetailerId>(retailer)].push_back(
+          std::move(recs).value());
+    }
+  }
+
+  // --- Persist per-retailer recommendation files (newline-separated) for
+  // the serving batch loader.
+  for (auto& [retailer, recs] : results) {
+    // Order by query item for deterministic, item-indexed loading.
+    std::sort(recs.begin(), recs.end(),
+              [](const core::ItemRecommendations& a,
+                 const core::ItemRecommendations& b) {
+                return a.query < b.query;
+              });
+    std::string blob;
+    for (const core::ItemRecommendations& rec : recs) {
+      blob += rec.Serialize();
+      blob += '\n';
+    }
+    SIGMUND_RETURN_IF_ERROR(fs_->Write(RecommendationPath(retailer), blob));
+  }
+  return results;
+}
+
+}  // namespace sigmund::pipeline

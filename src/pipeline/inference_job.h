@@ -1,0 +1,77 @@
+#ifndef SIGMUND_PIPELINE_INFERENCE_JOB_H_
+#define SIGMUND_PIPELINE_INFERENCE_JOB_H_
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/inference.h"
+#include "mapreduce/mapreduce.h"
+#include "pipeline/registry.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::pipeline {
+
+// The offline inference MapReduce (§IV-C): materializes top-K
+// recommendations for every item of every retailer using each retailer's
+// best model.
+//
+// Faithful to the paper's structure:
+//  - retailers are partitioned across cells with greedy first-fit
+//    (-decreasing) bin-packing, weighted by inventory size (§IV-C1);
+//  - within a cell, input items are contiguous per retailer, and the map
+//    task reloads a model only when it crosses a retailer boundary
+//    (§IV-C2) — model loads are counted so tests can verify the policy;
+//  - one map thread per task, with scoring multi-threaded inside the map
+//    function (managed in user code, not by the framework).
+class InferenceJob {
+ public:
+  struct Options {
+    // Cells (independent MapReduces) and map tasks per cell.
+    int num_cells = 1;
+    int map_tasks_per_cell = 4;
+    int max_parallel_tasks = 2;
+    // true = first-fit-decreasing; false = round-robin (naive baseline).
+    bool use_first_fit_decreasing = true;
+
+    // Pre-emption injection at the MapReduce layer: a killed map task's
+    // buffered output is discarded and the task re-runs (inference is
+    // stateless, so re-execution is the whole recovery story here).
+    double map_task_failure_prob = 0.0;
+    int max_attempts_per_task = 10;
+
+    core::InferenceEngine::Options inference;
+    uint64_t seed = 42;
+  };
+
+  struct Stats {
+    std::atomic<int64_t> model_loads{0};
+    std::atomic<int64_t> items_scored{0};
+    // Simulated per-cell work (sum of item counts) for makespan analysis.
+    std::vector<double> cell_weights;
+  };
+
+  InferenceJob(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
+               const Options& options)
+      : fs_(fs), registry_(registry), options_(options) {}
+
+  // Materializes recommendations for all items of `retailers`, reading
+  // each retailer's best model from BestModelPath(retailer). Results are
+  // returned grouped by retailer (item-indexed) and also written to
+  // RecommendationPath(retailer) in the shared filesystem.
+  StatusOr<std::map<data::RetailerId, std::vector<core::ItemRecommendations>>>
+  Run(const std::vector<data::RetailerId>& retailers);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sfs::SharedFileSystem* fs_;
+  const RetailerRegistry* registry_;
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_INFERENCE_JOB_H_

@@ -1,0 +1,50 @@
+#include "pipeline/quality_monitor.h"
+
+#include <algorithm>
+
+namespace sigmund::pipeline {
+
+const char* VerdictName(QualityMonitor::Verdict verdict) {
+  switch (verdict) {
+    case QualityMonitor::Verdict::kFirstObservation:
+      return "first-observation";
+    case QualityMonitor::Verdict::kOk:
+      return "ok";
+    case QualityMonitor::Verdict::kRegressed:
+      return "regressed";
+  }
+  return "unknown";
+}
+
+QualityMonitor::Verdict QualityMonitor::Record(data::RetailerId retailer,
+                                               double map_at_10) {
+  std::deque<double>& history = history_[retailer];
+  Verdict verdict = Verdict::kFirstObservation;
+  if (!history.empty()) {
+    double best = *std::max_element(history.begin(), history.end());
+    if (best >= options_.min_meaningful_map &&
+        map_at_10 < (1.0 - options_.max_relative_drop) * best) {
+      verdict = Verdict::kRegressed;
+    } else {
+      verdict = Verdict::kOk;
+    }
+  }
+  history.push_back(map_at_10);
+  while (static_cast<int>(history.size()) > options_.history_days) {
+    history.pop_front();
+  }
+  return verdict;
+}
+
+double QualityMonitor::TrailingBest(data::RetailerId retailer) const {
+  auto it = history_.find(retailer);
+  if (it == history_.end() || it->second.empty()) return 0.0;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+int QualityMonitor::days_observed(data::RetailerId retailer) const {
+  auto it = history_.find(retailer);
+  return it == history_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,42 @@
+#include "pipeline/registry.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sigmund::pipeline {
+
+void RetailerRegistry::Upsert(const data::RetailerData* data) {
+  SIGCHECK(data != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  retailers_[data->id] = data;
+}
+
+StatusOr<const data::RetailerData*> RetailerRegistry::Get(
+    data::RetailerId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retailers_.find(id);
+  if (it == retailers_.end()) {
+    return NotFoundError(StrFormat("retailer %d not registered", id));
+  }
+  return it->second;
+}
+
+bool RetailerRegistry::Contains(data::RetailerId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retailers_.count(id) > 0;
+}
+
+std::vector<data::RetailerId> RetailerRegistry::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<data::RetailerId> ids;
+  ids.reserve(retailers_.size());
+  for (const auto& [id, data] : retailers_) ids.push_back(id);
+  return ids;
+}
+
+int RetailerRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(retailers_.size());
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,41 @@
+#ifndef SIGMUND_PIPELINE_REGISTRY_H_
+#define SIGMUND_PIPELINE_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "data/retailer_data.h"
+
+namespace sigmund::pipeline {
+
+// Hands the pipeline's map tasks access to retailer datasets by id (the
+// stand-in for "training and validation dataset locations" resolving to
+// GFS files). Data is borrowed, not owned: the caller keeps each
+// RetailerData alive and re-Upserts after daily updates.
+//
+// Thread-safe: map tasks read concurrently.
+class RetailerRegistry {
+ public:
+  // Inserts or replaces the entry for data->id.
+  void Upsert(const data::RetailerData* data);
+
+  // kNotFound if the retailer was never registered.
+  StatusOr<const data::RetailerData*> Get(data::RetailerId id) const;
+
+  bool Contains(data::RetailerId id) const;
+
+  // All registered retailer ids, ascending.
+  std::vector<data::RetailerId> Ids() const;
+
+  int size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<data::RetailerId, const data::RetailerData*> retailers_;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_REGISTRY_H_

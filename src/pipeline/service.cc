@@ -1,0 +1,185 @@
+#include "pipeline/service.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pipeline/config_record.h"
+
+namespace sigmund::pipeline {
+
+std::string DailyReport::ToString() const {
+  return StrFormat(
+      "%s sweep: retailers=%d (new=%d) models=%d mean_best_map=%.4f "
+      "checkpoints=%lld preemptions=%lld restores=%lld model_loads=%lld "
+      "items=%lld map_attempts=%lld map_failures=%lld "
+      "quality_regressions=%d shard_bytes_moved=%lld",
+      full_sweep ? "full" : "incremental", retailers, new_retailers,
+      models_trained, mean_best_map,
+      static_cast<long long>(checkpoints_written),
+      static_cast<long long>(preemptions),
+      static_cast<long long>(restored_from_checkpoint),
+      static_cast<long long>(model_loads),
+      static_cast<long long>(items_scored),
+      static_cast<long long>(map_attempts),
+      static_cast<long long>(map_failures), quality_regressions,
+      static_cast<long long>(shard_bytes_moved));
+}
+
+void SigmundService::UpsertRetailer(const data::RetailerData* data) {
+  registry_.Upsert(data);
+}
+
+Status SigmundService::SelectBestModels(
+    const std::vector<ConfigRecord>& results, DailyReport* report,
+    std::map<data::RetailerId, double>* best_map) {
+  std::map<data::RetailerId, const ConfigRecord*> best;
+  for (const ConfigRecord& record : results) {
+    if (!record.trained) continue;
+    auto [it, inserted] = best.emplace(record.retailer, &record);
+    if (!inserted && record.map_at_10 > it->second->map_at_10) {
+      it->second = &record;
+    }
+  }
+  double map_sum = 0.0;
+  for (const auto& [retailer, record] : best) {
+    StatusOr<std::string> bytes = fs_->Read(record->model_path);
+    if (!bytes.ok()) return bytes.status();
+    SIGMUND_RETURN_IF_ERROR(fs_->Write(BestModelPath(retailer), *bytes));
+    map_sum += record->map_at_10;
+    (*best_map)[retailer] = record->map_at_10;
+  }
+  if (!best.empty()) {
+    report->mean_best_map = map_sum / static_cast<double>(best.size());
+  }
+  return OkStatus();
+}
+
+StatusOr<DailyReport> SigmundService::RunDaily() {
+  DailyReport report;
+  report.retailers = registry_.size();
+  if (registry_.size() == 0) {
+    return FailedPreconditionError("no retailers registered");
+  }
+
+  // --- Data placement: rebalance shards across cells and account the
+  // migrated bytes (§IV-B1).
+  if (!options_.placement.cells.empty()) {
+    DataPlacementPlanner placement_planner(fs_, options_.placement);
+    DataPlacementPlanner::Plan placement =
+        placement_planner.PlanPlacement(registry_);
+    int64_t before = transfer_ledger_.total_bytes();
+    SIGMUND_RETURN_IF_ERROR(placement_planner.Materialize(
+        registry_, placement, shard_homes_, &transfer_ledger_));
+    report.shard_bytes_moved = transfer_ledger_.total_bytes() - before;
+    shard_homes_ = std::move(placement.home_cell);
+  }
+
+  // --- Plan the sweep.
+  const bool periodic_restart =
+      options_.full_sweep_every_days > 0 && days_run_ > 0 &&
+      days_run_ % options_.full_sweep_every_days == 0;
+  const bool full =
+      previous_results_.empty() || force_full_sweep_ || periodic_restart;
+  force_full_sweep_ = false;
+  report.full_sweep = full;
+
+  SweepPlanner planner(options_.sweep);
+  std::vector<ConfigRecord> plan;
+  if (full) {
+    plan = planner.PlanFullSweep(registry_);
+  } else {
+    plan = planner.PlanIncrementalSweep(registry_, previous_results_);
+    // Count retailers that got a full grid (new sign-ups).
+    std::map<data::RetailerId, int> per_retailer;
+    for (const ConfigRecord& record : plan) ++per_retailer[record.retailer];
+    for (const auto& [retailer, count] : per_retailer) {
+      if (count > options_.sweep.incremental_top_k) ++report.new_retailers;
+    }
+  }
+
+  // --- Train: one MapReduce, or one per cell when data placement routes
+  // each retailer's work to the cell holding its shard (§IV-B1).
+  StatusOr<std::vector<ConfigRecord>> results = [&] {
+    if (!options_.placement.cells.empty()) {
+      MultiCellTrainingJob::Options multi_options;
+      multi_options.cells = options_.placement.cells;
+      multi_options.per_cell = options_.training;
+      MultiCellTrainingJob training(fs_, &registry_, multi_options);
+      StatusOr<std::vector<ConfigRecord>> out =
+          training.Run(plan, shard_homes_);
+      for (const MultiCellTrainingJob::CellReport& cell :
+           training.cell_reports()) {
+        report.checkpoints_written += cell.checkpoints_written;
+        report.preemptions += cell.preemptions;
+      }
+      return out;
+    }
+    TrainingJob training(fs_, &registry_, options_.training);
+    StatusOr<std::vector<ConfigRecord>> out = training.Run(plan);
+    report.checkpoints_written = training.stats().checkpoints_written.load();
+    report.preemptions = training.stats().preemptions.load();
+    report.restored_from_checkpoint =
+        training.stats().restored_from_checkpoint.load();
+    report.map_attempts = training.stats().mapreduce.map_attempts;
+    report.map_failures = training.stats().mapreduce.map_failures;
+    return out;
+  }();
+  if (!results.ok()) return results.status();
+  report.models_trained = static_cast<int>(results->size());
+
+  // Persist sweep results per retailer (debuggability).
+  {
+    std::map<data::RetailerId, std::string> blobs;
+    for (const ConfigRecord& record : *results) {
+      blobs[record.retailer] += record.Serialize();
+      blobs[record.retailer] += '\n';
+    }
+    for (const auto& [retailer, blob] : blobs) {
+      SIGMUND_RETURN_IF_ERROR(fs_->Write(SweepResultPath(retailer), blob));
+    }
+  }
+
+  // --- Model selection + quality guardrail.
+  std::map<data::RetailerId, double> best_map;
+  SIGMUND_RETURN_IF_ERROR(SelectBestModels(*results, &report, &best_map));
+  previous_results_ = std::move(results).value();
+
+  std::set<data::RetailerId> hold_back;
+  if (options_.guard_quality) {
+    for (const auto& [retailer, map_at_10] : best_map) {
+      if (monitor_.Record(retailer, map_at_10) ==
+          QualityMonitor::Verdict::kRegressed) {
+        hold_back.insert(retailer);
+        SIGLOG(WARNING) << "retailer " << retailer
+                        << " regressed: map=" << map_at_10
+                        << " trailing best=" << monitor_.TrailingBest(retailer)
+                        << "; keeping previous recommendations";
+      }
+    }
+    report.quality_regressions = static_cast<int>(hold_back.size());
+  }
+
+  // --- Inference.
+  InferenceJob inference(fs_, &registry_, options_.inference);
+  auto recommendations = inference.Run(registry_.Ids());
+  if (!recommendations.ok()) return recommendations.status();
+  report.model_loads = inference.stats().model_loads.load();
+  report.items_scored = inference.stats().items_scored.load();
+
+  // --- Batch-load the serving store (regressed retailers keep serving
+  // the previous batch).
+  for (auto& [retailer, recs] : *recommendations) {
+    if (hold_back.count(retailer) > 0 &&
+        store_.RetailerVersion(retailer) > 0) {
+      continue;
+    }
+    store_.LoadRetailer(retailer, std::move(recs));
+  }
+
+  ++days_run_;
+  return report;
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,120 @@
+#ifndef SIGMUND_PIPELINE_SERVICE_H_
+#define SIGMUND_PIPELINE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/data_placement.h"
+#include "pipeline/inference_job.h"
+#include "pipeline/quality_monitor.h"
+#include "pipeline/registry.h"
+#include "pipeline/sweep.h"
+#include "pipeline/training_job.h"
+#include "serving/store.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::pipeline {
+
+// Summary of one daily run.
+struct DailyReport {
+  bool full_sweep = false;
+  int retailers = 0;
+  int models_trained = 0;
+  int new_retailers = 0;
+  double mean_best_map = 0.0;   // mean over retailers of best MAP@10
+  int64_t checkpoints_written = 0;
+  int64_t preemptions = 0;
+  int64_t restored_from_checkpoint = 0;
+  int64_t model_loads = 0;      // inference model (re)loads
+  int64_t items_scored = 0;
+  int64_t map_attempts = 0;
+  int64_t map_failures = 0;
+  // Retailers whose new models regressed past the quality guardrail; the
+  // store kept serving their previous batch.
+  int quality_regressions = 0;
+  // Training-data shard bytes migrated across cells this run (§IV-B1);
+  // 0 when data placement is disabled.
+  int64_t shard_bytes_moved = 0;
+
+  std::string ToString() const;
+};
+
+// The whole Sigmund service, end to end (§II-A): each daily run plans a
+// sweep (full on first start, incremental afterwards — with a full grid
+// for newly signed-up retailers), runs the training MapReduce, selects the
+// best model per retailer by MAP@10, materializes recommendations with the
+// inference MapReduce, and batch-loads them into the serving store.
+class SigmundService {
+ public:
+  struct Options {
+    SweepPlanner::Options sweep;
+    TrainingJob::Options training;
+    InferenceJob::Options inference;
+    // Days between forced full-sweep restarts (terms-of-service recency
+    // constraint, §III-C3). 0 = never force.
+    int full_sweep_every_days = 0;
+
+    // Quality guardrail (§I: "quality is monitored and maintained"): when
+    // on, a retailer whose best MAP@10 regressed past the threshold keeps
+    // serving yesterday's recommendations.
+    bool guard_quality = true;
+    QualityMonitor::Options quality;
+
+    // Data placement (§IV-B1): when cells are named here, each daily run
+    // rebalances retailer data shards across them (FFD by interaction
+    // count) and migrates shards through the shared filesystem, with the
+    // moved bytes reported in DailyReport. Empty = disabled.
+    DataPlacementPlanner::Options placement;
+  };
+
+  // `fs` is borrowed and holds all models/checkpoints/recommendations.
+  SigmundService(sfs::SharedFileSystem* fs, const Options& options)
+      : fs_(fs), options_(options), monitor_(options.quality) {}
+
+  // Registers (or refreshes after daily data arrival) a retailer. The
+  // data is borrowed; keep it alive and call again when it changes.
+  void UpsertRetailer(const data::RetailerData* data);
+
+  // Runs one full day of the pipeline. Choice of full vs. incremental
+  // sweep is automatic.
+  StatusOr<DailyReport> RunDaily();
+
+  // Forces the next RunDaily to perform a full sweep (used after the
+  // periodic model restart or a catastrophic loss of models).
+  void ForceFullSweep() { force_full_sweep_ = true; }
+
+  const serving::RecommendationStore& store() const { return store_; }
+  serving::RecommendationStore* mutable_store() { return &store_; }
+  const RetailerRegistry& registry() const { return registry_; }
+
+  // Best trained config per retailer from the most recent run.
+  const std::vector<ConfigRecord>& latest_results() const {
+    return previous_results_;
+  }
+
+  const QualityMonitor& quality_monitor() const { return monitor_; }
+
+ private:
+  // Picks the best record per retailer, copies its model to BestModelPath
+  // and fills `best_map` per retailer.
+  Status SelectBestModels(const std::vector<ConfigRecord>& results,
+                          DailyReport* report,
+                          std::map<data::RetailerId, double>* best_map);
+
+  sfs::SharedFileSystem* fs_;
+  Options options_;
+  RetailerRegistry registry_;
+  serving::RecommendationStore store_;
+  QualityMonitor monitor_;
+  std::vector<ConfigRecord> previous_results_;
+  // Where each retailer's data shard currently lives (data placement).
+  std::map<data::RetailerId, std::string> shard_homes_;
+  sfs::FileTransferLedger transfer_ledger_;
+  bool force_full_sweep_ = false;
+  int days_run_ = 0;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_SERVICE_H_

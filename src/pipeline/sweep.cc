@@ -1,0 +1,104 @@
+#include "pipeline/sweep.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sigmund::pipeline {
+
+std::vector<ConfigRecord> SweepPlanner::GridFor(
+    data::RetailerId retailer, const data::Catalog& catalog) const {
+  std::vector<core::HyperParams> grid = core::BuildGrid(
+      options_.grid, catalog,
+      SplitMix64(options_.seed) ^ static_cast<uint64_t>(retailer));
+  std::vector<ConfigRecord> records;
+  records.reserve(grid.size());
+  for (size_t m = 0; m < grid.size(); ++m) {
+    ConfigRecord record;
+    record.retailer = retailer;
+    record.model_number = static_cast<int>(m);
+    record.params = grid[m];
+    record.model_path = ModelPath(retailer, record.model_number);
+    record.warm_start = false;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void SweepPlanner::FinishPlan(std::vector<ConfigRecord>* plan) const {
+  if (options_.shuffle) {
+    // "The input config records are randomly permuted before being
+    // written so that training tasks are randomly divided across
+    // different MapReduces" and balanced within one (§IV-B1).
+    Rng rng(SplitMix64(options_.seed) ^ 0xB417ULL);
+    rng.Shuffle(plan);
+  }
+}
+
+std::vector<ConfigRecord> SweepPlanner::PlanFullSweep(
+    const RetailerRegistry& registry) const {
+  std::vector<ConfigRecord> plan;
+  for (data::RetailerId id : registry.Ids()) {
+    StatusOr<const data::RetailerData*> data = registry.Get(id);
+    SIGCHECK(data.ok());
+    std::vector<ConfigRecord> grid = GridFor(id, (*data)->catalog);
+    plan.insert(plan.end(), grid.begin(), grid.end());
+  }
+  FinishPlan(&plan);
+  return plan;
+}
+
+std::vector<ConfigRecord> SweepPlanner::PlanIncrementalSweep(
+    const RetailerRegistry& registry,
+    const std::vector<ConfigRecord>& previous_results) const {
+  // Latest trained metrics per (retailer, model_number).
+  std::map<data::RetailerId, std::map<int, ConfigRecord>> latest;
+  for (const ConfigRecord& record : previous_results) {
+    if (!record.trained) continue;
+    latest[record.retailer][record.model_number] = record;
+  }
+
+  std::vector<ConfigRecord> plan;
+  for (data::RetailerId id : registry.Ids()) {
+    auto it = latest.find(id);
+    if (it == latest.end()) {
+      // New retailer: "an incremental sweep may include a new retailer
+      // ... in which case Sigmund trains all possible combinations of
+      // hyper-parameters for that retailer alone" (§IV-A).
+      StatusOr<const data::RetailerData*> data = registry.Get(id);
+      SIGCHECK(data.ok());
+      std::vector<ConfigRecord> grid = GridFor(id, (*data)->catalog);
+      plan.insert(plan.end(), grid.begin(), grid.end());
+      continue;
+    }
+    // Existing retailer: top-K previous models by MAP@10, warm-started.
+    std::vector<ConfigRecord> candidates;
+    for (const auto& [model_number, record] : it->second) {
+      candidates.push_back(record);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ConfigRecord& a, const ConfigRecord& b) {
+                if (a.map_at_10 != b.map_at_10) {
+                  return a.map_at_10 > b.map_at_10;
+                }
+                return a.model_number < b.model_number;
+              });
+    const int keep = std::min<int>(options_.incremental_top_k,
+                                   static_cast<int>(candidates.size()));
+    for (int k = 0; k < keep; ++k) {
+      ConfigRecord record = candidates[k];
+      record.warm_start = true;
+      record.trained = false;
+      record.map_at_10 = -1.0;
+      record.auc = -1.0;
+      record.epochs_run = 0;
+      record.sgd_steps = 0;
+      plan.push_back(std::move(record));
+    }
+  }
+  FinishPlan(&plan);
+  return plan;
+}
+
+}  // namespace sigmund::pipeline

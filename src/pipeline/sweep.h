@@ -1,0 +1,58 @@
+#ifndef SIGMUND_PIPELINE_SWEEP_H_
+#define SIGMUND_PIPELINE_SWEEP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/grid_search.h"
+#include "pipeline/config_record.h"
+#include "pipeline/registry.h"
+
+namespace sigmund::pipeline {
+
+// Plans which (retailer, hyper-parameter) combinations to train (§IV-A).
+//
+// Full sweep: every grid combination for every retailer — needed only on
+// first start-up or after catastrophic model loss.
+//
+// Incremental sweep: the top-K best-performing combinations per retailer
+// (warm-started from yesterday's models), plus the *full* grid for any
+// retailer that has no previous results (new sign-ups).
+class SweepPlanner {
+ public:
+  struct Options {
+    core::GridSpec grid;
+    // Models re-trained per retailer in an incremental sweep ("typically
+    // 3").
+    int incremental_top_k = 3;
+    // The input config records are randomly permuted so training tasks
+    // spread evenly across MapReduce workers (§IV-B1).
+    bool shuffle = true;
+    uint64_t seed = 42;
+  };
+
+  explicit SweepPlanner(const Options& options) : options_(options) {}
+
+  // All combinations for all registered retailers.
+  std::vector<ConfigRecord> PlanFullSweep(
+      const RetailerRegistry& registry) const;
+
+  // `previous_results` are the trained output records of the last run
+  // (any order, possibly many days' worth — the latest metrics per
+  // (retailer, model_number) win). Retailers registered but absent from
+  // the results get a full grid.
+  std::vector<ConfigRecord> PlanIncrementalSweep(
+      const RetailerRegistry& registry,
+      const std::vector<ConfigRecord>& previous_results) const;
+
+ private:
+  std::vector<ConfigRecord> GridFor(data::RetailerId retailer,
+                                    const data::Catalog& catalog) const;
+  void FinishPlan(std::vector<ConfigRecord>* plan) const;
+
+  Options options_;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_SWEEP_H_

@@ -1,0 +1,273 @@
+#include "pipeline/training_job.h"
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/grid_search.h"
+#include "core/negative_sampler.h"
+#include "core/trainer.h"
+#include "pipeline/checkpoint.h"
+
+namespace sigmund::pipeline {
+
+namespace {
+
+// The Train() function of §IV-B, as a Mapper: one config record in, one
+// trained model in SFS + one output config record out.
+class TrainMapper : public mapreduce::Mapper {
+ public:
+  TrainMapper(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
+              const TrainingJob::Options* options, TrainingJob::Stats* stats)
+      : fs_(fs), registry_(registry), options_(options), stats_(stats) {}
+
+  Status Map(const mapreduce::Record& input,
+             const mapreduce::Emitter& emit) override {
+    StatusOr<ConfigRecord> parsed = ConfigRecord::Deserialize(input.value);
+    if (!parsed.ok()) return parsed.status();
+    ConfigRecord record = std::move(parsed).value();
+
+    StatusOr<const data::RetailerData*> retailer =
+        registry_->Get(record.retailer);
+    if (!retailer.ok()) return retailer.status();
+    const data::RetailerData& data = **retailer;
+    const data::Catalog* catalog = &data.catalog;
+
+    // Build the per-model training state.
+    data::TrainTestSplit split = data::SplitLeaveLastOut(data);
+    core::TrainingData training_data(&split.train, catalog->num_items());
+    core::CooccurrenceModel cooccurrence = core::CooccurrenceModel::Build(
+        split.train, catalog->num_items(), {});
+
+    Rng rng(SplitMix64(record.params.seed) ^
+            SplitMix64(static_cast<uint64_t>(record.retailer) * 131 +
+                       record.model_number));
+    Rng preempt_rng(SplitMix64(options_->seed) ^
+                    SplitMix64(static_cast<uint64_t>(record.retailer) * 977 +
+                               record.model_number));
+
+    // Per-task simulated clock: checkpoint cadence follows simulated
+    // training time, which scales with retailer size.
+    SimClock clock;
+    CheckpointManager checkpoints(
+        fs_, &clock, CheckpointDir(record.retailer, record.model_number),
+        options_->checkpoint_interval_seconds);
+
+    core::BprModel model(catalog, record.params);
+    int start_epoch = 0;
+    if (checkpoints.HasCheckpoint()) {
+      // A previous (preempted) attempt left a durable checkpoint: resume.
+      StatusOr<CheckpointManager::Restored> restored =
+          checkpoints.Restore(catalog);
+      if (restored.ok() &&
+          restored->model.params() == record.params) {
+        model = std::move(restored->model);
+        model.ResizeForCatalog(&rng);
+        start_epoch = restored->epoch + 1;
+        stats_->restored_from_checkpoint.fetch_add(1);
+        stats_->epochs_recovered.fetch_add(start_epoch);
+      } else {
+        model.InitRandom(&rng);
+      }
+    } else if (record.warm_start && fs_->Exists(record.model_path)) {
+      // Incremental run: warm-start from yesterday's model (§III-C3).
+      StatusOr<std::string> bytes = fs_->Read(record.model_path);
+      if (!bytes.ok()) return bytes.status();
+      StatusOr<core::BprModel> previous =
+          core::BprModel::Deserialize(*bytes, catalog);
+      if (previous.ok()) {
+        StatusOr<core::BprModel> warm = core::WarmStartFrom(
+            *previous, catalog, record.params, &rng);
+        if (warm.ok()) {
+          model = std::move(warm).value();
+        } else {
+          model.InitRandom(&rng);
+        }
+      } else {
+        model.InitRandom(&rng);
+      }
+    } else {
+      model.InitRandom(&rng);
+    }
+
+    std::unique_ptr<core::NegativeSampler> sampler =
+        core::MakeNegativeSampler(record.params, catalog, &training_data,
+                                  &model, &cooccurrence);
+    core::BprTrainer trainer(&model, &training_data, sampler.get());
+
+    // Training loop with mid-training preemption injection: a preemption
+    // throws away everything since the last durable checkpoint, exactly
+    // like losing the machine.
+    const double epoch_seconds = options_->simulated_seconds_per_step *
+                                 static_cast<double>(
+                                     training_data.num_positions());
+    int64_t total_steps = 0;
+    Status checkpoint_error;
+    // Forward-progress guard for pathological configs (preemption
+    // probability ~1 with checkpointing disabled).
+    int preemption_budget = 50;
+    while (start_epoch < record.params.num_epochs) {
+      bool preempted = false;
+      core::BprTrainer::Options train_options;
+      train_options.num_threads = options_->threads_per_model;
+      train_options.num_epochs = record.params.num_epochs - start_epoch;
+      train_options.epoch_callback =
+          [&](int epoch, const core::TrainStats&) {
+            clock.AdvanceSeconds(epoch_seconds);
+            StatusOr<bool> wrote =
+                checkpoints.MaybeCheckpoint(model, start_epoch + epoch);
+            if (!wrote.ok()) {
+              checkpoint_error = wrote.status();
+              return false;
+            }
+            if (*wrote) stats_->checkpoints_written.fetch_add(1);
+            if (preemption_budget > 0 &&
+                preempt_rng.Bernoulli(options_->preemption_prob_per_epoch)) {
+              --preemption_budget;
+              preempted = true;
+              stats_->preemptions.fetch_add(1);
+              return false;
+            }
+            return true;
+          };
+      core::TrainStats train_stats = trainer.Train(train_options);
+      total_steps += train_stats.sgd_steps;
+      if (!checkpoint_error.ok()) return checkpoint_error;
+      if (!preempted) {
+        start_epoch += train_stats.epochs_run;
+        break;
+      }
+      // Rescheduled on a fresh machine: restore the latest checkpoint, or
+      // restart from scratch if none was ever written.
+      if (checkpoints.HasCheckpoint()) {
+        StatusOr<CheckpointManager::Restored> restored =
+            checkpoints.Restore(catalog);
+        if (!restored.ok()) return restored.status();
+        model = std::move(restored->model);
+        start_epoch = restored->epoch + 1;
+        stats_->restored_from_checkpoint.fetch_add(1);
+      } else {
+        model.InitRandom(&rng);
+        start_epoch = 0;
+      }
+    }
+
+    // Evaluate on the hold-out set; big retailers use sampled MAP
+    // estimation (§III-C2).
+    core::Evaluator::Options eval_options;
+    if (catalog->num_items() > options_->sampled_eval_threshold_items) {
+      eval_options.item_sample_fraction = options_->sampled_eval_fraction;
+    }
+    core::MetricSet metrics = core::Evaluator::Evaluate(
+        model, training_data, split.holdout, eval_options);
+
+    // Commit the final model atomically, then GC the checkpoints.
+    const std::string tmp = record.model_path + ".tmp";
+    SIGMUND_RETURN_IF_ERROR(fs_->Write(tmp, model.Serialize()));
+    SIGMUND_RETURN_IF_ERROR(fs_->Rename(tmp, record.model_path));
+    SIGMUND_RETURN_IF_ERROR(checkpoints.Clear());
+
+    record.trained = true;
+    record.map_at_10 = metrics.map_at_k;
+    record.auc = metrics.auc;
+    record.epochs_run = start_epoch;
+    record.sgd_steps = total_steps;
+    stats_->models_trained.fetch_add(1);
+    emit(mapreduce::Record{record.Key(), record.Serialize()});
+    return OkStatus();
+  }
+
+ private:
+  sfs::SharedFileSystem* fs_;
+  const RetailerRegistry* registry_;
+  const TrainingJob::Options* options_;
+  TrainingJob::Stats* stats_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
+    const std::vector<ConfigRecord>& plan) {
+  std::vector<mapreduce::Record> input;
+  input.reserve(plan.size());
+  for (const ConfigRecord& record : plan) {
+    input.push_back(mapreduce::Record{record.Key(), record.Serialize()});
+  }
+
+  mapreduce::MapReduceSpec spec;
+  spec.num_map_tasks =
+      std::max(1, std::min<int>(options_.num_map_tasks,
+                                static_cast<int>(input.size())));
+  spec.num_reduce_tasks = 1;  // "the reduce phase writes out the output
+                              // config records" (§IV-B)
+  spec.max_parallel_tasks = options_.max_parallel_tasks;
+  spec.map_task_failure_prob = options_.map_task_failure_prob;
+  spec.max_attempts_per_task = options_.max_attempts_per_task;
+  spec.seed = options_.seed;
+
+  mapreduce::MapReduceJob job(
+      spec,
+      [this] {
+        return std::make_unique<TrainMapper>(fs_, registry_, &options_,
+                                             &stats_);
+      },
+      [] { return mapreduce::IdentityReducer(); });
+  StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
+  if (!output.ok()) return output.status();
+  stats_.mapreduce = job.stats();
+
+  std::vector<ConfigRecord> results;
+  results.reserve(output->size());
+  for (const mapreduce::Record& record : *output) {
+    StatusOr<ConfigRecord> parsed = ConfigRecord::Deserialize(record.value);
+    if (!parsed.ok()) return parsed.status();
+    results.push_back(std::move(parsed).value());
+  }
+  return results;
+}
+
+StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
+    const std::vector<ConfigRecord>& plan,
+    const std::map<data::RetailerId, std::string>& data_homes) {
+  if (options_.cells.empty()) {
+    return InvalidArgumentError("MultiCellTrainingJob needs >= 1 cell");
+  }
+  cell_reports_.clear();
+
+  // Route each record to its retailer's data cell, preserving the plan's
+  // (shuffled) order within each cell.
+  std::map<std::string, std::vector<ConfigRecord>> per_cell;
+  for (const ConfigRecord& record : plan) {
+    auto it = data_homes.find(record.retailer);
+    const std::string& cell =
+        it != data_homes.end() ? it->second : options_.cells.front();
+    per_cell[cell].push_back(record);
+  }
+
+  std::vector<ConfigRecord> merged;
+  for (const std::string& cell : options_.cells) {
+    auto it = per_cell.find(cell);
+    if (it == per_cell.end()) continue;
+    TrainingJob::Options cell_options = options_.per_cell;
+    // Decorrelate failure/preemption draws across cells.
+    cell_options.seed =
+        SplitMix64(options_.per_cell.seed) ^ std::hash<std::string>()(cell);
+    TrainingJob job(fs_, registry_, cell_options);
+    StatusOr<std::vector<ConfigRecord>> results = job.Run(it->second);
+    if (!results.ok()) return results.status();
+    merged.insert(merged.end(), results->begin(), results->end());
+    cell_reports_.push_back(CellReport{
+        cell, static_cast<int>(results->size()),
+        job.stats().checkpoints_written.load(),
+        job.stats().preemptions.load()});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ConfigRecord& a, const ConfigRecord& b) {
+              return a.Key() < b.Key();
+            });
+  return merged;
+}
+
+}  // namespace sigmund::pipeline

@@ -1,0 +1,139 @@
+#ifndef SIGMUND_PIPELINE_TRAINING_JOB_H_
+#define SIGMUND_PIPELINE_TRAINING_JOB_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/mapreduce.h"
+#include "pipeline/config_record.h"
+#include "pipeline/registry.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::pipeline {
+
+// The training MapReduce (§IV-B): input is a randomly permuted collection
+// of config records; the map phase runs Train() on each — loading the
+// retailer's data, training one model on one "machine" with Hogwild
+// threads, checkpointing on a time interval to the shared filesystem, and
+// recovering from (injected) preemptions by restoring the latest
+// checkpoint. The reduce phase writes out the output config records, now
+// carrying hold-out metrics.
+class TrainingJob {
+ public:
+  struct Options {
+    // MapReduce shape. One map task models one machine working through a
+    // chunk of config records ("workers assigned small retailers process
+    // more training tasks", §IV-B1).
+    int num_map_tasks = 8;
+    int max_parallel_tasks = 2;
+
+    // Hogwild threads for each model (§IV-B2: one retailer per machine,
+    // multiple threads managed in user code).
+    int threads_per_model = 1;
+
+    // Time-based checkpointing (§IV-B3). Time is simulated: each epoch
+    // advances a per-task clock by simulated_seconds_per_step * steps, so
+    // checkpoint cadence depends on retailer size exactly as in
+    // production, without wall-clock waits.
+    double checkpoint_interval_seconds = 300.0;
+    double simulated_seconds_per_step = 1e-3;
+
+    // Mid-training preemption injection: probability that a training run
+    // is killed at each epoch boundary. The task restores the latest
+    // checkpoint and continues — re-doing any work since it.
+    double preemption_prob_per_epoch = 0.0;
+
+    // Whole-task failure injection at the MapReduce layer (the task's
+    // buffered output is discarded and the task retried; durable SFS
+    // checkpoints survive, so retries resume rather than restart).
+    double map_task_failure_prob = 0.0;
+    int max_attempts_per_task = 10;
+
+    // Large-retailer MAP estimation (§III-C2): retailers with more items
+    // than the threshold are evaluated on a sampled item fraction.
+    int sampled_eval_threshold_items = 2000;
+    double sampled_eval_fraction = 0.1;
+
+    uint64_t seed = 42;
+  };
+
+  // Counters aggregated across all map tasks and attempts.
+  struct Stats {
+    std::atomic<int64_t> models_trained{0};
+    std::atomic<int64_t> checkpoints_written{0};
+    std::atomic<int64_t> preemptions{0};
+    std::atomic<int64_t> restored_from_checkpoint{0};
+    std::atomic<int64_t> epochs_recovered{0};  // epochs NOT redone thanks
+                                               // to checkpoints
+    mapreduce::MapReduceStats mapreduce;
+  };
+
+  // `fs` and `registry` are borrowed.
+  TrainingJob(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
+              const Options& options)
+      : fs_(fs), registry_(registry), options_(options) {}
+
+  // Trains every record in `plan`; returns the output config records with
+  // metrics filled, sorted by key. Models are written to each record's
+  // model_path in the shared filesystem.
+  StatusOr<std::vector<ConfigRecord>> Run(
+      const std::vector<ConfigRecord>& plan);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sfs::SharedFileSystem* fs_;
+  const RetailerRegistry* registry_;
+  Options options_;
+  Stats stats_;
+};
+
+// Splits the training plan into one independent MapReduce per cell
+// (§IV-B1: "We identify data centers that have unused resources, and
+// break down the job into several independent MapReduces so that there is
+// one for each data center"). Each config record runs in the cell that
+// holds its retailer's data shard (`data_homes`, from the
+// DataPlacementPlanner); records for unplaced retailers go to the first
+// cell.
+class MultiCellTrainingJob {
+ public:
+  struct Options {
+    std::vector<std::string> cells;  // must be non-empty
+    TrainingJob::Options per_cell;
+  };
+
+  struct CellReport {
+    std::string cell;
+    int models_trained = 0;
+    int64_t checkpoints_written = 0;
+    int64_t preemptions = 0;
+  };
+
+  MultiCellTrainingJob(sfs::SharedFileSystem* fs,
+                       const RetailerRegistry* registry,
+                       const Options& options)
+      : fs_(fs), registry_(registry), options_(options) {}
+
+  // Runs every cell's MapReduce and returns the merged output records,
+  // sorted by key (same contract as TrainingJob::Run).
+  StatusOr<std::vector<ConfigRecord>> Run(
+      const std::vector<ConfigRecord>& plan,
+      const std::map<data::RetailerId, std::string>& data_homes);
+
+  const std::vector<CellReport>& cell_reports() const {
+    return cell_reports_;
+  }
+
+ private:
+  sfs::SharedFileSystem* fs_;
+  const RetailerRegistry* registry_;
+  Options options_;
+  std::vector<CellReport> cell_reports_;
+};
+
+}  // namespace sigmund::pipeline
+
+#endif  // SIGMUND_PIPELINE_TRAINING_JOB_H_

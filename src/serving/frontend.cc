@@ -1,0 +1,43 @@
+#include "serving/frontend.h"
+
+#include "common/logging.h"
+
+namespace sigmund::serving {
+
+StatusOr<RecommendationResponse> Frontend::Handle(
+    const RecommendationRequest& request) const {
+  SIGCHECK(store_ != nullptr);
+  if (request.context.empty()) {
+    return InvalidArgumentError("empty context");
+  }
+  if (request.max_results <= 0) {
+    return InvalidArgumentError("max_results must be positive");
+  }
+
+  RecommendationResponse response;
+  const core::ContextEntry& latest = request.context.back();
+  response.post_purchase =
+      latest.action == data::ActionType::kCart ||
+      latest.action == data::ActionType::kConversion;
+  response.funnel =
+      core::ClassifyFunnelStage(request.context, /*catalog=*/nullptr, {});
+
+  StatusOr<std::vector<core::ScoredItem>> list =
+      store_->ServeContext(request.retailer, request.context);
+  if (!list.ok()) return list.status();
+
+  for (const core::ScoredItem& item : *list) {
+    if (static_cast<int>(response.items.size()) >= request.max_results) {
+      break;
+    }
+    if (calibrator_ != nullptr && request.display_threshold > 0.0 &&
+        !calibrator_->ShouldDisplay(item.score, request.display_threshold)) {
+      ++response.suppressed_by_threshold;
+      continue;
+    }
+    response.items.push_back(item);
+  }
+  return response;
+}
+
+}  // namespace sigmund::serving

@@ -1,0 +1,50 @@
+#ifndef SIGMUND_SERVING_FRONTEND_H_
+#define SIGMUND_SERVING_FRONTEND_H_
+
+#include "core/calibration.h"
+#include "core/funnel.h"
+#include "serving/store.h"
+
+namespace sigmund::serving {
+
+// One serving request: "recommendations given a user and the associated
+// context" (§II-A of the paper).
+struct RecommendationRequest {
+  data::RetailerId retailer = 0;
+  core::Context context;
+  int max_results = 10;
+  // Minimum calibrated click probability to display a recommendation
+  // (§VII future work); <= 0 disables thresholding (always show top-K).
+  double display_threshold = 0.0;
+};
+
+struct RecommendationResponse {
+  std::vector<core::ScoredItem> items;
+  // Diagnostics for logging/experimentation.
+  core::FunnelStage funnel = core::FunnelStage::kEarly;
+  bool post_purchase = false;
+  int suppressed_by_threshold = 0;
+};
+
+// The request path in front of the store: picks the right materialized
+// list (pre/post purchase, early/late funnel), applies the calibrated
+// display threshold, and truncates to max_results. Stateless and
+// thread-safe; all heavy computation already happened offline.
+class Frontend {
+ public:
+  // `store` is required; `calibrator` may be nullptr (no thresholding).
+  Frontend(const RecommendationStore* store,
+           const core::ScoreCalibrator* calibrator)
+      : store_(store), calibrator_(calibrator) {}
+
+  StatusOr<RecommendationResponse> Handle(
+      const RecommendationRequest& request) const;
+
+ private:
+  const RecommendationStore* store_;
+  const core::ScoreCalibrator* calibrator_;
+};
+
+}  // namespace sigmund::serving
+
+#endif  // SIGMUND_SERVING_FRONTEND_H_

@@ -1,0 +1,135 @@
+#include "serving/store.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/funnel.h"
+
+namespace sigmund::serving {
+
+void RecommendationStore::LoadRetailer(
+    data::RetailerId retailer,
+    std::vector<core::ItemRecommendations> recommendations) {
+  auto shard = std::make_shared<Shard>();
+  // Index by query item; the vector is addressed directly by item id.
+  data::ItemIndex max_item = -1;
+  for (const core::ItemRecommendations& recs : recommendations) {
+    max_item = std::max(max_item, recs.query);
+  }
+  shard->by_item.resize(max_item + 1);
+  for (core::ItemRecommendations& recs : recommendations) {
+    data::ItemIndex query = recs.query;
+    shard->by_item[query] = std::move(recs);
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = shards_.find(retailer);
+  shard->version = it == shards_.end() ? 1 : it->second->version + 1;
+  shards_[retailer] = std::move(shard);
+}
+
+Status RecommendationStore::LoadRetailerFromFile(
+    data::RetailerId retailer, const sfs::SharedFileSystem& fs,
+    const std::string& path) {
+  StatusOr<std::string> blob = fs.Read(path);
+  if (!blob.ok()) return blob.status();
+  std::vector<core::ItemRecommendations> recommendations;
+  for (const std::string& line : StrSplit(*blob, '\n')) {
+    if (line.empty()) continue;
+    StatusOr<core::ItemRecommendations> recs =
+        core::ItemRecommendations::Deserialize(line);
+    if (!recs.ok()) return recs.status();
+    recommendations.push_back(std::move(recs).value());
+  }
+  LoadRetailer(retailer, std::move(recommendations));
+  return OkStatus();
+}
+
+StatusOr<std::vector<core::ScoredItem>> RecommendationStore::Lookup(
+    data::RetailerId retailer, data::ItemIndex item,
+    RecommendationKind kind) const {
+  std::shared_ptr<Shard> shard;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = shards_.find(retailer);
+    if (it == shards_.end()) {
+      return NotFoundError(StrFormat("retailer %d not loaded", retailer));
+    }
+    shard = it->second;
+  }
+  if (item < 0 || item >= static_cast<data::ItemIndex>(
+                              shard->by_item.size())) {
+    return NotFoundError(StrFormat("no recommendations for item %d", item));
+  }
+  const core::ItemRecommendations& recs = shard->by_item[item];
+  return kind == RecommendationKind::kViewBased ? recs.view_based
+                                                : recs.purchase_based;
+}
+
+StatusOr<std::vector<core::ScoredItem>> RecommendationStore::ServeContext(
+    data::RetailerId retailer, const core::Context& context) const {
+  if (context.empty()) {
+    return InvalidArgumentError("empty context");
+  }
+  const core::ContextEntry& latest = context.back();
+  // After a purchase decision (cart/conversion), show accessories;
+  // before it, show substitutes (Fig. 1).
+  const bool post_purchase =
+      latest.action == data::ActionType::kCart ||
+      latest.action == data::ActionType::kConversion;
+  if (post_purchase) {
+    return Lookup(retailer, latest.item,
+                  RecommendationKind::kPurchaseBased);
+  }
+  // Browsing: a late-funnel user gets the facet-constrained variant.
+  if (core::ClassifyFunnelStage(context, /*catalog=*/nullptr, {}) ==
+      core::FunnelStage::kLate) {
+    return LookupLateFunnel(retailer, latest.item);
+  }
+  return Lookup(retailer, latest.item, RecommendationKind::kViewBased);
+}
+
+StatusOr<std::vector<core::ScoredItem>>
+RecommendationStore::LookupLateFunnel(data::RetailerId retailer,
+                                      data::ItemIndex item) const {
+  std::shared_ptr<Shard> shard;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = shards_.find(retailer);
+    if (it == shards_.end()) {
+      return NotFoundError(StrFormat("retailer %d not loaded", retailer));
+    }
+    shard = it->second;
+  }
+  if (item < 0 ||
+      item >= static_cast<data::ItemIndex>(shard->by_item.size())) {
+    return NotFoundError(StrFormat("no recommendations for item %d", item));
+  }
+  const core::ItemRecommendations& recs = shard->by_item[item];
+  if (!recs.view_based_late.empty()) return recs.view_based_late;
+  return recs.view_based;
+}
+
+int RecommendationStore::num_retailers() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(shards_.size());
+}
+
+int64_t RecommendationStore::num_items() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [retailer, shard] : shards_) {
+    total += static_cast<int64_t>(shard->by_item.size());
+  }
+  return total;
+}
+
+int64_t RecommendationStore::RetailerVersion(data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = shards_.find(retailer);
+  return it == shards_.end() ? 0 : it->second->version;
+}
+
+}  // namespace sigmund::serving

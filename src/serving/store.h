@@ -1,0 +1,84 @@
+#ifndef SIGMUND_SERVING_STORE_H_
+#define SIGMUND_SERVING_STORE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/inference.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::serving {
+
+// Which of the two materialized lists a request wants (Fig. 1: substitutes
+// before the purchase decision, accessories/complements after).
+enum class RecommendationKind {
+  kViewBased = 0,
+  kPurchaseBased = 1,
+};
+
+// The serving store (§II-A, §V): an in-memory map from (retailer, item) to
+// pre-materialized recommendation lists, refreshed by whole-retailer batch
+// updates whenever the inference job completes. Serving does no model
+// computation — the paper's "very lightweight computation at serving
+// time".
+//
+// Thread-safe: lookups take a shared lock; batch loads swap a retailer's
+// shard under an exclusive lock.
+class RecommendationStore {
+ public:
+  RecommendationStore() = default;
+
+  // Atomically replaces all recommendations for `retailer`.
+  // `recommendations` must be sorted by query item (as produced by the
+  // inference job).
+  void LoadRetailer(data::RetailerId retailer,
+                    std::vector<core::ItemRecommendations> recommendations);
+
+  // Batch-loads a retailer from the inference job's SFS output file
+  // (newline-separated serialized ItemRecommendations).
+  Status LoadRetailerFromFile(data::RetailerId retailer,
+                              const sfs::SharedFileSystem& fs,
+                              const std::string& path);
+
+  // Recommendations for one query item. kNotFound when the retailer or
+  // item has no materialized list.
+  StatusOr<std::vector<core::ScoredItem>> Lookup(
+      data::RetailerId retailer, data::ItemIndex item,
+      RecommendationKind kind) const;
+
+  // Serves a user context: uses the most recent context entry; a
+  // conversion/cart context gets purchase-based (accessory)
+  // recommendations, otherwise view-based (substitutes). Late-funnel
+  // contexts (classified catalog-free, §III-D1) get the facet-constrained
+  // substitute variant when the inference job materialized one.
+  StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context) const;
+
+  // Late-funnel substitute list for one item; falls back to the regular
+  // view-based list when no late variant was materialized.
+  StatusOr<std::vector<core::ScoredItem>> LookupLateFunnel(
+      data::RetailerId retailer, data::ItemIndex item) const;
+
+  // Number of retailers currently loaded / total materialized lists.
+  int num_retailers() const;
+  int64_t num_items() const;
+
+  // Batch-update version counter for `retailer` (0 = never loaded).
+  int64_t RetailerVersion(data::RetailerId retailer) const;
+
+ private:
+  struct Shard {
+    std::vector<core::ItemRecommendations> by_item;  // index = query item
+    int64_t version = 0;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::map<data::RetailerId, std::shared_ptr<Shard>> shards_;
+};
+
+}  // namespace sigmund::serving
+
+#endif  // SIGMUND_SERVING_STORE_H_

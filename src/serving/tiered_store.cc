@@ -1,0 +1,140 @@
+#include "serving/tiered_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sigmund::serving {
+
+std::string TieredStore::FlashPath(data::RetailerId retailer,
+                                   data::ItemIndex item) {
+  return StrFormat("flash/r%d/i%d", retailer, item);
+}
+
+Status TieredStore::LoadRetailer(
+    data::RetailerId retailer,
+    const std::vector<core::ItemRecommendations>& recs,
+    const std::vector<int64_t>& popularity) {
+  // Pick the hot set by popularity.
+  std::vector<data::ItemIndex> order;
+  order.reserve(recs.size());
+  for (const core::ItemRecommendations& rec : recs) order.push_back(rec.query);
+  std::sort(order.begin(), order.end(),
+            [&popularity](data::ItemIndex a, data::ItemIndex b) {
+              int64_t pa = a < static_cast<data::ItemIndex>(popularity.size())
+                               ? popularity[a]
+                               : 0;
+              int64_t pb = b < static_cast<data::ItemIndex>(popularity.size())
+                               ? popularity[b]
+                               : 0;
+              if (pa != pb) return pa > pb;
+              return a < b;
+            });
+  const size_t hot_count = static_cast<size_t>(
+      options_.hot_fraction * static_cast<double>(order.size()));
+  std::unordered_map<data::ItemIndex, bool> is_hot;
+  for (size_t n = 0; n < order.size(); ++n) is_hot[order[n]] = n < hot_count;
+
+  // Everything goes to flash (the authoritative copy); hot items are
+  // additionally pinned in memory.
+  HotShard shard;
+  shard.total_items = static_cast<int>(recs.size());
+  for (const core::ItemRecommendations& rec : recs) {
+    SIGMUND_RETURN_IF_ERROR(
+        fs_->Write(FlashPath(retailer, rec.query), rec.Serialize()));
+    if (is_hot[rec.query]) shard.pinned.emplace(rec.query, rec);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  hot_[retailer] = std::move(shard);
+  // Drop stale cache entries for this retailer (batch-update semantics).
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.first == retailer) {
+      cache_index_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+void TieredStore::CacheInsert(const CacheKey& key,
+                              core::ItemRecommendations recs) {
+  lru_.emplace_front(key, std::move(recs));
+  cache_index_[key] = lru_.begin();
+  while (static_cast<int>(lru_.size()) > options_.cache_capacity) {
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+StatusOr<std::vector<core::ScoredItem>> TieredStore::Lookup(
+    data::RetailerId retailer, data::ItemIndex item,
+    RecommendationKind kind) {
+  auto pick = [kind](const core::ItemRecommendations& recs) {
+    return kind == RecommendationKind::kViewBased ? recs.view_based
+                                                  : recs.purchase_based;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto shard = hot_.find(retailer);
+    if (shard == hot_.end()) {
+      return NotFoundError(StrFormat("retailer %d not loaded", retailer));
+    }
+    if (item < 0 || item >= shard->second.total_items) {
+      return NotFoundError(StrFormat("no recommendations for item %d", item));
+    }
+    // Tier 1: pinned memory.
+    auto pinned = shard->second.pinned.find(item);
+    if (pinned != shard->second.pinned.end()) {
+      ++stats_.memory_hits;
+      return pick(pinned->second);
+    }
+    // Tier 2: LRU cache over flash.
+    CacheKey key{retailer, item};
+    auto cached = cache_index_.find(key);
+    if (cached != cache_index_.end()) {
+      // Move to front.
+      lru_.splice(lru_.begin(), lru_, cached->second);
+      ++stats_.cache_hits;
+      return pick(lru_.front().second);
+    }
+  }
+
+  // Tier 3: flash read (outside the lock; reads are the slow path).
+  StatusOr<std::string> bytes = fs_->Read(FlashPath(retailer, item));
+  if (!bytes.ok()) return bytes.status();
+  StatusOr<core::ItemRecommendations> recs =
+      core::ItemRecommendations::Deserialize(*bytes);
+  if (!recs.ok()) return recs.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.flash_reads;
+  stats_.simulated_flash_micros += options_.flash_read_micros;
+  std::vector<core::ScoredItem> result = pick(*recs);
+  CacheInsert(CacheKey{retailer, item}, std::move(recs).value());
+  return result;
+}
+
+TieredStore::Stats TieredStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+StatusOr<TieredStore::Footprint> TieredStore::RetailerFootprint(
+    data::RetailerId retailer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto shard = hot_.find(retailer);
+  if (shard == hot_.end()) {
+    return NotFoundError(StrFormat("retailer %d not loaded", retailer));
+  }
+  Footprint footprint;
+  footprint.hot_items = static_cast<int64_t>(shard->second.pinned.size());
+  footprint.flash_items = shard->second.total_items;
+  return footprint;
+}
+
+}  // namespace sigmund::serving

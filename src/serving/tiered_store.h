@@ -1,0 +1,106 @@
+#ifndef SIGMUND_SERVING_TIERED_STORE_H_
+#define SIGMUND_SERVING_TIERED_STORE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/inference.h"
+#include "serving/store.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::serving {
+
+// Two-tier serving store: the paper's serving system "leverages
+// main-memory and flash to serve low-latency requests" (§II-A). Head
+// items — the bulk of traffic — are pinned in memory; the long tail lives
+// on flash (modeled by the shared filesystem) behind a small LRU cache.
+//
+// Batch-updated per retailer like RecommendationStore; thread-safe.
+class TieredStore {
+ public:
+  struct Options {
+    // Fraction of each retailer's items (by popularity) pinned in memory.
+    double hot_fraction = 0.10;
+    // LRU entries shared across retailers for flash-read results.
+    int cache_capacity = 4096;
+    // Accounted (not slept) flash read latency, for capacity planning.
+    int64_t flash_read_micros = 120;
+  };
+
+  struct Stats {
+    int64_t memory_hits = 0;
+    int64_t cache_hits = 0;
+    int64_t flash_reads = 0;
+    int64_t simulated_flash_micros = 0;
+
+    double FlashReadFraction() const {
+      int64_t total = memory_hits + cache_hits + flash_reads;
+      return total > 0 ? static_cast<double>(flash_reads) / total : 0.0;
+    }
+  };
+
+  // `fs` is the flash tier; borrowed.
+  TieredStore(sfs::SharedFileSystem* fs, const Options& options)
+      : fs_(fs), options_(options) {}
+
+  // Batch-loads one retailer: writes every item's recommendations to the
+  // flash tier and pins the top hot_fraction items by `popularity` (same
+  // length as the catalog) in memory. Replaces any previous version.
+  Status LoadRetailer(data::RetailerId retailer,
+                      const std::vector<core::ItemRecommendations>& recs,
+                      const std::vector<int64_t>& popularity);
+
+  // Serving lookup: memory -> LRU cache -> flash.
+  StatusOr<std::vector<core::ScoredItem>> Lookup(data::RetailerId retailer,
+                                                 data::ItemIndex item,
+                                                 RecommendationKind kind);
+
+  Stats stats() const;
+
+  // Bytes pinned in memory vs. resident on flash for one retailer.
+  struct Footprint {
+    int64_t hot_items = 0;
+    int64_t flash_items = 0;
+  };
+  StatusOr<Footprint> RetailerFootprint(data::RetailerId retailer) const;
+
+  static std::string FlashPath(data::RetailerId retailer,
+                               data::ItemIndex item);
+
+ private:
+  struct HotShard {
+    // item -> recommendations, for pinned items only.
+    std::unordered_map<data::ItemIndex, core::ItemRecommendations> pinned;
+    int total_items = 0;
+  };
+
+  using CacheKey = std::pair<data::RetailerId, data::ItemIndex>;
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      return std::hash<int64_t>()((static_cast<int64_t>(key.first) << 32) ^
+                                  static_cast<uint32_t>(key.second));
+    }
+  };
+
+  // Inserts into the LRU (caller holds mu_).
+  void CacheInsert(const CacheKey& key, core::ItemRecommendations recs);
+
+  sfs::SharedFileSystem* fs_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<data::RetailerId, HotShard> hot_;
+  // LRU: most-recent at front.
+  std::list<std::pair<CacheKey, core::ItemRecommendations>> lru_;
+  std::unordered_map<CacheKey, decltype(lru_)::iterator, CacheKeyHash>
+      cache_index_;
+  Stats stats_;
+};
+
+}  // namespace sigmund::serving
+
+#endif  // SIGMUND_SERVING_TIERED_STORE_H_

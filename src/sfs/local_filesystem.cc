@@ -1,0 +1,183 @@
+#include "sfs/local_filesystem.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sigmund::sfs {
+
+namespace {
+
+bool IsUnreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string LocalDirFileSystem::Encode(const std::string& path) {
+  std::string encoded;
+  encoded.reserve(path.size());
+  for (char c : path) {
+    if (IsUnreserved(c)) {
+      encoded.push_back(c);
+    } else {
+      encoded += StrFormat("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return encoded;
+}
+
+StatusOr<std::string> LocalDirFileSystem::Decode(
+    const std::string& filename) {
+  std::string path;
+  path.reserve(filename.size());
+  for (size_t i = 0; i < filename.size(); ++i) {
+    if (filename[i] != '%') {
+      path.push_back(filename[i]);
+      continue;
+    }
+    if (i + 2 >= filename.size()) {
+      return DataLossError("truncated percent escape: " + filename);
+    }
+    int hi = HexValue(filename[i + 1]);
+    int lo = HexValue(filename[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return DataLossError("bad percent escape: " + filename);
+    }
+    path.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return path;
+}
+
+LocalDirFileSystem::LocalDirFileSystem(std::string root)
+    : root_(std::move(root)) {
+  SIGCHECK(!root_.empty());
+  if (::mkdir(root_.c_str(), 0755) != 0 && errno != EEXIST) {
+    SIGLOG(FATAL) << "cannot create root " << root_ << ": "
+                  << std::strerror(errno);
+  }
+}
+
+std::string LocalDirFileSystem::DiskPath(const std::string& path) const {
+  return root_ + "/" + Encode(path);
+}
+
+Status LocalDirFileSystem::Write(const std::string& path,
+                                 const std::string& data) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  // Write to a temp name then rename, so concurrent readers never observe
+  // a partial file.
+  const std::string tmp =
+      DiskPath(path) + StrFormat(".tmp%d", static_cast<int>(::getpid()));
+  FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError(StrFormat("open %s: %s", tmp.c_str(),
+                                   std::strerror(errno)));
+  }
+  size_t written = data.empty()
+                       ? 0
+                       : std::fwrite(data.data(), 1, data.size(), file);
+  int close_result = std::fclose(file);
+  if (written != data.size() || close_result != 0) {
+    ::unlink(tmp.c_str());
+    return InternalError("short write to " + tmp);
+  }
+  if (::rename(tmp.c_str(), DiskPath(path).c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return InternalError(StrFormat("rename %s: %s", tmp.c_str(),
+                                   std::strerror(errno)));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> LocalDirFileSystem::Read(const std::string& path) const {
+  FILE* file = std::fopen(DiskPath(path).c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) return NotFoundError("no such file: " + path);
+    return InternalError(StrFormat("open %s: %s", path.c_str(),
+                                   std::strerror(errno)));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    data.append(buffer, n);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return DataLossError("read error on " + path);
+  return data;
+}
+
+Status LocalDirFileSystem::Delete(const std::string& path) {
+  if (::unlink(DiskPath(path).c_str()) != 0) {
+    if (errno == ENOENT) return NotFoundError("no such file: " + path);
+    return InternalError(StrFormat("unlink %s: %s", path.c_str(),
+                                   std::strerror(errno)));
+  }
+  return OkStatus();
+}
+
+Status LocalDirFileSystem::Rename(const std::string& from,
+                                  const std::string& to) {
+  if (to.empty()) return InvalidArgumentError("empty destination path");
+  if (!Exists(from)) return NotFoundError("no such file: " + from);
+  if (::rename(DiskPath(from).c_str(), DiskPath(to).c_str()) != 0) {
+    return InternalError(StrFormat("rename %s -> %s: %s", from.c_str(),
+                                   to.c_str(), std::strerror(errno)));
+  }
+  return OkStatus();
+}
+
+bool LocalDirFileSystem::Exists(const std::string& path) const {
+  struct stat info;
+  return ::stat(DiskPath(path).c_str(), &info) == 0;
+}
+
+std::vector<std::string> LocalDirFileSystem::List(
+    const std::string& prefix) const {
+  std::vector<std::string> result;
+  DIR* dir = ::opendir(root_.c_str());
+  if (dir == nullptr) return result;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == ".." ||
+        name.find(".tmp") != std::string::npos) {
+      continue;
+    }
+    StatusOr<std::string> path = Decode(name);
+    if (!path.ok()) continue;  // foreign file in the root; skip
+    if (StartsWith(*path, prefix)) result.push_back(*path);
+  }
+  ::closedir(dir);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+StatusOr<int64_t> LocalDirFileSystem::FileSize(const std::string& path) const {
+  struct stat info;
+  if (::stat(DiskPath(path).c_str(), &info) != 0) {
+    return NotFoundError("no such file: " + path);
+  }
+  return static_cast<int64_t>(info.st_size);
+}
+
+}  // namespace sigmund::sfs

@@ -1,0 +1,50 @@
+#ifndef SIGMUND_SFS_LOCAL_FILESYSTEM_H_
+#define SIGMUND_SFS_LOCAL_FILESYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::sfs {
+
+// SharedFileSystem backed by a local directory, for state that must
+// survive the process (models, checkpoints, recommendation batches
+// between daily runs). POSIX I/O only — the style guide bans
+// <filesystem>.
+//
+// SFS paths are slash-separated logical names; on disk each file is
+// stored flat inside `root` with '/' percent-encoded in the filename, so
+// no directory hierarchy has to be managed and prefix List() is a single
+// directory scan. Rename is atomic via ::rename on the same filesystem.
+//
+// Thread-safe for distinct paths; concurrent writers to the *same* path
+// get last-writer-wins, like the in-memory implementation.
+class LocalDirFileSystem : public SharedFileSystem {
+ public:
+  // Creates `root` (one level) if missing; aborts on failure.
+  explicit LocalDirFileSystem(std::string root);
+
+  Status Write(const std::string& path, const std::string& data) override;
+  StatusOr<std::string> Read(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) const override;
+  std::vector<std::string> List(const std::string& prefix) const override;
+  StatusOr<int64_t> FileSize(const std::string& path) const override;
+
+  const std::string& root() const { return root_; }
+
+  // Filename <-> logical path mapping (exposed for tests).
+  static std::string Encode(const std::string& path);
+  static StatusOr<std::string> Decode(const std::string& filename);
+
+ private:
+  std::string DiskPath(const std::string& path) const;
+
+  std::string root_;
+};
+
+}  // namespace sigmund::sfs
+
+#endif  // SIGMUND_SFS_LOCAL_FILESYSTEM_H_

@@ -1,0 +1,71 @@
+#include "sfs/mem_filesystem.h"
+
+namespace sigmund::sfs {
+
+Status MemFileSystem::Write(const std::string& path, const std::string& data) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = data;
+  return OkStatus();
+}
+
+StatusOr<std::string> MemFileSystem::Read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  return it->second;
+}
+
+Status MemFileSystem::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  files_.erase(it);
+  return OkStatus();
+}
+
+Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
+  if (to.empty()) return InvalidArgumentError("empty destination path");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return NotFoundError("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return OkStatus();
+}
+
+bool MemFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> MemFileSystem::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> result;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    result.push_back(it->first);
+  }
+  return result;
+}
+
+StatusOr<int64_t> MemFileSystem::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  return static_cast<int64_t>(it->second.size());
+}
+
+int64_t MemFileSystem::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [path, data] : files_) total += data.size();
+  return total;
+}
+
+int64_t MemFileSystem::FileCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(files_.size());
+}
+
+}  // namespace sigmund::sfs

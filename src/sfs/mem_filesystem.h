@@ -1,0 +1,40 @@
+#ifndef SIGMUND_SFS_MEM_FILESYSTEM_H_
+#define SIGMUND_SFS_MEM_FILESYSTEM_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::sfs {
+
+// In-memory SharedFileSystem. Thread-safe. The std::map keeps List()
+// naturally sorted and prefix scans cheap.
+class MemFileSystem : public SharedFileSystem {
+ public:
+  MemFileSystem() = default;
+
+  Status Write(const std::string& path, const std::string& data) override;
+  StatusOr<std::string> Read(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) const override;
+  std::vector<std::string> List(const std::string& prefix) const override;
+  StatusOr<int64_t> FileSize(const std::string& path) const override;
+
+  // Total bytes stored (for memory-accounting experiments).
+  int64_t TotalBytes() const;
+
+  // Number of files.
+  int64_t FileCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace sigmund::sfs
+
+#endif  // SIGMUND_SFS_MEM_FILESYSTEM_H_

@@ -1,0 +1,18 @@
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::sfs {
+
+void FileTransferLedger::RecordTransfer(const std::string& from_cell,
+                                        const std::string& to_cell,
+                                        int64_t bytes) {
+  if (from_cell == to_cell) return;  // local access is free
+  total_bytes_ += bytes;
+  ++transfer_count_;
+}
+
+void FileTransferLedger::Reset() {
+  total_bytes_ = 0;
+  transfer_count_ = 0;
+}
+
+}  // namespace sigmund::sfs

@@ -1,0 +1,70 @@
+#ifndef SIGMUND_SFS_SHARED_FILESYSTEM_H_
+#define SIGMUND_SFS_SHARED_FILESYSTEM_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sigmund::sfs {
+
+// GFS stand-in: a flat namespace of immutable-ish blobs addressed by path.
+// All Sigmund pipeline state (training data shards, config records, model
+// checkpoints, materialized recommendations) flows through this interface,
+// exactly as the paper's pipeline flows through GFS.
+//
+// Paths are slash-separated strings; there is no directory object, but
+// List() supports prefix queries, which is all MapReduce needs.
+//
+// Implementations must be thread-safe: checkpointing writes concurrently
+// with training reads.
+class SharedFileSystem {
+ public:
+  virtual ~SharedFileSystem() = default;
+
+  // Creates or overwrites the file at `path`.
+  virtual Status Write(const std::string& path, const std::string& data) = 0;
+
+  // Reads the whole file. kNotFound if absent.
+  virtual StatusOr<std::string> Read(const std::string& path) const = 0;
+
+  // Removes the file. kNotFound if absent.
+  virtual Status Delete(const std::string& path) = 0;
+
+  // Atomically renames `from` to `to` (used for checkpoint commit: write to
+  // a temp path, then rename). Overwrites `to` if present.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool Exists(const std::string& path) const = 0;
+
+  // All paths with the given prefix, sorted.
+  virtual std::vector<std::string> List(const std::string& prefix) const = 0;
+
+  // Size in bytes, kNotFound if absent.
+  virtual StatusOr<int64_t> FileSize(const std::string& path) const = 0;
+};
+
+// Records cross-cell data movement so experiments can account for the
+// network cost of migrating training data to the cell where computation
+// runs (Section IV-B1 of the paper).
+class FileTransferLedger {
+ public:
+  // Notes that `bytes` moved from `from_cell` to `to_cell`.
+  void RecordTransfer(const std::string& from_cell, const std::string& to_cell,
+                      int64_t bytes);
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t transfer_count() const { return transfer_count_; }
+
+  void Reset();
+
+ private:
+  int64_t total_bytes_ = 0;
+  int64_t transfer_count_ = 0;
+};
+
+}  // namespace sigmund::sfs
+
+#endif  // SIGMUND_SFS_SHARED_FILESYSTEM_H_

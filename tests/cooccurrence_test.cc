@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/cooccurrence.h"
+#include "data/world_generator.h"
+
+namespace sigmund::core {
+namespace {
+
+using data::ActionType;
+using data::Interaction;
+
+// Three users; items 0..4. Users 0 and 1 view {0,1} together in one
+// session; user 2 views 2 then (after a long gap) 3. Users 0 and 1 buy
+// {0, 4} together.
+std::vector<std::vector<Interaction>> FixedHistories() {
+  return {
+      {{0, 0, ActionType::kView, 100},
+       {0, 1, ActionType::kView, 160},
+       {0, 0, ActionType::kConversion, 220},
+       {0, 4, ActionType::kConversion, 280}},
+      {{1, 0, ActionType::kView, 100},
+       {1, 1, ActionType::kView, 130},
+       {1, 0, ActionType::kConversion, 200},
+       {1, 4, ActionType::kConversion, 260}},
+      {{2, 2, ActionType::kView, 100},
+       {2, 3, ActionType::kView, 100 + 7200}},  // separate session
+  };
+}
+
+TEST(CooccurrenceTest, CoViewCountsWithinSession) {
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, {});
+  EXPECT_GE(model.CoViewCount(0, 1), 2);  // both users
+  EXPECT_EQ(model.CoViewCount(0, 1), model.CoViewCount(1, 0));  // symmetric
+  EXPECT_EQ(model.CoViewCount(0, 2), 0);
+}
+
+TEST(CooccurrenceTest, SessionGapSplitsCoViews) {
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, {});
+  // Items 2 and 3 viewed 2h apart -> different sessions -> no co-view.
+  EXPECT_EQ(model.CoViewCount(2, 3), 0);
+
+  CooccurrenceModel::Options wide;
+  wide.session_gap_seconds = 10000;
+  CooccurrenceModel merged =
+      CooccurrenceModel::Build(FixedHistories(), 5, wide);
+  EXPECT_EQ(merged.CoViewCount(2, 3), 1);
+}
+
+TEST(CooccurrenceTest, CoBuyCounts) {
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, {});
+  EXPECT_EQ(model.CoBuyCount(0, 4), 2);
+  EXPECT_EQ(model.CoBuyCount(4, 0), 2);
+  EXPECT_EQ(model.CoBuyCount(0, 1), 0);  // 1 never bought
+}
+
+TEST(CooccurrenceTest, NeighborsSortedAndCapped) {
+  data::WorldConfig config;
+  config.seed = 9;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 150);
+  CooccurrenceModel::Options options;
+  options.max_neighbors = 5;
+  CooccurrenceModel model = CooccurrenceModel::Build(
+      world.data.histories, world.data.num_items(), options);
+  for (data::ItemIndex i = 0; i < world.data.num_items(); ++i) {
+    const auto& neighbors = model.CoViewed(i);
+    EXPECT_LE(neighbors.size(), 5u);
+    for (size_t k = 1; k < neighbors.size(); ++k) {
+      EXPECT_GE(neighbors[k - 1].score, neighbors[k].score);
+    }
+    for (const auto& neighbor : neighbors) {
+      EXPECT_NE(neighbor.item, i);
+      EXPECT_GT(neighbor.count, 0);
+    }
+  }
+}
+
+TEST(CooccurrenceTest, PmiPositiveForAssociatedPairs) {
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, {});
+  EXPECT_GT(model.Pmi(0, 1), 0.0);
+  EXPECT_LT(model.Pmi(0, 2), -100.0);  // never co-occurred
+}
+
+TEST(CooccurrenceTest, MinCountFiltersWeakPairs) {
+  CooccurrenceModel::Options strict;
+  strict.min_count = 3;
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, strict);
+  // 0-1 co-viewed twice < 3 -> filtered from neighbor lists (raw counts
+  // remain queryable).
+  EXPECT_TRUE(model.CoViewed(0).empty() ||
+              model.CoViewed(0)[0].count >= 3);
+  EXPECT_GE(model.CoViewCount(0, 1), 2);
+}
+
+TEST(CooccurrenceTest, ItemsByPopularityDescending) {
+  CooccurrenceModel model =
+      CooccurrenceModel::Build(FixedHistories(), 5, {});
+  std::vector<data::ItemIndex> items = model.ItemsByPopularity();
+  ASSERT_EQ(items.size(), 5u);
+  for (size_t k = 1; k < items.size(); ++k) {
+    EXPECT_GE(model.view_counts()[items[k - 1]],
+              model.view_counts()[items[k]]);
+  }
+  EXPECT_EQ(items[0], 0);  // item 0 has 4 events
+}
+
+TEST(CooccurrenceTest, WindowBoundsPairGeneration) {
+  // One long session of 20 distinct items with window 2: each item pairs
+  // with at most its 2 predecessors.
+  std::vector<std::vector<Interaction>> histories(1);
+  for (int i = 0; i < 20; ++i) {
+    histories[0].push_back({0, i, ActionType::kView, 100 + i * 10});
+  }
+  CooccurrenceModel::Options options;
+  options.window = 2;
+  CooccurrenceModel model = CooccurrenceModel::Build(histories, 20, options);
+  EXPECT_GT(model.CoViewCount(5, 6), 0);
+  EXPECT_GT(model.CoViewCount(5, 7), 0);
+  EXPECT_EQ(model.CoViewCount(5, 8), 0);  // outside window
+}
+
+}  // namespace
+}  // namespace sigmund::core

@@ -1,0 +1,337 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/catalog.h"
+#include "data/ctr_simulator.h"
+#include "data/retailer_data.h"
+#include "data/types.h"
+#include "data/world_generator.h"
+
+namespace sigmund::data {
+namespace {
+
+// --- types ------------------------------------------------------------
+
+TEST(TypesTest, ActionStrengthOrdering) {
+  EXPECT_LT(ActionStrength(ActionType::kView),
+            ActionStrength(ActionType::kSearch));
+  EXPECT_LT(ActionStrength(ActionType::kSearch),
+            ActionStrength(ActionType::kCart));
+  EXPECT_LT(ActionStrength(ActionType::kCart),
+            ActionStrength(ActionType::kConversion));
+}
+
+TEST(TypesTest, ActionTypeNames) {
+  EXPECT_STREQ(ActionTypeName(ActionType::kView), "view");
+  EXPECT_STREQ(ActionTypeName(ActionType::kConversion), "conversion");
+}
+
+TEST(TypesTest, GlobalItemIdOrderingAndFormat) {
+  GlobalItemId a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (GlobalItemId{1, 5}));
+  EXPECT_EQ(ToString(a), "r1/i5");
+}
+
+// --- catalog ----------------------------------------------------------
+
+TEST(PriceBucketTest, MissingPriceIsNegative) {
+  EXPECT_EQ(PriceBucket(0.0, 16), -1);
+  EXPECT_EQ(PriceBucket(-5.0, 16), -1);
+}
+
+TEST(PriceBucketTest, MonotoneInPrice) {
+  int prev = -1;
+  for (double p : {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    int b = PriceBucket(p, 16);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 16);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(PriceBucketTest, HugePriceClampedToLastBucket) {
+  EXPECT_EQ(PriceBucket(1e12, 8), 7);
+}
+
+Catalog SmallCatalog() {
+  Taxonomy t;
+  CategoryId a = t.AddCategory("a", t.root());
+  CategoryId b = t.AddCategory("b", t.root());
+  Catalog catalog(std::move(t));
+  catalog.AddItem(Item{a, 0, 10.0, 0});
+  catalog.AddItem(Item{a, kUnknownBrand, 0.0, 0});
+  catalog.AddItem(Item{b, 1, 99.0, 1});
+  catalog.Finalize();
+  return catalog;
+}
+
+TEST(CatalogTest, CoverageFractions) {
+  Catalog c = SmallCatalog();
+  EXPECT_NEAR(c.BrandCoverage(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c.PriceCoverage(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(c.num_brands(), 2);
+}
+
+TEST(CatalogTest, ItemsInCategoryIndex) {
+  Catalog c = SmallCatalog();
+  EXPECT_EQ(c.ItemsInCategory(1), (std::vector<ItemIndex>{0, 1}));
+  EXPECT_EQ(c.ItemsInCategory(2), (std::vector<ItemIndex>{2}));
+  EXPECT_TRUE(c.ItemsInCategory(0).empty());
+}
+
+TEST(CatalogTest, AddAfterFinalizeKeepsIndexConsistent) {
+  Catalog c = SmallCatalog();
+  ItemIndex added = c.AddItem(Item{2, kUnknownBrand, 5.0, 0});
+  EXPECT_EQ(c.ItemsInCategory(2), (std::vector<ItemIndex>{2, added}));
+}
+
+TEST(CatalogTest, LcaDistanceBetweenItems) {
+  Catalog c = SmallCatalog();
+  EXPECT_EQ(c.LcaDistance(0, 1), 1);  // same category
+  EXPECT_EQ(c.LcaDistance(0, 2), 2);  // siblings under root
+}
+
+// --- retailer data & splitting ----------------------------------------
+
+RetailerData TinyRetailer() {
+  Taxonomy t;
+  CategoryId a = t.AddCategory("a", t.root());
+  Catalog catalog(std::move(t));
+  for (int i = 0; i < 4; ++i) catalog.AddItem(Item{a, kUnknownBrand, 0, 0});
+  catalog.Finalize();
+
+  RetailerData data;
+  data.id = 7;
+  data.catalog = std::move(catalog);
+  data.histories = {
+      // user 0: 4 interactions -> eligible for holdout
+      {{0, 0, ActionType::kView, 10},
+       {0, 1, ActionType::kSearch, 20},
+       {0, 2, ActionType::kView, 30},
+       {0, 3, ActionType::kConversion, 40}},
+      // user 1: exactly 2 interactions -> NOT eligible (needs > 2)
+      {{1, 1, ActionType::kView, 5}, {1, 2, ActionType::kView, 6}},
+      // user 2: empty history
+      {},
+  };
+  return data;
+}
+
+TEST(RetailerDataTest, TotalsAndPopularity) {
+  RetailerData data = TinyRetailer();
+  EXPECT_EQ(data.num_users(), 3);
+  EXPECT_EQ(data.num_items(), 4);
+  EXPECT_EQ(data.TotalInteractions(), 6);
+  auto pop = data.ItemPopularity();
+  EXPECT_EQ(pop, (std::vector<int64_t>{1, 2, 2, 1}));
+  auto views = data.ItemActionCounts(ActionType::kView);
+  EXPECT_EQ(views, (std::vector<int64_t>{1, 1, 2, 0}));
+  auto conv = data.ItemActionCounts(ActionType::kConversion);
+  EXPECT_EQ(conv, (std::vector<int64_t>{0, 0, 0, 1}));
+}
+
+TEST(SplitLeaveLastOutTest, HoldsOutLastItemOfEligibleUsers) {
+  RetailerData data = TinyRetailer();
+  TrainTestSplit split = SplitLeaveLastOut(data);
+  ASSERT_EQ(split.holdout.size(), 1u);
+  EXPECT_EQ(split.holdout[0].user, 0);
+  EXPECT_EQ(split.holdout[0].held_out, 3);
+  EXPECT_EQ(split.train[0].size(), 3u);
+  EXPECT_EQ(split.train[0].back().item, 2);
+  // Ineligible users keep everything.
+  EXPECT_EQ(split.train[1].size(), 2u);
+  EXPECT_TRUE(split.train[2].empty());
+}
+
+TEST(SplitLeaveLastOutTest, ThresholdRespected) {
+  RetailerData data = TinyRetailer();
+  TrainTestSplit split = SplitLeaveLastOut(data, /*min_interactions=*/1);
+  EXPECT_EQ(split.holdout.size(), 2u);  // users 0 and 1
+}
+
+// --- world generator ----------------------------------------------------
+
+TEST(WorldGeneratorTest, DeterministicForSeed) {
+  WorldConfig config;
+  config.seed = 77;
+  WorldGenerator generator(config);
+  RetailerWorld a = generator.GenerateRetailer(3, 100);
+  RetailerWorld b = generator.GenerateRetailer(3, 100);
+  EXPECT_EQ(a.data.num_items(), b.data.num_items());
+  EXPECT_EQ(a.data.num_users(), b.data.num_users());
+  EXPECT_EQ(a.data.TotalInteractions(), b.data.TotalInteractions());
+}
+
+TEST(WorldGeneratorTest, DifferentRetailersDiffer) {
+  WorldConfig config;
+  WorldGenerator generator(config);
+  RetailerWorld a = generator.GenerateRetailer(0, 120);
+  RetailerWorld b = generator.GenerateRetailer(1, 120);
+  EXPECT_NE(a.data.TotalInteractions(), b.data.TotalInteractions());
+}
+
+TEST(WorldGeneratorTest, StructuralInvariants) {
+  WorldConfig config;
+  config.seed = 5;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 150);
+  const RetailerData& data = world.data;
+
+  EXPECT_EQ(data.num_items(), 150);
+  EXPECT_GE(data.num_users(), config.min_users);
+  EXPECT_GT(data.TotalInteractions(), 0);
+
+  // Truth model aligned with the data.
+  EXPECT_EQ(world.truth.item_vecs.size(), 150u);
+  EXPECT_EQ(world.truth.item_bias.size(), 150u);
+  EXPECT_EQ(world.truth.user_vecs.size(),
+            static_cast<size_t>(data.num_users()));
+  EXPECT_EQ(world.truth.category_vecs.size(),
+            static_cast<size_t>(data.catalog.taxonomy().num_categories()));
+
+  // Histories are time-sorted with valid item/user indices & actions.
+  for (UserIndex u = 0; u < data.num_users(); ++u) {
+    int64_t prev = -1;
+    for (const Interaction& event : data.histories[u]) {
+      EXPECT_EQ(event.user, u);
+      EXPECT_GE(event.item, 0);
+      EXPECT_LT(event.item, data.num_items());
+      EXPECT_GE(event.timestamp, prev);
+      prev = event.timestamp;
+    }
+  }
+}
+
+TEST(WorldGeneratorTest, FunnelShapeViewsDominater) {
+  WorldConfig config;
+  config.seed = 11;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 200);
+  int64_t counts[kNumActionTypes] = {0, 0, 0, 0};
+  for (const auto& history : world.data.histories) {
+    for (const Interaction& event : history) {
+      ++counts[static_cast<int>(event.action)];
+    }
+  }
+  // views > searches > carts; conversions rarest among funnel steps
+  // (modulo synthesized re-purchases, which are conversions).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[0], counts[3]);
+}
+
+TEST(WorldGeneratorTest, CatalogSizesFollowBoundedPareto) {
+  WorldConfig config;
+  config.min_items = 50;
+  config.max_items = 5000;
+  WorldGenerator generator(config);
+  Rng rng(3);
+  int below_200 = 0;
+  for (int i = 0; i < 200; ++i) {
+    int size = generator.SampleCatalogSize(&rng);
+    EXPECT_GE(size, 50);
+    EXPECT_LE(size, 5000);
+    if (size < 200) ++below_200;
+  }
+  // Heavy-tailed: most retailers are small.
+  EXPECT_GT(below_200, 100);
+}
+
+TEST(WorldGeneratorTest, AffinityDrivesChoices) {
+  // Items a user interacted with should have higher true affinity on
+  // average than random items — otherwise the generator produced noise.
+  WorldConfig config;
+  config.seed = 13;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 150);
+  Rng rng(1);
+  double interacted_sum = 0, random_sum = 0;
+  int64_t n = 0;
+  for (UserIndex u = 0; u < world.data.num_users(); ++u) {
+    for (const Interaction& event : world.data.histories[u]) {
+      interacted_sum += world.truth.Affinity(u, event.item);
+      random_sum += world.truth.Affinity(
+          u, static_cast<ItemIndex>(rng.Uniform(world.data.num_items())));
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(interacted_sum / n, random_sum / n + 0.1);
+}
+
+TEST(AdvanceOneDayTest, AddsItemsAndEvents) {
+  WorldConfig config;
+  config.seed = 17;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 100);
+  int64_t before_events = world.data.TotalInteractions();
+  AdvanceOneDay(generator, &world, /*new_items=*/10, /*seed=*/99);
+  EXPECT_EQ(world.data.num_items(), 110);
+  EXPECT_EQ(world.truth.item_vecs.size(), 110u);
+  EXPECT_GE(world.data.TotalInteractions(), before_events);
+  // New events only reference valid items; histories stay sorted.
+  for (const auto& history : world.data.histories) {
+    int64_t prev = -1;
+    for (const Interaction& event : history) {
+      EXPECT_LT(event.item, 110);
+      EXPECT_GE(event.timestamp, prev);
+      prev = event.timestamp;
+    }
+  }
+}
+
+// --- CTR simulator -----------------------------------------------------
+
+TEST(CtrSimulatorTest, HigherAffinityClicksMore) {
+  WorldConfig config;
+  config.seed = 23;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 100);
+  CtrSimulator sim(&world.truth, CtrSimulator::Config{});
+
+  // Find this user's best and worst item by true affinity.
+  UserIndex u = 0;
+  ItemIndex best = 0, worst = 0;
+  for (ItemIndex i = 1; i < world.data.num_items(); ++i) {
+    if (world.truth.Affinity(u, i) > world.truth.Affinity(u, best)) best = i;
+    if (world.truth.Affinity(u, i) < world.truth.Affinity(u, worst)) worst = i;
+  }
+  EXPECT_GT(sim.ClickProbability(u, best, 0),
+            sim.ClickProbability(u, worst, 0));
+}
+
+TEST(CtrSimulatorTest, PositionDiscountMonotone) {
+  WorldConfig config;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 50);
+  CtrSimulator sim(&world.truth, CtrSimulator::Config{});
+  double prev = sim.ClickProbability(0, 0, 0);
+  for (int pos = 1; pos < 5; ++pos) {
+    double p = sim.ClickProbability(0, 0, pos);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CtrSimulatorTest, ImpressionReturnsValidPositionOrNoClick) {
+  WorldConfig config;
+  WorldGenerator generator(config);
+  RetailerWorld world = generator.GenerateRetailer(0, 50);
+  CtrSimulator sim(&world.truth, CtrSimulator::Config{});
+  Rng rng(7);
+  std::vector<ItemIndex> list = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 200; ++i) {
+    int pos = sim.SimulateImpression(0, list, &rng);
+    EXPECT_GE(pos, -1);
+    EXPECT_LT(pos, 5);
+  }
+}
+
+}  // namespace
+}  // namespace sigmund::data

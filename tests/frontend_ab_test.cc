@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/ab_experiment.h"
+#include "data/world_generator.h"
+#include "serving/frontend.h"
+
+namespace sigmund {
+namespace {
+
+using data::ActionType;
+
+core::ItemRecommendations MakeRecs(data::ItemIndex query) {
+  core::ItemRecommendations recs;
+  recs.query = query;
+  recs.view_based = {{1, 2.0}, {2, 0.5}, {3, -1.0}};
+  recs.purchase_based = {{4, 1.0}};
+  recs.view_based_late = {{5, 1.5}};
+  return recs;
+}
+
+void LoadStore(serving::RecommendationStore* store) {
+  store->LoadRetailer(1, {MakeRecs(0)});
+}
+
+core::ScoreCalibrator IdentityCalibrator() {
+  // Fit on clean separable data: positive scores click, negatives don't.
+  std::vector<double> scores = {-2, -1, 1, 2};
+  std::vector<bool> clicked = {false, false, true, true};
+  auto calibrator = core::ScoreCalibrator::Fit(scores, clicked);
+  SIGCHECK(calibrator.ok());
+  return *calibrator;
+}
+
+TEST(FrontendTest, BasicRequestServesViewBased) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  serving::Frontend frontend(&store, nullptr);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+  auto response = frontend.Handle(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->items.size(), 3u);
+  EXPECT_EQ(response->items[0].item, 1);
+  EXPECT_EQ(response->funnel, core::FunnelStage::kEarly);
+  EXPECT_FALSE(response->post_purchase);
+  EXPECT_EQ(response->suppressed_by_threshold, 0);
+}
+
+TEST(FrontendTest, PostPurchaseAndLateFunnelRouting) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  serving::Frontend frontend(&store, nullptr);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kConversion}};
+  auto post = frontend.Handle(request);
+  ASSERT_TRUE(post.ok());
+  EXPECT_TRUE(post->post_purchase);
+  EXPECT_EQ(post->items[0].item, 4);
+
+  request.context = {{0, ActionType::kView}, {0, ActionType::kView}};
+  auto late = frontend.Handle(request);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->funnel, core::FunnelStage::kLate);
+  EXPECT_EQ(late->items[0].item, 5);  // late-funnel variant
+}
+
+TEST(FrontendTest, MaxResultsTruncates) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  serving::Frontend frontend(&store, nullptr);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+  request.max_results = 2;
+  auto response = frontend.Handle(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->items.size(), 2u);
+}
+
+TEST(FrontendTest, ThresholdSuppressesWeakItems) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  core::ScoreCalibrator calibrator = IdentityCalibrator();
+  serving::Frontend frontend(&store, &calibrator);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+  request.display_threshold = 0.5;
+  auto response = frontend.Handle(request);
+  ASSERT_TRUE(response.ok());
+  // Scores 2.0 and 0.5 pass the 0.5 probability bar; -1.0 is suppressed.
+  EXPECT_EQ(response->items.size(), 2u);
+  EXPECT_EQ(response->suppressed_by_threshold, 1);
+  for (const core::ScoredItem& item : response->items) {
+    EXPECT_GE(calibrator.Probability(item.score), 0.5);
+  }
+}
+
+TEST(FrontendTest, ThresholdIgnoredWithoutCalibrator) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  serving::Frontend frontend(&store, nullptr);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+  request.display_threshold = 0.99;
+  auto response = frontend.Handle(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->items.size(), 3u);
+}
+
+TEST(FrontendTest, InvalidRequestsRejected) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  serving::Frontend frontend(&store, nullptr);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  EXPECT_EQ(frontend.Handle(request).status().code(),
+            StatusCode::kInvalidArgument);  // empty context
+  request.context = {{0, ActionType::kView}};
+  request.max_results = 0;
+  EXPECT_EQ(frontend.Handle(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.max_results = 5;
+  request.retailer = 9;  // unknown
+  EXPECT_EQ(frontend.Handle(request).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- AbExperiment ------------------------------------------------------------
+
+struct AbFixture {
+  data::RetailerWorld world;
+
+  AbFixture()
+      : world([] {
+          data::WorldConfig config;
+          config.seed = 9;
+          data::WorldGenerator generator(config);
+          return generator.GenerateRetailer(0, 120);
+        }()) {}
+
+  // Policy recommending each user's true-affinity top items.
+  core::AbExperiment::Arm OraclePolicy() {
+    return {"oracle", [this](data::UserIndex u, data::ItemIndex) {
+              std::vector<data::ItemIndex> items(world.data.num_items());
+              for (int i = 0; i < world.data.num_items(); ++i) items[i] = i;
+              std::partial_sort(
+                  items.begin(), items.begin() + 10, items.end(),
+                  [this, u](data::ItemIndex a, data::ItemIndex b) {
+                    return world.truth.Affinity(u, a) >
+                           world.truth.Affinity(u, b);
+                  });
+              items.resize(10);
+              return items;
+            }};
+  }
+
+  core::AbExperiment::Arm RandomPolicy() {
+    return {"random", [this](data::UserIndex u, data::ItemIndex) {
+              Rng rng(u * 31 + 7);
+              std::vector<data::ItemIndex> items;
+              for (int n = 0; n < 10; ++n) {
+                items.push_back(static_cast<data::ItemIndex>(
+                    rng.Uniform(world.data.num_items())));
+              }
+              return items;
+            }};
+  }
+};
+
+TEST(AbExperimentTest, OracleBeatsRandomSignificantly) {
+  AbFixture f;
+  core::AbExperiment::Options options;
+  options.rounds_per_user = 5;
+  options.ctr.click_bias = 2.0;
+  core::AbExperiment::Outcome outcome = core::AbExperiment::Run(
+      f.world, f.world.data.histories, f.RandomPolicy(), f.OraclePolicy(),
+      options);
+  EXPECT_GT(outcome.treatment.Ctr(), outcome.control.Ctr());
+  EXPECT_TRUE(outcome.SignificantAt95());
+  EXPECT_GT(outcome.z_score, 1.96);
+  EXPECT_GT(outcome.RelativeLift(), 0.1);
+}
+
+TEST(AbExperimentTest, IdenticalArmsNotSignificant) {
+  AbFixture f;
+  core::AbExperiment::Options options;
+  options.rounds_per_user = 3;
+  core::AbExperiment::Outcome outcome = core::AbExperiment::Run(
+      f.world, f.world.data.histories, f.OraclePolicy(), f.OraclePolicy(),
+      options);
+  EXPECT_FALSE(outcome.SignificantAt95());
+  EXPECT_NEAR(outcome.RelativeLift(), 0.0, 0.1);
+}
+
+TEST(AbExperimentTest, StickyAssignmentSplitsTraffic) {
+  AbFixture f;
+  core::AbExperiment::Options options;
+  options.rounds_per_user = 1;
+  core::AbExperiment::Outcome outcome = core::AbExperiment::Run(
+      f.world, f.world.data.histories, f.RandomPolicy(), f.OraclePolicy(),
+      options);
+  int64_t total = outcome.control.impressions + outcome.treatment.impressions;
+  EXPECT_GT(total, 0);
+  // Roughly balanced split.
+  EXPECT_NEAR(static_cast<double>(outcome.control.impressions) / total, 0.5,
+              0.15);
+  // Deterministic: same seed, same outcome.
+  core::AbExperiment::Outcome again = core::AbExperiment::Run(
+      f.world, f.world.data.histories, f.RandomPolicy(), f.OraclePolicy(),
+      options);
+  EXPECT_EQ(again.control.clicks, outcome.control.clicks);
+  EXPECT_EQ(again.treatment.clicks, outcome.treatment.clicks);
+}
+
+}  // namespace
+}  // namespace sigmund

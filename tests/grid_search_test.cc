@@ -1,0 +1,302 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "data/world_generator.h"
+
+namespace sigmund::core {
+namespace {
+
+data::RetailerWorld MakeWorld(uint64_t seed = 3, int items = 100) {
+  data::WorldConfig config;
+  config.seed = seed;
+  data::WorldGenerator generator(config);
+  return generator.GenerateRetailer(0, items);
+}
+
+TEST(HyperParamsTest, SerializeRoundTrip) {
+  HyperParams params;
+  params.num_factors = 33;
+  params.learning_rate = 0.123;
+  params.lambda_v = 1e-4;
+  params.lambda_vc = 0.5;
+  params.use_adagrad = false;
+  params.use_brand = true;
+  params.context_window = 7;
+  params.context_decay = 0.6;
+  params.sampler = NegativeSamplerKind::kAdaptive;
+  params.num_epochs = 3;
+  params.seed = 999;
+  StatusOr<HyperParams> parsed = HyperParams::Deserialize(params.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, params);
+  EXPECT_EQ(parsed->num_factors, 33);
+  EXPECT_FALSE(parsed->use_adagrad);
+  EXPECT_EQ(parsed->sampler, NegativeSamplerKind::kAdaptive);
+}
+
+TEST(HyperParamsTest, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(HyperParams::Deserialize("f=abc").ok());
+  EXPECT_FALSE(HyperParams::Deserialize("unknown_key=3").ok());
+  EXPECT_FALSE(HyperParams::Deserialize("f=3=4").ok());
+  // Empty string -> defaults.
+  EXPECT_TRUE(HyperParams::Deserialize("").ok());
+}
+
+TEST(BuildGridTest, CrossProductSize) {
+  data::RetailerWorld world = MakeWorld();
+  GridSpec spec;
+  spec.factors = {8, 16};
+  spec.lambdas_v = {0.1, 0.01};
+  spec.lambdas_vc = {0.1};
+  spec.learning_rates = {0.05};
+  spec.sweep_taxonomy = false;  // taxonomy always on
+  spec.sweep_brand = false;
+  spec.max_configs = 1000;
+  auto grid = BuildGrid(spec, world.data.catalog, 1);
+  EXPECT_EQ(grid.size(), 4u);  // 2 factors x 2 lambda_v
+}
+
+TEST(BuildGridTest, CapsAtMaxConfigs) {
+  data::RetailerWorld world = MakeWorld();
+  GridSpec spec;
+  spec.factors = {4, 8, 16, 32, 64};
+  spec.lambdas_v = {0.1, 0.01, 0.001};
+  spec.lambdas_vc = {0.1, 0.01, 0.001};
+  spec.max_configs = 10;
+  auto grid = BuildGrid(spec, world.data.catalog, 1);
+  EXPECT_EQ(grid.size(), 10u);
+  // Deterministic subsample.
+  auto grid2 = BuildGrid(spec, world.data.catalog, 1);
+  for (size_t i = 0; i < grid.size(); ++i) EXPECT_EQ(grid[i], grid2[i]);
+  // Different seed -> different subsample (overwhelmingly likely).
+  auto grid3 = BuildGrid(spec, world.data.catalog, 2);
+  bool any_differs = false;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    any_differs |= !(grid[i] == grid3[i]);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BuildGridTest, BrandFeatureGatedByCoverage) {
+  // Catalog with almost no brand coverage: brand never enters the grid
+  // (§III-C: "less than 10% ... detrimental to add it as a feature").
+  data::Taxonomy taxonomy;
+  data::CategoryId c = taxonomy.AddCategory("c", taxonomy.root());
+  data::Catalog sparse(std::move(taxonomy));
+  for (int i = 0; i < 50; ++i) {
+    sparse.AddItem(data::Item{c, i == 0 ? 0 : data::kUnknownBrand, 1.0, 0});
+  }
+  sparse.Finalize();
+
+  GridSpec spec;
+  spec.factors = {8};
+  spec.lambdas_v = {0.1};
+  spec.lambdas_vc = {0.1};
+  spec.sweep_taxonomy = false;
+  spec.sweep_brand = true;
+  auto grid = BuildGrid(spec, sparse, 1);
+  for (const HyperParams& params : grid) {
+    EXPECT_FALSE(params.use_brand);
+  }
+
+  // High-coverage catalog: both variants present.
+  data::Taxonomy taxonomy2;
+  data::CategoryId c2 = taxonomy2.AddCategory("c", taxonomy2.root());
+  data::Catalog covered(std::move(taxonomy2));
+  for (int i = 0; i < 50; ++i) {
+    covered.AddItem(data::Item{c2, i % 5, 1.0, 0});
+  }
+  covered.Finalize();
+  auto grid2 = BuildGrid(spec, covered, 1);
+  std::set<bool> brand_settings;
+  for (const HyperParams& params : grid2) {
+    brand_settings.insert(params.use_brand);
+  }
+  EXPECT_EQ(brand_settings.size(), 2u);
+}
+
+TEST(TrainOneModelTest, ProducesFiniteMetricsAndModel) {
+  data::RetailerWorld world = MakeWorld();
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TrainRequest request;
+  request.catalog = &world.data.catalog;
+  request.train_histories = &split.train;
+  request.holdout = &split.holdout;
+  request.params.num_factors = 8;
+  request.params.num_epochs = 5;
+  StatusOr<TrainOutput> output = TrainOneModel(request);
+  ASSERT_TRUE(output.ok());
+  EXPECT_GT(output->stats.sgd_steps, 0);
+  EXPECT_GT(output->metrics.num_examples, 0);
+  EXPECT_GE(output->metrics.map_at_k, 0.0);
+}
+
+TEST(TrainOneModelTest, MissingPointersRejected) {
+  TrainRequest request;
+  EXPECT_EQ(TrainOneModel(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrainOneModelTest, EpochCallbackSeesModelAndCanStop) {
+  data::RetailerWorld world = MakeWorld();
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TrainRequest request;
+  request.catalog = &world.data.catalog;
+  request.train_histories = &split.train;
+  request.holdout = &split.holdout;
+  request.params.num_factors = 8;
+  request.params.num_epochs = 50;
+  int calls = 0;
+  request.epoch_callback = [&calls](int, const BprModel& model,
+                                    const TrainStats&) {
+    EXPECT_GT(model.num_items(), 0);
+    return ++calls < 3;
+  };
+  StatusOr<TrainOutput> output = TrainOneModel(request);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->stats.epochs_run, 3);
+}
+
+TEST(WarmStartTest, CopiesEmbeddingsAndResetsAdagrad) {
+  data::RetailerWorld world = MakeWorld();
+  HyperParams params;
+  params.num_factors = 8;
+  BprModel previous(&world.data.catalog, params);
+  Rng rng(5);
+  previous.InitRandom(&rng);
+  previous.item_embeddings().adagrad(0) = 7.0f;
+
+  StatusOr<BprModel> warm =
+      WarmStartFrom(previous, &world.data.catalog, params, &rng);
+  ASSERT_TRUE(warm.ok());
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(warm->item_embeddings().row(3)[k],
+              previous.item_embeddings().row(3)[k]);
+  }
+  // §III-C3: Adagrad norms reset before the incremental update.
+  EXPECT_EQ(warm->item_embeddings().adagrad(0), 0.0f);
+}
+
+TEST(WarmStartTest, NewItemsGetFreshEmbeddings) {
+  data::WorldConfig config;
+  config.seed = 3;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 60);
+  HyperParams params;
+  params.num_factors = 8;
+  BprModel previous(&world.data.catalog, params);
+  Rng rng(5);
+  previous.InitRandom(&rng);
+
+  data::AdvanceOneDay(generator, &world, /*new_items=*/5, 42);
+  StatusOr<BprModel> warm =
+      WarmStartFrom(previous, &world.data.catalog, params, &rng);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->item_embeddings().rows(), 65);
+  // Old rows copied; new rows nonzero random.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(warm->item_embeddings().row(10)[k],
+              previous.item_embeddings().row(10)[k]);
+  }
+  bool nonzero = false;
+  for (int r = 60; r < 65; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      nonzero |= warm->item_embeddings().row(r)[k] != 0.0f;
+    }
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(WarmStartTest, ArchitectureMismatchRejected) {
+  data::RetailerWorld world = MakeWorld();
+  HyperParams params;
+  params.num_factors = 8;
+  BprModel previous(&world.data.catalog, params);
+  Rng rng(5);
+  HyperParams other = params;
+  other.num_factors = 16;
+  EXPECT_FALSE(
+      WarmStartFrom(previous, &world.data.catalog, other, &rng).ok());
+  HyperParams flags = params;
+  flags.use_brand = !params.use_brand;
+  EXPECT_FALSE(
+      WarmStartFrom(previous, &world.data.catalog, flags, &rng).ok());
+}
+
+TEST(RunGridSearchTest, SortedByMapAndTopConfigs) {
+  data::RetailerWorld world = MakeWorld(11, 80);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  std::vector<HyperParams> grid;
+  for (int f : {4, 8}) {
+    for (double lv : {0.3, 0.01}) {
+      HyperParams params;
+      params.num_factors = f;
+      params.lambda_v = lv;
+      params.num_epochs = 4;
+      grid.push_back(params);
+    }
+  }
+  std::vector<BprModel> models;
+  auto trials = RunGridSearch(world.data, split, grid, 1, 1.0, &models);
+  ASSERT_EQ(trials.size(), 4u);
+  ASSERT_EQ(models.size(), 4u);
+  for (size_t i = 1; i < trials.size(); ++i) {
+    EXPECT_GE(trials[i - 1].metrics.map_at_k, trials[i].metrics.map_at_k);
+  }
+  // Models stay aligned with their trials.
+  for (size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(models[i].params(), trials[i].params);
+  }
+  auto top = TopConfigs(trials, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], trials[0].params);
+}
+
+TEST(IncrementalTrainingTest, WarmStartConvergesFasterThanCold) {
+  // §III-C3 / E2: a warm-started incremental run reaches good quality in
+  // far fewer epochs than training from scratch.
+  data::WorldConfig config;
+  config.seed = 31;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 120);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+
+  HyperParams params;
+  params.num_factors = 8;
+  params.num_epochs = 16;
+
+  TrainRequest day1;
+  day1.catalog = &world.data.catalog;
+  day1.train_histories = &split.train;
+  day1.holdout = &split.holdout;
+  day1.params = params;
+  StatusOr<TrainOutput> base = TrainOneModel(day1);
+  ASSERT_TRUE(base.ok());
+
+  // Day 2 data arrives.
+  data::AdvanceOneDay(generator, &world, 5, 77);
+  data::TrainTestSplit split2 = data::SplitLeaveLastOut(world.data);
+
+  HyperParams short_run = params;
+  short_run.num_epochs = 2;
+
+  TrainRequest warm = day1;
+  warm.train_histories = &split2.train;
+  warm.holdout = &split2.holdout;
+  warm.params = short_run;
+  warm.warm_start = &base->model;
+  StatusOr<TrainOutput> warm_out = TrainOneModel(warm);
+  ASSERT_TRUE(warm_out.ok());
+
+  TrainRequest cold = warm;
+  cold.warm_start = nullptr;
+  StatusOr<TrainOutput> cold_out = TrainOneModel(cold);
+  ASSERT_TRUE(cold_out.ok());
+
+  EXPECT_GT(warm_out->metrics.map_at_k, cold_out->metrics.map_at_k);
+}
+
+}  // namespace
+}  // namespace sigmund::core

@@ -1,0 +1,283 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "data/world_generator.h"
+#include "pipeline/inference_job.h"
+#include "pipeline/sweep.h"
+#include "pipeline/training_job.h"
+#include "sfs/mem_filesystem.h"
+
+namespace sigmund::pipeline {
+namespace {
+
+struct JobFixture {
+  data::WorldGenerator generator{[] {
+    data::WorldConfig config;
+    config.seed = 19;
+    return config;
+  }()};
+  data::RetailerWorld r0 = generator.GenerateRetailer(0, 60);
+  data::RetailerWorld r1 = generator.GenerateRetailer(1, 120);
+  RetailerRegistry registry;
+  sfs::MemFileSystem fs;
+
+  JobFixture() {
+    registry.Upsert(&r0.data);
+    registry.Upsert(&r1.data);
+  }
+
+  std::vector<ConfigRecord> SmallPlan() {
+    SweepPlanner::Options options;
+    options.grid.factors = {4, 8};
+    options.grid.lambdas_v = {0.01};
+    options.grid.lambdas_vc = {0.01};
+    options.grid.sweep_taxonomy = false;
+    options.grid.sweep_brand = false;
+    options.grid.num_epochs = 3;
+    options.shuffle = true;
+    SweepPlanner planner(options);
+    return planner.PlanFullSweep(registry);
+  }
+
+  static TrainingJob::Options FastTraining() {
+    TrainingJob::Options options;
+    options.num_map_tasks = 4;
+    options.max_parallel_tasks = 2;
+    options.checkpoint_interval_seconds = 0.0;  // off unless a test enables
+    return options;
+  }
+};
+
+TEST(TrainingJobTest, TrainsEveryRecordAndWritesModels) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob job(&f.fs, &f.registry, JobFixture::FastTraining());
+  StatusOr<std::vector<ConfigRecord>> results = job.Run(plan);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), plan.size());
+  for (const ConfigRecord& record : *results) {
+    EXPECT_TRUE(record.trained);
+    EXPECT_GE(record.map_at_10, 0.0);
+    EXPECT_GT(record.epochs_run, 0);
+    EXPECT_GT(record.sgd_steps, 0);
+    EXPECT_TRUE(f.fs.Exists(record.model_path));
+    // Model bytes parse against the retailer catalog.
+    const data::Catalog* catalog =
+        record.retailer == 0 ? &f.r0.data.catalog : &f.r1.data.catalog;
+    StatusOr<std::string> bytes = f.fs.Read(record.model_path);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_TRUE(core::BprModel::Deserialize(*bytes, catalog).ok());
+  }
+  EXPECT_EQ(job.stats().models_trained.load(),
+            static_cast<int64_t>(plan.size()));
+  // No checkpoints requested, none written.
+  EXPECT_EQ(job.stats().checkpoints_written.load(), 0);
+}
+
+TEST(TrainingJobTest, CheckpointsWrittenOnSimulatedInterval) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob::Options options = JobFixture::FastTraining();
+  options.checkpoint_interval_seconds = 60.0;
+  // Make one epoch take ~100 simulated seconds so every epoch checkpoints.
+  options.simulated_seconds_per_step = 100.0 / 400.0;
+  TrainingJob job(&f.fs, &f.registry, options);
+  ASSERT_TRUE(job.Run(plan).ok());
+  EXPECT_GT(job.stats().checkpoints_written.load(), 0);
+  // Checkpoints are GCed after each successful model commit.
+  EXPECT_TRUE(f.fs.List("checkpoints/").empty());
+}
+
+TEST(TrainingJobTest, MidTrainingPreemptionRecoversViaCheckpoints) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  for (ConfigRecord& record : plan) record.params.num_epochs = 6;
+
+  TrainingJob::Options options = JobFixture::FastTraining();
+  options.preemption_prob_per_epoch = 0.3;
+  options.checkpoint_interval_seconds = 1.0;
+  options.simulated_seconds_per_step = 1.0;  // checkpoint every epoch
+  TrainingJob job(&f.fs, &f.registry, options);
+  StatusOr<std::vector<ConfigRecord>> results = job.Run(plan);
+  ASSERT_TRUE(results.ok());
+  for (const ConfigRecord& record : *results) {
+    EXPECT_TRUE(record.trained);
+    EXPECT_EQ(record.epochs_run, 6);
+  }
+  EXPECT_GT(job.stats().preemptions.load(), 0);
+  EXPECT_EQ(job.stats().restored_from_checkpoint.load(),
+            job.stats().preemptions.load());
+}
+
+TEST(TrainingJobTest, MapTaskFailuresRetrySuccessfully) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob::Options options = JobFixture::FastTraining();
+  options.map_task_failure_prob = 0.4;
+  options.max_attempts_per_task = 30;
+  TrainingJob job(&f.fs, &f.registry, options);
+  StatusOr<std::vector<ConfigRecord>> results = job.Run(plan);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), plan.size());
+  EXPECT_GT(job.stats().mapreduce.map_failures, 0);
+}
+
+TEST(TrainingJobTest, WarmStartRecordUsesStoredModel) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob job1(&f.fs, &f.registry, JobFixture::FastTraining());
+  StatusOr<std::vector<ConfigRecord>> day1 = job1.Run(plan);
+  ASSERT_TRUE(day1.ok());
+
+  // Incremental: re-train the same configs warm-started, one epoch.
+  std::vector<ConfigRecord> incremental = *day1;
+  for (ConfigRecord& record : incremental) {
+    record.warm_start = true;
+    record.trained = false;
+    record.params.num_epochs = 1;
+  }
+  TrainingJob job2(&f.fs, &f.registry, JobFixture::FastTraining());
+  StatusOr<std::vector<ConfigRecord>> day2 = job2.Run(incremental);
+  ASSERT_TRUE(day2.ok());
+
+  // Warm-started single-epoch models should be at least comparable to the
+  // fully-trained day-1 models (they started from them).
+  std::map<std::string, double> day1_map, day2_map;
+  for (const ConfigRecord& record : *day1) {
+    day1_map[record.Key()] = record.map_at_10;
+  }
+  double mean1 = 0, mean2 = 0;
+  for (const ConfigRecord& record : *day2) {
+    mean1 += day1_map[record.Key()];
+    mean2 += record.map_at_10;
+  }
+  EXPECT_GT(mean2, 0.5 * mean1);
+}
+
+TEST(TrainingJobTest, MissingRetailerFailsJob) {
+  JobFixture f;
+  ConfigRecord record;
+  record.retailer = 99;
+  record.model_path = ModelPath(99, 0);
+  TrainingJob job(&f.fs, &f.registry, JobFixture::FastTraining());
+  EXPECT_EQ(job.Run({record}).status().code(), StatusCode::kNotFound);
+}
+
+// --- InferenceJob -----------------------------------------------------------
+
+class InferenceFixture : public JobFixture {
+ public:
+  InferenceFixture() {
+    // Train one model per retailer and promote it to best.
+    SweepPlanner::Options options;
+    options.grid.factors = {8};
+    options.grid.lambdas_v = {0.01};
+    options.grid.lambdas_vc = {0.01};
+    options.grid.sweep_taxonomy = false;
+    options.grid.sweep_brand = false;
+    options.grid.num_epochs = 3;
+    SweepPlanner planner(options);
+    TrainingJob job(&fs, &registry, FastTraining());
+    auto results = job.Run(planner.PlanFullSweep(registry));
+    SIGCHECK(results.ok());
+    for (const ConfigRecord& record : *results) {
+      auto bytes = fs.Read(record.model_path);
+      SIGCHECK(bytes.ok());
+      SIGCHECK_OK(fs.Write(BestModelPath(record.retailer), *bytes));
+    }
+  }
+};
+
+TEST(InferenceJobTest, MaterializesEveryItemOfEveryRetailer) {
+  InferenceFixture f;
+  InferenceJob::Options options;
+  options.inference.top_k = 5;
+  InferenceJob job(&f.fs, &f.registry, options);
+  auto results = job.Run({0, 1});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].size(), 60u);
+  EXPECT_EQ((*results)[1].size(), 120u);
+  EXPECT_EQ(job.stats().items_scored.load(), 180);
+  // Recommendation files persisted.
+  EXPECT_TRUE(f.fs.Exists(RecommendationPath(0)));
+  EXPECT_TRUE(f.fs.Exists(RecommendationPath(1)));
+}
+
+TEST(InferenceJobTest, ModelLoadsBoundedBySplitBoundaries) {
+  InferenceFixture f;
+  InferenceJob::Options options;
+  options.map_tasks_per_cell = 3;
+  InferenceJob job(&f.fs, &f.registry, options);
+  ASSERT_TRUE(job.Run({0, 1}).ok());
+  // Each map task loads a model at most (1 + #retailer boundaries in its
+  // split) times: total <= retailers + map_tasks - 1... with contiguous
+  // per-retailer input, loads <= retailers + tasks.
+  EXPECT_GE(job.stats().model_loads.load(), 2);
+  EXPECT_LE(job.stats().model_loads.load(), 2 + 3);
+}
+
+TEST(InferenceJobTest, CellWeightsReflectBinPacking) {
+  InferenceFixture f;
+  InferenceJob::Options options;
+  options.num_cells = 2;
+  InferenceJob job(&f.fs, &f.registry, options);
+  ASSERT_TRUE(job.Run({0, 1}).ok());
+  ASSERT_EQ(job.stats().cell_weights.size(), 2u);
+  // FFD: big retailer (120) alone in one cell, small (60) in the other.
+  double a = job.stats().cell_weights[0];
+  double b = job.stats().cell_weights[1];
+  EXPECT_DOUBLE_EQ(std::max(a, b), 120.0);
+  EXPECT_DOUBLE_EQ(std::min(a, b), 60.0);
+}
+
+TEST(InferenceJobTest, MissingBestModelFails) {
+  JobFixture f;  // no best models written
+  InferenceJob job(&f.fs, &f.registry, {});
+  EXPECT_FALSE(job.Run({0}).ok());
+}
+
+
+TEST(InferenceJobTest, MapFailuresRetriedWithExactlyOnceOutput) {
+  InferenceFixture f;
+  InferenceJob::Options options;
+  options.inference.top_k = 5;
+  options.map_tasks_per_cell = 4;
+  options.map_task_failure_prob = 0.4;
+  options.max_attempts_per_task = 30;
+  InferenceJob job(&f.fs, &f.registry, options);
+  auto results = job.Run({0, 1});
+  ASSERT_TRUE(results.ok());
+  // Exactly one recommendation record per item despite retries.
+  EXPECT_EQ((*results)[0].size(), 60u);
+  EXPECT_EQ((*results)[1].size(), 120u);
+  std::set<data::ItemIndex> seen;
+  for (const core::ItemRecommendations& recs : (*results)[0]) {
+    EXPECT_TRUE(seen.insert(recs.query).second);
+  }
+}
+
+TEST(InferenceJobTest, RecommendationsParseAndRespectTopK) {
+  InferenceFixture f;
+  InferenceJob::Options options;
+  options.inference.top_k = 4;
+  InferenceJob job(&f.fs, &f.registry, options);
+  auto results = job.Run({0});
+  ASSERT_TRUE(results.ok());
+  for (const core::ItemRecommendations& recs : (*results)[0]) {
+    EXPECT_LE(recs.view_based.size(), 4u);
+    EXPECT_LE(recs.purchase_based.size(), 4u);
+    for (const core::ScoredItem& item : recs.view_based) {
+      EXPECT_GE(item.item, 0);
+      EXPECT_LT(item.item, 60);
+      EXPECT_NE(item.item, recs.query);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sigmund::pipeline

@@ -1,0 +1,275 @@
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "mapreduce/mapreduce.h"
+
+namespace sigmund::mapreduce {
+namespace {
+
+// Splits each value into whitespace-free tokens keyed by the token.
+class TokenMapper : public Mapper {
+ public:
+  Status Map(const Record& input, const Emitter& emit) override {
+    for (const std::string& token : StrSplit(input.value, ' ')) {
+      if (!token.empty()) emit(Record{token, "1"});
+    }
+    return OkStatus();
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                const Emitter& emit) override {
+    emit(Record{key, std::to_string(values.size())});
+    return OkStatus();
+  }
+};
+
+// Mapper that records Start/Finish lifecycle and echoes records.
+class LifecycleMapper : public Mapper {
+ public:
+  Status Start(int task_id) override {
+    task_id_ = task_id;
+    return OkStatus();
+  }
+  Status Map(const Record& input, const Emitter& emit) override {
+    emit(Record{input.key, StrFormat("t%d:%s", task_id_, input.value.c_str())});
+    return OkStatus();
+  }
+  Status Finish(const Emitter& emit) override {
+    emit(Record{"__finish__", std::to_string(task_id_)});
+    return OkStatus();
+  }
+
+ private:
+  int task_id_ = -1;
+};
+
+class FailOnKeyMapper : public Mapper {
+ public:
+  Status Map(const Record& input, const Emitter& emit) override {
+    if (input.key == "bad") return InternalError("poisoned record");
+    emit(input);
+    return OkStatus();
+  }
+};
+
+std::vector<Record> WordInput() {
+  return {{"1", "a b a"}, {"2", "b c"}, {"3", "a"}};
+}
+
+TEST(ComputeSplitsTest, EvenAndUneven) {
+  auto splits = ComputeSplits(10, 2);
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0], (std::pair<int64_t, int64_t>{0, 5}));
+  EXPECT_EQ(splits[1], (std::pair<int64_t, int64_t>{5, 10}));
+
+  splits = ComputeSplits(10, 3);
+  ASSERT_EQ(splits.size(), 3u);
+  int64_t total = 0;
+  int64_t prev_end = 0;
+  for (auto [b, e] : splits) {
+    EXPECT_EQ(b, prev_end);
+    prev_end = e;
+    total += e - b;
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ComputeSplitsTest, MoreTasksThanRecords) {
+  auto splits = ComputeSplits(2, 5);
+  EXPECT_EQ(splits.size(), 2u);
+}
+
+TEST(ComputeSplitsTest, EmptyInput) {
+  EXPECT_TRUE(ComputeSplits(0, 4).empty());
+}
+
+TEST(MapReduceTest, WordCount) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 2;
+  spec.num_reduce_tasks = 2;
+  spec.max_parallel_tasks = 2;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto out = job.Run(WordInput());
+  ASSERT_TRUE(out.ok());
+  std::map<std::string, std::string> counts;
+  for (const Record& r : *out) counts[r.key] = r.value;
+  EXPECT_EQ(counts["a"], "3");
+  EXPECT_EQ(counts["b"], "2");
+  EXPECT_EQ(counts["c"], "1");
+  EXPECT_EQ(job.stats().input_records, 3);
+  EXPECT_EQ(job.stats().mapped_records, 6);
+  EXPECT_EQ(job.stats().output_records, 3);
+}
+
+TEST(MapReduceTest, OutputSortedByKey) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 3;
+  spec.num_reduce_tasks = 4;
+  spec.max_parallel_tasks = 2;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto out = job.Run({{"1", "z y x w v"}});
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->size(); ++i) {
+    EXPECT_LE((*out)[i - 1].key, (*out)[i].key);
+  }
+}
+
+TEST(MapReduceTest, MapOnlyJobPreservesSplitOrder) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 3;
+  spec.num_reduce_tasks = 0;  // map-only
+  spec.max_parallel_tasks = 3;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<LifecycleMapper>(); },
+      [] { return IdentityReducer(); });
+  std::vector<Record> input;
+  for (int i = 0; i < 9; ++i) input.push_back({std::to_string(i), "v"});
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  // 9 mapped records + 3 finish markers.
+  EXPECT_EQ(out->size(), 12u);
+  // Record order within and across splits is preserved.
+  std::vector<std::string> keys;
+  for (const Record& r : *out) {
+    if (r.key != "__finish__") keys.push_back(r.key);
+  }
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(std::stoi(keys[i - 1]), std::stoi(keys[i]));
+  }
+}
+
+TEST(MapReduceTest, LifecycleHooksRunPerTask) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 4;
+  spec.num_reduce_tasks = 0;
+  spec.max_parallel_tasks = 1;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<LifecycleMapper>(); },
+      [] { return IdentityReducer(); });
+  std::vector<Record> input(8, Record{"k", "v"});
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  int finishes = 0;
+  for (const Record& r : *out) {
+    if (r.key == "__finish__") ++finishes;
+  }
+  EXPECT_EQ(finishes, 4);
+}
+
+TEST(MapReduceTest, UserErrorFailsJob) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 2;
+  spec.num_reduce_tasks = 1;
+  spec.max_parallel_tasks = 2;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<FailOnKeyMapper>(); },
+      [] { return IdentityReducer(); });
+  auto out = job.Run({{"ok", "1"}, {"bad", "2"}});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(MapReduceTest, InjectedFailuresAreRetriedToSuccess) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 5;
+  spec.num_reduce_tasks = 1;
+  spec.max_parallel_tasks = 2;
+  spec.map_task_failure_prob = 0.5;
+  spec.max_attempts_per_task = 50;
+  spec.seed = 21;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  std::vector<Record> input;
+  for (int i = 0; i < 50; ++i) input.push_back({std::to_string(i), "w"});
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  // Exactly-once output semantics despite retries.
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].key, "w");
+  EXPECT_EQ((*out)[0].value, "50");
+  EXPECT_GT(job.stats().map_failures, 0);
+  EXPECT_EQ(job.stats().map_attempts,
+            job.stats().map_failures + spec.num_map_tasks);
+}
+
+TEST(MapReduceTest, CertainFailureExhaustsAttempts) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 1;
+  spec.num_reduce_tasks = 1;
+  spec.max_parallel_tasks = 1;
+  spec.map_task_failure_prob = 1.0;
+  spec.max_attempts_per_task = 3;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto out = job.Run({{"1", "a"}});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(job.stats().map_attempts, 3);
+}
+
+TEST(MapReduceTest, InvalidSpecRejected) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 0;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  EXPECT_EQ(job.Run({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MapReduceTest, EmptyInputProducesEmptyOutput) {
+  MapReduceSpec spec;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto out = job.Run({});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// Property: results identical regardless of task/parallelism configuration.
+class MapReduceConfigTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MapReduceConfigTest, WordCountInvariantToPartitioning) {
+  auto [map_tasks, reduce_tasks, parallel] = GetParam();
+  MapReduceSpec spec;
+  spec.num_map_tasks = map_tasks;
+  spec.num_reduce_tasks = reduce_tasks;
+  spec.max_parallel_tasks = parallel;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  std::vector<Record> input;
+  for (int i = 0; i < 30; ++i) {
+    input.push_back({std::to_string(i),
+                     StrFormat("w%d w%d w0", i % 3, i % 7)});
+  }
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  std::map<std::string, std::string> counts;
+  for (const Record& r : *out) counts[r.key] = r.value;
+  EXPECT_EQ(counts["w0"], "45");  // 30 from "w0" + 10 from i%3==0 + 5 from i%7==0
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitionings, MapReduceConfigTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 1, 2),
+                      std::make_tuple(4, 3, 4), std::make_tuple(16, 8, 3),
+                      std::make_tuple(64, 2, 2)));
+
+}  // namespace
+}  // namespace sigmund::mapreduce

@@ -1,0 +1,191 @@
+// Cross-cutting property sweeps (TEST_P): invariants that must hold for
+// every model architecture and every world shape, not just the defaults
+// the unit tests use.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_selector.h"
+#include "core/grid_search.h"
+#include "core/inference.h"
+#include "data/serialization.h"
+#include "data/world_generator.h"
+
+namespace sigmund {
+namespace {
+
+// --- Model round trip across architectures -----------------------------------
+
+// (factors, use_taxonomy, use_brand, use_price)
+using Arch = std::tuple<int, bool, bool, bool>;
+
+class ModelArchTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(ModelArchTest, SerializeRoundTripAndScoreParity) {
+  auto [factors, taxonomy, brand, price] = GetParam();
+  data::WorldConfig config;
+  config.seed = 3;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 80);
+
+  core::HyperParams params;
+  params.num_factors = factors;
+  params.use_taxonomy = taxonomy;
+  params.use_brand = brand;
+  params.use_price = price;
+  core::BprModel model(&world.data.catalog, params);
+  Rng rng(7);
+  model.InitRandom(&rng);
+
+  StatusOr<core::BprModel> restored =
+      core::BprModel::Deserialize(model.Serialize(), &world.data.catalog);
+  ASSERT_TRUE(restored.ok());
+  std::vector<float> user_vec(factors);
+  model.UserEmbedding({{1, data::ActionType::kView},
+                       {2, data::ActionType::kCart}},
+                      user_vec.data());
+  for (data::ItemIndex i = 0; i < world.data.num_items(); i += 7) {
+    EXPECT_NEAR(restored->Score(user_vec.data(), i),
+                model.Score(user_vec.data(), i), 1e-7);
+  }
+}
+
+TEST_P(ModelArchTest, TrainingStaysFiniteAndMetricsBounded) {
+  auto [factors, taxonomy, brand, price] = GetParam();
+  data::WorldConfig config;
+  config.seed = 11;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 80);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+
+  core::TrainRequest request;
+  request.catalog = &world.data.catalog;
+  request.train_histories = &split.train;
+  request.holdout = &split.holdout;
+  request.params.num_factors = factors;
+  request.params.use_taxonomy = taxonomy;
+  request.params.use_brand = brand;
+  request.params.use_price = price;
+  request.params.num_epochs = 3;
+  StatusOr<core::TrainOutput> output = core::TrainOneModel(request);
+  ASSERT_TRUE(output.ok());
+  for (int r = 0; r < output->model.item_embeddings().rows(); ++r) {
+    for (int k = 0; k < factors; ++k) {
+      ASSERT_TRUE(std::isfinite(output->model.item_embeddings().row(r)[k]));
+    }
+  }
+  EXPECT_GE(output->metrics.map_at_k, 0.0);
+  EXPECT_LE(output->metrics.map_at_k, 1.0);
+  EXPECT_GE(output->metrics.auc, 0.0);
+  EXPECT_LE(output->metrics.auc, 1.0);
+  EXPECT_GE(output->metrics.mean_rank, 1.0);
+  // MAP <= recall@k always (AP <= 1 per hit).
+  EXPECT_LE(output->metrics.map_at_k, output->metrics.recall_at_k + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ModelArchTest,
+    ::testing::Values(Arch{1, false, false, false},
+                      Arch{4, true, false, false},
+                      Arch{8, false, true, true},
+                      Arch{16, true, true, true},
+                      Arch{64, true, false, true}));
+
+// --- World shapes -------------------------------------------------------------
+
+// (seed, items, taxonomy_depth, bundles_per_item)
+using Shape = std::tuple<uint64_t, int, int, int>;
+
+class WorldShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(WorldShapeTest, ShardRoundTripExactlyPreservesData) {
+  auto [seed, items, depth, bundles] = GetParam();
+  data::WorldConfig config;
+  config.seed = seed;
+  config.taxonomy_depth = depth;
+  config.bundles_per_item = bundles;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, items);
+
+  std::string bytes = data::SerializeRetailerData(world.data);
+  StatusOr<data::RetailerData> restored =
+      data::DeserializeRetailerData(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_items(), world.data.num_items());
+  EXPECT_EQ(restored->TotalInteractions(), world.data.TotalInteractions());
+  // Popularity vectors (a full-content proxy) identical.
+  EXPECT_EQ(restored->ItemPopularity(), world.data.ItemPopularity());
+  // Double round trip is byte-stable.
+  EXPECT_EQ(data::SerializeRetailerData(*restored), bytes);
+}
+
+TEST_P(WorldShapeTest, CandidateSelectionAlwaysValidAndDeterministic) {
+  auto [seed, items, depth, bundles] = GetParam();
+  data::WorldConfig config;
+  config.seed = seed;
+  config.taxonomy_depth = depth;
+  config.bundles_per_item = bundles;
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, items);
+
+  core::CooccurrenceModel cooccurrence = core::CooccurrenceModel::Build(
+      world.data.histories, world.data.num_items(), {});
+  core::RepurchaseEstimator repurchase = core::RepurchaseEstimator::Build(
+      world.data.histories, world.data.catalog, {});
+  core::CandidateSelector selector(&world.data.catalog, &cooccurrence,
+                                   &repurchase);
+  core::CandidateSelector::Options options;
+  for (data::ItemIndex i = 0; i < world.data.num_items();
+       i += std::max(1, world.data.num_items() / 15)) {
+    auto a = selector.ViewBased(i, options);
+    auto b = selector.ViewBased(i, options);
+    EXPECT_EQ(a, b);  // deterministic
+    for (data::ItemIndex candidate : a) {
+      ASSERT_GE(candidate, 0);
+      ASSERT_LT(candidate, world.data.num_items());
+    }
+    auto purchase = selector.PurchaseBased(i, options);
+    for (data::ItemIndex candidate : purchase) {
+      ASSERT_GE(candidate, 0);
+      ASSERT_LT(candidate, world.data.num_items());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorldShapeTest,
+    ::testing::Values(Shape{1, 40, 2, 0}, Shape{2, 150, 3, 0},
+                      Shape{3, 150, 3, 2}, Shape{4, 400, 4, 1},
+                      Shape{5, 60, 1, 3}));
+
+// --- Grid search invariants ----------------------------------------------------
+
+class GridSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridSeedTest, GridIsDeduplicatedAndWithinCap) {
+  data::WorldConfig config;
+  config.seed = GetParam();
+  data::WorldGenerator generator(config);
+  data::RetailerWorld world = generator.GenerateRetailer(0, 60);
+  core::GridSpec spec;
+  spec.factors = {4, 8, 16};
+  spec.lambdas_v = {0.1, 0.01};
+  spec.lambdas_vc = {0.1, 0.01};
+  spec.learning_rates = {0.1, 0.01};
+  spec.max_configs = 20;
+  auto grid = core::BuildGrid(spec, world.data.catalog, GetParam());
+  EXPECT_LE(grid.size(), 20u);
+  // No duplicate configurations.
+  std::set<std::string> seen;
+  for (const core::HyperParams& params : grid) {
+    EXPECT_TRUE(seen.insert(params.Serialize()).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSeedTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace sigmund

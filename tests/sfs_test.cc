@@ -1,0 +1,115 @@
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sfs/mem_filesystem.h"
+
+namespace sigmund::sfs {
+namespace {
+
+TEST(MemFileSystemTest, WriteReadRoundTrip) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("models/r1/ckpt", "payload").ok());
+  auto data = fs.Read("models/r1/ckpt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload");
+}
+
+TEST(MemFileSystemTest, WriteOverwrites) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("f", "v1").ok());
+  ASSERT_TRUE(fs.Write("f", "v2").ok());
+  EXPECT_EQ(*fs.Read("f"), "v2");
+}
+
+TEST(MemFileSystemTest, EmptyPathRejected) {
+  MemFileSystem fs;
+  EXPECT_EQ(fs.Write("", "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemFileSystemTest, ReadMissingIsNotFound) {
+  MemFileSystem fs;
+  EXPECT_EQ(fs.Read("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemFileSystemTest, DeleteRemoves) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("f", "x").ok());
+  ASSERT_TRUE(fs.Delete("f").ok());
+  EXPECT_FALSE(fs.Exists("f"));
+  EXPECT_EQ(fs.Delete("f").code(), StatusCode::kNotFound);
+}
+
+TEST(MemFileSystemTest, RenameMovesContent) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("tmp", "x").ok());
+  ASSERT_TRUE(fs.Rename("tmp", "final").ok());
+  EXPECT_FALSE(fs.Exists("tmp"));
+  EXPECT_EQ(*fs.Read("final"), "x");
+}
+
+TEST(MemFileSystemTest, RenameOverwritesDestination) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("a", "new").ok());
+  ASSERT_TRUE(fs.Write("b", "old").ok());
+  ASSERT_TRUE(fs.Rename("a", "b").ok());
+  EXPECT_EQ(*fs.Read("b"), "new");
+}
+
+TEST(MemFileSystemTest, RenameMissingSource) {
+  MemFileSystem fs;
+  EXPECT_EQ(fs.Rename("gone", "b").code(), StatusCode::kNotFound);
+}
+
+TEST(MemFileSystemTest, ListPrefixSorted) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("a/2", "").ok());
+  ASSERT_TRUE(fs.Write("a/1", "").ok());
+  ASSERT_TRUE(fs.Write("b/1", "").ok());
+  EXPECT_EQ(fs.List("a/"), (std::vector<std::string>{"a/1", "a/2"}));
+  EXPECT_EQ(fs.List(""), (std::vector<std::string>{"a/1", "a/2", "b/1"}));
+  EXPECT_TRUE(fs.List("zzz").empty());
+}
+
+TEST(MemFileSystemTest, FileSizeAndTotals) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.Write("f", "12345").ok());
+  ASSERT_TRUE(fs.Write("g", "12").ok());
+  EXPECT_EQ(*fs.FileSize("f"), 5);
+  EXPECT_EQ(fs.TotalBytes(), 7);
+  EXPECT_EQ(fs.FileCount(), 2);
+  EXPECT_EQ(fs.FileSize("h").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemFileSystemTest, ConcurrentWritersDontCorrupt) {
+  MemFileSystem fs;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fs, t] {
+      for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(
+            fs.Write("t" + std::to_string(t) + "/" + std::to_string(i), "x")
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fs.FileCount(), 800);
+}
+
+TEST(FileTransferLedgerTest, CountsCrossCellOnly) {
+  FileTransferLedger ledger;
+  ledger.RecordTransfer("cell-a", "cell-a", 1000);  // local: free
+  EXPECT_EQ(ledger.total_bytes(), 0);
+  ledger.RecordTransfer("cell-a", "cell-b", 1000);
+  ledger.RecordTransfer("cell-b", "cell-c", 500);
+  EXPECT_EQ(ledger.total_bytes(), 1500);
+  EXPECT_EQ(ledger.transfer_count(), 2);
+  ledger.Reset();
+  EXPECT_EQ(ledger.total_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace sigmund::sfs

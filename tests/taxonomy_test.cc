@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/taxonomy.h"
+
+namespace sigmund::data {
+namespace {
+
+// Builds the paper's Fig. 3 taxonomy:
+// root -> Cell Phones -> Smart Phones -> {Android Phones, Apple Phones},
+//         Cell Phones -> Other.
+struct Fig3 {
+  Taxonomy taxonomy;
+  CategoryId cell, smart, android, apple, other;
+
+  Fig3() {
+    cell = taxonomy.AddCategory("cell_phones", taxonomy.root());
+    smart = taxonomy.AddCategory("smart_phones", cell);
+    android = taxonomy.AddCategory("android_phones", smart);
+    apple = taxonomy.AddCategory("apple_phones", smart);
+    other = taxonomy.AddCategory("other", cell);
+  }
+};
+
+TEST(TaxonomyTest, RootOnlyByDefault) {
+  Taxonomy t;
+  EXPECT_EQ(t.num_categories(), 1);
+  EXPECT_EQ(t.depth(t.root()), 0);
+  EXPECT_TRUE(t.IsLeaf(t.root()));
+  EXPECT_EQ(t.parent(t.root()), t.root());
+}
+
+TEST(TaxonomyTest, DepthsFollowTree) {
+  Fig3 f;
+  EXPECT_EQ(f.taxonomy.depth(f.cell), 1);
+  EXPECT_EQ(f.taxonomy.depth(f.smart), 2);
+  EXPECT_EQ(f.taxonomy.depth(f.android), 3);
+  EXPECT_EQ(f.taxonomy.depth(f.other), 2);
+}
+
+TEST(TaxonomyTest, PathToRootInclusive) {
+  Fig3 f;
+  auto path = f.taxonomy.PathToRoot(f.android);
+  EXPECT_EQ(path, (std::vector<CategoryId>{f.android, f.smart, f.cell,
+                                           f.taxonomy.root()}));
+}
+
+TEST(TaxonomyTest, LcaBasics) {
+  Fig3 f;
+  EXPECT_EQ(f.taxonomy.Lca(f.android, f.apple), f.smart);
+  EXPECT_EQ(f.taxonomy.Lca(f.android, f.other), f.cell);
+  EXPECT_EQ(f.taxonomy.Lca(f.android, f.android), f.android);
+  EXPECT_EQ(f.taxonomy.Lca(f.android, f.smart), f.smart);
+}
+
+TEST(TaxonomyTest, LcaDistanceMatchesFig3) {
+  Fig3 f;
+  // Items in the same category (two Android phones): distance 1.
+  EXPECT_EQ(f.taxonomy.LcaDistance(f.android, f.android), 1);
+  // Android vs Apple phone: distance 2.
+  EXPECT_EQ(f.taxonomy.LcaDistance(f.android, f.apple), 2);
+  // Android vs "other" cell phone: distance 3 from Android's perspective.
+  EXPECT_EQ(f.taxonomy.LcaDistance(f.android, f.other), 3);
+}
+
+TEST(TaxonomyTest, CategoriesWithinLcaGrowsWithK) {
+  Fig3 f;
+  auto k1 = f.taxonomy.CategoriesWithinLca(f.android, 1);
+  EXPECT_EQ(k1, (std::vector<CategoryId>{f.android}));
+  auto k2 = f.taxonomy.CategoriesWithinLca(f.android, 2);
+  EXPECT_EQ(k2, (std::vector<CategoryId>{f.smart, f.android, f.apple}));
+  auto k3 = f.taxonomy.CategoriesWithinLca(f.android, 3);
+  EXPECT_EQ(k3.size(), 5u);  // cell subtree
+  auto k9 = f.taxonomy.CategoriesWithinLca(f.android, 9);
+  EXPECT_EQ(k9.size(), 6u);  // clamped at root: whole taxonomy
+}
+
+TEST(TaxonomyTest, LeavesListedInOrder) {
+  Fig3 f;
+  auto leaves = f.taxonomy.Leaves();
+  EXPECT_EQ(leaves, (std::vector<CategoryId>{f.android, f.apple, f.other}));
+}
+
+TEST(TaxonomyTest, RandomHasRequestedShape) {
+  Rng rng(5);
+  Taxonomy t = Taxonomy::Random(3, 2, 3, &rng);
+  auto leaves = t.Leaves();
+  EXPECT_GE(leaves.size(), 8u);  // at least 2^3
+  for (CategoryId leaf : leaves) EXPECT_EQ(t.depth(leaf), 3);
+}
+
+TEST(TaxonomyTest, RandomDeterministicForSeed) {
+  Rng rng1(9), rng2(9);
+  Taxonomy a = Taxonomy::Random(2, 2, 4, &rng1);
+  Taxonomy b = Taxonomy::Random(2, 2, 4, &rng2);
+  EXPECT_EQ(a.num_categories(), b.num_categories());
+}
+
+// Property tests over random taxonomies.
+class TaxonomyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaxonomyPropertyTest, LcaAndDistanceInvariants) {
+  Rng rng(GetParam());
+  Taxonomy t = Taxonomy::Random(3, 2, 3, &rng);
+  auto leaves = t.Leaves();
+  for (int trial = 0; trial < 50; ++trial) {
+    CategoryId a = leaves[rng.Uniform(leaves.size())];
+    CategoryId b = leaves[rng.Uniform(leaves.size())];
+    CategoryId lca = t.Lca(a, b);
+    // LCA is an ancestor of both.
+    auto path_a = t.PathToRoot(a);
+    auto path_b = t.PathToRoot(b);
+    EXPECT_NE(std::find(path_a.begin(), path_a.end(), lca), path_a.end());
+    EXPECT_NE(std::find(path_b.begin(), path_b.end(), lca), path_b.end());
+    // Symmetric for equal-depth leaves.
+    EXPECT_EQ(t.LcaDistance(a, b), t.LcaDistance(b, a));
+    // Distance bounds: [1, depth+1].
+    EXPECT_GE(t.LcaDistance(a, b), 1);
+    EXPECT_LE(t.LcaDistance(a, b), t.depth(a) + 1);
+    // Identity of indiscernibles (same category <-> distance 1 for a==b).
+    EXPECT_EQ(t.LcaDistance(a, a), 1);
+    // CategoriesWithinLca is monotone in k.
+    auto k1 = t.CategoriesWithinLca(a, 1);
+    auto k2 = t.CategoriesWithinLca(a, 2);
+    EXPECT_TRUE(std::includes(k2.begin(), k2.end(), k1.begin(), k1.end()));
+    // b is within LCA distance d of a where d = LcaDistance(a, b).
+    int d = t.LcaDistance(a, b);
+    auto within = t.CategoriesWithinLca(a, d);
+    EXPECT_NE(std::find(within.begin(), within.end(), b), within.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaxonomyPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace sigmund::data

@@ -1,0 +1,187 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/calibration.h"
+#include "core/tuner.h"
+#include "data/world_generator.h"
+
+namespace sigmund::core {
+namespace {
+
+data::RetailerWorld MakeWorld(uint64_t seed = 3, int items = 100) {
+  data::WorldConfig config;
+  config.seed = seed;
+  data::WorldGenerator generator(config);
+  return generator.GenerateRetailer(0, items);
+}
+
+GridSpec SmallSpace() {
+  GridSpec space;
+  space.factors = {4, 8, 16};
+  space.learning_rates = {0.3, 0.05, 0.005};
+  space.lambdas_v = {0.3, 0.01};
+  space.lambdas_vc = {0.01};
+  space.sweep_taxonomy = false;
+  space.num_epochs = 100;  // unused by the tuner's rung budgeting
+  return space;
+}
+
+// --- SuccessiveHalving -----------------------------------------------------
+
+TEST(SuccessiveHalvingTest, LeaderboardSortedAndComplete) {
+  data::RetailerWorld world = MakeWorld();
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TunerOptions options;
+  options.initial_configs = 9;
+  options.eta = 3;
+  options.epochs_per_rung = 2;
+  TunerOutcome outcome =
+      SuccessiveHalving(world.data, split, SmallSpace(), options);
+  EXPECT_EQ(outcome.leaderboard.size(), 9u);
+  for (size_t i = 1; i < outcome.leaderboard.size(); ++i) {
+    EXPECT_GE(outcome.leaderboard[i - 1].metrics.map_at_k,
+              outcome.leaderboard[i].metrics.map_at_k);
+  }
+  EXPECT_GT(outcome.total_sgd_steps, 0);
+  EXPECT_GE(outcome.rungs, 2);
+}
+
+TEST(SuccessiveHalvingTest, SurvivorsTrainMoreEpochs) {
+  data::RetailerWorld world = MakeWorld(5);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TunerOptions options;
+  options.initial_configs = 9;
+  options.eta = 3;
+  options.epochs_per_rung = 2;
+  TunerOutcome outcome =
+      SuccessiveHalving(world.data, split, SmallSpace(), options);
+  // The winner survived every rung; the tail was cut at rung 1.
+  int max_epochs = 0, min_epochs = 1 << 30;
+  for (const TrialResult& trial : outcome.leaderboard) {
+    max_epochs = std::max(max_epochs, trial.stats.epochs_run);
+    min_epochs = std::min(min_epochs, trial.stats.epochs_run);
+  }
+  EXPECT_EQ(min_epochs, options.epochs_per_rung);
+  EXPECT_GE(max_epochs, options.epochs_per_rung * outcome.rungs);
+  EXPECT_EQ(outcome.leaderboard.front().stats.epochs_run, max_epochs);
+}
+
+TEST(SuccessiveHalvingTest, SpendsFarLessThanFullGridBudget) {
+  data::RetailerWorld world = MakeWorld(7);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TunerOptions options;
+  options.initial_configs = 9;
+  options.eta = 3;
+  options.epochs_per_rung = 2;
+  TunerOutcome outcome =
+      SuccessiveHalving(world.data, split, SmallSpace(), options);
+  // Full grid at the survivor's depth would cost configs * rungs * epochs;
+  // halving spends ~ configs * epochs * (1 + 1/eta + 1/eta^2 ...).
+  TrainingData training_data(&split.train, world.data.num_items());
+  int64_t full_grid_budget = 9LL * outcome.rungs *
+                             options.epochs_per_rung *
+                             training_data.num_positions();
+  EXPECT_LT(outcome.total_sgd_steps, full_grid_budget * 2 / 3);
+}
+
+TEST(SuccessiveHalvingTest, SingleConfigDegeneratesGracefully) {
+  data::RetailerWorld world = MakeWorld(9, 60);
+  data::TrainTestSplit split = data::SplitLeaveLastOut(world.data);
+  TunerOptions options;
+  options.initial_configs = 1;
+  options.epochs_per_rung = 1;
+  GridSpec space = SmallSpace();
+  space.factors = {8};
+  space.learning_rates = {0.05};
+  space.lambdas_v = {0.01};
+  TunerOutcome outcome = SuccessiveHalving(world.data, split, space, options);
+  EXPECT_EQ(outcome.leaderboard.size(), 1u);
+  EXPECT_EQ(outcome.rungs, 1);
+}
+
+// --- ScoreCalibrator --------------------------------------------------------
+
+TEST(ScoreCalibratorTest, RecoversPlantedSigmoid) {
+  // Labels drawn from sigmoid(2s - 1): the fit should recover a ~ 2, b ~ -1.
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<bool> clicked;
+  for (int n = 0; n < 20000; ++n) {
+    double s = rng.UniformDouble(-3.0, 3.0);
+    double p = 1.0 / (1.0 + std::exp(-(2.0 * s - 1.0)));
+    scores.push_back(s);
+    clicked.push_back(rng.Bernoulli(p));
+  }
+  StatusOr<ScoreCalibrator> calibrator = ScoreCalibrator::Fit(scores, clicked);
+  ASSERT_TRUE(calibrator.ok());
+  EXPECT_NEAR(calibrator->slope(), 2.0, 0.15);
+  EXPECT_NEAR(calibrator->intercept(), -1.0, 0.12);
+}
+
+TEST(ScoreCalibratorTest, ProbabilityMonotoneWithPositiveSlope) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<bool> clicked;
+  for (int n = 0; n < 2000; ++n) {
+    double s = rng.UniformDouble(-2.0, 2.0);
+    scores.push_back(s);
+    clicked.push_back(rng.Bernoulli(s > 0 ? 0.7 : 0.2));
+  }
+  StatusOr<ScoreCalibrator> calibrator = ScoreCalibrator::Fit(scores, clicked);
+  ASSERT_TRUE(calibrator.ok());
+  EXPECT_GT(calibrator->slope(), 0.0);
+  double previous = 0.0;
+  for (double s = -3.0; s <= 3.0; s += 0.5) {
+    double p = calibrator->Probability(s);
+    EXPECT_GT(p, previous);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(ScoreCalibratorTest, ThresholdDecision) {
+  std::vector<double> scores = {-2, -1.5, -1, 1, 1.5, 2};
+  std::vector<bool> clicked = {false, false, false, true, true, true};
+  StatusOr<ScoreCalibrator> calibrator = ScoreCalibrator::Fit(scores, clicked);
+  ASSERT_TRUE(calibrator.ok());
+  EXPECT_TRUE(calibrator->ShouldDisplay(2.0, 0.5));
+  EXPECT_FALSE(calibrator->ShouldDisplay(-2.0, 0.5));
+}
+
+TEST(ScoreCalibratorTest, RejectsDegenerateInputs) {
+  EXPECT_EQ(ScoreCalibrator::Fit({1.0}, {true, false}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScoreCalibrator::Fit({1.0, 2.0}, {true, true}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      ScoreCalibrator::Fit({1.0, 2.0}, {false, false}).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(ScoreCalibratorTest, BetterLogLossThanUncalibratedBaseline) {
+  Rng rng(11);
+  std::vector<double> scores;
+  std::vector<bool> clicked;
+  for (int n = 0; n < 5000; ++n) {
+    double s = rng.UniformDouble(-4.0, 4.0);
+    double p = 1.0 / (1.0 + std::exp(-(0.5 * s + 1.0)));
+    scores.push_back(s);
+    clicked.push_back(rng.Bernoulli(p));
+  }
+  StatusOr<ScoreCalibrator> fitted = ScoreCalibrator::Fit(scores, clicked);
+  ASSERT_TRUE(fitted.ok());
+  // The calibrated model must beat the best constant predictor (base-rate
+  // entropy) — i.e. it actually extracts signal from the score.
+  double positives = 0;
+  for (bool c : clicked) positives += c;
+  double rate = positives / clicked.size();
+  double base_loss =
+      -(rate * std::log(rate) + (1 - rate) * std::log(1 - rate));
+  EXPECT_LT(fitted->LogLoss(scores, clicked), base_loss - 0.05);
+}
+
+}  // namespace
+}  // namespace sigmund::core
