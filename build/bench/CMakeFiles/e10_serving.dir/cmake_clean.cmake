@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_serving.dir/e10_serving.cpp.o"
+  "CMakeFiles/e10_serving.dir/e10_serving.cpp.o.d"
+  "e10_serving"
+  "e10_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

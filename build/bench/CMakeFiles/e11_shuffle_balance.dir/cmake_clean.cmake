@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_shuffle_balance.dir/e11_shuffle_balance.cpp.o"
+  "CMakeFiles/e11_shuffle_balance.dir/e11_shuffle_balance.cpp.o.d"
+  "e11_shuffle_balance"
+  "e11_shuffle_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_shuffle_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

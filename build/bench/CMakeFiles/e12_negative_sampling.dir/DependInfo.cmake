@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e12_negative_sampling.cpp" "bench/CMakeFiles/e12_negative_sampling.dir/e12_negative_sampling.cpp.o" "gcc" "bench/CMakeFiles/e12_negative_sampling.dir/e12_negative_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/sigmund_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sigmund_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sigmund_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/sigmund_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sigmund_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sigmund_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/sigmund_sfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_negative_sampling.dir/e12_negative_sampling.cpp.o"
+  "CMakeFiles/e12_negative_sampling.dir/e12_negative_sampling.cpp.o.d"
+  "e12_negative_sampling"
+  "e12_negative_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_negative_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

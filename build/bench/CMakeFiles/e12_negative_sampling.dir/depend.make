@@ -1,0 +1,2 @@
+# Empty dependencies file for e12_negative_sampling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_bpr_vs_wrmf.dir/e13_bpr_vs_wrmf.cpp.o"
+  "CMakeFiles/e13_bpr_vs_wrmf.dir/e13_bpr_vs_wrmf.cpp.o.d"
+  "e13_bpr_vs_wrmf"
+  "e13_bpr_vs_wrmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_bpr_vs_wrmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

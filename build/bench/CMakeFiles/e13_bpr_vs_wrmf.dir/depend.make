@@ -1,0 +1,2 @@
+# Empty dependencies file for e13_bpr_vs_wrmf.
+# This may be replaced when dependencies are built.

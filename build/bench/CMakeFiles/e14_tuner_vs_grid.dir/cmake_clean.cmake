@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_tuner_vs_grid.dir/e14_tuner_vs_grid.cpp.o"
+  "CMakeFiles/e14_tuner_vs_grid.dir/e14_tuner_vs_grid.cpp.o.d"
+  "e14_tuner_vs_grid"
+  "e14_tuner_vs_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_tuner_vs_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

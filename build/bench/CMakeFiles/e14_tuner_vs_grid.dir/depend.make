@@ -1,0 +1,2 @@
+# Empty dependencies file for e14_tuner_vs_grid.
+# This may be replaced when dependencies are built.

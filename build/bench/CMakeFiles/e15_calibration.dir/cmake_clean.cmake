@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_calibration.dir/e15_calibration.cpp.o"
+  "CMakeFiles/e15_calibration.dir/e15_calibration.cpp.o.d"
+  "e15_calibration"
+  "e15_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

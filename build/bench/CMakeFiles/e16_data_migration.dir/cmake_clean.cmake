@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e16_data_migration.dir/e16_data_migration.cpp.o"
+  "CMakeFiles/e16_data_migration.dir/e16_data_migration.cpp.o.d"
+  "e16_data_migration"
+  "e16_data_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e16_data_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

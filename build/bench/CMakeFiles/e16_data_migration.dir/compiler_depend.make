@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e16_data_migration.
+# This may be replaced when dependencies are built.

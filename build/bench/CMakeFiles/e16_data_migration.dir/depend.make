@@ -1,0 +1,2 @@
+# Empty dependencies file for e16_data_migration.
+# This may be replaced when dependencies are built.

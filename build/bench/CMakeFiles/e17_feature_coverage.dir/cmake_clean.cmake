@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e17_feature_coverage.dir/e17_feature_coverage.cpp.o"
+  "CMakeFiles/e17_feature_coverage.dir/e17_feature_coverage.cpp.o.d"
+  "e17_feature_coverage"
+  "e17_feature_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e17_feature_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e18_offline_online.dir/e18_offline_online.cpp.o"
+  "CMakeFiles/e18_offline_online.dir/e18_offline_online.cpp.o.d"
+  "e18_offline_online"
+  "e18_offline_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e18_offline_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

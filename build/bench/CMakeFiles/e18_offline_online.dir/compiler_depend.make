@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e18_offline_online.
+# This may be replaced when dependencies are built.

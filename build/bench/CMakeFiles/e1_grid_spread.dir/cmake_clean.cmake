@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_grid_spread.dir/e1_grid_spread.cpp.o"
+  "CMakeFiles/e1_grid_spread.dir/e1_grid_spread.cpp.o.d"
+  "e1_grid_spread"
+  "e1_grid_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_grid_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_incremental.dir/e2_incremental.cpp.o"
+  "CMakeFiles/e2_incremental.dir/e2_incremental.cpp.o.d"
+  "e2_incremental"
+  "e2_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

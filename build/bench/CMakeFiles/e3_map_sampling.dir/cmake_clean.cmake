@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_map_sampling.dir/e3_map_sampling.cpp.o"
+  "CMakeFiles/e3_map_sampling.dir/e3_map_sampling.cpp.o.d"
+  "e3_map_sampling"
+  "e3_map_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_map_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

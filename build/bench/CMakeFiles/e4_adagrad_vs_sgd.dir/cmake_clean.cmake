@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_adagrad_vs_sgd.dir/e4_adagrad_vs_sgd.cpp.o"
+  "CMakeFiles/e4_adagrad_vs_sgd.dir/e4_adagrad_vs_sgd.cpp.o.d"
+  "e4_adagrad_vs_sgd"
+  "e4_adagrad_vs_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_adagrad_vs_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e4_adagrad_vs_sgd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_preemptible_cost.dir/e5_preemptible_cost.cpp.o"
+  "CMakeFiles/e5_preemptible_cost.dir/e5_preemptible_cost.cpp.o.d"
+  "e5_preemptible_cost"
+  "e5_preemptible_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_preemptible_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_binpacking.dir/e6_binpacking.cpp.o"
+  "CMakeFiles/e6_binpacking.dir/e6_binpacking.cpp.o.d"
+  "e6_binpacking"
+  "e6_binpacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_binpacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

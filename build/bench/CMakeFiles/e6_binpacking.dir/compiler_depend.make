@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e6_binpacking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_lca_tradeoff.dir/e7_lca_tradeoff.cpp.o"
+  "CMakeFiles/e7_lca_tradeoff.dir/e7_lca_tradeoff.cpp.o.d"
+  "e7_lca_tradeoff"
+  "e7_lca_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_lca_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

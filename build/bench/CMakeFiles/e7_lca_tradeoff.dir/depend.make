@@ -1,0 +1,2 @@
+# Empty dependencies file for e7_lca_tradeoff.
+# This may be replaced when dependencies are built.

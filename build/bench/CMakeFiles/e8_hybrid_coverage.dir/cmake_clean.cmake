@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_hybrid_coverage.dir/e8_hybrid_coverage.cpp.o"
+  "CMakeFiles/e8_hybrid_coverage.dir/e8_hybrid_coverage.cpp.o.d"
+  "e8_hybrid_coverage"
+  "e8_hybrid_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_hybrid_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

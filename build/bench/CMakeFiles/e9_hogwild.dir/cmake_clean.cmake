@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_hogwild.dir/e9_hogwild.cpp.o"
+  "CMakeFiles/e9_hogwild.dir/e9_hogwild.cpp.o.d"
+  "e9_hogwild"
+  "e9_hogwild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_hogwild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e9_hogwild.
+# This may be replaced when dependencies are built.

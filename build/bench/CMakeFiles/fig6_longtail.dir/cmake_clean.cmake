@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_longtail.dir/fig6_longtail.cpp.o"
+  "CMakeFiles/fig6_longtail.dir/fig6_longtail.cpp.o.d"
+  "fig6_longtail"
+  "fig6_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start.dir/cold_start.cpp.o"
+  "CMakeFiles/cold_start.dir/cold_start.cpp.o.d"
+  "cold_start"
+  "cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

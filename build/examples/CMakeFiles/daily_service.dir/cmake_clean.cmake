@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_service.dir/daily_service.cpp.o"
+  "CMakeFiles/daily_service.dir/daily_service.cpp.o.d"
+  "daily_service"
+  "daily_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

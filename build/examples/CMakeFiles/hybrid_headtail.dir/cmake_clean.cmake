@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_headtail.dir/hybrid_headtail.cpp.o"
+  "CMakeFiles/hybrid_headtail.dir/hybrid_headtail.cpp.o.d"
+  "hybrid_headtail"
+  "hybrid_headtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_headtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_frontend.dir/serving_frontend.cpp.o"
+  "CMakeFiles/serving_frontend.dir/serving_frontend.cpp.o.d"
+  "serving_frontend"
+  "serving_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_and_calibration.dir/tuning_and_calibration.cpp.o"
+  "CMakeFiles/tuning_and_calibration.dir/tuning_and_calibration.cpp.o.d"
+  "tuning_and_calibration"
+  "tuning_and_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_and_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

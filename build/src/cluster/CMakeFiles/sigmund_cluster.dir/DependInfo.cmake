@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/sigmund_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/sigmund_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/cost_model.cc" "src/cluster/CMakeFiles/sigmund_cluster.dir/cost_model.cc.o" "gcc" "src/cluster/CMakeFiles/sigmund_cluster.dir/cost_model.cc.o.d"
+  "/root/repo/src/cluster/simulation.cc" "src/cluster/CMakeFiles/sigmund_cluster.dir/simulation.cc.o" "gcc" "src/cluster/CMakeFiles/sigmund_cluster.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

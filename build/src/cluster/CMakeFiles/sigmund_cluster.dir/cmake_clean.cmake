@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sigmund_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sigmund_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/sigmund_cluster.dir/cost_model.cc.o.d"
+  "CMakeFiles/sigmund_cluster.dir/simulation.cc.o"
+  "CMakeFiles/sigmund_cluster.dir/simulation.cc.o.d"
+  "libsigmund_cluster.a"
+  "libsigmund_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

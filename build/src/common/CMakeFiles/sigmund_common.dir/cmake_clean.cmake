@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_common.dir/clock.cc.o"
+  "CMakeFiles/sigmund_common.dir/clock.cc.o.d"
+  "CMakeFiles/sigmund_common.dir/logging.cc.o"
+  "CMakeFiles/sigmund_common.dir/logging.cc.o.d"
+  "CMakeFiles/sigmund_common.dir/random.cc.o"
+  "CMakeFiles/sigmund_common.dir/random.cc.o.d"
+  "CMakeFiles/sigmund_common.dir/status.cc.o"
+  "CMakeFiles/sigmund_common.dir/status.cc.o.d"
+  "CMakeFiles/sigmund_common.dir/string_util.cc.o"
+  "CMakeFiles/sigmund_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sigmund_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sigmund_common.dir/thread_pool.cc.o.d"
+  "libsigmund_common.a"
+  "libsigmund_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

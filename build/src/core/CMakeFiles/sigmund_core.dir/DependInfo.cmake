@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ab_experiment.cc" "src/core/CMakeFiles/sigmund_core.dir/ab_experiment.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/ab_experiment.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/sigmund_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/candidate_selector.cc" "src/core/CMakeFiles/sigmund_core.dir/candidate_selector.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/candidate_selector.cc.o.d"
+  "/root/repo/src/core/cooccurrence.cc" "src/core/CMakeFiles/sigmund_core.dir/cooccurrence.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/sigmund_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/funnel.cc" "src/core/CMakeFiles/sigmund_core.dir/funnel.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/funnel.cc.o.d"
+  "/root/repo/src/core/grid_search.cc" "src/core/CMakeFiles/sigmund_core.dir/grid_search.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/grid_search.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/sigmund_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/hyperparams.cc" "src/core/CMakeFiles/sigmund_core.dir/hyperparams.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/hyperparams.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/core/CMakeFiles/sigmund_core.dir/inference.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/inference.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/sigmund_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/model.cc.o.d"
+  "/root/repo/src/core/negative_sampler.cc" "src/core/CMakeFiles/sigmund_core.dir/negative_sampler.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/sigmund_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "src/core/CMakeFiles/sigmund_core.dir/training_data.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/training_data.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/sigmund_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/tuner.cc.o.d"
+  "/root/repo/src/core/wrmf.cc" "src/core/CMakeFiles/sigmund_core.dir/wrmf.cc.o" "gcc" "src/core/CMakeFiles/sigmund_core.dir/wrmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sigmund_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

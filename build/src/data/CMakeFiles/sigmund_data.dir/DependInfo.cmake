@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/sigmund_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/ctr_simulator.cc" "src/data/CMakeFiles/sigmund_data.dir/ctr_simulator.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/ctr_simulator.cc.o.d"
+  "/root/repo/src/data/retailer_data.cc" "src/data/CMakeFiles/sigmund_data.dir/retailer_data.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/retailer_data.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/data/CMakeFiles/sigmund_data.dir/serialization.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/serialization.cc.o.d"
+  "/root/repo/src/data/taxonomy.cc" "src/data/CMakeFiles/sigmund_data.dir/taxonomy.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/taxonomy.cc.o.d"
+  "/root/repo/src/data/types.cc" "src/data/CMakeFiles/sigmund_data.dir/types.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/types.cc.o.d"
+  "/root/repo/src/data/world_generator.cc" "src/data/CMakeFiles/sigmund_data.dir/world_generator.cc.o" "gcc" "src/data/CMakeFiles/sigmund_data.dir/world_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_data.dir/catalog.cc.o"
+  "CMakeFiles/sigmund_data.dir/catalog.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/ctr_simulator.cc.o"
+  "CMakeFiles/sigmund_data.dir/ctr_simulator.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/retailer_data.cc.o"
+  "CMakeFiles/sigmund_data.dir/retailer_data.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/serialization.cc.o"
+  "CMakeFiles/sigmund_data.dir/serialization.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/taxonomy.cc.o"
+  "CMakeFiles/sigmund_data.dir/taxonomy.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/types.cc.o"
+  "CMakeFiles/sigmund_data.dir/types.cc.o.d"
+  "CMakeFiles/sigmund_data.dir/world_generator.cc.o"
+  "CMakeFiles/sigmund_data.dir/world_generator.cc.o.d"
+  "libsigmund_data.a"
+  "libsigmund_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

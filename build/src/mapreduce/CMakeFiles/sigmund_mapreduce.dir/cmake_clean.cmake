@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_mapreduce.dir/mapreduce.cc.o"
+  "CMakeFiles/sigmund_mapreduce.dir/mapreduce.cc.o.d"
+  "libsigmund_mapreduce.a"
+  "libsigmund_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/binpack.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/binpack.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/binpack.cc.o.d"
+  "/root/repo/src/pipeline/checkpoint.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/checkpoint.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/checkpoint.cc.o.d"
+  "/root/repo/src/pipeline/config_record.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/config_record.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/config_record.cc.o.d"
+  "/root/repo/src/pipeline/data_placement.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/data_placement.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/data_placement.cc.o.d"
+  "/root/repo/src/pipeline/inference_job.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/inference_job.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/inference_job.cc.o.d"
+  "/root/repo/src/pipeline/quality_monitor.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/quality_monitor.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/quality_monitor.cc.o.d"
+  "/root/repo/src/pipeline/registry.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/registry.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/registry.cc.o.d"
+  "/root/repo/src/pipeline/service.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/service.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/service.cc.o.d"
+  "/root/repo/src/pipeline/sweep.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/sweep.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/sweep.cc.o.d"
+  "/root/repo/src/pipeline/training_job.cc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/training_job.cc.o" "gcc" "src/pipeline/CMakeFiles/sigmund_pipeline.dir/training_job.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sigmund_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sigmund_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/sigmund_sfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sigmund_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/sigmund_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sigmund_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_pipeline.dir/binpack.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/binpack.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/checkpoint.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/checkpoint.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/config_record.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/config_record.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/data_placement.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/data_placement.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/inference_job.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/inference_job.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/quality_monitor.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/quality_monitor.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/registry.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/registry.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/service.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/service.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/sweep.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/sweep.cc.o.d"
+  "CMakeFiles/sigmund_pipeline.dir/training_job.cc.o"
+  "CMakeFiles/sigmund_pipeline.dir/training_job.cc.o.d"
+  "libsigmund_pipeline.a"
+  "libsigmund_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsigmund_pipeline.a"
+)

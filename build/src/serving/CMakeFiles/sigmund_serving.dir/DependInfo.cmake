@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/frontend.cc" "src/serving/CMakeFiles/sigmund_serving.dir/frontend.cc.o" "gcc" "src/serving/CMakeFiles/sigmund_serving.dir/frontend.cc.o.d"
+  "/root/repo/src/serving/store.cc" "src/serving/CMakeFiles/sigmund_serving.dir/store.cc.o" "gcc" "src/serving/CMakeFiles/sigmund_serving.dir/store.cc.o.d"
+  "/root/repo/src/serving/tiered_store.cc" "src/serving/CMakeFiles/sigmund_serving.dir/tiered_store.cc.o" "gcc" "src/serving/CMakeFiles/sigmund_serving.dir/tiered_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sigmund_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/sigmund_sfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sigmund_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

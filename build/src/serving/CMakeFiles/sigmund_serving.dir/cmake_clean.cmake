@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_serving.dir/frontend.cc.o"
+  "CMakeFiles/sigmund_serving.dir/frontend.cc.o.d"
+  "CMakeFiles/sigmund_serving.dir/store.cc.o"
+  "CMakeFiles/sigmund_serving.dir/store.cc.o.d"
+  "CMakeFiles/sigmund_serving.dir/tiered_store.cc.o"
+  "CMakeFiles/sigmund_serving.dir/tiered_store.cc.o.d"
+  "libsigmund_serving.a"
+  "libsigmund_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

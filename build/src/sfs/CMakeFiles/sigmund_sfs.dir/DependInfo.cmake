@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfs/local_filesystem.cc" "src/sfs/CMakeFiles/sigmund_sfs.dir/local_filesystem.cc.o" "gcc" "src/sfs/CMakeFiles/sigmund_sfs.dir/local_filesystem.cc.o.d"
+  "/root/repo/src/sfs/mem_filesystem.cc" "src/sfs/CMakeFiles/sigmund_sfs.dir/mem_filesystem.cc.o" "gcc" "src/sfs/CMakeFiles/sigmund_sfs.dir/mem_filesystem.cc.o.d"
+  "/root/repo/src/sfs/shared_filesystem.cc" "src/sfs/CMakeFiles/sigmund_sfs.dir/shared_filesystem.cc.o" "gcc" "src/sfs/CMakeFiles/sigmund_sfs.dir/shared_filesystem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sigmund_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmund_sfs.dir/local_filesystem.cc.o"
+  "CMakeFiles/sigmund_sfs.dir/local_filesystem.cc.o.d"
+  "CMakeFiles/sigmund_sfs.dir/mem_filesystem.cc.o"
+  "CMakeFiles/sigmund_sfs.dir/mem_filesystem.cc.o.d"
+  "CMakeFiles/sigmund_sfs.dir/shared_filesystem.cc.o"
+  "CMakeFiles/sigmund_sfs.dir/shared_filesystem.cc.o.d"
+  "libsigmund_sfs.a"
+  "libsigmund_sfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmund_sfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

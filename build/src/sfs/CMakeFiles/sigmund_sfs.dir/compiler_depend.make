@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sigmund_sfs.
+# This may be replaced when dependencies are built.

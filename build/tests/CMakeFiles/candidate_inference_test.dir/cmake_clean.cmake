@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_inference_test.dir/candidate_inference_test.cc.o"
+  "CMakeFiles/candidate_inference_test.dir/candidate_inference_test.cc.o.d"
+  "candidate_inference_test"
+  "candidate_inference_test.pdb"
+  "candidate_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

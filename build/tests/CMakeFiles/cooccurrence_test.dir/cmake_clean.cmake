@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooccurrence_test.dir/cooccurrence_test.cc.o"
+  "CMakeFiles/cooccurrence_test.dir/cooccurrence_test.cc.o.d"
+  "cooccurrence_test"
+  "cooccurrence_test.pdb"
+  "cooccurrence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooccurrence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_ab_test.dir/frontend_ab_test.cc.o"
+  "CMakeFiles/frontend_ab_test.dir/frontend_ab_test.cc.o.d"
+  "frontend_ab_test"
+  "frontend_ab_test.pdb"
+  "frontend_ab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_ab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

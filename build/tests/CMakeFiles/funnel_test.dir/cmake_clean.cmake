@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funnel_test.dir/funnel_test.cc.o"
+  "CMakeFiles/funnel_test.dir/funnel_test.cc.o.d"
+  "funnel_test"
+  "funnel_test.pdb"
+  "funnel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

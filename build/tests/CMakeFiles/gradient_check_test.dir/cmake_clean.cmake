@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_check_test.dir/gradient_check_test.cc.o"
+  "CMakeFiles/gradient_check_test.dir/gradient_check_test.cc.o.d"
+  "gradient_check_test"
+  "gradient_check_test.pdb"
+  "gradient_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobs_test.dir/jobs_test.cc.o"
+  "CMakeFiles/jobs_test.dir/jobs_test.cc.o.d"
+  "jobs_test"
+  "jobs_test.pdb"
+  "jobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

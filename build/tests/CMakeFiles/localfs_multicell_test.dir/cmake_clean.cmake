@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localfs_multicell_test.dir/localfs_multicell_test.cc.o"
+  "CMakeFiles/localfs_multicell_test.dir/localfs_multicell_test.cc.o.d"
+  "localfs_multicell_test"
+  "localfs_multicell_test.pdb"
+  "localfs_multicell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localfs_multicell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_test.dir/longitudinal_test.cc.o"
+  "CMakeFiles/longitudinal_test.dir/longitudinal_test.cc.o.d"
+  "longitudinal_test"
+  "longitudinal_test.pdb"
+  "longitudinal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

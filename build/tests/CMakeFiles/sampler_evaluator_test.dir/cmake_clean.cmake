@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_evaluator_test.dir/sampler_evaluator_test.cc.o"
+  "CMakeFiles/sampler_evaluator_test.dir/sampler_evaluator_test.cc.o.d"
+  "sampler_evaluator_test"
+  "sampler_evaluator_test.pdb"
+  "sampler_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_placement_test.dir/serialization_placement_test.cc.o"
+  "CMakeFiles/serialization_placement_test.dir/serialization_placement_test.cc.o.d"
+  "serialization_placement_test"
+  "serialization_placement_test.pdb"
+  "serialization_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_test.dir/sfs_test.cc.o"
+  "CMakeFiles/sfs_test.dir/sfs_test.cc.o.d"
+  "sfs_test"
+  "sfs_test.pdb"
+  "sfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

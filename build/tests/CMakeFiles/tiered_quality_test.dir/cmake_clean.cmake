@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_quality_test.dir/tiered_quality_test.cc.o"
+  "CMakeFiles/tiered_quality_test.dir/tiered_quality_test.cc.o.d"
+  "tiered_quality_test"
+  "tiered_quality_test.pdb"
+  "tiered_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

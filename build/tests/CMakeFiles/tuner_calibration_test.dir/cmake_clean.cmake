@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_calibration_test.dir/tuner_calibration_test.cc.o"
+  "CMakeFiles/tuner_calibration_test.dir/tuner_calibration_test.cc.o.d"
+  "tuner_calibration_test"
+  "tuner_calibration_test.pdb"
+  "tuner_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

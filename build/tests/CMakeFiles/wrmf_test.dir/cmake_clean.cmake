@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrmf_test.dir/wrmf_test.cc.o"
+  "CMakeFiles/wrmf_test.dir/wrmf_test.cc.o.d"
+  "wrmf_test"
+  "wrmf_test.pdb"
+  "wrmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

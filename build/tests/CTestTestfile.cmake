@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sfs_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/cooccurrence_test[1]_include.cmake")
+include("/root/repo/build/tests/candidate_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_search_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/jobs_test[1]_include.cmake")
+include("/root/repo/build/tests/service_serving_test[1]_include.cmake")
+include("/root/repo/build/tests/wrmf_test[1]_include.cmake")
+include("/root/repo/build/tests/tuner_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/funnel_test[1]_include.cmake")
+include("/root/repo/build/tests/gradient_check_test[1]_include.cmake")
+include("/root/repo/build/tests/tiered_quality_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_ab_test[1]_include.cmake")
+include("/root/repo/build/tests/longitudinal_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/localfs_multicell_test[1]_include.cmake")

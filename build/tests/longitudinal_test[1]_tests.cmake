@@ -1,0 +1,3 @@
+add_test([=[LongitudinalTest.FiveDaysOfProduction]=]  /root/repo/build/tests/longitudinal_test [==[--gtest_filter=LongitudinalTest.FiveDaysOfProduction]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LongitudinalTest.FiveDaysOfProduction]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  longitudinal_test_TESTS LongitudinalTest.FiveDaysOfProduction)
