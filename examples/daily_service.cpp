@@ -9,11 +9,15 @@
 //        full grid for the new one).
 // Day 3: heavy preemption weather; the pipeline still completes thanks to
 //        checkpoints and MapReduce retries.
+// Day 4: chaos storm — the shared filesystem itself starts failing
+//        (transient errors, torn writes) on top of task kills; retries,
+//        checksummed I/O, and corruption-tolerant recovery absorb it all.
 
 #include <cstdio>
 
 #include "data/world_generator.h"
 #include "pipeline/service.h"
+#include "sfs/fault_injection.h"
 #include "sfs/mem_filesystem.h"
 
 using namespace sigmund;  // example code; library code never does this
@@ -118,5 +122,45 @@ int main() {
               "models delivered\n",
               static_cast<long long>(day3->preemptions),
               static_cast<long long>(day3->map_failures));
+
+  // --- Day 4: chaos storm. The shared filesystem starts failing too:
+  // 5% of every operation returns a transient error and 5% of writes are
+  // torn (report success, persist garbage). Retry-with-backoff masks the
+  // former; checksummed frames with read-back verification catch and heal
+  // the latter.
+  sfs::FaultProfile chaos_profile;
+  chaos_profile.read_error_prob = 0.05;
+  chaos_profile.write_error_prob = 0.05;
+  chaos_profile.rename_error_prob = 0.05;
+  chaos_profile.delete_error_prob = 0.05;
+  chaos_profile.list_error_prob = 0.05;
+  chaos_profile.torn_write_prob = 0.05;
+  sfs::FaultInjectingFileSystem chaos_fs(&fs, chaos_profile);
+
+  pipeline::SigmundService::Options chaos = stormy;
+  chaos.training.reduce_task_failure_prob = 0.2;
+  RetryPolicy generous;
+  generous.max_attempts = 10;
+  chaos.sfs_retry = generous;
+  chaos.training.sfs_retry = generous;
+  chaos.inference.sfs_retry = generous;
+  chaos.injected_faults = &chaos_fs.counters();
+  pipeline::SigmundService chaos_service(&chaos_fs, chaos);
+  chaos_service.UpsertRetailer(&small.data);
+  chaos_service.UpsertRetailer(&medium.data);
+  chaos_service.UpsertRetailer(&large.data);
+  chaos_service.UpsertRetailer(&newcomer.data);
+  StatusOr<pipeline::DailyReport> day4 = chaos_service.RunDaily();
+  if (!day4.ok()) {
+    std::printf("day 4 failed: %s\n", day4.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 4 (chaos storm): %s\n", day4->ToString().c_str());
+  std::printf("  -> %lld injected storage faults masked by %lld retries; "
+              "%lld corrupt writes healed\n",
+              static_cast<long long>(day4->faults_injected),
+              static_cast<long long>(day4->sfs_retries),
+              static_cast<long long>(day4->corruptions_healed));
+  ShowSample(chaos_service, 2);
   return 0;
 }

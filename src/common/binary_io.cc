@@ -1,0 +1,62 @@
+#include "common/binary_io.h"
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace sigmund {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'S', 'G', 'F', '1'};
+constexpr size_t kFrameHeaderBytes =
+    sizeof(kFrameMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+
+}  // namespace
+
+bool LooksLikeChecksummedFrame(std::string_view frame) {
+  return frame.size() >= sizeof(kFrameMagic) &&
+         std::memcmp(frame.data(), kFrameMagic, sizeof(kFrameMagic)) == 0;
+}
+
+std::string WriteChecksummedFrame(std::string_view payload) {
+  std::string frame(kFrameMagic, sizeof(kFrameMagic));
+  const uint32_t crc = Crc32(payload);
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  const uint64_t size = payload.size();
+  frame.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+StatusOr<std::string> ReadChecksummedFrame(std::string_view frame) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return DataLossError(
+        StrFormat("frame truncated: %zu bytes < %zu-byte header",
+                  frame.size(), kFrameHeaderBytes));
+  }
+  if (!LooksLikeChecksummedFrame(frame)) {
+    return DataLossError("frame magic mismatch");
+  }
+  uint32_t stored_crc = 0;
+  uint64_t stored_size = 0;
+  std::memcpy(&stored_crc, frame.data() + sizeof(kFrameMagic),
+              sizeof(stored_crc));
+  std::memcpy(&stored_size,
+              frame.data() + sizeof(kFrameMagic) + sizeof(stored_crc),
+              sizeof(stored_size));
+  if (stored_size != frame.size() - kFrameHeaderBytes) {
+    return DataLossError(StrFormat(
+        "frame length mismatch: header says %llu, blob carries %zu",
+        static_cast<unsigned long long>(stored_size),
+        frame.size() - kFrameHeaderBytes));
+  }
+  std::string_view payload = frame.substr(kFrameHeaderBytes);
+  const uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != stored_crc) {
+    return DataLossError(StrFormat("frame checksum mismatch: %08x != %08x",
+                                   actual_crc, stored_crc));
+  }
+  return std::string(payload);
+}
+
+}  // namespace sigmund

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace sigmund {
 
 // Little helpers for length-prefixed binary encoding of pipeline payloads
@@ -60,7 +62,10 @@ class BinaryReader {
 
   bool ReadString(std::string* text) {
     uint64_t size = 0;
-    if (!Read(&size) || offset_ + size > data_.size()) return false;
+    // Compare against the remaining bytes, not offset_ + size: a hostile
+    // or torn length prefix near UINT64_MAX would overflow the addition
+    // and pass the old check, then read far out of bounds.
+    if (!Read(&size) || size > data_.size() - offset_) return false;
     text->assign(data_.data() + offset_, size);
     offset_ += size;
     return true;
@@ -71,7 +76,8 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t count = 0;
     if (!Read(&count)) return false;
-    if (offset_ + count * sizeof(T) > data_.size()) return false;
+    // Divide instead of multiplying: count * sizeof(T) can wrap uint64.
+    if (count > (data_.size() - offset_) / sizeof(T)) return false;
     values->resize(count);
     if (count > 0) {
       std::memcpy(values->data(), data_.data() + offset_,
@@ -88,6 +94,29 @@ class BinaryReader {
   std::string_view data_;
   size_t offset_ = 0;
 };
+
+// --- Checksummed framing ----------------------------------------------------
+//
+// Durable pipeline payloads (model checkpoints, training-data shards,
+// materialized recommendation batches) are wrapped in a CRC32-checksummed
+// frame so a torn write — a crash mid-write leaving a truncated or
+// garbage blob — is *detected* at read time instead of being deserialized
+// into a silently wrong model:
+//
+//   magic "SGF1" (4) | crc32(payload) (4) | payload size (8) | payload
+//
+// Host-endian like the rest of binary_io (homogeneous simulated cluster).
+
+// True if `frame` starts with the frame magic (cheap sniff; does not
+// validate the checksum).
+bool LooksLikeChecksummedFrame(std::string_view frame);
+
+// Wraps `payload` in a checksummed frame.
+std::string WriteChecksummedFrame(std::string_view payload);
+
+// Unwraps and validates a frame; kDataLoss on bad magic, bad length, or
+// checksum mismatch (i.e. any torn/corrupted blob).
+StatusOr<std::string> ReadChecksummedFrame(std::string_view frame);
 
 }  // namespace sigmund
 

@@ -157,26 +157,65 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
     }
   }
 
-  // --- Reduce phase.
+  // --- Reduce phase. Mirrors the map phase's fault tolerance: a killed
+  // attempt drops its buffer and reruns the whole partition, which is safe
+  // because the shuffle buffers are immutable once built.
   std::vector<std::vector<Record>> reduce_outputs(r_tasks);
+  std::atomic<int64_t> reduce_attempts{0};
+  std::atomic<int64_t> reduce_failures{0};
   for (int p = 0; p < r_tasks; ++p) {
     pool.Schedule([&, p] {
-      std::vector<Record> buffer;
-      std::unique_ptr<Reducer> reducer = reducer_factory_();
-      Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
-      for (const auto& [key, values] : partitions[p]) {
-        Status s = reducer->Reduce(key, values, emit);
+      Rng rng(SplitMix64(spec_.seed) ^ (0x7ecau * static_cast<uint64_t>(p + 1)));
+      const int64_t num_keys = static_cast<int64_t>(partitions[p].size());
+      for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
+        reduce_attempts.fetch_add(1);
+        const bool fail = rng.Bernoulli(spec_.reduce_task_failure_prob);
+        const double fail_frac = rng.UniformDouble();
+        const int64_t kill_at = static_cast<int64_t>(num_keys * fail_frac);
+
+        std::vector<Record> buffer;
+        std::unique_ptr<Reducer> reducer = reducer_factory_();
+        Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
+
+        Status s = OkStatus();
+        bool killed = false;
+        int64_t key_index = 0;
+        for (const auto& [key, values] : partitions[p]) {
+          if (fail && key_index >= kill_at) {
+            killed = true;
+            break;
+          }
+          s = reducer->Reduce(key, values, emit);
+          if (!s.ok()) break;
+          ++key_index;
+        }
+
+        if (killed) {
+          reduce_failures.fetch_add(1);
+          continue;  // retry; buffer dropped
+        }
         if (!s.ok()) {
           std::lock_guard<std::mutex> lock(mu);
           if (first_error.ok()) first_error = s;
           return;
         }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          reduce_outputs[p] = std::move(buffer);
+        }
+        return;
       }
       std::lock_guard<std::mutex> lock(mu);
-      reduce_outputs[p] = std::move(buffer);
+      if (first_error.ok()) {
+        first_error = UnavailableError(StrFormat(
+            "reduce task %d exceeded %d attempts", p,
+            spec_.max_attempts_per_task));
+      }
     });
   }
   pool.Wait();
+  stats_.reduce_attempts = reduce_attempts.load();
+  stats_.reduce_failures = reduce_failures.load();
   if (!first_error.ok()) return first_error;
 
   std::vector<Record> result;

@@ -79,7 +79,12 @@ struct MapReduceSpec {
   // their partial output discarded — standard MapReduce fault tolerance.
   double map_task_failure_prob = 0.0;
 
-  // Cap on attempts per map task before the whole job fails.
+  // Same, for reduce-task attempts: a killed attempt discards its buffered
+  // output and reruns its whole partition (reduce input survives in the
+  // shuffle buffers, so retries are exact reruns).
+  double reduce_task_failure_prob = 0.0;
+
+  // Cap on attempts per task (map or reduce) before the whole job fails.
   int max_attempts_per_task = 10;
 
   uint64_t seed = 42;
@@ -89,6 +94,8 @@ struct MapReduceSpec {
 struct MapReduceStats {
   int64_t map_attempts = 0;
   int64_t map_failures = 0;
+  int64_t reduce_attempts = 0;
+  int64_t reduce_failures = 0;
   int64_t input_records = 0;
   int64_t mapped_records = 0;   // records emitted by the map phase
   int64_t output_records = 0;   // records emitted by the reduce phase

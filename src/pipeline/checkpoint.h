@@ -3,11 +3,15 @@
 
 #include <stdint.h>
 
+#include <atomic>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/model.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::pipeline {
@@ -21,12 +25,22 @@ namespace sigmund::pipeline {
 //
 // The checkpoint payload carries the epoch number so a restarted task
 // resumes with the remaining epochs only.
+//
+// Robustness: checkpoints are CRC-framed (sfs/reliable_io.h), transient
+// SFS errors are retried per the policy, garbage collection is
+// best-effort (a Delete that keeps failing leaves a stale checkpoint
+// behind, which is harmless — Restore always takes the newest), and a
+// corrupt latest checkpoint is reported as kNotFound so training restarts
+// from scratch instead of crashing or silently training on garbage.
 class CheckpointManager {
  public:
-  // `fs` and `clock` are borrowed. `dir` is the SFS directory for this
-  // (retailer, model) pair's checkpoints.
+  // `fs`, `clock` and `io` are borrowed. `dir` is the SFS directory for
+  // this (retailer, model) pair's checkpoints. `io`, if given, accumulates
+  // retry and corruption counters.
   CheckpointManager(sfs::SharedFileSystem* fs, const Clock* clock,
-                    std::string dir, double interval_seconds);
+                    std::string dir, double interval_seconds,
+                    RetryPolicy retry_policy = {},
+                    sfs::ReliableIoCounters* io = nullptr);
 
   // Writes a checkpoint if at least interval_seconds elapsed since the
   // last one (or since construction). Returns true if one was written.
@@ -39,7 +53,10 @@ class CheckpointManager {
   bool HasCheckpoint() const;
 
   // Restores the latest committed checkpoint. Returns the model and the
-  // epoch it was taken at (training resumes at epoch+1).
+  // epoch it was taken at (training resumes at epoch+1). A corrupt latest
+  // checkpoint (bad CRC, undecodable model) is counted and reported as
+  // kNotFound — to the caller it looks like no checkpoint exists, so the
+  // task restarts cleanly from scratch.
   struct Restored {
     core::BprModel model;
     int epoch = -1;
@@ -47,21 +64,34 @@ class CheckpointManager {
   StatusOr<Restored> Restore(const data::Catalog* catalog) const;
 
   // Deletes all checkpoints for this directory (after a successful final
-  // model write).
+  // model write). Idempotent: clearing an already-empty directory is OK,
+  // and concurrent deletion (kNotFound) is tolerated.
   Status Clear();
 
   int64_t checkpoints_written() const { return checkpoints_written_; }
 
+  // Corrupt checkpoints Restore has skipped over.
+  int64_t corrupt_checkpoints_detected() const {
+    return corrupt_checkpoints_detected_.load();
+  }
+
  private:
   std::string VersionPath(int64_t version) const;
+
+  // List with transient-error retry.
+  StatusOr<std::vector<std::string>> ListRetrying(
+      const std::string& prefix) const;
 
   sfs::SharedFileSystem* fs_;
   const Clock* clock_;
   std::string dir_;
   double interval_seconds_;
+  RetryPolicy retry_policy_;
+  sfs::ReliableIoCounters* io_;  // may be null
   double last_checkpoint_time_;
   int64_t next_version_ = 0;
   int64_t checkpoints_written_ = 0;
+  mutable std::atomic<int64_t> corrupt_checkpoints_detected_{0};
 };
 
 }  // namespace sigmund::pipeline

@@ -40,7 +40,9 @@ DataPlacementPlanner::Plan DataPlacementPlanner::PlanPlacement(
 Status DataPlacementPlanner::Materialize(
     const RetailerRegistry& registry, const Plan& plan,
     const std::map<data::RetailerId, std::string>& previous,
-    sfs::FileTransferLedger* ledger) const {
+    sfs::FileTransferLedger* ledger, const RetryPolicy& policy,
+    sfs::ReliableIoCounters* io) const {
+  RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
   for (const auto& [retailer, cell] : plan.home_cell) {
     StatusOr<const data::RetailerData*> data = registry.Get(retailer);
     if (!data.ok()) return data.status();
@@ -55,12 +57,18 @@ Status DataPlacementPlanner::Materialize(
 
     std::string shard = data::SerializeRetailerData(**data);
     const int64_t bytes = static_cast<int64_t>(shard.size());
-    SIGMUND_RETURN_IF_ERROR(fs_->Write(path, std::move(shard)));
+    SIGMUND_RETURN_IF_ERROR(
+        sfs::WriteChecksummedFile(fs_, path, shard, policy, io));
     if (!previous_cell.empty() && previous_cell != cell) {
-      // Cross-cell copy; drop the stale replica.
+      // Cross-cell copy; drop the stale replica (best effort with retry:
+      // a leftover replica wastes space but is never read).
       ledger->RecordTransfer(previous_cell, cell, bytes);
-      Status s = fs_->Delete(ShardPath(previous_cell, retailer));
-      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+      Status s = RetryWithPolicy(policy, retry_stats, [&] {
+        Status d = fs_->Delete(ShardPath(previous_cell, retailer));
+        if (d.code() == StatusCode::kNotFound) return OkStatus();
+        return d;
+      });
+      if (!s.ok()) return s;
     } else if (previous_cell.empty()) {
       // First upload from the ingestion system (outside any cell).
       ledger->RecordTransfer("ingest", cell, bytes);

@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "data/retailer_data.h"
 #include "data/serialization.h"
 #include "pipeline/registry.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::pipeline {
@@ -51,13 +53,18 @@ class DataPlacementPlanner {
   // Balances retailers across cells by interaction count (FFD).
   Plan PlanPlacement(const RetailerRegistry& registry) const;
 
-  // Writes each retailer's serialized shard to its planned cell path
-  // ("cells/<cell>/data/r<id>"), recording cross-cell transfers (a shard
-  // already present in the right cell is not rewritten). `previous` maps
-  // retailer -> cell where its shard currently lives ("" = not stored).
+  // Writes each retailer's serialized shard (CRC-framed, read-back
+  // verified) to its planned cell path ("cells/<cell>/data/r<id>"),
+  // recording cross-cell transfers (a shard already present in the right
+  // cell is not rewritten). `previous` maps retailer -> cell where its
+  // shard currently lives ("" = not stored). Transient SFS errors are
+  // retried per `policy`; `io`, if given, accumulates retry/corruption
+  // counters.
   Status Materialize(const RetailerRegistry& registry, const Plan& plan,
                      const std::map<data::RetailerId, std::string>& previous,
-                     sfs::FileTransferLedger* ledger) const;
+                     sfs::FileTransferLedger* ledger,
+                     const RetryPolicy& policy = {},
+                     sfs::ReliableIoCounters* io = nullptr) const;
 
   // The SFS path of a retailer's shard within a cell.
   static std::string ShardPath(const std::string& cell,

@@ -73,7 +73,8 @@ class InferenceMapper : public mapreduce::Mapper {
     StatusOr<const data::RetailerData*> data = registry_->Get(retailer);
     if (!data.ok()) return data.status();
 
-    StatusOr<std::string> bytes = fs_->Read(BestModelPath(retailer));
+    StatusOr<std::string> bytes = sfs::ReadChecksummedFile(
+        fs_, BestModelPath(retailer), options_->sfs_retry, &stats_->io);
     if (!bytes.ok()) return bytes.status();
     StatusOr<core::BprModel> model =
         core::BprModel::Deserialize(*bytes, &(*data)->catalog);
@@ -159,6 +160,13 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
         [] { return mapreduce::IdentityReducer(); });
     StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
     if (!output.ok()) return output.status();
+    stats_.mapreduce.map_attempts += job.stats().map_attempts;
+    stats_.mapreduce.map_failures += job.stats().map_failures;
+    stats_.mapreduce.reduce_attempts += job.stats().reduce_attempts;
+    stats_.mapreduce.reduce_failures += job.stats().reduce_failures;
+    stats_.mapreduce.input_records += job.stats().input_records;
+    stats_.mapreduce.mapped_records += job.stats().mapped_records;
+    stats_.mapreduce.output_records += job.stats().output_records;
 
     for (const mapreduce::Record& record : *output) {
       StatusOr<core::ItemRecommendations> recs =
@@ -186,7 +194,11 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
       blob += rec.Serialize();
       blob += '\n';
     }
-    SIGMUND_RETURN_IF_ERROR(fs_->Write(RecommendationPath(retailer), blob));
+    // Checksummed + read-back-verified: the serving loader must never see
+    // a torn recommendation batch.
+    SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+        fs_, RecommendationPath(retailer), blob, options_.sfs_retry,
+        &stats_.io));
   }
   return results;
 }

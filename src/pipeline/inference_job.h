@@ -5,10 +5,12 @@
 #include <map>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/inference.h"
 #include "mapreduce/mapreduce.h"
 #include "pipeline/registry.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::pipeline {
@@ -41,6 +43,9 @@ class InferenceJob {
     double map_task_failure_prob = 0.0;
     int max_attempts_per_task = 10;
 
+    // Retry policy for SFS access (model reads, recommendation writes).
+    RetryPolicy sfs_retry;
+
     core::InferenceEngine::Options inference;
     uint64_t seed = 42;
   };
@@ -50,6 +55,9 @@ class InferenceJob {
     std::atomic<int64_t> items_scored{0};
     // Simulated per-cell work (sum of item counts) for makespan analysis.
     std::vector<double> cell_weights;
+    // Retry + corruption counters for all SFS I/O done by the mappers.
+    sfs::ReliableIoCounters io;
+    mapreduce::MapReduceStats mapreduce;  // summed across cells
   };
 
   InferenceJob(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,

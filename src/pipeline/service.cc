@@ -14,7 +14,11 @@ std::string DailyReport::ToString() const {
       "%s sweep: retailers=%d (new=%d) models=%d mean_best_map=%.4f "
       "checkpoints=%lld preemptions=%lld restores=%lld model_loads=%lld "
       "items=%lld map_attempts=%lld map_failures=%lld "
-      "quality_regressions=%d shard_bytes_moved=%lld",
+      "reduce_attempts=%lld reduce_failures=%lld "
+      "quality_regressions=%d shard_bytes_moved=%lld "
+      "sfs_retries=%lld corruptions_detected=%lld corruptions_healed=%lld "
+      "corrupt_checkpoints_skipped=%lld corrupt_batches_rejected=%lld "
+      "faults_injected=%lld",
       full_sweep ? "full" : "incremental", retailers, new_retailers,
       models_trained, mean_best_map,
       static_cast<long long>(checkpoints_written),
@@ -23,8 +27,16 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(model_loads),
       static_cast<long long>(items_scored),
       static_cast<long long>(map_attempts),
-      static_cast<long long>(map_failures), quality_regressions,
-      static_cast<long long>(shard_bytes_moved));
+      static_cast<long long>(map_failures),
+      static_cast<long long>(reduce_attempts),
+      static_cast<long long>(reduce_failures), quality_regressions,
+      static_cast<long long>(shard_bytes_moved),
+      static_cast<long long>(sfs_retries),
+      static_cast<long long>(corruptions_detected),
+      static_cast<long long>(corruptions_healed),
+      static_cast<long long>(corrupt_checkpoints_skipped),
+      static_cast<long long>(corrupt_batches_rejected),
+      static_cast<long long>(faults_injected));
 }
 
 void SigmundService::UpsertRetailer(const data::RetailerData* data) {
@@ -44,9 +56,14 @@ Status SigmundService::SelectBestModels(
   }
   double map_sum = 0.0;
   for (const auto& [retailer, record] : best) {
-    StatusOr<std::string> bytes = fs_->Read(record->model_path);
+    // Unwrap + CRC-check the trained model, then re-frame it at the best-
+    // model path with a read-back-verified write: a torn copy can never
+    // become the model inference loads.
+    StatusOr<std::string> bytes = sfs::ReadChecksummedFile(
+        fs_, record->model_path, options_.sfs_retry, &io_);
     if (!bytes.ok()) return bytes.status();
-    SIGMUND_RETURN_IF_ERROR(fs_->Write(BestModelPath(retailer), *bytes));
+    SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+        fs_, BestModelPath(retailer), *bytes, options_.sfs_retry, &io_));
     map_sum += record->map_at_10;
     (*best_map)[retailer] = record->map_at_10;
   }
@@ -71,7 +88,8 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         placement_planner.PlanPlacement(registry_);
     int64_t before = transfer_ledger_.total_bytes();
     SIGMUND_RETURN_IF_ERROR(placement_planner.Materialize(
-        registry_, placement, shard_homes_, &transfer_ledger_));
+        registry_, placement, shard_homes_, &transfer_ledger_,
+        options_.sfs_retry, &io_));
     report.shard_bytes_moved = transfer_ledger_.total_bytes() - before;
     shard_homes_ = std::move(placement.home_cell);
   }
@@ -113,17 +131,30 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
            training.cell_reports()) {
         report.checkpoints_written += cell.checkpoints_written;
         report.preemptions += cell.preemptions;
+        report.map_attempts += cell.map_attempts;
+        report.map_failures += cell.map_failures;
+        report.reduce_attempts += cell.reduce_attempts;
+        report.reduce_failures += cell.reduce_failures;
+        report.sfs_retries += cell.sfs_retries;
+        report.corruptions_detected += cell.corruptions_detected;
       }
       return out;
     }
     TrainingJob training(fs_, &registry_, options_.training);
     StatusOr<std::vector<ConfigRecord>> out = training.Run(plan);
-    report.checkpoints_written = training.stats().checkpoints_written.load();
-    report.preemptions = training.stats().preemptions.load();
-    report.restored_from_checkpoint =
-        training.stats().restored_from_checkpoint.load();
-    report.map_attempts = training.stats().mapreduce.map_attempts;
-    report.map_failures = training.stats().mapreduce.map_failures;
+    const TrainingJob::Stats& stats = training.stats();
+    report.checkpoints_written = stats.checkpoints_written.load();
+    report.preemptions = stats.preemptions.load();
+    report.restored_from_checkpoint = stats.restored_from_checkpoint.load();
+    report.map_attempts = stats.mapreduce.map_attempts;
+    report.map_failures = stats.mapreduce.map_failures;
+    report.reduce_attempts = stats.mapreduce.reduce_attempts;
+    report.reduce_failures = stats.mapreduce.reduce_failures;
+    report.sfs_retries += stats.io.retry.retries.load();
+    report.corruptions_detected += stats.io.corruptions_detected.load();
+    report.corruptions_healed += stats.io.corruptions_healed.load();
+    report.corrupt_checkpoints_skipped +=
+        stats.corrupt_checkpoints_skipped.load();
     return out;
   }();
   if (!results.ok()) return results.status();
@@ -137,7 +168,14 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       blobs[record.retailer] += '\n';
     }
     for (const auto& [retailer, blob] : blobs) {
-      SIGMUND_RETURN_IF_ERROR(fs_->Write(SweepResultPath(retailer), blob));
+      // Debug artifact: plain text (not framed) so it stays greppable, but
+      // still retried through transient storage errors.
+      const std::string path = SweepResultPath(retailer);
+      const std::string& data = blob;
+      SIGMUND_RETURN_IF_ERROR(
+          RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+            return fs_->Write(path, data);
+          }));
     }
   }
 
@@ -167,15 +205,49 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   if (!recommendations.ok()) return recommendations.status();
   report.model_loads = inference.stats().model_loads.load();
   report.items_scored = inference.stats().items_scored.load();
+  report.map_attempts += inference.stats().mapreduce.map_attempts;
+  report.map_failures += inference.stats().mapreduce.map_failures;
+  report.sfs_retries += inference.stats().io.retry.retries.load();
+  report.corruptions_detected +=
+      inference.stats().io.corruptions_detected.load();
+  report.corruptions_healed += inference.stats().io.corruptions_healed.load();
 
-  // --- Batch-load the serving store (regressed retailers keep serving
-  // the previous batch).
-  for (auto& [retailer, recs] : *recommendations) {
+  // --- Batch-load the serving store from the materialized SFS files
+  // (regressed retailers keep serving the previous batch). A batch that
+  // fails its checksum is rejected and the retailer keeps its previous
+  // recommendations; a bad refresh never takes down serving.
+  for (const auto& [retailer, recs] : *recommendations) {
+    (void)recs;
     if (hold_back.count(retailer) > 0 &&
         store_.RetailerVersion(retailer) > 0) {
       continue;
     }
-    store_.LoadRetailer(retailer, std::move(recs));
+    Status loaded = store_.LoadRetailerFromFile(
+        retailer, *fs_, RecommendationPath(retailer), options_.sfs_retry,
+        &io_);
+    if (loaded.code() == StatusCode::kDataLoss) {
+      ++report.corrupt_batches_rejected;
+      SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
+                      << "retailer " << retailer << ": "
+                      << loaded.ToString();
+      continue;
+    }
+    SIGMUND_RETURN_IF_ERROR(loaded);
+  }
+
+  // --- Robustness roll-up from the service's own SFS access and the
+  // chaos layer (if one is wired in).
+  report.sfs_retries += io_.retry.retries.load() - io_retries_seen_;
+  report.corruptions_detected +=
+      io_.corruptions_detected.load() - io_corruptions_seen_;
+  report.corruptions_healed += io_.corruptions_healed.load() - io_healed_seen_;
+  io_retries_seen_ = io_.retry.retries.load();
+  io_corruptions_seen_ = io_.corruptions_detected.load();
+  io_healed_seen_ = io_.corruptions_healed.load();
+  if (options_.injected_faults != nullptr) {
+    const int64_t total = options_.injected_faults->total();
+    report.faults_injected = total - faults_seen_;
+    faults_seen_ = total;
   }
 
   ++days_run_;

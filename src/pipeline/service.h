@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "pipeline/data_placement.h"
 #include "pipeline/inference_job.h"
@@ -12,6 +13,8 @@
 #include "pipeline/sweep.h"
 #include "pipeline/training_job.h"
 #include "serving/store.h"
+#include "sfs/fault_injection.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::pipeline {
@@ -30,12 +33,27 @@ struct DailyReport {
   int64_t items_scored = 0;
   int64_t map_attempts = 0;
   int64_t map_failures = 0;
+  int64_t reduce_attempts = 0;
+  int64_t reduce_failures = 0;
   // Retailers whose new models regressed past the quality guardrail; the
   // store kept serving their previous batch.
   int quality_regressions = 0;
   // Training-data shard bytes migrated across cells this run (§IV-B1);
   // 0 when data placement is disabled.
   int64_t shard_bytes_moved = 0;
+
+  // Robustness counters for this run. Transient SFS errors that a retry
+  // absorbed, checksum failures caught (and healed on the write path),
+  // corrupt checkpoints skipped over by training, corrupt recommendation
+  // batches the serving store refused to load, and — when the service is
+  // told about a FaultInjectingFileSystem — faults the chaos layer
+  // injected during this run.
+  int64_t sfs_retries = 0;
+  int64_t corruptions_detected = 0;
+  int64_t corruptions_healed = 0;
+  int64_t corrupt_checkpoints_skipped = 0;
+  int64_t corrupt_batches_rejected = 0;
+  int64_t faults_injected = 0;
 
   std::string ToString() const;
 };
@@ -66,6 +84,18 @@ class SigmundService {
     // count) and migrates shards through the shared filesystem, with the
     // moved bytes reported in DailyReport. Empty = disabled.
     DataPlacementPlanner::Options placement;
+
+    // Retry policy for the service's own SFS access (best-model copies,
+    // sweep results, data placement, store batch loads). The training and
+    // inference jobs carry their own policies in `training.sfs_retry` /
+    // `inference.sfs_retry`.
+    RetryPolicy sfs_retry;
+
+    // When the SFS handed to the service is wrapped in a
+    // FaultInjectingFileSystem, point this at its counters so DailyReport
+    // can show how many faults were injected each run. Borrowed; may be
+    // null.
+    const sfs::FaultCounters* injected_faults = nullptr;
   };
 
   // `fs` is borrowed and holds all models/checkpoints/recommendations.
@@ -111,6 +141,15 @@ class SigmundService {
   // Where each retailer's data shard currently lives (data placement).
   std::map<data::RetailerId, std::string> shard_homes_;
   sfs::FileTransferLedger transfer_ledger_;
+  // Retry/corruption counters for the service's own SFS access, plus the
+  // totals already reported by previous runs (DailyReport carries per-run
+  // deltas; the counters themselves accumulate for the service lifetime).
+  sfs::ReliableIoCounters io_;
+  int64_t io_retries_seen_ = 0;
+  int64_t io_corruptions_seen_ = 0;
+  int64_t io_healed_seen_ = 0;
+  // Injected-fault total at the end of the previous run.
+  int64_t faults_seen_ = 0;
   bool force_full_sweep_ = false;
   int days_run_ = 0;
 };

@@ -53,12 +53,15 @@ class TrainMapper : public mapreduce::Mapper {
     SimClock clock;
     CheckpointManager checkpoints(
         fs_, &clock, CheckpointDir(record.retailer, record.model_number),
-        options_->checkpoint_interval_seconds);
+        options_->checkpoint_interval_seconds, options_->sfs_retry,
+        &stats_->io);
 
     core::BprModel model(catalog, record.params);
     int start_epoch = 0;
     if (checkpoints.HasCheckpoint()) {
       // A previous (preempted) attempt left a durable checkpoint: resume.
+      // Restore reports a corrupt checkpoint as kNotFound, so the task
+      // falls through to a clean restart instead of crashing.
       StatusOr<CheckpointManager::Restored> restored =
           checkpoints.Restore(catalog);
       if (restored.ok() &&
@@ -69,14 +72,23 @@ class TrainMapper : public mapreduce::Mapper {
         stats_->restored_from_checkpoint.fetch_add(1);
         stats_->epochs_recovered.fetch_add(start_epoch);
       } else {
+        if (!restored.ok() &&
+            restored.status().code() != StatusCode::kNotFound) {
+          return restored.status();  // transient; task attempt retried
+        }
         model.InitRandom(&rng);
       }
     } else if (record.warm_start && fs_->Exists(record.model_path)) {
       // Incremental run: warm-start from yesterday's model (§III-C3).
-      StatusOr<std::string> bytes = fs_->Read(record.model_path);
-      if (!bytes.ok()) return bytes.status();
+      StatusOr<std::string> bytes = sfs::ReadChecksummedFile(
+          fs_, record.model_path, options_->sfs_retry, &stats_->io);
+      if (!bytes.ok() &&
+          bytes.status().code() != StatusCode::kDataLoss) {
+        return bytes.status();  // transient; task attempt retried
+      }
       StatusOr<core::BprModel> previous =
-          core::BprModel::Deserialize(*bytes, catalog);
+          bytes.ok() ? core::BprModel::Deserialize(*bytes, catalog)
+                     : StatusOr<core::BprModel>(bytes.status());
       if (previous.ok()) {
         StatusOr<core::BprModel> warm = core::WarmStartFrom(
             *previous, catalog, record.params, &rng);
@@ -140,17 +152,22 @@ class TrainMapper : public mapreduce::Mapper {
         break;
       }
       // Rescheduled on a fresh machine: restore the latest checkpoint, or
-      // restart from scratch if none was ever written.
-      if (checkpoints.HasCheckpoint()) {
-        StatusOr<CheckpointManager::Restored> restored =
-            checkpoints.Restore(catalog);
-        if (!restored.ok()) return restored.status();
+      // restart from scratch if none was ever written — or if the one that
+      // was written turns out to be corrupt (Restore reports kNotFound).
+      StatusOr<CheckpointManager::Restored> restored =
+          checkpoints.HasCheckpoint()
+              ? checkpoints.Restore(catalog)
+              : StatusOr<CheckpointManager::Restored>(
+                    NotFoundError("no checkpoint"));
+      if (restored.ok()) {
         model = std::move(restored->model);
         start_epoch = restored->epoch + 1;
         stats_->restored_from_checkpoint.fetch_add(1);
-      } else {
+      } else if (restored.status().code() == StatusCode::kNotFound) {
         model.InitRandom(&rng);
         start_epoch = 0;
+      } else {
+        return restored.status();  // transient; task attempt retried
       }
     }
 
@@ -163,12 +180,20 @@ class TrainMapper : public mapreduce::Mapper {
     core::MetricSet metrics = core::Evaluator::Evaluate(
         model, training_data, split.holdout, eval_options);
 
-    // Commit the final model atomically, then GC the checkpoints.
+    // Commit the final model atomically, then GC the checkpoints. The
+    // checksummed write verifies the stored bytes before the rename makes
+    // them visible, so a torn write can never publish a corrupt model.
     const std::string tmp = record.model_path + ".tmp";
-    SIGMUND_RETURN_IF_ERROR(fs_->Write(tmp, model.Serialize()));
-    SIGMUND_RETURN_IF_ERROR(fs_->Rename(tmp, record.model_path));
+    SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+        fs_, tmp, model.Serialize(), options_->sfs_retry, &stats_->io));
+    SIGMUND_RETURN_IF_ERROR(
+        RetryWithPolicy(options_->sfs_retry, &stats_->io.retry, [&] {
+          return fs_->Rename(tmp, record.model_path);
+        }));
     SIGMUND_RETURN_IF_ERROR(checkpoints.Clear());
 
+    stats_->corrupt_checkpoints_skipped.fetch_add(
+        checkpoints.corrupt_checkpoints_detected());
     record.trained = true;
     record.map_at_10 = metrics.map_at_k;
     record.auc = metrics.auc;
@@ -204,6 +229,7 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
                               // config records" (§IV-B)
   spec.max_parallel_tasks = options_.max_parallel_tasks;
   spec.map_task_failure_prob = options_.map_task_failure_prob;
+  spec.reduce_task_failure_prob = options_.reduce_task_failure_prob;
   spec.max_attempts_per_task = options_.max_attempts_per_task;
   spec.seed = options_.seed;
 
@@ -215,8 +241,8 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
       },
       [] { return mapreduce::IdentityReducer(); });
   StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
+  stats_.mapreduce = job.stats();  // populated even when the job failed
   if (!output.ok()) return output.status();
-  stats_.mapreduce = job.stats();
 
   std::vector<ConfigRecord> results;
   results.reserve(output->size());
@@ -258,10 +284,17 @@ StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
     StatusOr<std::vector<ConfigRecord>> results = job.Run(it->second);
     if (!results.ok()) return results.status();
     merged.insert(merged.end(), results->begin(), results->end());
+    const TrainingJob::Stats& stats = job.stats();
     cell_reports_.push_back(CellReport{
         cell, static_cast<int>(results->size()),
-        job.stats().checkpoints_written.load(),
-        job.stats().preemptions.load()});
+        stats.checkpoints_written.load(),
+        stats.preemptions.load(),
+        stats.mapreduce.map_attempts,
+        stats.mapreduce.map_failures,
+        stats.mapreduce.reduce_attempts,
+        stats.mapreduce.reduce_failures,
+        stats.io.retry.retries.load(),
+        stats.io.corruptions_detected.load()});
   }
   std::sort(merged.begin(), merged.end(),
             [](const ConfigRecord& a, const ConfigRecord& b) {

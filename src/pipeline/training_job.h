@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "mapreduce/mapreduce.h"
 #include "pipeline/config_record.h"
 #include "pipeline/registry.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::pipeline {
@@ -50,7 +52,13 @@ class TrainingJob {
     // buffered output is discarded and the task retried; durable SFS
     // checkpoints survive, so retries resume rather than restart).
     double map_task_failure_prob = 0.0;
+    double reduce_task_failure_prob = 0.0;
     int max_attempts_per_task = 10;
+
+    // Retry policy for all SFS access (models, checkpoints): transient
+    // kUnavailable errors are retried with backoff before a task attempt
+    // is declared failed.
+    RetryPolicy sfs_retry;
 
     // Large-retailer MAP estimation (§III-C2): retailers with more items
     // than the threshold are evaluated on a sampled item fraction.
@@ -68,7 +76,10 @@ class TrainingJob {
     std::atomic<int64_t> restored_from_checkpoint{0};
     std::atomic<int64_t> epochs_recovered{0};  // epochs NOT redone thanks
                                                // to checkpoints
+    std::atomic<int64_t> corrupt_checkpoints_skipped{0};
     mapreduce::MapReduceStats mapreduce;
+    // Retry + corruption counters for all SFS I/O done by the mappers.
+    sfs::ReliableIoCounters io;
   };
 
   // `fs` and `registry` are borrowed.
@@ -110,6 +121,12 @@ class MultiCellTrainingJob {
     int models_trained = 0;
     int64_t checkpoints_written = 0;
     int64_t preemptions = 0;
+    int64_t map_attempts = 0;
+    int64_t map_failures = 0;
+    int64_t reduce_attempts = 0;
+    int64_t reduce_failures = 0;
+    int64_t sfs_retries = 0;
+    int64_t corruptions_detected = 0;
   };
 
   MultiCellTrainingJob(sfs::SharedFileSystem* fs,

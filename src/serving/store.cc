@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/funnel.h"
@@ -32,15 +33,40 @@ void RecommendationStore::LoadRetailer(
 
 Status RecommendationStore::LoadRetailerFromFile(
     data::RetailerId retailer, const sfs::SharedFileSystem& fs,
-    const std::string& path) {
-  StatusOr<std::string> blob = fs.Read(path);
+    const std::string& path, const RetryPolicy& policy,
+    sfs::ReliableIoCounters* io) {
+  RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
+  StatusOr<std::string> blob =
+      RetryWithPolicy<std::string>(policy, retry_stats, [&] {
+        return fs.Read(path);
+      });
   if (!blob.ok()) return blob.status();
+  std::string payload;
+  if (LooksLikeChecksummedFrame(*blob)) {
+    StatusOr<std::string> unwrapped = ReadChecksummedFrame(*blob);
+    if (!unwrapped.ok()) {
+      // Torn or bit-rotted batch: refuse it and keep serving the previous
+      // version of this retailer's recommendations.
+      if (io != nullptr) io->corruptions_detected.fetch_add(1);
+      return unwrapped.status();
+    }
+    payload = std::move(unwrapped).value();
+  } else {
+    payload = std::move(blob).value();  // legacy unframed batch
+  }
   std::vector<core::ItemRecommendations> recommendations;
-  for (const std::string& line : StrSplit(*blob, '\n')) {
+  for (const std::string& line : StrSplit(payload, '\n')) {
     if (line.empty()) continue;
     StatusOr<core::ItemRecommendations> recs =
         core::ItemRecommendations::Deserialize(line);
-    if (!recs.ok()) return recs.status();
+    if (!recs.ok()) {
+      // The frame checked out but a record does not decode: still a
+      // corrupt batch from serving's point of view. Previous data stays.
+      if (io != nullptr) io->corruptions_detected.fetch_add(1);
+      return DataLossError(StrFormat("corrupt recommendation batch %s: %s",
+                                     path.c_str(),
+                                     recs.status().message().c_str()));
+    }
     recommendations.push_back(std::move(recs).value());
   }
   LoadRetailer(retailer, std::move(recommendations));

@@ -6,8 +6,10 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/inference.h"
+#include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::serving {
@@ -38,10 +40,18 @@ class RecommendationStore {
                     std::vector<core::ItemRecommendations> recommendations);
 
   // Batch-loads a retailer from the inference job's SFS output file
-  // (newline-separated serialized ItemRecommendations).
+  // (newline-separated serialized ItemRecommendations, optionally wrapped
+  // in a CRC frame — unframed legacy files still load). Transient read
+  // errors are retried per `policy`. A corrupt batch (bad CRC or an
+  // undecodable record) is rejected with kDataLoss and the retailer's
+  // previously loaded recommendations stay live — a bad refresh must
+  // never take down serving. `io`, if given, accumulates retry and
+  // corruption counters.
   Status LoadRetailerFromFile(data::RetailerId retailer,
                               const sfs::SharedFileSystem& fs,
-                              const std::string& path);
+                              const std::string& path,
+                              const RetryPolicy& policy = {},
+                              sfs::ReliableIoCounters* io = nullptr);
 
   // Recommendations for one query item. kNotFound when the retailer or
   // item has no materialized list.

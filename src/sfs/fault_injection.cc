@@ -1,0 +1,118 @@
+#include "sfs/fault_injection.h"
+
+#include <utility>
+
+#include "common/random.h"
+
+namespace sigmund::sfs {
+
+namespace {
+
+// FNV-1a over the path, mixed with the op and access index via SplitMix64.
+// Cheap, stable across platforms, and good enough to decorrelate draws.
+uint64_t HashPath(std::string_view path) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjectingFileSystem::FaultInjectingFileSystem(SharedFileSystem* base,
+                                                   FaultProfile profile)
+    : base_(base), profile_(std::move(profile)) {}
+
+bool FaultInjectingFileSystem::ShouldFault(Op op, const std::string& path,
+                                           double prob) const {
+  if (!enabled_.load() || prob <= 0.0) return false;
+  uint64_t nth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nth = access_counts_[{static_cast<int>(op), path}]++;
+  }
+  uint64_t seed = SplitMix64(profile_.seed) ^ SplitMix64(HashPath(path)) ^
+                  SplitMix64((nth << 8) | static_cast<uint64_t>(op));
+  Rng rng(seed);
+  return rng.Bernoulli(prob);
+}
+
+std::string FaultInjectingFileSystem::TearBlob(const std::string& path,
+                                               const std::string& data) const {
+  Rng rng(SplitMix64(profile_.seed ^ 0x7e47u) ^ SplitMix64(HashPath(path)));
+  if (data.empty() || rng.Bernoulli(0.5)) {
+    // Garbage tail: flip some bytes at the end / append junk.
+    std::string torn = data;
+    size_t junk = 1 + static_cast<size_t>(rng.Uniform(16));
+    for (size_t i = 0; i < junk; ++i) {
+      torn.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    return torn;
+  }
+  // Truncation: keep a strict prefix (possibly empty).
+  size_t keep = static_cast<size_t>(rng.Uniform(data.size()));
+  return data.substr(0, keep);
+}
+
+Status FaultInjectingFileSystem::Write(const std::string& path,
+                                       const std::string& data) {
+  if (ShouldFault(Op::kWrite, path, profile_.write_error_prob)) {
+    counters_.write_errors.fetch_add(1);
+    return UnavailableError("injected write fault: " + path);
+  }
+  if (ShouldFault(Op::kTornWrite, path, profile_.torn_write_prob)) {
+    counters_.torn_writes.fetch_add(1);
+    // The write "succeeds" from the caller's point of view but the stored
+    // bytes are wrong — exactly the failure checksummed framing exists for.
+    return base_->Write(path, TearBlob(path, data));
+  }
+  return base_->Write(path, data);
+}
+
+StatusOr<std::string> FaultInjectingFileSystem::Read(
+    const std::string& path) const {
+  if (ShouldFault(Op::kRead, path, profile_.read_error_prob)) {
+    counters_.read_errors.fetch_add(1);
+    return UnavailableError("injected read fault: " + path);
+  }
+  return base_->Read(path);
+}
+
+Status FaultInjectingFileSystem::Delete(const std::string& path) {
+  if (ShouldFault(Op::kDelete, path, profile_.delete_error_prob)) {
+    counters_.delete_errors.fetch_add(1);
+    return UnavailableError("injected delete fault: " + path);
+  }
+  return base_->Delete(path);
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  if (ShouldFault(Op::kRename, from, profile_.rename_error_prob)) {
+    counters_.rename_errors.fetch_add(1);
+    return UnavailableError("injected rename fault: " + from);
+  }
+  return base_->Rename(from, to);
+}
+
+bool FaultInjectingFileSystem::Exists(const std::string& path) const {
+  return base_->Exists(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingFileSystem::List(
+    const std::string& prefix) const {
+  if (ShouldFault(Op::kList, prefix, profile_.list_error_prob)) {
+    counters_.list_errors.fetch_add(1);
+    return UnavailableError("injected list fault: " + prefix);
+  }
+  return base_->List(prefix);
+}
+
+StatusOr<int64_t> FaultInjectingFileSystem::FileSize(
+    const std::string& path) const {
+  return base_->FileSize(path);
+}
+
+}  // namespace sigmund::sfs

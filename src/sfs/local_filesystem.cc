@@ -152,11 +152,14 @@ bool LocalDirFileSystem::Exists(const std::string& path) const {
   return ::stat(DiskPath(path).c_str(), &info) == 0;
 }
 
-std::vector<std::string> LocalDirFileSystem::List(
+StatusOr<std::vector<std::string>> LocalDirFileSystem::List(
     const std::string& prefix) const {
   std::vector<std::string> result;
   DIR* dir = ::opendir(root_.c_str());
-  if (dir == nullptr) return result;
+  if (dir == nullptr) {
+    return InternalError(StrFormat("opendir %s: %s", root_.c_str(),
+                                   std::strerror(errno)));
+  }
   while (dirent* entry = ::readdir(dir)) {
     std::string name = entry->d_name;
     if (name == "." || name == ".." ||

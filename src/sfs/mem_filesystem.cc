@@ -39,7 +39,8 @@ bool MemFileSystem::Exists(const std::string& path) const {
   return files_.count(path) > 0;
 }
 
-std::vector<std::string> MemFileSystem::List(const std::string& prefix) const {
+StatusOr<std::vector<std::string>> MemFileSystem::List(
+    const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> result;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {

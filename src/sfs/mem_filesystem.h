@@ -21,7 +21,8 @@ class MemFileSystem : public SharedFileSystem {
   Status Delete(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   bool Exists(const std::string& path) const override;
-  std::vector<std::string> List(const std::string& prefix) const override;
+  StatusOr<std::vector<std::string>> List(
+      const std::string& prefix) const override;
   StatusOr<int64_t> FileSize(const std::string& path) const override;
 
   // Total bytes stored (for memory-accounting experiments).

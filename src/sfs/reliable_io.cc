@@ -1,0 +1,68 @@
+#include "sfs/reliable_io.h"
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+
+namespace sigmund::sfs {
+
+namespace {
+
+// Upper bound on write→verify→rewrite rounds. Each round's torn-write
+// draw is independent, so with tear probability p the chance of all
+// rounds tearing is p^8 — negligible for any sane chaos profile.
+constexpr int kMaxVerifyRounds = 8;
+
+}  // namespace
+
+Status WriteChecksummedFile(SharedFileSystem* fs, const std::string& path,
+                            std::string_view payload,
+                            const RetryPolicy& policy,
+                            ReliableIoCounters* io) {
+  const std::string frame = WriteChecksummedFrame(payload);
+  RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
+  bool healed_corruption = false;
+  for (int round = 0; round < kMaxVerifyRounds; ++round) {
+    Status write_status = RetryWithPolicy(policy, retry_stats, [&] {
+      return fs->Write(path, frame);
+    });
+    SIGMUND_RETURN_IF_ERROR(write_status);
+
+    // Read-back verify: the storage layer may have acknowledged the write
+    // yet persisted torn bytes. Byte-compare against the intended frame.
+    StatusOr<std::string> stored =
+        RetryWithPolicy<std::string>(policy, retry_stats, [&] {
+          return fs->Read(path);
+        });
+    SIGMUND_RETURN_IF_ERROR(stored.status());
+    if (*stored == frame) {
+      if (healed_corruption && io != nullptr) {
+        io->corruptions_healed.fetch_add(1);
+      }
+      return OkStatus();
+    }
+    if (io != nullptr) io->corruptions_detected.fetch_add(1);
+    healed_corruption = true;
+  }
+  return DataLossError(
+      StrFormat("write of %s failed verification %d times in a row",
+                path.c_str(), kMaxVerifyRounds));
+}
+
+StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
+                                          const std::string& path,
+                                          const RetryPolicy& policy,
+                                          ReliableIoCounters* io) {
+  RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
+  StatusOr<std::string> stored =
+      RetryWithPolicy<std::string>(policy, retry_stats, [&] {
+        return fs->Read(path);
+      });
+  SIGMUND_RETURN_IF_ERROR(stored.status());
+  StatusOr<std::string> payload = ReadChecksummedFrame(*stored);
+  if (!payload.ok() && io != nullptr) {
+    io->corruptions_detected.fetch_add(1);
+  }
+  return payload;
+}
+
+}  // namespace sigmund::sfs

@@ -1,0 +1,46 @@
+#ifndef SIGMUND_SFS_RELIABLE_IO_H_
+#define SIGMUND_SFS_RELIABLE_IO_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <string>
+
+#include "common/retry.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::sfs {
+
+// Counters shared by all reliable-I/O call sites of one job. Thread-safe.
+struct ReliableIoCounters {
+  // Transient-error retry bookkeeping (attempts, retries, exhaustions).
+  RetryStats retry;
+  // Frames whose CRC (or framing) check failed at read/verify time.
+  std::atomic<int64_t> corruptions_detected{0};
+  // Corrupt frames healed by rewriting (write-side read-back verify).
+  std::atomic<int64_t> corruptions_healed{0};
+};
+
+// Writes `payload` to `path` wrapped in a checksummed frame, then reads
+// it back and verifies the frame round-trips. A torn write (storage
+// accepted the write but persisted garbage) is detected by the read-back
+// and healed by rewriting; transient kUnavailable errors are retried per
+// `policy`. This is the only write path durable pipeline artifacts
+// (checkpoints, models, shards, recommendation batches) should use.
+Status WriteChecksummedFile(SharedFileSystem* fs, const std::string& path,
+                            std::string_view payload,
+                            const RetryPolicy& policy = {},
+                            ReliableIoCounters* io = nullptr);
+
+// Reads `path` (retrying transient errors per `policy`) and unwraps the
+// checksummed frame. Returns kDataLoss if the stored bytes fail the CRC
+// or framing check — the caller decides whether that is recoverable
+// (e.g. skip a corrupt checkpoint) or fatal.
+StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
+                                          const std::string& path,
+                                          const RetryPolicy& policy = {},
+                                          ReliableIoCounters* io = nullptr);
+
+}  // namespace sigmund::sfs
+
+#endif  // SIGMUND_SFS_RELIABLE_IO_H_

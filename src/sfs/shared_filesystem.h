@@ -20,6 +20,11 @@ namespace sigmund::sfs {
 //
 // Implementations must be thread-safe: checkpointing writes concurrently
 // with training reads.
+//
+// Every operation except Exists() can fail with kUnavailable — a
+// transient storage fault that a retry may heal (see common/retry.h and
+// the FaultInjectingFileSystem decorator); callers on the daily-pipeline
+// path must treat such errors as routine, not fatal.
 class SharedFileSystem {
  public:
   virtual ~SharedFileSystem() = default;
@@ -40,7 +45,8 @@ class SharedFileSystem {
   virtual bool Exists(const std::string& path) const = 0;
 
   // All paths with the given prefix, sorted.
-  virtual std::vector<std::string> List(const std::string& prefix) const = 0;
+  virtual StatusOr<std::vector<std::string>> List(
+      const std::string& prefix) const = 0;
 
   // Size in bytes, kNotFound if absent.
   virtual StatusOr<int64_t> FileSize(const std::string& path) const = 0;

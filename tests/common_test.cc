@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binary_io.h"
 #include "common/clock.h"
+#include "common/crc32.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -289,6 +292,210 @@ TEST(StringUtilTest, ParseDouble) {
   EXPECT_TRUE(ParseDouble("2.5e-1", &v));
   EXPECT_DOUBLE_EQ(v, 0.25);
   EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+// --- CRC32 ------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // Reference values for CRC-32/IEEE (the zlib crc32).
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  uint32_t crc = kCrc32Init;
+  crc = Crc32Update(crc, data.substr(0, 10));
+  crc = Crc32Update(crc, data.substr(10));
+  EXPECT_EQ(Crc32Finalize(crc), Crc32(data));
+}
+
+// --- Checksummed frames -----------------------------------------------------
+
+TEST(ChecksummedFrameTest, RoundTrip) {
+  std::string payload("binary\0payload", 14);
+  std::string frame = WriteChecksummedFrame(payload);
+  EXPECT_TRUE(LooksLikeChecksummedFrame(frame));
+  StatusOr<std::string> back = ReadChecksummedFrame(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  // Empty payloads frame too.
+  EXPECT_EQ(*ReadChecksummedFrame(WriteChecksummedFrame("")), "");
+}
+
+TEST(ChecksummedFrameTest, DetectsEveryCorruptionClass) {
+  const std::string frame = WriteChecksummedFrame("important payload");
+  // Truncation at every possible point.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_EQ(ReadChecksummedFrame(frame.substr(0, len)).status().code(),
+              StatusCode::kDataLoss)
+        << "truncated to " << len;
+  }
+  // Single-bit flips anywhere in the frame.
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string flipped = frame;
+    flipped[i] ^= 0x01;
+    EXPECT_EQ(ReadChecksummedFrame(flipped).status().code(),
+              StatusCode::kDataLoss)
+        << "bit flip at " << i;
+  }
+  // Garbage tail appended after a valid frame.
+  EXPECT_EQ(ReadChecksummedFrame(frame + "junk").status().code(),
+            StatusCode::kDataLoss);
+  // Not a frame at all.
+  EXPECT_EQ(ReadChecksummedFrame("random bytes").status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_FALSE(LooksLikeChecksummedFrame("random bytes"));
+}
+
+// --- BinaryReader bounds ----------------------------------------------------
+
+TEST(BinaryReaderTest, RoundTrip) {
+  BinaryWriter writer;
+  writer.Write<int32_t>(-7);
+  writer.WriteString("hello");
+  writer.WriteVector<double>({1.5, 2.5});
+  BinaryReader reader(writer.buffer());
+  int32_t i = 0;
+  std::string s;
+  std::vector<double> v;
+  ASSERT_TRUE(reader.Read(&i));
+  ASSERT_TRUE(reader.ReadString(&s));
+  ASSERT_TRUE(reader.ReadVector(&v));
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<double>{1.5, 2.5}));
+  EXPECT_TRUE(reader.Done());
+}
+
+TEST(BinaryReaderTest, HostileLengthPrefixesDontOverflow) {
+  // A length prefix near UINT64_MAX must fail cleanly: offset + size
+  // would wrap and pass a naive bounds check, then read out of bounds.
+  for (uint64_t hostile :
+       {UINT64_MAX, UINT64_MAX - 7, uint64_t{1} << 63, uint64_t{1} << 32}) {
+    BinaryWriter writer;
+    writer.Write<uint64_t>(hostile);
+    writer.Write<uint32_t>(0xDEADBEEF);  // a few real bytes after the prefix
+    std::string s;
+    std::vector<double> v;
+    EXPECT_FALSE(BinaryReader(writer.buffer()).ReadString(&s)) << hostile;
+    EXPECT_FALSE(BinaryReader(writer.buffer()).ReadVector(&v)) << hostile;
+  }
+}
+
+TEST(BinaryReaderTest, FuzzTruncationsAndBitFlipsNeverCrash) {
+  // Fuzz-style: decode mutated buffers every way the pipeline does and
+  // require clean false returns, never a crash or out-of-bounds read.
+  BinaryWriter writer;
+  writer.WriteString("some payload");
+  writer.WriteVector<int64_t>({1, 2, 3, 4});
+  writer.Write<double>(3.14);
+  const std::string good = writer.Take();
+
+  Rng rng(1234);
+  auto decode_all = [](std::string_view buffer) {
+    BinaryReader reader(buffer);
+    std::string s;
+    std::vector<int64_t> v;
+    double d = 0;
+    // Results intentionally ignored; only clean failure matters.
+    if (!reader.ReadString(&s)) return;
+    if (!reader.ReadVector(&v)) return;
+    (void)reader.Read(&d);
+  };
+  for (size_t len = 0; len <= good.size(); ++len) {
+    decode_all(std::string_view(good).substr(0, len));
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = good;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+    }
+    if (rng.Bernoulli(0.3)) mutated.resize(rng.Uniform(mutated.size() + 1));
+    decode_all(mutated);
+  }
+}
+
+// --- RetryPolicy ------------------------------------------------------------
+
+TEST(RetryTest, RetryableErrorsOnly) {
+  EXPECT_TRUE(IsRetryableError(UnavailableError("blip")));
+  EXPECT_FALSE(IsRetryableError(OkStatus()));
+  EXPECT_FALSE(IsRetryableError(NotFoundError("x")));
+  EXPECT_FALSE(IsRetryableError(DataLossError("x")));
+  EXPECT_FALSE(IsRetryableError(InvalidArgumentError("x")));
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  int calls = 0;
+  Status status = RetryWithPolicy(policy, &stats, [&] {
+    return ++calls < 3 ? UnavailableError("blip") : OkStatus();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts.load(), 3);
+  EXPECT_EQ(stats.retries.load(), 2);
+  EXPECT_EQ(stats.exhaustions.load(), 0);
+  EXPECT_GT(stats.backoff_micros.load(), 0);
+}
+
+TEST(RetryTest, ExhaustsAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  RetryStats stats;
+  int calls = 0;
+  Status status = RetryWithPolicy(policy, &stats, [&] {
+    ++calls;
+    return UnavailableError("always down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(stats.exhaustions.load(), 1);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  RetryPolicy policy;
+  RetryStats stats;
+  int calls = 0;
+  Status status = RetryWithPolicy(policy, &stats, [&] {
+    ++calls;
+    return NotFoundError("gone");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.retries.load(), 0);
+}
+
+TEST(RetryTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 0), 0.1);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1), 0.2);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2), 0.4);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 9), 0.5);
+}
+
+TEST(RetryTest, StatusOrFlavorReturnsValue) {
+  RetryPolicy policy;
+  RetryStats stats;
+  int calls = 0;
+  StatusOr<int> result = RetryWithPolicy<int>(policy, &stats, [&]() -> StatusOr<int> {
+    if (++calls < 2) return UnavailableError("blip");
+    return 41 + 1;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(stats.retries.load(), 1);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "pipeline/sweep.h"
 #include "pipeline/training_job.h"
 #include "sfs/mem_filesystem.h"
+#include "sfs/reliable_io.h"
 
 namespace sigmund::pipeline {
 namespace {
@@ -68,7 +69,8 @@ TEST(TrainingJobTest, TrainsEveryRecordAndWritesModels) {
     // Model bytes parse against the retailer catalog.
     const data::Catalog* catalog =
         record.retailer == 0 ? &f.r0.data.catalog : &f.r1.data.catalog;
-    StatusOr<std::string> bytes = f.fs.Read(record.model_path);
+    StatusOr<std::string> bytes =
+        sfs::ReadChecksummedFile(&f.fs, record.model_path);
     ASSERT_TRUE(bytes.ok());
     EXPECT_TRUE(core::BprModel::Deserialize(*bytes, catalog).ok());
   }
@@ -89,7 +91,7 @@ TEST(TrainingJobTest, CheckpointsWrittenOnSimulatedInterval) {
   ASSERT_TRUE(job.Run(plan).ok());
   EXPECT_GT(job.stats().checkpoints_written.load(), 0);
   // Checkpoints are GCed after each successful model commit.
-  EXPECT_TRUE(f.fs.List("checkpoints/").empty());
+  EXPECT_TRUE(f.fs.List("checkpoints/")->empty());
 }
 
 TEST(TrainingJobTest, MidTrainingPreemptionRecoversViaCheckpoints) {
@@ -124,6 +126,38 @@ TEST(TrainingJobTest, MapTaskFailuresRetrySuccessfully) {
   ASSERT_TRUE(results.ok());
   EXPECT_EQ(results->size(), plan.size());
   EXPECT_GT(job.stats().mapreduce.map_failures, 0);
+}
+
+TEST(TrainingJobTest, ReduceTaskFailuresRetrySuccessfully) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob::Options options = JobFixture::FastTraining();
+  options.reduce_task_failure_prob = 0.4;
+  options.max_attempts_per_task = 30;
+  TrainingJob job(&f.fs, &f.registry, options);
+  StatusOr<std::vector<ConfigRecord>> results = job.Run(plan);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), plan.size());
+  EXPECT_GT(job.stats().mapreduce.reduce_failures, 0);
+  // Failed attempts discard their buffers: output is still exactly-once.
+  std::set<std::string> keys;
+  for (const ConfigRecord& record : *results) {
+    EXPECT_TRUE(keys.insert(record.Key()).second);
+  }
+}
+
+TEST(TrainingJobTest, ReduceTaskAttemptExhaustionFailsJob) {
+  JobFixture f;
+  std::vector<ConfigRecord> plan = f.SmallPlan();
+  TrainingJob::Options options = JobFixture::FastTraining();
+  options.reduce_task_failure_prob = 1.0;  // every attempt killed
+  options.max_attempts_per_task = 3;
+  TrainingJob job(&f.fs, &f.registry, options);
+  StatusOr<std::vector<ConfigRecord>> results = job.Run(plan);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(job.stats().mapreduce.reduce_attempts, 3);
+  EXPECT_EQ(job.stats().mapreduce.reduce_failures, 3);
 }
 
 TEST(TrainingJobTest, WarmStartRecordUsesStoredModel) {

@@ -55,7 +55,7 @@ TEST(LocalDirFileSystemTest, WriteReadDeleteRenameList) {
   EXPECT_FALSE(fs.Exists("nope"));
   EXPECT_EQ(fs.Read("nope").status().code(), StatusCode::kNotFound);
 
-  EXPECT_EQ(fs.List("models/"),
+  EXPECT_EQ(*fs.List("models/"),
             (std::vector<std::string>{"models/r1/best", "models/r1/ckpt"}));
 
   ASSERT_TRUE(fs.Rename("models/r1/ckpt", "models/r1/final").ok());
@@ -103,7 +103,7 @@ TEST(LocalDirFileSystemTest, WorksAsCheckpointBackend) {
   pipeline::CheckpointManager manager(&fs, &clock, "ck/r0", 1.0);
   ASSERT_TRUE(manager.ForceCheckpoint(model, 3).ok());
   ASSERT_TRUE(manager.ForceCheckpoint(model, 4).ok());
-  EXPECT_EQ(fs.List("ck/r0/ckpt.").size(), 1u);  // keep-latest GC
+  EXPECT_EQ(fs.List("ck/r0/ckpt.")->size(), 1u);  // keep-latest GC
   auto restored = manager.Restore(&world.data.catalog);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->epoch, 4);

@@ -221,6 +221,52 @@ TEST(MapReduceTest, CertainFailureExhaustsAttempts) {
   EXPECT_EQ(job.stats().map_attempts, 3);
 }
 
+TEST(MapReduceTest, ReduceFailuresAreRetriedToSuccess) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 2;
+  spec.num_reduce_tasks = 4;
+  spec.max_parallel_tasks = 2;
+  spec.reduce_task_failure_prob = 0.5;
+  spec.max_attempts_per_task = 50;
+  spec.seed = 17;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  std::vector<Record> input;
+  for (int i = 0; i < 40; ++i) {
+    input.push_back({std::to_string(i), StrFormat("w%d", i % 10)});
+  }
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  // Exactly-once output semantics despite reduce retries.
+  std::map<std::string, std::string> counts;
+  for (const Record& r : *out) {
+    EXPECT_TRUE(counts.emplace(r.key, r.value).second) << r.key;
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [key, value] : counts) EXPECT_EQ(value, "4") << key;
+  EXPECT_GT(job.stats().reduce_failures, 0);
+  EXPECT_EQ(job.stats().reduce_attempts,
+            job.stats().reduce_failures + spec.num_reduce_tasks);
+}
+
+TEST(MapReduceTest, CertainReduceFailureExhaustsAttempts) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 1;
+  spec.num_reduce_tasks = 1;
+  spec.max_parallel_tasks = 1;
+  spec.reduce_task_failure_prob = 1.0;
+  spec.max_attempts_per_task = 3;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto out = job.Run({{"1", "a"}});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(job.stats().reduce_attempts, 3);
+  EXPECT_EQ(job.stats().reduce_failures, 3);
+}
+
 TEST(MapReduceTest, InvalidSpecRejected) {
   MapReduceSpec spec;
   spec.num_map_tasks = 0;

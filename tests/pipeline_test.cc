@@ -10,7 +10,9 @@
 #include "pipeline/registry.h"
 #include "pipeline/sweep.h"
 #include "pipeline/training_job.h"
+#include "sfs/fault_injection.h"
 #include "sfs/mem_filesystem.h"
+#include "sfs/reliable_io.h"
 
 namespace sigmund::pipeline {
 namespace {
@@ -132,7 +134,7 @@ TEST(CheckpointManagerTest, KeepsOnlyLatestCheckpoint) {
   ASSERT_TRUE(manager.ForceCheckpoint(f.model, 2).ok());
   ASSERT_TRUE(manager.ForceCheckpoint(f.model, 3).ok());
   // GC leaves exactly one committed checkpoint.
-  EXPECT_EQ(f.fs.List("ck/r0/ckpt.").size(), 1u);
+  EXPECT_EQ(f.fs.List("ck/r0/ckpt.")->size(), 1u);
   StatusOr<CheckpointManager::Restored> restored =
       manager.Restore(&f.world.data.catalog);
   ASSERT_TRUE(restored.ok());
@@ -152,7 +154,9 @@ TEST(CheckpointManagerTest, ClearRemovesEverything) {
   ASSERT_TRUE(manager.ForceCheckpoint(f.model, 1).ok());
   ASSERT_TRUE(manager.Clear().ok());
   EXPECT_FALSE(manager.HasCheckpoint());
-  EXPECT_TRUE(f.fs.List("ck/r0").empty());
+  EXPECT_TRUE(f.fs.List("ck/r0")->empty());
+  // Idempotent: clearing an already-empty directory succeeds.
+  ASSERT_TRUE(manager.Clear().ok());
 }
 
 TEST(CheckpointManagerTest, VersionNumberingSurvivesNewManager) {
@@ -170,6 +174,66 @@ TEST(CheckpointManagerTest, VersionNumberingSurvivesNewManager) {
       manager2.Restore(&f.world.data.catalog);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->epoch, 2);
+}
+
+TEST(CheckpointManagerTest, CorruptLatestCheckpointReportsNotFound) {
+  CheckpointFixture f;
+  sfs::ReliableIoCounters io;
+  CheckpointManager manager(&f.fs, &f.clock, "ck/r0", 1.0, RetryPolicy{},
+                            &io);
+  ASSERT_TRUE(manager.ForceCheckpoint(f.model, 4).ok());
+  // Tear the committed checkpoint behind the manager's back.
+  std::vector<std::string> checkpoints = *f.fs.List("ck/r0/ckpt.");
+  ASSERT_EQ(checkpoints.size(), 1u);
+  std::string bytes = *f.fs.Read(checkpoints[0]);
+  bytes.resize(bytes.size() / 2);
+  ASSERT_TRUE(f.fs.Write(checkpoints[0], bytes).ok());
+
+  // Restore sees the corruption, counts it, and reports "no checkpoint"
+  // so training restarts cleanly — never a crash or a garbage model.
+  StatusOr<CheckpointManager::Restored> restored =
+      manager.Restore(&f.world.data.catalog);
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.corrupt_checkpoints_detected(), 1);
+  EXPECT_GE(io.corruptions_detected.load(), 1);
+}
+
+TEST(CheckpointManagerTest, GcSurvivesTransientDeleteFailures) {
+  CheckpointFixture f;
+  sfs::FaultProfile profile;
+  profile.delete_error_prob = 0.7;
+  profile.seed = 11;
+  sfs::FaultInjectingFileSystem faulty(&f.fs, profile);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  sfs::ReliableIoCounters io;
+  CheckpointManager manager(&faulty, &f.clock, "ck/r0", 1.0, policy, &io);
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    ASSERT_TRUE(manager.ForceCheckpoint(f.model, epoch).ok());
+  }
+  EXPECT_GT(faulty.counters().delete_errors.load(), 0);
+  EXPECT_GT(io.retry.retries.load(), 0);
+  // Retried GC still converged to keep-only-latest.
+  EXPECT_EQ(f.fs.List("ck/r0/ckpt.")->size(), 1u);
+  StatusOr<CheckpointManager::Restored> restored =
+      manager.Restore(&f.world.data.catalog);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->epoch, 5);
+}
+
+TEST(CheckpointManagerTest, ClearRetriesTransientDeleteFailures) {
+  CheckpointFixture f;
+  sfs::FaultProfile profile;
+  profile.delete_error_prob = 0.7;
+  profile.seed = 29;
+  sfs::FaultInjectingFileSystem faulty(&f.fs, profile);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  CheckpointManager manager(&faulty, &f.clock, "ck/r0", 1.0, policy);
+  ASSERT_TRUE(manager.ForceCheckpoint(f.model, 1).ok());
+  ASSERT_TRUE(manager.Clear().ok());
+  EXPECT_TRUE(f.fs.List("ck/r0")->empty());
+  ASSERT_TRUE(manager.Clear().ok());  // idempotent under faults too
 }
 
 // --- Bin packing ------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include "data/world_generator.h"
 #include "pipeline/data_placement.h"
 #include "sfs/mem_filesystem.h"
+#include "sfs/reliable_io.h"
 
 namespace sigmund {
 namespace {
@@ -209,7 +210,10 @@ TEST(DataPlacementTest, MaterializeWritesShardsAndAccountsBytes) {
     std::string path =
         pipeline::DataPlacementPlanner::ShardPath(cell, retailer);
     ASSERT_TRUE(f.fs.Exists(path));
-    auto restored = data::DeserializeRetailerData(*f.fs.Read(path));
+    // Shards are written as checksummed frames; unwrap before parsing.
+    StatusOr<std::string> shard = sfs::ReadChecksummedFile(&f.fs, path);
+    ASSERT_TRUE(shard.ok());
+    auto restored = data::DeserializeRetailerData(*shard);
     ASSERT_TRUE(restored.ok());
     EXPECT_EQ(restored->id, retailer);
   }

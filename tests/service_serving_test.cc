@@ -7,6 +7,7 @@
 #include "pipeline/data_placement.h"
 #include "pipeline/service.h"
 #include "sfs/mem_filesystem.h"
+#include "sfs/reliable_io.h"
 
 namespace sigmund::pipeline {
 namespace {
@@ -191,7 +192,10 @@ TEST(SigmundServiceTest, DataPlacementMigratesShardsOnce) {
       std::string path = DataPlacementPlanner::ShardPath(cell, id);
       if (fs.Exists(path)) {
         ++found;
-        EXPECT_TRUE(data::DeserializeRetailerData(*fs.Read(path)).ok());
+        // Shards are checksummed frames now; unwrap before parsing.
+        StatusOr<std::string> shard = sfs::ReadChecksummedFile(&fs, path);
+        ASSERT_TRUE(shard.ok());
+        EXPECT_TRUE(data::DeserializeRetailerData(*shard).ok());
       }
     }
   }
@@ -208,7 +212,7 @@ TEST(SigmundServiceTest, PlacementDisabledByDefault) {
   auto day1 = f.service.RunDaily();
   ASSERT_TRUE(day1.ok());
   EXPECT_EQ(day1->shard_bytes_moved, 0);
-  EXPECT_TRUE(f.fs.List("cells/").empty());
+  EXPECT_TRUE(f.fs.List("cells/")->empty());
 }
 
 // --- RecommendationStore ---------------------------------------------------
