@@ -14,6 +14,7 @@
 //        checksummed I/O, and corruption-tolerant recovery absorb it all.
 
 #include <cstdio>
+#include <fstream>
 
 #include "data/world_generator.h"
 #include "pipeline/service.h"
@@ -38,6 +39,21 @@ void ShowSample(const pipeline::SigmundService& service,
     std::printf(" %d", item.item);
   }
   std::printf("\n");
+}
+
+// Prints the day's latency digest (p50/p95/p99 per histogram) and writes
+// the machine-readable run profile next to the report.
+void EmitObservability(const pipeline::SigmundService& service,
+                       const pipeline::DailyReport& report, int day) {
+  std::printf("%s", service.metrics()->Snapshot().SummaryText().c_str());
+  const std::string path =
+      "run_profile_day" + std::to_string(day) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << report.profile_json;
+  if (out.good()) {
+    std::printf("  profile -> %s (%zu bytes)\n", path.c_str(),
+                report.profile_json.size());
+  }
 }
 
 }  // namespace
@@ -76,6 +92,7 @@ int main() {
     return 1;
   }
   std::printf("day 1: %s\n", day1->ToString().c_str());
+  EmitObservability(service, *day1, 1);
   ShowSample(service, 0);
   ShowSample(service, 2);
 
@@ -95,6 +112,7 @@ int main() {
     return 1;
   }
   std::printf("day 2: %s\n", day2->ToString().c_str());
+  EmitObservability(service, *day2, 2);
   ShowSample(service, 3);
 
   // --- Day 3: preemption storm.
@@ -118,6 +136,7 @@ int main() {
     return 1;
   }
   std::printf("day 3 (preemption storm): %s\n", day3->ToString().c_str());
+  EmitObservability(stormy_service, *day3, 3);
   std::printf("  -> survived %lld preemptions + %lld task failures; all "
               "models delivered\n",
               static_cast<long long>(day3->preemptions),
@@ -146,6 +165,10 @@ int main() {
   chaos.inference.sfs_retry = generous;
   chaos.injected_faults = &chaos_fs.counters();
   pipeline::SigmundService chaos_service(&chaos_fs, chaos);
+  // Count each injected fault live, per operation, in the service's
+  // registry (the service's end-of-run mirror would catch them anyway;
+  // live wiring adds the per-op breakdown).
+  chaos_fs.SetMetrics(chaos_service.metrics());
   chaos_service.UpsertRetailer(&small.data);
   chaos_service.UpsertRetailer(&medium.data);
   chaos_service.UpsertRetailer(&large.data);
@@ -156,11 +179,16 @@ int main() {
     return 1;
   }
   std::printf("day 4 (chaos storm): %s\n", day4->ToString().c_str());
+  EmitObservability(chaos_service, *day4, 4);
   std::printf("  -> %lld injected storage faults masked by %lld retries; "
               "%lld corrupt writes healed\n",
               static_cast<long long>(day4->faults_injected),
               static_cast<long long>(day4->sfs_retries),
               static_cast<long long>(day4->corruptions_healed));
   ShowSample(chaos_service, 2);
+
+  // Full trace of the chaos day, span by span.
+  std::printf("\nday 4 trace:\n%s",
+              chaos_service.tracer()->DumpTree().c_str());
   return 0;
 }

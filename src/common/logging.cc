@@ -1,16 +1,45 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
+#include <thread>
 
 namespace sigmund {
 
 namespace {
 
-std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+// Parses $SIGMUND_LOG_LEVEL (name or 0-4); falls back to kInfo.
+int InitialSeverity() {
+  const char* env = std::getenv("SIGMUND_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogSeverity::kInfo);
+  }
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') return env[0] - '0';
+  struct Name {
+    const char* name;
+    LogSeverity severity;
+  };
+  static constexpr Name kNames[] = {
+      {"DEBUG", LogSeverity::kDebug},     {"INFO", LogSeverity::kInfo},
+      {"WARNING", LogSeverity::kWarning}, {"WARN", LogSeverity::kWarning},
+      {"ERROR", LogSeverity::kError},     {"FATAL", LogSeverity::kFatal},
+  };
+  for (const Name& candidate : kNames) {
+    if (std::strcmp(env, candidate.name) == 0) {
+      return static_cast<int>(candidate.severity);
+    }
+  }
+  std::fprintf(stderr, "[W logging.cc] unrecognized SIGMUND_LOG_LEVEL=%s\n",
+               env);
+  return static_cast<int>(LogSeverity::kInfo);
+}
+
+std::atomic<int> g_min_severity{InitialSeverity()};
 
 // Serializes writes so concurrent log lines do not interleave.
 std::mutex& LogMutex() {
@@ -39,6 +68,14 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// Compact per-thread id: small integers handed out in first-log order
+// (stable within a run, unlike the opaque std::thread::id hash).
+int ThisThreadLogId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) {
@@ -52,17 +89,34 @@ LogSeverity MinLogSeverity() {
 
 namespace internal_logging {
 
+bool IsEnabled(LogSeverity severity) {
+  return severity == LogSeverity::kFatal ||
+         static_cast<int>(severity) >=
+             g_min_severity.load(std::memory_order_relaxed);
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  const bool emit =
-      static_cast<int>(severity_) >=
-          g_min_severity.load(std::memory_order_relaxed) ||
-      severity_ == LogSeverity::kFatal;
-  if (emit) {
+  // The SIGLOG macro already filtered, but LogMessage can be constructed
+  // directly; re-check so a suppressed direct construction stays silent.
+  if (IsEnabled(severity_)) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const int millis = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    std::tm tm_buf;
+    localtime_r(&seconds, &tm_buf);
+    char when[32];
+    std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_buf);
+
     std::lock_guard<std::mutex> lock(LogMutex());
-    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
+    std::fprintf(stderr, "[%s %s.%03d t=%d %s:%d] %s\n",
+                 SeverityTag(severity_), when, millis, ThisThreadLogId(),
                  Basename(file_), line_, stream_.str().c_str());
     std::fflush(stderr);
   }

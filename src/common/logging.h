@@ -8,14 +8,23 @@ namespace sigmund {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-// Global minimum severity that is actually emitted. Defaults to kInfo.
-// Thread-safe to read; set once at startup (tests lower it to silence logs).
+// Global minimum severity that is actually emitted. Defaults to kInfo, or
+// to $SIGMUND_LOG_LEVEL when set at startup (DEBUG|INFO|WARNING|ERROR|
+// FATAL, or 0-4). Thread-safe to read; set once at startup (tests lower
+// it to silence logs). kFatal is always emitted.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
 
 namespace internal_logging {
 
-// Stream-style log sink. Emits on destruction; aborts for kFatal.
+// True when `severity` should be emitted. The SIGLOG macro checks this
+// BEFORE constructing a LogMessage, so a suppressed call site costs one
+// relaxed atomic load — no stream, no formatting, no allocation.
+bool IsEnabled(LogSeverity severity);
+
+// Stream-style log sink. Emits on destruction; aborts for kFatal. Lines
+// carry a timestamp, severity tag, and thread id:
+//   [I 2026-08-06 12:34:56.789 t=1a2b service.cc:42] trained 12 models
 // Use via the SIGLOG / SIGCHECK macros below.
 class LogMessage {
  public:
@@ -34,40 +43,33 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-// Swallows the streamed expression when the severity is below the threshold.
-class NullStream {
+// Turns a streamed LogMessage expression into void so it can be the
+// second arm of the short-circuit ternary in SIGLOG. operator& binds
+// looser than operator<<, so the whole streamed chain is evaluated first.
+class Voidify {
  public:
-  template <typename T>
-  NullStream& operator<<(const T&) {
-    return *this;
-  }
+  void operator&(std::ostream&) {}
 };
 
 }  // namespace internal_logging
 }  // namespace sigmund
 
+#define SIGMUND_LOG_SEVERITY_DEBUG ::sigmund::LogSeverity::kDebug
+#define SIGMUND_LOG_SEVERITY_INFO ::sigmund::LogSeverity::kInfo
+#define SIGMUND_LOG_SEVERITY_WARNING ::sigmund::LogSeverity::kWarning
+#define SIGMUND_LOG_SEVERITY_ERROR ::sigmund::LogSeverity::kError
+#define SIGMUND_LOG_SEVERITY_FATAL ::sigmund::LogSeverity::kFatal
+
 // Leveled logging: SIGLOG(INFO) << "trained " << n << " models";
-#define SIGLOG(severity) SIGLOG_##severity
-#define SIGLOG_DEBUG                                                  \
-  ::sigmund::internal_logging::LogMessage(                            \
-      ::sigmund::LogSeverity::kDebug, __FILE__, __LINE__)             \
-      .stream()
-#define SIGLOG_INFO                                                   \
-  ::sigmund::internal_logging::LogMessage(                            \
-      ::sigmund::LogSeverity::kInfo, __FILE__, __LINE__)              \
-      .stream()
-#define SIGLOG_WARNING                                                \
-  ::sigmund::internal_logging::LogMessage(                            \
-      ::sigmund::LogSeverity::kWarning, __FILE__, __LINE__)           \
-      .stream()
-#define SIGLOG_ERROR                                                  \
-  ::sigmund::internal_logging::LogMessage(                            \
-      ::sigmund::LogSeverity::kError, __FILE__, __LINE__)             \
-      .stream()
-#define SIGLOG_FATAL                                                  \
-  ::sigmund::internal_logging::LogMessage(                            \
-      ::sigmund::LogSeverity::kFatal, __FILE__, __LINE__)             \
-      .stream()
+// A below-threshold severity short-circuits before the LogMessage (and
+// everything streamed into it) is evaluated.
+#define SIGLOG(severity)                                                  \
+  !::sigmund::internal_logging::IsEnabled(SIGMUND_LOG_SEVERITY_##severity) \
+      ? (void)0                                                           \
+      : ::sigmund::internal_logging::Voidify() &                          \
+            ::sigmund::internal_logging::LogMessage(                      \
+                SIGMUND_LOG_SEVERITY_##severity, __FILE__, __LINE__)      \
+                .stream()
 
 // Internal-invariant checks; these abort the process on failure (the
 // condition represents a programming error, not a recoverable state).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/random.h"
 
 namespace sigmund {
@@ -24,7 +25,10 @@ Status RetryWithPolicy(const RetryPolicy& policy, RetryStats* stats,
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (stats != nullptr) {
       stats->attempts.fetch_add(1);
-      if (attempt > 0) stats->retries.fetch_add(1);
+      if (attempt > 0) {
+        stats->retries.fetch_add(1);
+        if (stats->retries_counter != nullptr) stats->retries_counter->Add(1);
+      }
     }
     last = op();
     if (last.ok() || !IsRetryableError(last)) return last;
@@ -36,7 +40,12 @@ Status RetryWithPolicy(const RetryPolicy& policy, RetryStats* stats,
       stats->backoff_micros.fetch_add(static_cast<int64_t>(delay * 1e6));
     }
   }
-  if (stats != nullptr) stats->exhaustions.fetch_add(1);
+  if (stats != nullptr) {
+    stats->exhaustions.fetch_add(1);
+    if (stats->exhaustions_counter != nullptr) {
+      stats->exhaustions_counter->Add(1);
+    }
+  }
   return last;
 }
 

@@ -11,6 +11,10 @@
 
 namespace sigmund {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 // Retry policy for operations against shared infrastructure (the SFS
 // stand-in for GFS). The paper's pipeline lives almost entirely on
 // pre-emptible resources (§IV-B3), so every layer must treat transient
@@ -39,6 +43,13 @@ struct RetryStats {
   std::atomic<int64_t> retries{0};          // attempts beyond the first
   std::atomic<int64_t> exhaustions{0};      // gave up after max_attempts
   std::atomic<int64_t> backoff_micros{0};   // simulated backoff total
+
+  // Optional registry mirrors (borrowed, may be null): when set, every
+  // retry / exhaustion event is also counted into these obs instruments,
+  // so a MetricRegistry snapshot sees exactly the events these atomics
+  // see. Wired by sfs::ReliableIoCounters::SetMetrics().
+  obs::Counter* retries_counter = nullptr;
+  obs::Counter* exhaustions_counter = nullptr;
 
   double backoff_seconds() const {
     return static_cast<double>(backoff_micros.load()) * 1e-6;

@@ -1,0 +1,181 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace sigmund::obs {
+
+namespace {
+
+// Per-thread stack of open spans, shared across tracers (each entry
+// remembers which tracer it belongs to). Thread-local so parenthood needs
+// no locks and never crosses threads by accident.
+thread_local std::vector<std::pair<const Tracer*, int64_t>> tls_open_spans;
+
+}  // namespace
+
+// --- Span ------------------------------------------------------------------
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    on_stack_ = other.on_stack_;
+    duration_micros_ = other.duration_micros_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+    other.on_stack_ = false;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr || id_ == 0) return;
+  duration_micros_ = tracer_->EndSpan(id_, on_stack_);
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+Tracer::Tracer(const Clock* clock)
+    : clock_(clock != nullptr ? clock : RealClock::Get()) {}
+
+Span Tracer::StartSpan(std::string name, int64_t parent_id) {
+  if (parent_id == kInheritParent) parent_id = CurrentSpanId();
+  const int64_t now = clock_->NowMicros();
+  SpanRecord record;
+  record.parent_id = parent_id;
+  record.name = std::move(name);
+  record.start_micros = now;
+  int64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    record.id = id;
+    spans_.push_back(std::move(record));
+  }
+  tls_open_spans.emplace_back(this, id);
+  return Span(this, id, /*on_stack=*/true);
+}
+
+int64_t Tracer::CurrentSpanId() const {
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  return 0;
+}
+
+int64_t Tracer::EndSpan(int64_t id, bool on_stack) {
+  const int64_t now = clock_->NowMicros();
+  int64_t duration = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t index = id - id_base_;
+    if (index >= 0 && index < static_cast<int64_t>(spans_.size())) {
+      spans_[index].end_micros = now;
+      duration = spans_[index].DurationMicros();
+    }
+  }
+  if (on_stack) {
+    // Normally the innermost entry; a span ended out of order is removed
+    // from wherever it sits.
+    for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+         ++it) {
+      if (it->first == this && it->second == id) {
+        tls_open_spans.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  return duration;
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> Tracer::Subtree(int64_t root_id) const {
+  std::vector<SpanRecord> all = Spans();
+  std::vector<SpanRecord> out;
+  std::vector<int64_t> frontier = {root_id};
+  // Spans are in start order and children always start after parents, so
+  // one forward pass collects the whole subtree.
+  for (const SpanRecord& span : all) {
+    const bool is_root = span.id == root_id;
+    const bool child = std::find(frontier.begin(), frontier.end(),
+                                 span.parent_id) != frontier.end();
+    if (is_root || child) {
+      if (!is_root) frontier.push_back(span.id);
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::DumpTree() const {
+  const std::vector<SpanRecord> all = Spans();
+  std::map<int64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& span : all) {
+    children[span.parent_id].push_back(&span);
+  }
+  std::string out;
+  // Recursive lambda over the forest in start order.
+  auto render = [&](auto&& self, int64_t parent, int depth) -> void {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (const SpanRecord* span : it->second) {
+      out += StrFormat("%*s%-*s %10lldus\n", depth * 2, "",
+                       40 - depth * 2, span->name.c_str(),
+                       static_cast<long long>(span->DurationMicros()));
+      self(self, span->id, depth + 1);
+    }
+  };
+  render(render, 0, 0);
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  id_base_ = next_id_;
+  spans_.clear();
+}
+
+// --- RunProfile ------------------------------------------------------------
+
+RunProfile BuildRunProfile(std::string name, const Tracer& tracer,
+                           int64_t root_id, RegistrySnapshot metrics) {
+  RunProfile profile;
+  profile.name = std::move(name);
+  profile.spans = tracer.Subtree(root_id);
+  if (!profile.spans.empty()) {
+    profile.total_micros = profile.spans.front().DurationMicros();
+  }
+  profile.metrics = std::move(metrics);
+  return profile;
+}
+
+std::string RunProfile::ToJson() const {
+  std::string spans_json;
+  for (const SpanRecord& span : spans) {
+    if (!spans_json.empty()) spans_json += ",";
+    spans_json += StrFormat(
+        "{\"id\":%lld,\"parent_id\":%lld,\"name\":\"%s\","
+        "\"start_micros\":%lld,\"duration_micros\":%lld}",
+        static_cast<long long>(span.id),
+        static_cast<long long>(span.parent_id), span.name.c_str(),
+        static_cast<long long>(span.start_micros),
+        static_cast<long long>(span.DurationMicros()));
+  }
+  return StrFormat("{\"name\":\"%s\",\"total_micros\":%lld,\"spans\":[%s],"
+                   "\"metrics\":%s}",
+                   name.c_str(), static_cast<long long>(total_micros),
+                   spans_json.c_str(), metrics.ToJson().c_str());
+}
+
+}  // namespace sigmund::obs

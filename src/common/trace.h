@@ -1,0 +1,154 @@
+#ifndef SIGMUND_COMMON_TRACE_H_
+#define SIGMUND_COMMON_TRACE_H_
+
+#include <stdint.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace sigmund::obs {
+
+// ---------------------------------------------------------------------------
+// Dapper-style span tracing for the daily pipeline.
+//
+//   obs::Tracer tracer;                       // RealClock by default
+//   {
+//     obs::Span day = tracer.StartSpan("run_daily");
+//     {
+//       obs::Span train = tracer.StartSpan("train");  // child of run_daily
+//       ...
+//     }                                       // train ends here
+//   }                                         // run_daily ends here
+//   std::printf("%s", tracer.DumpTree().c_str());
+//
+// Parenthood is tracked per thread: a span started while another span of
+// the same tracer is open on the same thread becomes its child. Work
+// running on pool threads passes an explicit parent id instead
+// (StartSpan(name, parent_id)).
+//
+// Time comes from the Clock handed to the tracer, so traces are
+// deterministic under SimClock and real under RealClock. Span collection
+// is thread-safe.
+// ---------------------------------------------------------------------------
+
+// One finished (or still open) span.
+struct SpanRecord {
+  int64_t id = 0;         // ids start at 1 and increase in start order
+  int64_t parent_id = 0;  // 0 = root
+  std::string name;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+
+  int64_t DurationMicros() const { return end_micros - start_micros; }
+};
+
+class Tracer;
+
+// RAII handle: the span ends when End() is called or the handle is
+// destroyed, whichever comes first. Move-only.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  void End();
+
+  // 0 for a default-constructed (no-op) span.
+  int64_t id() const { return id_; }
+  // Valid after End(): how long the span lasted.
+  int64_t DurationMicros() const { return duration_micros_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, int64_t id, bool on_stack)
+      : tracer_(tracer), id_(id), on_stack_(on_stack) {}
+
+  Tracer* tracer_ = nullptr;
+  int64_t id_ = 0;
+  bool on_stack_ = false;
+  int64_t duration_micros_ = 0;
+};
+
+class Tracer {
+ public:
+  // `clock` is borrowed; nullptr = RealClock.
+  explicit Tracer(const Clock* clock = nullptr);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts a span. With kInheritParent (default) the parent is the
+  // innermost open span of this tracer on the calling thread; pass an
+  // explicit parent id to attach work running on another thread, or
+  // kNoParent to force a root span.
+  static constexpr int64_t kInheritParent = -1;
+  static constexpr int64_t kNoParent = 0;
+  Span StartSpan(std::string name, int64_t parent_id = kInheritParent);
+
+  // Innermost open span of this tracer on the calling thread (0 = none).
+  int64_t CurrentSpanId() const;
+
+  // Snapshot of every span started so far, in start order. Spans still
+  // open have end_micros == start time at the moment they were started
+  // ... they report end_micros = 0 until ended.
+  std::vector<SpanRecord> Spans() const;
+
+  // The subtree rooted at `root_id` (root first, then descendants in
+  // start order).
+  std::vector<SpanRecord> Subtree(int64_t root_id) const;
+
+  // Indented rendering of all finished spans:
+  //   run_daily                          12345us
+  //     train                             9876us
+  std::string DumpTree() const;
+
+  // Drops all recorded spans (open spans still end cleanly; they are
+  // simply no longer reported).
+  void Clear();
+
+  const Clock* clock() const { return clock_; }
+
+ private:
+  friend class Span;
+  // Ends the span and returns its duration in microseconds.
+  int64_t EndSpan(int64_t id, bool on_stack);
+
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;
+  std::vector<SpanRecord> spans_;  // index by id - id_base_
+  int64_t id_base_ = 1;            // id of spans_[0] (advances on Clear)
+};
+
+// ---------------------------------------------------------------------------
+// RunProfile: the machine-readable record of one pipeline run — the span
+// tree under one root plus a metrics snapshot — written next to the daily
+// report so every day leaves a comparable profile trail.
+// ---------------------------------------------------------------------------
+
+struct RunProfile {
+  std::string name;           // e.g. "day_3"
+  int64_t total_micros = 0;   // duration of the root span
+  std::vector<SpanRecord> spans;  // root first
+  RegistrySnapshot metrics;
+
+  // {"name": ..., "total_micros": ..., "spans": [...], "metrics": {...}}
+  // Span durations nest: every span's duration is <= its parent's, and
+  // the root's equals total_micros.
+  std::string ToJson() const;
+};
+
+// Builds the profile for the run whose root span is `root_id`.
+RunProfile BuildRunProfile(std::string name, const Tracer& tracer,
+                           int64_t root_id, RegistrySnapshot metrics);
+
+}  // namespace sigmund::obs
+
+#endif  // SIGMUND_COMMON_TRACE_H_

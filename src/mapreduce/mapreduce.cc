@@ -29,6 +29,27 @@ std::unique_ptr<Reducer> IdentityReducer() {
   return std::make_unique<IdentityReducerImpl>();
 }
 
+void MapReduceJob::MirrorStatsToRegistry() {
+  if (spec_.metrics == nullptr) return;
+  const obs::Labels map_labels = {{"job", spec_.label}, {"phase", "map"}};
+  const obs::Labels reduce_labels = {{"job", spec_.label},
+                                     {"phase", "reduce"}};
+  spec_.metrics->GetCounter("mapreduce_task_attempts_total", map_labels)
+      ->Add(stats_.map_attempts);
+  spec_.metrics->GetCounter("mapreduce_task_failures_total", map_labels)
+      ->Add(stats_.map_failures);
+  spec_.metrics->GetCounter("mapreduce_task_attempts_total", reduce_labels)
+      ->Add(stats_.reduce_attempts);
+  spec_.metrics->GetCounter("mapreduce_task_failures_total", reduce_labels)
+      ->Add(stats_.reduce_failures);
+  spec_.metrics->GetCounter("mapreduce_records_total", {{"job", spec_.label},
+                                                        {"kind", "input"}})
+      ->Add(stats_.input_records);
+  spec_.metrics->GetCounter("mapreduce_records_total", {{"job", spec_.label},
+                                                        {"kind", "output"}})
+      ->Add(stats_.output_records);
+}
+
 std::vector<std::pair<int64_t, int64_t>> ComputeSplits(int64_t n, int pieces) {
   std::vector<std::pair<int64_t, int64_t>> splits;
   if (n <= 0 || pieces <= 0) return splits;
@@ -62,6 +83,31 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
   stats_ = MapReduceStats{};
   stats_.input_records = static_cast<int64_t>(input.size());
 
+  // Observability hooks (no-ops when unset). Task latency is sampled on
+  // the worker threads; phase spans open/close on the calling thread.
+  obs::Histogram* map_task_micros = nullptr;
+  obs::Histogram* reduce_task_micros = nullptr;
+  const Clock* clock = nullptr;
+  if (spec_.metrics != nullptr) {
+    const obs::Labels map_labels = {{"job", spec_.label}, {"phase", "map"}};
+    const obs::Labels reduce_labels = {{"job", spec_.label},
+                                       {"phase", "reduce"}};
+    map_task_micros =
+        spec_.metrics->GetHistogram("mapreduce_task_micros", map_labels);
+    reduce_task_micros =
+        spec_.metrics->GetHistogram("mapreduce_task_micros", reduce_labels);
+    clock = spec_.clock != nullptr ? spec_.clock : RealClock::Get();
+  }
+  const std::string span_prefix =
+      "mapreduce" + (spec_.label.empty() ? "" : "/" + spec_.label);
+
+  // Mirror the final task counters into the registry exactly once per
+  // Run, on every exit path (including errors).
+  struct MirrorOnExit {
+    MapReduceJob* job;
+    ~MirrorOnExit() { job->MirrorStatsToRegistry(); }
+  } mirror_on_exit{this};
+
   const auto splits =
       ComputeSplits(static_cast<int64_t>(input.size()), spec_.num_map_tasks);
 
@@ -74,11 +120,17 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
   std::atomic<int64_t> failures{0};
 
   ThreadPool pool(spec_.max_parallel_tasks);
+  obs::Span map_span;
+  if (spec_.tracer != nullptr) {
+    map_span = spec_.tracer->StartSpan(span_prefix + "/map");
+  }
   for (size_t t = 0; t < splits.size(); ++t) {
     pool.Schedule([&, t] {
       Rng rng(SplitMix64(spec_.seed) ^ (0x9e37u + t));
       for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
         attempts.fetch_add(1);
+        const int64_t attempt_start =
+            clock != nullptr ? clock->NowMicros() : 0;
         // Decide upfront whether this attempt gets "preempted"; if so, at
         // which fraction of its split (output up to there is discarded).
         const bool fail = rng.Bernoulli(spec_.map_task_failure_prob);
@@ -102,6 +154,10 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
         }
         if (s.ok() && !killed) s = mapper->Finish(emit);
 
+        if (map_task_micros != nullptr) {
+          map_task_micros->Observe(
+              static_cast<double>(clock->NowMicros() - attempt_start));
+        }
         if (killed) {
           failures.fetch_add(1);
           continue;  // retry; buffer dropped
@@ -126,6 +182,7 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
     });
   }
   pool.Wait();
+  map_span.End();
   stats_.map_attempts = attempts.load();
   stats_.map_failures = failures.load();
   if (!first_error.ok()) return first_error;
@@ -146,6 +203,10 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
   }
 
   // --- Shuffle: partition by key hash, group values per key.
+  obs::Span shuffle_span;
+  if (spec_.tracer != nullptr) {
+    shuffle_span = spec_.tracer->StartSpan(span_prefix + "/shuffle");
+  }
   const int r_tasks = spec_.num_reduce_tasks;
   std::vector<std::map<std::string, std::vector<std::string>>> partitions(
       r_tasks);
@@ -157,9 +218,15 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
     }
   }
 
+  shuffle_span.End();
+
   // --- Reduce phase. Mirrors the map phase's fault tolerance: a killed
   // attempt drops its buffer and reruns the whole partition, which is safe
   // because the shuffle buffers are immutable once built.
+  obs::Span reduce_span;
+  if (spec_.tracer != nullptr) {
+    reduce_span = spec_.tracer->StartSpan(span_prefix + "/reduce");
+  }
   std::vector<std::vector<Record>> reduce_outputs(r_tasks);
   std::atomic<int64_t> reduce_attempts{0};
   std::atomic<int64_t> reduce_failures{0};
@@ -169,6 +236,8 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
       const int64_t num_keys = static_cast<int64_t>(partitions[p].size());
       for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
         reduce_attempts.fetch_add(1);
+        const int64_t attempt_start =
+            clock != nullptr ? clock->NowMicros() : 0;
         const bool fail = rng.Bernoulli(spec_.reduce_task_failure_prob);
         const double fail_frac = rng.UniformDouble();
         const int64_t kill_at = static_cast<int64_t>(num_keys * fail_frac);
@@ -190,6 +259,10 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
           ++key_index;
         }
 
+        if (reduce_task_micros != nullptr) {
+          reduce_task_micros->Observe(
+              static_cast<double>(clock->NowMicros() - attempt_start));
+        }
         if (killed) {
           reduce_failures.fetch_add(1);
           continue;  // retry; buffer dropped
@@ -214,6 +287,7 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
     });
   }
   pool.Wait();
+  reduce_span.End();
   stats_.reduce_attempts = reduce_attempts.load();
   stats_.reduce_failures = reduce_failures.load();
   if (!first_error.ok()) return first_error;

@@ -8,7 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace sigmund::mapreduce {
 
@@ -88,6 +91,19 @@ struct MapReduceSpec {
   int max_attempts_per_task = 10;
 
   uint64_t seed = 42;
+
+  // --- Observability (all borrowed; null = off; never affects results).
+  // When `metrics` is set, Run() records per-task-attempt latency into
+  // mapreduce_task_micros{phase=map|reduce,job=<label>} and mirrors the
+  // attempt/failure counters into mapreduce_task_*_total{...}. When
+  // `tracer` is set, Run() wraps the map / shuffle / reduce phases in
+  // spans (children of whatever span is open on the calling thread).
+  obs::MetricRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  // Time source for task latency histograms (null = RealClock).
+  const Clock* clock = nullptr;
+  // Job label for metric dimensions, e.g. "training" or "inference/cell0".
+  std::string label;
 };
 
 // Execution statistics for a completed job.
@@ -119,6 +135,10 @@ class MapReduceJob {
   const MapReduceStats& stats() const { return stats_; }
 
  private:
+  // Adds this run's task counters to the spec's registry (no-op when
+  // observability is off). Called once per Run on every exit path.
+  void MirrorStatsToRegistry();
+
   MapReduceSpec spec_;
   MapperFactory mapper_factory_;
   ReducerFactory reducer_factory_;

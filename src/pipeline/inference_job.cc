@@ -27,10 +27,17 @@ struct LoadedRetailer {
 
 class InferenceMapper : public mapreduce::Mapper {
  public:
+  // `model_load_micros` is the optional model-load latency histogram
+  // (null = observability off).
   InferenceMapper(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
                   const InferenceJob::Options* options,
-                  InferenceJob::Stats* stats)
-      : fs_(fs), registry_(registry), options_(options), stats_(stats) {}
+                  InferenceJob::Stats* stats,
+                  obs::Histogram* model_load_micros)
+      : fs_(fs),
+        registry_(registry),
+        options_(options),
+        stats_(stats),
+        model_load_micros_(model_load_micros) {}
 
   Status Map(const mapreduce::Record& input,
              const mapreduce::Emitter& emit) override {
@@ -70,6 +77,10 @@ class InferenceMapper : public mapreduce::Mapper {
   }
 
   Status LoadRetailer(data::RetailerId retailer) {
+    const Clock* clock =
+        model_load_micros_ != nullptr ? RealClock::Get() : nullptr;
+    const int64_t load_start =
+        clock != nullptr ? clock->NowMicros() : 0;
     StatusOr<const data::RetailerData*> data = registry_->Get(retailer);
     if (!data.ok()) return data.status();
 
@@ -98,6 +109,10 @@ class InferenceMapper : public mapreduce::Mapper {
     loaded_.engine = std::make_unique<core::InferenceEngine>(
         loaded_.model.get(), loaded_.selector.get());
     stats_->model_loads.fetch_add(1);
+    if (model_load_micros_ != nullptr) {
+      model_load_micros_->Observe(
+          static_cast<double>(clock->NowMicros() - load_start));
+    }
     return OkStatus();
   }
 
@@ -105,6 +120,7 @@ class InferenceMapper : public mapreduce::Mapper {
   const RetailerRegistry* registry_;
   const InferenceJob::Options* options_;
   InferenceJob::Stats* stats_;
+  obs::Histogram* model_load_micros_;
   LoadedRetailer loaded_;
 };
 
@@ -112,6 +128,23 @@ class InferenceMapper : public mapreduce::Mapper {
 
 StatusOr<std::map<data::RetailerId, std::vector<core::ItemRecommendations>>>
 InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
+  obs::Span job_span;
+  if (options_.tracer != nullptr) {
+    job_span = options_.tracer->StartSpan(options_.job_label);
+  }
+  obs::Histogram* model_load_micros =
+      options_.metrics != nullptr
+          ? options_.metrics->GetHistogram("inference_model_load_micros")
+          : nullptr;
+  stats_.io.SetMetrics(options_.metrics);
+
+  // Mirror the final counters into the registry exactly once per Run, on
+  // every exit path (including errors).
+  struct MirrorOnExit {
+    InferenceJob* job;
+    ~MirrorOnExit() { job->MirrorStatsToRegistry(); }
+  } mirror_on_exit{this};
+
   // --- Partition retailers across cells, weighted by inventory size.
   std::vector<PackItem> items;
   for (data::RetailerId id : retailers) {
@@ -128,7 +161,9 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
 
   // --- One MapReduce per cell; input contiguous per retailer.
   std::map<data::RetailerId, std::vector<core::ItemRecommendations>> results;
+  int cell_index = -1;
   for (const auto& cell : cells) {
+    ++cell_index;
     if (cell.empty()) continue;
     std::vector<mapreduce::Record> input;
     for (const PackItem& pack : cell) {
@@ -150,12 +185,15 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
     spec.map_task_failure_prob = options_.map_task_failure_prob;
     spec.max_attempts_per_task = options_.max_attempts_per_task;
     spec.seed = options_.seed;
+    spec.metrics = options_.metrics;
+    spec.tracer = options_.tracer;
+    spec.label = options_.job_label + "/cell" + std::to_string(cell_index);
 
     mapreduce::MapReduceJob job(
         spec,
-        [this] {
+        [this, model_load_micros] {
           return std::make_unique<InferenceMapper>(fs_, registry_, &options_,
-                                                   &stats_);
+                                                   &stats_, model_load_micros);
         },
         [] { return mapreduce::IdentityReducer(); });
     StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
@@ -201,6 +239,14 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
         &stats_.io));
   }
   return results;
+}
+
+void InferenceJob::MirrorStatsToRegistry() {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->GetCounter("inference_model_loads_total")
+      ->Add(stats_.model_loads.load());
+  options_.metrics->GetCounter("inference_items_scored_total")
+      ->Add(stats_.items_scored.load());
 }
 
 }  // namespace sigmund::pipeline

@@ -48,6 +48,15 @@ class InferenceJob {
 
     core::InferenceEngine::Options inference;
     uint64_t seed = 42;
+
+    // --- Observability (all borrowed; null = off; never affects
+    // results). When wired, Run() opens an "inference" span with one
+    // "inference/cell<i>" MapReduce per cell, records model-load latency
+    // into inference_model_load_micros, and mirrors the run's counters
+    // into inference_* totals.
+    obs::MetricRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    std::string job_label = "inference";
   };
 
   struct Stats {
@@ -74,6 +83,10 @@ class InferenceJob {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Adds this run's counters to options_.metrics (no-op when
+  // observability is off). Called once per Run, success or failure.
+  void MirrorStatsToRegistry();
+
   sfs::SharedFileSystem* fs_;
   const RetailerRegistry* registry_;
   Options options_;

@@ -33,6 +33,12 @@ QualityMonitor::Verdict QualityMonitor::Record(data::RetailerId retailer,
   while (static_cast<int>(history.size()) > options_.history_days) {
     history.pop_front();
   }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("quality_verdicts_total",
+                     {{"verdict", VerdictName(verdict)}})
+        ->Add(1);
+  }
   return verdict;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "data/types.h"
 
 namespace sigmund::pipeline {
@@ -39,6 +40,11 @@ class QualityMonitor {
   explicit QualityMonitor(const Options& options) : options_(options) {}
   QualityMonitor() : QualityMonitor(Options()) {}
 
+  // Optional observability: when set, every Record() call also bumps
+  // quality_verdicts_total{verdict=...} in `registry` (borrowed; null =
+  // off). Verdicts never depend on the registry, only feed it.
+  void set_metrics(obs::MetricRegistry* registry) { metrics_ = registry; }
+
   // Records today's best hold-out MAP for a retailer and returns the
   // verdict. Regressed observations are recorded too (so a persistent
   // new plateau eventually becomes the baseline once the old history
@@ -52,6 +58,7 @@ class QualityMonitor {
 
  private:
   Options options_;
+  obs::MetricRegistry* metrics_ = nullptr;
   std::map<data::RetailerId, std::deque<double>> history_;
 };
 

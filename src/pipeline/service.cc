@@ -10,7 +10,7 @@
 namespace sigmund::pipeline {
 
 std::string DailyReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s sweep: retailers=%d (new=%d) models=%d mean_best_map=%.4f "
       "checkpoints=%lld preemptions=%lld restores=%lld model_loads=%lld "
       "items=%lld map_attempts=%lld map_failures=%lld "
@@ -37,6 +37,39 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(corrupt_checkpoints_skipped),
       static_cast<long long>(corrupt_batches_rejected),
       static_cast<long long>(faults_injected));
+  if (!stage_wall_micros.empty()) {
+    out += StrFormat("\n  wall: total=%.1fms",
+                     static_cast<double>(total_wall_micros) / 1000.0);
+    for (const auto& [stage, micros] : stage_wall_micros) {
+      out += StrFormat(" %s=%.1fms", stage.c_str(),
+                       static_cast<double>(micros) / 1000.0);
+    }
+    if (simulated_train_micros > 0) {
+      out += StrFormat(" (simulated_train=%.1fs)",
+                       static_cast<double>(simulated_train_micros) / 1e6);
+    }
+  }
+  return out;
+}
+
+SigmundService::SigmundService(sfs::SharedFileSystem* fs,
+                               const Options& options)
+    : fs_(fs), options_(options), monitor_(options.quality) {
+  clock_ = options_.clock != nullptr ? options_.clock : RealClock::Get();
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.tracer != nullptr) {
+    tracer_ = options_.tracer;
+  } else {
+    owned_tracer_ = std::make_unique<obs::Tracer>(clock_);
+    tracer_ = owned_tracer_.get();
+  }
+  io_.SetMetrics(metrics_, clock_);
+  monitor_.set_metrics(metrics_);
 }
 
 void SigmundService::UpsertRetailer(const data::RetailerData* data) {
@@ -80,18 +113,34 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
     return FailedPreconditionError("no retailers registered");
   }
 
+  // The report's counter fields are per-run deltas of registry counters:
+  // snapshot now, instrument everything, snapshot again at the end.
+  const obs::RegistrySnapshot before = metrics_->Snapshot();
+  obs::Span day_span =
+      tracer_->StartSpan(StrFormat("run_daily/day%d", days_run_));
+  // Ends a stage span and records its wall time in the report and in the
+  // pipeline_stage_micros{stage=...} histogram.
+  auto end_stage = [&](obs::Span& span, const char* stage) {
+    span.End();
+    report.stage_wall_micros.emplace_back(stage, span.DurationMicros());
+    metrics_->GetHistogram("pipeline_stage_micros", {{"stage", stage}})
+        ->Observe(static_cast<double>(span.DurationMicros()));
+  };
+
   // --- Data placement: rebalance shards across cells and account the
   // migrated bytes (§IV-B1).
   if (!options_.placement.cells.empty()) {
+    obs::Span span = tracer_->StartSpan("placement");
     DataPlacementPlanner placement_planner(fs_, options_.placement);
     DataPlacementPlanner::Plan placement =
         placement_planner.PlanPlacement(registry_);
-    int64_t before = transfer_ledger_.total_bytes();
+    int64_t bytes_before = transfer_ledger_.total_bytes();
     SIGMUND_RETURN_IF_ERROR(placement_planner.Materialize(
         registry_, placement, shard_homes_, &transfer_ledger_,
         options_.sfs_retry, &io_));
-    report.shard_bytes_moved = transfer_ledger_.total_bytes() - before;
+    report.shard_bytes_moved = transfer_ledger_.total_bytes() - bytes_before;
     shard_homes_ = std::move(placement.home_cell);
+    end_stage(span, "placement");
   }
 
   // --- Plan the sweep.
@@ -105,63 +154,51 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
 
   SweepPlanner planner(options_.sweep);
   std::vector<ConfigRecord> plan;
-  if (full) {
-    plan = planner.PlanFullSweep(registry_);
-  } else {
-    plan = planner.PlanIncrementalSweep(registry_, previous_results_);
-    // Count retailers that got a full grid (new sign-ups).
-    std::map<data::RetailerId, int> per_retailer;
-    for (const ConfigRecord& record : plan) ++per_retailer[record.retailer];
-    for (const auto& [retailer, count] : per_retailer) {
-      if (count > options_.sweep.incremental_top_k) ++report.new_retailers;
+  {
+    obs::Span span = tracer_->StartSpan("plan_sweep");
+    if (full) {
+      plan = planner.PlanFullSweep(registry_);
+    } else {
+      plan = planner.PlanIncrementalSweep(registry_, previous_results_);
+      // Count retailers that got a full grid (new sign-ups).
+      std::map<data::RetailerId, int> per_retailer;
+      for (const ConfigRecord& record : plan) ++per_retailer[record.retailer];
+      for (const auto& [retailer, count] : per_retailer) {
+        if (count > options_.sweep.incremental_top_k) ++report.new_retailers;
+      }
     }
+    end_stage(span, "plan_sweep");
   }
 
   // --- Train: one MapReduce, or one per cell when data placement routes
   // each retailer's work to the cell holding its shard (§IV-B1).
+  obs::Span train_span = tracer_->StartSpan("train");
   StatusOr<std::vector<ConfigRecord>> results = [&] {
+    // All training counters (checkpoints, preemptions, restores, retries,
+    // corruptions, ...) reach the report through the registry mirrors the
+    // jobs maintain — no per-job bookkeeping here.
     if (!options_.placement.cells.empty()) {
       MultiCellTrainingJob::Options multi_options;
       multi_options.cells = options_.placement.cells;
       multi_options.per_cell = options_.training;
+      multi_options.per_cell.metrics = metrics_;
+      multi_options.per_cell.tracer = tracer_;
       MultiCellTrainingJob training(fs_, &registry_, multi_options);
-      StatusOr<std::vector<ConfigRecord>> out =
-          training.Run(plan, shard_homes_);
-      for (const MultiCellTrainingJob::CellReport& cell :
-           training.cell_reports()) {
-        report.checkpoints_written += cell.checkpoints_written;
-        report.preemptions += cell.preemptions;
-        report.map_attempts += cell.map_attempts;
-        report.map_failures += cell.map_failures;
-        report.reduce_attempts += cell.reduce_attempts;
-        report.reduce_failures += cell.reduce_failures;
-        report.sfs_retries += cell.sfs_retries;
-        report.corruptions_detected += cell.corruptions_detected;
-      }
-      return out;
+      return training.Run(plan, shard_homes_);
     }
-    TrainingJob training(fs_, &registry_, options_.training);
-    StatusOr<std::vector<ConfigRecord>> out = training.Run(plan);
-    const TrainingJob::Stats& stats = training.stats();
-    report.checkpoints_written = stats.checkpoints_written.load();
-    report.preemptions = stats.preemptions.load();
-    report.restored_from_checkpoint = stats.restored_from_checkpoint.load();
-    report.map_attempts = stats.mapreduce.map_attempts;
-    report.map_failures = stats.mapreduce.map_failures;
-    report.reduce_attempts = stats.mapreduce.reduce_attempts;
-    report.reduce_failures = stats.mapreduce.reduce_failures;
-    report.sfs_retries += stats.io.retry.retries.load();
-    report.corruptions_detected += stats.io.corruptions_detected.load();
-    report.corruptions_healed += stats.io.corruptions_healed.load();
-    report.corrupt_checkpoints_skipped +=
-        stats.corrupt_checkpoints_skipped.load();
-    return out;
+    TrainingJob::Options training_options = options_.training;
+    training_options.metrics = metrics_;
+    training_options.tracer = tracer_;
+    TrainingJob training(fs_, &registry_, training_options);
+    return training.Run(plan);
   }();
+  end_stage(train_span, "train");
   if (!results.ok()) return results.status();
   report.models_trained = static_cast<int>(results->size());
 
   // Persist sweep results per retailer (debuggability).
   {
+    obs::Span span = tracer_->StartSpan("persist_sweep_results");
     std::map<data::RetailerId, std::string> blobs;
     for (const ConfigRecord& record : *results) {
       blobs[record.retailer] += record.Serialize();
@@ -177,15 +214,21 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
             return fs_->Write(path, data);
           }));
     }
+    end_stage(span, "persist_sweep_results");
   }
 
   // --- Model selection + quality guardrail.
   std::map<data::RetailerId, double> best_map;
-  SIGMUND_RETURN_IF_ERROR(SelectBestModels(*results, &report, &best_map));
+  {
+    obs::Span span = tracer_->StartSpan("select_models");
+    SIGMUND_RETURN_IF_ERROR(SelectBestModels(*results, &report, &best_map));
+    end_stage(span, "select_models");
+  }
   previous_results_ = std::move(results).value();
 
   std::set<data::RetailerId> hold_back;
   if (options_.guard_quality) {
+    obs::Span span = tracer_->StartSpan("quality_guard");
     for (const auto& [retailer, map_at_10] : best_map) {
       if (monitor_.Record(retailer, map_at_10) ==
           QualityMonitor::Verdict::kRegressed) {
@@ -197,25 +240,24 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       }
     }
     report.quality_regressions = static_cast<int>(hold_back.size());
+    end_stage(span, "quality_guard");
   }
 
-  // --- Inference.
-  InferenceJob inference(fs_, &registry_, options_.inference);
+  // --- Inference. Counters flow through the registry, like training.
+  obs::Span inference_span = tracer_->StartSpan("inference");
+  InferenceJob::Options inference_options = options_.inference;
+  inference_options.metrics = metrics_;
+  inference_options.tracer = tracer_;
+  InferenceJob inference(fs_, &registry_, inference_options);
   auto recommendations = inference.Run(registry_.Ids());
+  end_stage(inference_span, "inference");
   if (!recommendations.ok()) return recommendations.status();
-  report.model_loads = inference.stats().model_loads.load();
-  report.items_scored = inference.stats().items_scored.load();
-  report.map_attempts += inference.stats().mapreduce.map_attempts;
-  report.map_failures += inference.stats().mapreduce.map_failures;
-  report.sfs_retries += inference.stats().io.retry.retries.load();
-  report.corruptions_detected +=
-      inference.stats().io.corruptions_detected.load();
-  report.corruptions_healed += inference.stats().io.corruptions_healed.load();
 
   // --- Batch-load the serving store from the materialized SFS files
   // (regressed retailers keep serving the previous batch). A batch that
   // fails its checksum is rejected and the retailer keeps its previous
   // recommendations; a bad refresh never takes down serving.
+  obs::Span store_span = tracer_->StartSpan("store_load");
   for (const auto& [retailer, recs] : *recommendations) {
     (void)recs;
     if (hold_back.count(retailer) > 0 &&
@@ -226,7 +268,7 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         retailer, *fs_, RecommendationPath(retailer), options_.sfs_retry,
         &io_);
     if (loaded.code() == StatusCode::kDataLoss) {
-      ++report.corrupt_batches_rejected;
+      // Counted through serving_batch_loads_total{outcome=rejected}.
       SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
                       << "retailer " << retailer << ": "
                       << loaded.ToString();
@@ -234,21 +276,59 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
     }
     SIGMUND_RETURN_IF_ERROR(loaded);
   }
+  end_stage(store_span, "store_load");
 
-  // --- Robustness roll-up from the service's own SFS access and the
-  // chaos layer (if one is wired in).
-  report.sfs_retries += io_.retry.retries.load() - io_retries_seen_;
-  report.corruptions_detected +=
-      io_.corruptions_detected.load() - io_corruptions_seen_;
-  report.corruptions_healed += io_.corruptions_healed.load() - io_healed_seen_;
-  io_retries_seen_ = io_.retry.retries.load();
-  io_corruptions_seen_ = io_.corruptions_detected.load();
-  io_healed_seen_ = io_.corruptions_healed.load();
+  // --- Mirror chaos-layer fault totals into the registry. Self-
+  // correcting: only the portion not already recorded (e.g. by a fault
+  // injector wired live via SetMetrics) is added, so the registry's sum
+  // across label sets always equals the injector's own total.
   if (options_.injected_faults != nullptr) {
-    const int64_t total = options_.injected_faults->total();
-    report.faults_injected = total - faults_seen_;
-    faults_seen_ = total;
+    const int64_t recorded =
+        metrics_->Snapshot().CounterValue("sfs_faults_injected_total");
+    metrics_->GetCounter("sfs_faults_injected_total")
+        ->Add(options_.injected_faults->total() - recorded);
   }
+
+  day_span.End();
+  report.total_wall_micros = day_span.DurationMicros();
+
+  // --- The report's counters are the run's registry deltas: everything
+  // the jobs and I/O layers recorded between the two snapshots.
+  const obs::RegistrySnapshot after = metrics_->Snapshot();
+  auto delta = [&](std::string_view name, const obs::Labels& labels) {
+    return after.CounterValue(name, labels) -
+           before.CounterValue(name, labels);
+  };
+  const obs::Labels none;
+  report.checkpoints_written = delta("training_checkpoints_written_total", none);
+  report.preemptions = delta("training_preemptions_total", none);
+  report.restored_from_checkpoint = delta("training_restores_total", none);
+  report.corrupt_checkpoints_skipped =
+      delta("training_corrupt_checkpoints_skipped_total", none);
+  report.simulated_train_micros = delta("training_simulated_micros_total", none);
+  report.model_loads = delta("inference_model_loads_total", none);
+  report.items_scored = delta("inference_items_scored_total", none);
+  report.map_attempts =
+      delta("mapreduce_task_attempts_total", {{"phase", "map"}});
+  report.map_failures =
+      delta("mapreduce_task_failures_total", {{"phase", "map"}});
+  report.reduce_attempts =
+      delta("mapreduce_task_attempts_total", {{"phase", "reduce"}});
+  report.reduce_failures =
+      delta("mapreduce_task_failures_total", {{"phase", "reduce"}});
+  report.sfs_retries = delta("sfs_retries_total", none);
+  report.corruptions_detected = delta("sfs_corruptions_detected_total", none);
+  report.corruptions_healed = delta("sfs_corruptions_healed_total", none);
+  report.corrupt_batches_rejected =
+      delta("serving_batch_loads_total", {{"outcome", "rejected"}});
+  report.faults_injected = delta("sfs_faults_injected_total", none);
+
+  // --- Machine-readable run profile: this run's span tree + the full
+  // metrics snapshot.
+  report.profile_json =
+      obs::BuildRunProfile(StrFormat("day%d", days_run_), *tracer_,
+                           day_span.id(), after)
+          .ToJson();
 
   ++days_run_;
   return report;

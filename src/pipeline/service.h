@@ -1,10 +1,15 @@
 #ifndef SIGMUND_PIPELINE_SERVICE_H_
 #define SIGMUND_PIPELINE_SERVICE_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "common/status.h"
 #include "pipeline/data_placement.h"
 #include "pipeline/inference_job.h"
@@ -55,6 +60,18 @@ struct DailyReport {
   int64_t corrupt_batches_rejected = 0;
   int64_t faults_injected = 0;
 
+  // --- Timing (from the service's tracer; simulated when the service
+  // runs under a SimClock). One (stage name, wall micros) pair per
+  // pipeline stage actually run, in execution order.
+  std::vector<std::pair<std::string, int64_t>> stage_wall_micros;
+  int64_t total_wall_micros = 0;
+  // Simulated training time accumulated by this run's map tasks.
+  int64_t simulated_train_micros = 0;
+  // Machine-readable run profile: the run's span tree plus a full metrics
+  // snapshot, as JSON (see obs::RunProfile). Write it next to the daily
+  // report.
+  std::string profile_json;
+
   std::string ToString() const;
 };
 
@@ -96,11 +113,19 @@ class SigmundService {
     // can show how many faults were injected each run. Borrowed; may be
     // null.
     const sfs::FaultCounters* injected_faults = nullptr;
+
+    // --- Observability. All borrowed; when null the service owns a
+    // private registry/tracer driven by `clock` (null = RealClock).
+    // Every run instruments the full pipeline into the registry and
+    // tracer; DailyReport's counter fields are per-run deltas of registry
+    // counters (the report is a snapshot view, not separate bookkeeping).
+    obs::MetricRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    const Clock* clock = nullptr;
   };
 
   // `fs` is borrowed and holds all models/checkpoints/recommendations.
-  SigmundService(sfs::SharedFileSystem* fs, const Options& options)
-      : fs_(fs), options_(options), monitor_(options.quality) {}
+  SigmundService(sfs::SharedFileSystem* fs, const Options& options);
 
   // Registers (or refreshes after daily data arrival) a retailer. The
   // data is borrowed; keep it alive and call again when it changes.
@@ -125,6 +150,11 @@ class SigmundService {
 
   const QualityMonitor& quality_monitor() const { return monitor_; }
 
+  // The registry / tracer every run records into (service-owned unless
+  // injected through Options).
+  obs::MetricRegistry* metrics() const { return metrics_; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   // Picks the best record per retailer, copies its model to BestModelPath
   // and fills `best_map` per retailer.
@@ -141,15 +171,16 @@ class SigmundService {
   // Where each retailer's data shard currently lives (data placement).
   std::map<data::RetailerId, std::string> shard_homes_;
   sfs::FileTransferLedger transfer_ledger_;
-  // Retry/corruption counters for the service's own SFS access, plus the
-  // totals already reported by previous runs (DailyReport carries per-run
-  // deltas; the counters themselves accumulate for the service lifetime).
+  // Retry/corruption counters for the service's own SFS access, mirrored
+  // live into the registry (DailyReport carries per-run registry deltas;
+  // the counters themselves accumulate for the service lifetime).
   sfs::ReliableIoCounters io_;
-  int64_t io_retries_seen_ = 0;
-  int64_t io_corruptions_seen_ = 0;
-  int64_t io_healed_seen_ = 0;
-  // Injected-fault total at the end of the previous run.
-  int64_t faults_seen_ = 0;
+  // Observability plumbing: borrowed from Options or service-owned.
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  const Clock* clock_ = nullptr;
   bool force_full_sweep_ = false;
   int days_run_ = 0;
 };

@@ -19,15 +19,33 @@ namespace {
 // trained model in SFS + one output config record out.
 class TrainMapper : public mapreduce::Mapper {
  public:
+  // `model_micros` (simulated per-model training latency histogram) and
+  // `parent_span_id` wire observability; both are optional. Map tasks run
+  // on pool threads, so per-model spans attach to the job span by
+  // explicit parent id rather than the tracer's thread-local stack.
   TrainMapper(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
-              const TrainingJob::Options* options, TrainingJob::Stats* stats)
-      : fs_(fs), registry_(registry), options_(options), stats_(stats) {}
+              const TrainingJob::Options* options, TrainingJob::Stats* stats,
+              obs::Histogram* model_micros, int64_t parent_span_id)
+      : fs_(fs),
+        registry_(registry),
+        options_(options),
+        stats_(stats),
+        model_micros_(model_micros),
+        parent_span_id_(parent_span_id) {}
 
   Status Map(const mapreduce::Record& input,
              const mapreduce::Emitter& emit) override {
     StatusOr<ConfigRecord> parsed = ConfigRecord::Deserialize(input.value);
     if (!parsed.ok()) return parsed.status();
     ConfigRecord record = std::move(parsed).value();
+
+    obs::Span model_span;
+    if (options_->tracer != nullptr) {
+      model_span = options_->tracer->StartSpan(
+          "train/retailer" + std::to_string(record.retailer) + "/m" +
+              std::to_string(record.model_number),
+          parent_span_id_);
+    }
 
     StatusOr<const data::RetailerData*> retailer =
         registry_->Get(record.retailer);
@@ -200,6 +218,10 @@ class TrainMapper : public mapreduce::Mapper {
     record.epochs_run = start_epoch;
     record.sgd_steps = total_steps;
     stats_->models_trained.fetch_add(1);
+    stats_->simulated_train_micros.fetch_add(clock.NowMicros());
+    if (model_micros_ != nullptr) {
+      model_micros_->Observe(static_cast<double>(clock.NowMicros()));
+    }
     emit(mapreduce::Record{record.Key(), record.Serialize()});
     return OkStatus();
   }
@@ -209,12 +231,24 @@ class TrainMapper : public mapreduce::Mapper {
   const RetailerRegistry* registry_;
   const TrainingJob::Options* options_;
   TrainingJob::Stats* stats_;
+  obs::Histogram* model_micros_;
+  int64_t parent_span_id_;
 };
 
 }  // namespace
 
 StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
     const std::vector<ConfigRecord>& plan) {
+  obs::Span job_span;
+  if (options_.tracer != nullptr) {
+    job_span = options_.tracer->StartSpan(options_.job_label);
+  }
+  obs::Histogram* model_micros =
+      options_.metrics != nullptr
+          ? options_.metrics->GetHistogram("training_model_simulated_micros")
+          : nullptr;
+  stats_.io.SetMetrics(options_.metrics);
+
   std::vector<mapreduce::Record> input;
   input.reserve(plan.size());
   for (const ConfigRecord& record : plan) {
@@ -232,16 +266,22 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
   spec.reduce_task_failure_prob = options_.reduce_task_failure_prob;
   spec.max_attempts_per_task = options_.max_attempts_per_task;
   spec.seed = options_.seed;
+  spec.metrics = options_.metrics;
+  spec.tracer = options_.tracer;
+  spec.label = options_.job_label;
 
+  const int64_t parent_span_id = job_span.id();
   mapreduce::MapReduceJob job(
       spec,
-      [this] {
+      [this, model_micros, parent_span_id] {
         return std::make_unique<TrainMapper>(fs_, registry_, &options_,
-                                             &stats_);
+                                             &stats_, model_micros,
+                                             parent_span_id);
       },
       [] { return mapreduce::IdentityReducer(); });
   StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
   stats_.mapreduce = job.stats();  // populated even when the job failed
+  MirrorStatsToRegistry();
   if (!output.ok()) return output.status();
 
   std::vector<ConfigRecord> results;
@@ -252,6 +292,25 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
     results.push_back(std::move(parsed).value());
   }
   return results;
+}
+
+void TrainingJob::MirrorStatsToRegistry() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricRegistry* m = options_.metrics;
+  m->GetCounter("training_models_trained_total")
+      ->Add(stats_.models_trained.load());
+  m->GetCounter("training_checkpoints_written_total")
+      ->Add(stats_.checkpoints_written.load());
+  m->GetCounter("training_preemptions_total")
+      ->Add(stats_.preemptions.load());
+  m->GetCounter("training_restores_total")
+      ->Add(stats_.restored_from_checkpoint.load());
+  m->GetCounter("training_epochs_recovered_total")
+      ->Add(stats_.epochs_recovered.load());
+  m->GetCounter("training_corrupt_checkpoints_skipped_total")
+      ->Add(stats_.corrupt_checkpoints_skipped.load());
+  m->GetCounter("training_simulated_micros_total")
+      ->Add(stats_.simulated_train_micros.load());
 }
 
 StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
@@ -280,6 +339,7 @@ StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
     // Decorrelate failure/preemption draws across cells.
     cell_options.seed =
         SplitMix64(options_.per_cell.seed) ^ std::hash<std::string>()(cell);
+    cell_options.job_label = options_.per_cell.job_label + "/" + cell;
     TrainingJob job(fs_, registry_, cell_options);
     StatusOr<std::vector<ConfigRecord>> results = job.Run(it->second);
     if (!results.ok()) return results.status();

@@ -66,6 +66,15 @@ class TrainingJob {
     double sampled_eval_fraction = 0.1;
 
     uint64_t seed = 42;
+
+    // --- Observability (all borrowed; null = off; never affects
+    // training results). When wired, the job registers training_* counters
+    // and latency histograms in `metrics`, opens a `job_label` span with
+    // per-model child spans in `tracer`, and labels its MapReduce metrics
+    // with `job_label`.
+    obs::MetricRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    std::string job_label = "training";
   };
 
   // Counters aggregated across all map tasks and attempts.
@@ -77,6 +86,10 @@ class TrainingJob {
     std::atomic<int64_t> epochs_recovered{0};  // epochs NOT redone thanks
                                                // to checkpoints
     std::atomic<int64_t> corrupt_checkpoints_skipped{0};
+    // Total simulated training time across all model-training attempts
+    // (each map task runs its own SimClock; see
+    // Options::simulated_seconds_per_step).
+    std::atomic<int64_t> simulated_train_micros{0};
     mapreduce::MapReduceStats mapreduce;
     // Retry + corruption counters for all SFS I/O done by the mappers.
     sfs::ReliableIoCounters io;
@@ -96,6 +109,10 @@ class TrainingJob {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Adds this run's counters to options_.metrics (no-op when
+  // observability is off). Called once per Run, success or failure.
+  void MirrorStatsToRegistry();
+
   sfs::SharedFileSystem* fs_;
   const RetailerRegistry* registry_;
   Options options_;

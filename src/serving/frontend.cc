@@ -4,14 +4,45 @@
 
 namespace sigmund::serving {
 
+Frontend::Frontend(const RecommendationStore* store,
+                   const core::ScoreCalibrator* calibrator,
+                   obs::MetricRegistry* metrics, const Clock* clock)
+    : store_(store),
+      calibrator_(calibrator),
+      clock_(clock != nullptr ? clock : RealClock::Get()),
+      request_micros_(metrics != nullptr
+                          ? metrics->GetHistogram("serving_request_micros")
+                          : nullptr),
+      requests_ok_(metrics != nullptr
+                       ? metrics->GetCounter("serving_requests_total",
+                                             {{"outcome", "ok"}})
+                       : nullptr),
+      requests_error_(metrics != nullptr
+                          ? metrics->GetCounter("serving_requests_total",
+                                                {{"outcome", "error"}})
+                          : nullptr) {}
+
 StatusOr<RecommendationResponse> Frontend::Handle(
     const RecommendationRequest& request) const {
   SIGCHECK(store_ != nullptr);
+  const int64_t start_micros =
+      request_micros_ != nullptr ? clock_->NowMicros() : 0;
+  // Records the request outcome + latency on every return path.
+  auto finish = [&](auto result) {
+    if (request_micros_ != nullptr) {
+      request_micros_->Observe(
+          static_cast<double>(clock_->NowMicros() - start_micros));
+      (result.ok() ? requests_ok_ : requests_error_)->Add(1);
+    }
+    return result;
+  };
   if (request.context.empty()) {
-    return InvalidArgumentError("empty context");
+    return finish(StatusOr<RecommendationResponse>(
+        InvalidArgumentError("empty context")));
   }
   if (request.max_results <= 0) {
-    return InvalidArgumentError("max_results must be positive");
+    return finish(StatusOr<RecommendationResponse>(
+        InvalidArgumentError("max_results must be positive")));
   }
 
   RecommendationResponse response;
@@ -24,7 +55,9 @@ StatusOr<RecommendationResponse> Frontend::Handle(
 
   StatusOr<std::vector<core::ScoredItem>> list =
       store_->ServeContext(request.retailer, request.context);
-  if (!list.ok()) return list.status();
+  if (!list.ok()) {
+    return finish(StatusOr<RecommendationResponse>(list.status()));
+  }
 
   for (const core::ScoredItem& item : *list) {
     if (static_cast<int>(response.items.size()) >= request.max_results) {
@@ -37,7 +70,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     }
     response.items.push_back(item);
   }
-  return response;
+  return finish(StatusOr<RecommendationResponse>(std::move(response)));
 }
 
 }  // namespace sigmund::serving

@@ -1,6 +1,8 @@
 #ifndef SIGMUND_SERVING_FRONTEND_H_
 #define SIGMUND_SERVING_FRONTEND_H_
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "core/calibration.h"
 #include "core/funnel.h"
 #include "serving/store.h"
@@ -33,9 +35,14 @@ struct RecommendationResponse {
 class Frontend {
  public:
   // `store` is required; `calibrator` may be nullptr (no thresholding).
+  // `metrics` (borrowed, may be nullptr) turns on request observability:
+  // every Handle() records a serving_request_micros latency sample and
+  // bumps serving_requests_total{outcome=ok|error}. `clock` is the
+  // latency time source (nullptr = RealClock).
   Frontend(const RecommendationStore* store,
-           const core::ScoreCalibrator* calibrator)
-      : store_(store), calibrator_(calibrator) {}
+           const core::ScoreCalibrator* calibrator,
+           obs::MetricRegistry* metrics = nullptr,
+           const Clock* clock = nullptr);
 
   StatusOr<RecommendationResponse> Handle(
       const RecommendationRequest& request) const;
@@ -43,6 +50,10 @@ class Frontend {
  private:
   const RecommendationStore* store_;
   const core::ScoreCalibrator* calibrator_;
+  const Clock* clock_;
+  obs::Histogram* request_micros_;    // null when metrics are off
+  obs::Counter* requests_ok_;
+  obs::Counter* requests_error_;
 };
 
 }  // namespace sigmund::serving

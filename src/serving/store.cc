@@ -35,20 +35,38 @@ Status RecommendationStore::LoadRetailerFromFile(
     data::RetailerId retailer, const sfs::SharedFileSystem& fs,
     const std::string& path, const RetryPolicy& policy,
     sfs::ReliableIoCounters* io) {
+  // Batch-load latency + outcome counters when observability is wired in
+  // through the caller's ReliableIoCounters.
+  obs::MetricRegistry* metrics = io != nullptr ? io->metrics : nullptr;
+  const Clock* clock = nullptr;
+  int64_t start_micros = 0;
+  if (metrics != nullptr) {
+    clock = io->clock != nullptr ? io->clock : RealClock::Get();
+    start_micros = clock->NowMicros();
+  }
+  auto finish = [&](const char* outcome, Status status) {
+    if (metrics != nullptr) {
+      metrics->GetHistogram("serving_batch_load_micros")
+          ->Observe(static_cast<double>(clock->NowMicros() - start_micros));
+      metrics->GetCounter("serving_batch_loads_total", {{"outcome", outcome}})
+          ->Add(1);
+    }
+    return status;
+  };
   RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
   StatusOr<std::string> blob =
       RetryWithPolicy<std::string>(policy, retry_stats, [&] {
         return fs.Read(path);
       });
-  if (!blob.ok()) return blob.status();
+  if (!blob.ok()) return finish("error", blob.status());
   std::string payload;
   if (LooksLikeChecksummedFrame(*blob)) {
     StatusOr<std::string> unwrapped = ReadChecksummedFrame(*blob);
     if (!unwrapped.ok()) {
       // Torn or bit-rotted batch: refuse it and keep serving the previous
       // version of this retailer's recommendations.
-      if (io != nullptr) io->corruptions_detected.fetch_add(1);
-      return unwrapped.status();
+      if (io != nullptr) io->CountCorruptionDetected();
+      return finish("rejected", unwrapped.status());
     }
     payload = std::move(unwrapped).value();
   } else {
@@ -62,15 +80,16 @@ Status RecommendationStore::LoadRetailerFromFile(
     if (!recs.ok()) {
       // The frame checked out but a record does not decode: still a
       // corrupt batch from serving's point of view. Previous data stays.
-      if (io != nullptr) io->corruptions_detected.fetch_add(1);
-      return DataLossError(StrFormat("corrupt recommendation batch %s: %s",
-                                     path.c_str(),
-                                     recs.status().message().c_str()));
+      if (io != nullptr) io->CountCorruptionDetected();
+      return finish("rejected",
+                    DataLossError(StrFormat(
+                        "corrupt recommendation batch %s: %s", path.c_str(),
+                        recs.status().message().c_str())));
     }
     recommendations.push_back(std::move(recs).value());
   }
   LoadRetailer(retailer, std::move(recommendations));
-  return OkStatus();
+  return finish("ok", OkStatus());
 }
 
 StatusOr<std::vector<core::ScoredItem>> RecommendationStore::Lookup(

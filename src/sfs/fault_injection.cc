@@ -25,6 +25,19 @@ FaultInjectingFileSystem::FaultInjectingFileSystem(SharedFileSystem* base,
                                                    FaultProfile profile)
     : base_(base), profile_(std::move(profile)) {}
 
+void FaultInjectingFileSystem::SetMetrics(obs::MetricRegistry* registry) {
+  metrics_.store(registry);
+}
+
+void FaultInjectingFileSystem::CountFault(std::atomic<int64_t>* counter,
+                                          const char* op) const {
+  counter->fetch_add(1);
+  obs::MetricRegistry* registry = metrics_.load();
+  if (registry != nullptr) {
+    registry->GetCounter("sfs_faults_injected_total", {{"op", op}})->Add(1);
+  }
+}
+
 bool FaultInjectingFileSystem::ShouldFault(Op op, const std::string& path,
                                            double prob) const {
   if (!enabled_.load() || prob <= 0.0) return false;
@@ -59,11 +72,11 @@ std::string FaultInjectingFileSystem::TearBlob(const std::string& path,
 Status FaultInjectingFileSystem::Write(const std::string& path,
                                        const std::string& data) {
   if (ShouldFault(Op::kWrite, path, profile_.write_error_prob)) {
-    counters_.write_errors.fetch_add(1);
+    CountFault(&counters_.write_errors, "write");
     return UnavailableError("injected write fault: " + path);
   }
   if (ShouldFault(Op::kTornWrite, path, profile_.torn_write_prob)) {
-    counters_.torn_writes.fetch_add(1);
+    CountFault(&counters_.torn_writes, "torn_write");
     // The write "succeeds" from the caller's point of view but the stored
     // bytes are wrong — exactly the failure checksummed framing exists for.
     return base_->Write(path, TearBlob(path, data));
@@ -74,7 +87,7 @@ Status FaultInjectingFileSystem::Write(const std::string& path,
 StatusOr<std::string> FaultInjectingFileSystem::Read(
     const std::string& path) const {
   if (ShouldFault(Op::kRead, path, profile_.read_error_prob)) {
-    counters_.read_errors.fetch_add(1);
+    CountFault(&counters_.read_errors, "read");
     return UnavailableError("injected read fault: " + path);
   }
   return base_->Read(path);
@@ -82,7 +95,7 @@ StatusOr<std::string> FaultInjectingFileSystem::Read(
 
 Status FaultInjectingFileSystem::Delete(const std::string& path) {
   if (ShouldFault(Op::kDelete, path, profile_.delete_error_prob)) {
-    counters_.delete_errors.fetch_add(1);
+    CountFault(&counters_.delete_errors, "delete");
     return UnavailableError("injected delete fault: " + path);
   }
   return base_->Delete(path);
@@ -91,7 +104,7 @@ Status FaultInjectingFileSystem::Delete(const std::string& path) {
 Status FaultInjectingFileSystem::Rename(const std::string& from,
                                         const std::string& to) {
   if (ShouldFault(Op::kRename, from, profile_.rename_error_prob)) {
-    counters_.rename_errors.fetch_add(1);
+    CountFault(&counters_.rename_errors, "rename");
     return UnavailableError("injected rename fault: " + from);
   }
   return base_->Rename(from, to);
@@ -104,7 +117,7 @@ bool FaultInjectingFileSystem::Exists(const std::string& path) const {
 StatusOr<std::vector<std::string>> FaultInjectingFileSystem::List(
     const std::string& prefix) const {
   if (ShouldFault(Op::kList, prefix, profile_.list_error_prob)) {
-    counters_.list_errors.fetch_add(1);
+    CountFault(&counters_.list_errors, "list");
     return UnavailableError("injected list fault: " + prefix);
   }
   return base_->List(prefix);

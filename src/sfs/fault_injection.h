@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sfs/shared_filesystem.h"
 
 namespace sigmund::sfs {
@@ -76,6 +77,11 @@ class FaultInjectingFileSystem : public SharedFileSystem {
 
   const FaultCounters& counters() const { return counters_; }
 
+  // Optional: also count every injected fault into
+  // sfs_faults_injected_total{op=...} of `registry` (borrowed; null
+  // disconnects). Purely additive — the fault schedule is unchanged.
+  void SetMetrics(obs::MetricRegistry* registry);
+
   // Master switch; when disabled every call passes straight through.
   // Lets tests stage data cleanly before turning chaos on.
   void set_enabled(bool enabled) { enabled_.store(enabled); }
@@ -91,8 +97,12 @@ class FaultInjectingFileSystem : public SharedFileSystem {
   // Produces the corrupted blob for a torn write of `data`.
   std::string TearBlob(const std::string& path, const std::string& data) const;
 
+  // Bumps the per-op counter and, when wired, the registry mirror.
+  void CountFault(std::atomic<int64_t>* counter, const char* op) const;
+
   SharedFileSystem* const base_;
   const FaultProfile profile_;
+  std::atomic<obs::MetricRegistry*> metrics_{nullptr};
   std::atomic<bool> enabled_{true};
   mutable FaultCounters counters_;  // Read/List are const but do count
 

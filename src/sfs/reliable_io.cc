@@ -12,12 +12,76 @@ namespace {
 // rounds tearing is p^8 — negligible for any sane chaos profile.
 constexpr int kMaxVerifyRounds = 8;
 
+// RAII latency sample: observes elapsed micros into `histogram` (if any)
+// when it goes out of scope.
+class ScopedLatency {
+ public:
+  ScopedLatency(obs::Histogram* histogram, const Clock* clock)
+      : histogram_(histogram),
+        clock_(histogram != nullptr
+                   ? (clock != nullptr ? clock : RealClock::Get())
+                   : nullptr),
+        start_micros_(clock_ != nullptr ? clock_->NowMicros() : 0) {}
+
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<double>(clock_->NowMicros() - start_micros_));
+    }
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  const Clock* clock_;
+  int64_t start_micros_;
+};
+
 }  // namespace
+
+void ReliableIoCounters::SetMetrics(obs::MetricRegistry* registry,
+                                    const Clock* time_source) {
+  metrics = registry;
+  clock = time_source;
+  if (registry == nullptr) {
+    retry.retries_counter = nullptr;
+    retry.exhaustions_counter = nullptr;
+    corruptions_detected_counter = nullptr;
+    corruptions_healed_counter = nullptr;
+    read_micros = nullptr;
+    write_micros = nullptr;
+    return;
+  }
+  retry.retries_counter = registry->GetCounter("sfs_retries_total");
+  retry.exhaustions_counter =
+      registry->GetCounter("sfs_retry_exhaustions_total");
+  corruptions_detected_counter =
+      registry->GetCounter("sfs_corruptions_detected_total");
+  corruptions_healed_counter =
+      registry->GetCounter("sfs_corruptions_healed_total");
+  read_micros = registry->GetHistogram("sfs_op_micros", {{"op", "read"}});
+  write_micros = registry->GetHistogram("sfs_op_micros", {{"op", "write"}});
+}
+
+void ReliableIoCounters::CountCorruptionDetected() {
+  corruptions_detected.fetch_add(1);
+  if (corruptions_detected_counter != nullptr) {
+    corruptions_detected_counter->Add(1);
+  }
+}
+
+void ReliableIoCounters::CountCorruptionHealed() {
+  corruptions_healed.fetch_add(1);
+  if (corruptions_healed_counter != nullptr) {
+    corruptions_healed_counter->Add(1);
+  }
+}
 
 Status WriteChecksummedFile(SharedFileSystem* fs, const std::string& path,
                             std::string_view payload,
                             const RetryPolicy& policy,
                             ReliableIoCounters* io) {
+  ScopedLatency latency(io != nullptr ? io->write_micros : nullptr,
+                        io != nullptr ? io->clock : nullptr);
   const std::string frame = WriteChecksummedFrame(payload);
   RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
   bool healed_corruption = false;
@@ -35,12 +99,10 @@ Status WriteChecksummedFile(SharedFileSystem* fs, const std::string& path,
         });
     SIGMUND_RETURN_IF_ERROR(stored.status());
     if (*stored == frame) {
-      if (healed_corruption && io != nullptr) {
-        io->corruptions_healed.fetch_add(1);
-      }
+      if (healed_corruption && io != nullptr) io->CountCorruptionHealed();
       return OkStatus();
     }
-    if (io != nullptr) io->corruptions_detected.fetch_add(1);
+    if (io != nullptr) io->CountCorruptionDetected();
     healed_corruption = true;
   }
   return DataLossError(
@@ -52,6 +114,8 @@ StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
                                           const std::string& path,
                                           const RetryPolicy& policy,
                                           ReliableIoCounters* io) {
+  ScopedLatency latency(io != nullptr ? io->read_micros : nullptr,
+                        io != nullptr ? io->clock : nullptr);
   RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
   StatusOr<std::string> stored =
       RetryWithPolicy<std::string>(policy, retry_stats, [&] {
@@ -59,9 +123,7 @@ StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
       });
   SIGMUND_RETURN_IF_ERROR(stored.status());
   StatusOr<std::string> payload = ReadChecksummedFrame(*stored);
-  if (!payload.ok() && io != nullptr) {
-    io->corruptions_detected.fetch_add(1);
-  }
+  if (!payload.ok() && io != nullptr) io->CountCorruptionDetected();
   return payload;
 }
 

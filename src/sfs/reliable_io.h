@@ -6,6 +6,8 @@
 #include <atomic>
 #include <string>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "sfs/shared_filesystem.h"
 
@@ -19,6 +21,26 @@ struct ReliableIoCounters {
   std::atomic<int64_t> corruptions_detected{0};
   // Corrupt frames healed by rewriting (write-side read-back verify).
   std::atomic<int64_t> corruptions_healed{0};
+
+  // Optional observability wiring. SetMetrics registers the standard
+  // sfs_* instruments in `registry` and mirrors every retry / corruption
+  // event into them, and every checksummed read/write records an
+  // sfs_op_micros{op=...} latency sample. `registry` and `clock` are
+  // borrowed; clock == nullptr means RealClock.
+  void SetMetrics(obs::MetricRegistry* registry,
+                  const Clock* clock = nullptr);
+
+  // Bumps corruptions_detected and its registry mirror (if wired).
+  void CountCorruptionDetected();
+  // Bumps corruptions_healed and its registry mirror (if wired).
+  void CountCorruptionHealed();
+
+  obs::MetricRegistry* metrics = nullptr;  // null = not wired
+  const Clock* clock = nullptr;
+  obs::Counter* corruptions_detected_counter = nullptr;
+  obs::Counter* corruptions_healed_counter = nullptr;
+  obs::Histogram* read_micros = nullptr;
+  obs::Histogram* write_micros = nullptr;
 };
 
 // Writes `payload` to `path` wrapped in a checksummed frame, then reads

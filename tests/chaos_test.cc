@@ -165,6 +165,75 @@ TEST(ChaosTest, DailyRunSurvivesChaosAndMatchesFaultFreeRun) {
   }
 }
 
+// Observability must be purely passive: the same chaos day run with an
+// external registry + SimClock tracer — and the fault injector live-wired
+// into the registry — leaves every durable byte identical to the plain
+// chaos run, and the registry deltas agree with both the report and the
+// injector's own counters.
+TEST(ChaosTest, ExternalObservabilityNeverPerturbsResults) {
+  ChaosFixture f;
+
+  // Run A: service-owned observability (the default).
+  sfs::MemFileSystem base_a;
+  sfs::FaultInjectingFileSystem fs_a(&base_a, ChaosProfile());
+  SigmundService service_a(&fs_a, ChaosOptions(&fs_a.counters()));
+  service_a.UpsertRetailer(&f.r0.data);
+  service_a.UpsertRetailer(&f.r1.data);
+  StatusOr<DailyReport> day_a = service_a.RunDaily();
+  ASSERT_TRUE(day_a.ok()) << day_a.status().ToString();
+
+  // Run B: identical seeds and data, external everything.
+  sfs::MemFileSystem base_b;
+  sfs::FaultInjectingFileSystem fs_b(&base_b, ChaosProfile());
+  obs::MetricRegistry registry;
+  SimClock clock;
+  obs::Tracer tracer(&clock);
+  SigmundService::Options options = ChaosOptions(&fs_b.counters());
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  options.clock = &clock;
+  SigmundService service_b(&fs_b, options);
+  fs_b.SetMetrics(&registry);  // live per-op fault counting
+  service_b.UpsertRetailer(&f.r0.data);
+  service_b.UpsertRetailer(&f.r1.data);
+  StatusOr<DailyReport> day_b = service_b.RunDaily();
+  ASSERT_TRUE(day_b.ok()) << day_b.status().ToString();
+
+  // Identical fault draws, byte-identical durable recommendations.
+  EXPECT_GT(fs_b.counters().total(), 0);
+  EXPECT_EQ(fs_b.counters().total(), fs_a.counters().total());
+  for (data::RetailerId id : {0, 1}) {
+    StatusOr<std::string> blob_a = base_a.Read(RecommendationPath(id));
+    StatusOr<std::string> blob_b = base_b.Read(RecommendationPath(id));
+    ASSERT_TRUE(blob_a.ok());
+    ASSERT_TRUE(blob_b.ok());
+    EXPECT_EQ(*blob_b, *blob_a) << "retailer " << id;
+  }
+  EXPECT_EQ(day_b->models_trained, day_a->models_trained);
+  EXPECT_DOUBLE_EQ(day_b->mean_best_map, day_a->mean_best_map);
+
+  // The registry tells the same story as the report, with no double
+  // counting between live per-op fault counters and the end-of-run
+  // mirror.
+  obs::RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("sfs_faults_injected_total"),
+            fs_b.counters().total());
+  EXPECT_EQ(day_b->faults_injected, fs_b.counters().total());
+  EXPECT_EQ(day_b->faults_injected, day_a->faults_injected);
+  EXPECT_EQ(snapshot.CounterValue("sfs_retries_total"), day_b->sfs_retries);
+  EXPECT_EQ(snapshot.CounterValue("sfs_corruptions_detected_total"),
+            day_b->corruptions_detected);
+  EXPECT_EQ(snapshot.CounterValue("mapreduce_task_failures_total",
+                                  {{"phase", "map"}}),
+            day_b->map_failures);
+  EXPECT_EQ(day_b->sfs_retries, day_a->sfs_retries);
+
+  // A machine-readable profile came out of the chaos day too.
+  EXPECT_FALSE(day_b->profile_json.empty());
+  EXPECT_NE(day_b->profile_json.find("\"run_daily/day0\""),
+            std::string::npos);
+}
+
 // Direct acceptance criterion: a torn checkpoint write must never crash
 // the pipeline or silently corrupt a model.
 TEST(ChaosTest, TornCheckpointWritesNeverCorruptRestore) {
