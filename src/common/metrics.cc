@@ -76,6 +76,21 @@ std::string RenderNumber(double value) {
   return StrFormat("%g", value);
 }
 
+// Bucket bounds implied by `options` — shared by the Histogram
+// constructor and the GetHistogram layout-consistency check.
+std::vector<double> BoundsFromOptions(const HistogramOptions& options) {
+  const int n = std::max(1, options.num_buckets);
+  const double growth = options.growth > 1.0 ? options.growth : 2.0;
+  double bound = options.smallest_bucket > 0 ? options.smallest_bucket : 1.0;
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= growth;
+  }
+  return bounds;
+}
+
 // Estimates the value at rank `target` (1-based) from bucket counts by
 // linear interpolation inside the containing bucket.
 double QuantileFromBuckets(const std::vector<double>& bounds,
@@ -125,16 +140,9 @@ std::string RenderLabels(const Labels& labels) {
 // --- Histogram -------------------------------------------------------------
 
 Histogram::Histogram(const HistogramOptions& options)
-    : min_(std::numeric_limits<double>::infinity()),
+    : bounds_(BoundsFromOptions(options)),
+      min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
-  const int n = std::max(1, options.num_buckets);
-  const double growth = options.growth > 1.0 ? options.growth : 2.0;
-  double bound = options.smallest_bucket > 0 ? options.smallest_bucket : 1.0;
-  bounds_.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    bounds_.push_back(bound);
-    bound *= growth;
-  }
   buckets_ = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
 }
 
@@ -231,6 +239,13 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name,
   std::lock_guard<std::mutex> lock(mu_);
   if (entry->histogram == nullptr) {
     entry->histogram = std::make_unique<Histogram>(options);
+  } else {
+    // Same guarantee as the kind check in FindOrCreate: two call sites
+    // must not silently share a histogram while asking for different
+    // bucket layouts.
+    SIGCHECK(entry->histogram->BucketBounds() == BoundsFromOptions(options))
+        << "histogram " << entry->name << RenderLabels(entry->labels)
+        << " re-requested with a different bucket layout";
   }
   return entry->histogram.get();
 }

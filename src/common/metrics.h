@@ -164,7 +164,9 @@ class MetricRegistry {
 
   // Get-or-create. The same (name, labels) always returns the same
   // instrument; a name must keep one kind (getting an existing name with
-  // a different kind aborts — it is a programming error).
+  // a different kind aborts — it is a programming error). Likewise, every
+  // GetHistogram call for an existing (name, labels) must request the
+  // same bucket layout as the call that created it.
   Counter* GetCounter(std::string_view name, const Labels& labels = {});
   Gauge* GetGauge(std::string_view name, const Labels& labels = {});
   Histogram* GetHistogram(std::string_view name, const Labels& labels = {},

@@ -34,10 +34,11 @@ Span& Span::operator=(Span&& other) noexcept {
 }
 
 void Span::End() {
-  if (tracer_ == nullptr || id_ == 0) return;
+  if (tracer_ == nullptr) return;
   duration_micros_ = tracer_->EndSpan(id_, on_stack_);
+  // id_ is kept: like DurationMicros(), it stays readable after End() so
+  // callers can still key Subtree()/BuildRunProfile on the ended span.
   tracer_ = nullptr;
-  id_ = 0;
 }
 
 // --- Tracer ----------------------------------------------------------------
@@ -130,9 +131,16 @@ std::string Tracer::DumpTree() const {
     auto it = children.find(parent);
     if (it == children.end()) return;
     for (const SpanRecord* span : it->second) {
-      out += StrFormat("%*s%-*s %10lldus\n", depth * 2, "",
-                       40 - depth * 2, span->name.c_str(),
-                       static_cast<long long>(span->DurationMicros()));
+      if (span->end_micros == 0) {
+        // Still open: no end time yet, so render a marker instead of a
+        // (negative) duration.
+        out += StrFormat("%*s%-*s %12s\n", depth * 2, "", 40 - depth * 2,
+                         span->name.c_str(), "open");
+      } else {
+        out += StrFormat("%*s%-*s %10lldus\n", depth * 2, "",
+                         40 - depth * 2, span->name.c_str(),
+                         static_cast<long long>(span->DurationMicros()));
+      }
       self(self, span->id, depth + 1);
     }
   };

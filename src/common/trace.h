@@ -61,7 +61,8 @@ class Span {
 
   void End();
 
-  // 0 for a default-constructed (no-op) span.
+  // 0 for a default-constructed (or moved-from) no-op span. Stays valid
+  // after End(), like DurationMicros().
   int64_t id() const { return id_; }
   // Valid after End(): how long the span lasted.
   int64_t DurationMicros() const { return duration_micros_; }
@@ -104,9 +105,11 @@ class Tracer {
   // start order).
   std::vector<SpanRecord> Subtree(int64_t root_id) const;
 
-  // Indented rendering of all finished spans:
+  // Indented rendering of all recorded spans; a span that has not ended
+  // yet shows "open" in place of a duration:
   //   run_daily                          12345us
   //     train                             9876us
+  //     inference                           open
   std::string DumpTree() const;
 
   // Drops all recorded spans (open spans still end cleanly; they are

@@ -77,8 +77,13 @@ class InferenceMapper : public mapreduce::Mapper {
   }
 
   Status LoadRetailer(data::RetailerId retailer) {
+    // The configured clock keeps load-latency samples deterministic under
+    // SimClock; only consulted when the histogram is wired.
     const Clock* clock =
-        model_load_micros_ != nullptr ? RealClock::Get() : nullptr;
+        model_load_micros_ != nullptr
+            ? (options_->clock != nullptr ? options_->clock
+                                          : RealClock::Get())
+            : nullptr;
     const int64_t load_start =
         clock != nullptr ? clock->NowMicros() : 0;
     StatusOr<const data::RetailerData*> data = registry_->Get(retailer);
@@ -136,7 +141,7 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
       options_.metrics != nullptr
           ? options_.metrics->GetHistogram("inference_model_load_micros")
           : nullptr;
-  stats_.io.SetMetrics(options_.metrics);
+  stats_.io.SetMetrics(options_.metrics, options_.clock);
 
   // Mirror the final counters into the registry exactly once per Run, on
   // every exit path (including errors).
@@ -187,6 +192,7 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
     spec.seed = options_.seed;
     spec.metrics = options_.metrics;
     spec.tracer = options_.tracer;
+    spec.clock = options_.clock;
     spec.label = options_.job_label + "/cell" + std::to_string(cell_index);
 
     mapreduce::MapReduceJob job(

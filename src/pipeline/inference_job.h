@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/inference.h"
@@ -53,9 +54,12 @@ class InferenceJob {
     // results). When wired, Run() opens an "inference" span with one
     // "inference/cell<i>" MapReduce per cell, records model-load latency
     // into inference_model_load_micros, and mirrors the run's counters
-    // into inference_* totals.
+    // into inference_* totals. `clock` drives the latency samples
+    // (model loads, sfs_op_micros) so they are deterministic under
+    // SimClock; null = RealClock.
     obs::MetricRegistry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
+    const Clock* clock = nullptr;
     std::string job_label = "inference";
   };
 

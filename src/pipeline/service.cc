@@ -183,12 +183,14 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       multi_options.per_cell = options_.training;
       multi_options.per_cell.metrics = metrics_;
       multi_options.per_cell.tracer = tracer_;
+      multi_options.per_cell.clock = clock_;
       MultiCellTrainingJob training(fs_, &registry_, multi_options);
       return training.Run(plan, shard_homes_);
     }
     TrainingJob::Options training_options = options_.training;
     training_options.metrics = metrics_;
     training_options.tracer = tracer_;
+    training_options.clock = clock_;
     TrainingJob training(fs_, &registry_, training_options);
     return training.Run(plan);
   }();
@@ -248,6 +250,7 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   InferenceJob::Options inference_options = options_.inference;
   inference_options.metrics = metrics_;
   inference_options.tracer = tracer_;
+  inference_options.clock = clock_;
   InferenceJob inference(fs_, &registry_, inference_options);
   auto recommendations = inference.Run(registry_.Ids());
   end_stage(inference_span, "inference");

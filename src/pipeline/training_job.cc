@@ -247,7 +247,7 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
       options_.metrics != nullptr
           ? options_.metrics->GetHistogram("training_model_simulated_micros")
           : nullptr;
-  stats_.io.SetMetrics(options_.metrics);
+  stats_.io.SetMetrics(options_.metrics, options_.clock);
 
   std::vector<mapreduce::Record> input;
   input.reserve(plan.size());
@@ -268,6 +268,7 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
   spec.seed = options_.seed;
   spec.metrics = options_.metrics;
   spec.tracer = options_.tracer;
+  spec.clock = options_.clock;
   spec.label = options_.job_label;
 
   const int64_t parent_span_id = job_span.id();

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "mapreduce/mapreduce.h"
@@ -71,9 +72,11 @@ class TrainingJob {
     // training results). When wired, the job registers training_* counters
     // and latency histograms in `metrics`, opens a `job_label` span with
     // per-model child spans in `tracer`, and labels its MapReduce metrics
-    // with `job_label`.
+    // with `job_label`. `clock` drives the sfs_op_micros latency samples
+    // so they are deterministic under SimClock; null = RealClock.
     obs::MetricRegistry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
+    const Clock* clock = nullptr;
     std::string job_label = "training";
   };
 

@@ -264,6 +264,33 @@ TEST(TracerTest, MovedSpanEndsOnce) {
   EXPECT_EQ(spans[0].DurationMicros(), 1000000);
 }
 
+TEST(TracerTest, SpanIdSurvivesEnd) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  Span job = tracer.StartSpan("job");
+  const int64_t id = job.id();
+  clock.AdvanceSeconds(1.0);
+  job.End();
+  // Like DurationMicros(), id() stays valid after End() so the ended span
+  // can still key Subtree()/BuildRunProfile.
+  EXPECT_EQ(job.id(), id);
+  std::vector<SpanRecord> subtree = tracer.Subtree(job.id());
+  ASSERT_EQ(subtree.size(), 1u);
+  EXPECT_EQ(subtree[0].name, "job");
+}
+
+TEST(TracerTest, DumpTreeMarksOpenSpans) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  Span running = tracer.StartSpan("still_running");
+  clock.AdvanceSeconds(1.0);
+  const std::string tree = tracer.DumpTree();
+  EXPECT_NE(tree.find("still_running"), std::string::npos);
+  EXPECT_NE(tree.find("open"), std::string::npos);
+  // An open span must not render as a bogus negative duration.
+  EXPECT_EQ(tree.find("-"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Logging: suppressed severities must not evaluate their stream
 // arguments (satellite of the observability issue).
@@ -359,6 +386,16 @@ TEST(RunProfileTest, DailyRunEmitsCoherentProfile) {
       "pipeline_stage_micros", {{"stage", "train"}});
   ASSERT_NE(stage_hist, nullptr);
   EXPECT_EQ(stage_hist->count, 1);
+
+  // Day 1's profile is keyed on day 1's root span only — it must not pick
+  // up day 0's spans (regression: the root id used to be read after the
+  // root span had ended, which reset it to 0 and matched every root).
+  StatusOr<pipeline::DailyReport> day1 = service.RunDaily();
+  ASSERT_TRUE(day1.ok()) << day1.status().ToString();
+  EXPECT_NE(day1->profile_json.find("\"run_daily/day1\""),
+            std::string::npos);
+  EXPECT_EQ(day1->profile_json.find("\"run_daily/day0\""),
+            std::string::npos);
 }
 
 }  // namespace
