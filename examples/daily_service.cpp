@@ -12,6 +12,10 @@
 // Day 4: chaos storm — the shared filesystem itself starts failing
 //        (transient errors, torn writes) on top of task kills; retries,
 //        checksummed I/O, and corruption-tolerant recovery absorb it all.
+// Day 5: churn storm — training machines run under revocable leases with
+//        aggressive eviction schedules and a per-model deadline; grace-
+//        window checkpoints, priority escalation, and the degradation
+//        ladder keep every retailer servable.
 
 #include <cstdio>
 #include <fstream>
@@ -186,6 +190,44 @@ int main() {
               static_cast<long long>(day4->sfs_retries),
               static_cast<long long>(day4->corruptions_healed));
   ShowSample(chaos_service, 2);
+
+  // --- Day 5: churn storm. Training machines are revocable leases now:
+  // an exponential schedule (mean inter-eviction 2 simulated minutes)
+  // revokes them mid-training, each revocation grants a grace window for
+  // one final checkpoint, twice-evicted tasks escalate to regular
+  // priority, and a tight per-model deadline pushes slow models onto the
+  // degradation ladder instead of blowing the daily window.
+  pipeline::SigmundService::Options churny = stormy;
+  churny.training.preemption_prob_per_epoch = 0.0;
+  churny.training.map_task_failure_prob = 0.0;
+  churny.training.churn.preemption_rate_per_hour = 30.0;
+  churny.training.churn.eviction_grace_seconds = 1e6;
+  churny.training.churn.escalate_after_evictions = 2;
+  churny.training.per_model_deadline_seconds = 4000.0;
+  // (Speculative inference backups stay off here: which attempt commits
+  // first is thread-timing dependent, and this example's output is meant
+  // to be byte-identical run to run. chaos_test covers speculation.)
+  pipeline::SigmundService churny_service(&fs, churny);
+  churny_service.UpsertRetailer(&small.data);
+  churny_service.UpsertRetailer(&medium.data);
+  churny_service.UpsertRetailer(&large.data);
+  churny_service.UpsertRetailer(&newcomer.data);
+  StatusOr<pipeline::DailyReport> day5 = churny_service.RunDaily();
+  if (!day5.ok()) {
+    std::printf("day 5 failed: %s\n", day5.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 5 (churn storm): %s\n", day5->ToString().c_str());
+  EmitObservability(churny_service, *day5, 5);
+  std::printf("  -> %lld evictions (%lld grace checkpoints, %lld hard), "
+              "%lld tasks escalated to regular priority, %d retailers "
+              "degraded but still serving\n",
+              static_cast<long long>(day5->evictions),
+              static_cast<long long>(day5->eviction_grace_checkpoints),
+              static_cast<long long>(day5->hard_evictions),
+              static_cast<long long>(day5->priority_escalations),
+              day5->degraded_retailers);
+  ShowSample(churny_service, 2);
 
   // Full trace of the chaos day, span by span.
   std::printf("\nday 4 trace:\n%s",

@@ -1,0 +1,30 @@
+#include "cluster/lease.h"
+
+namespace sigmund::cluster {
+
+const char* LeasePriorityName(LeasePriority priority) {
+  switch (priority) {
+    case LeasePriority::kPreemptible:
+      return "preemptible";
+    case LeasePriority::kRegular:
+      return "regular";
+  }
+  return "unknown";
+}
+
+MachineLease::State MachineLease::Check(double now_seconds) const {
+  if (now_seconds < eviction_at_seconds_) return State::kHeld;
+  if (now_seconds < grace_deadline_seconds_) return State::kEvictionNotice;
+  return State::kRevoked;
+}
+
+uint64_t StableHash64(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace sigmund::cluster

@@ -1,0 +1,105 @@
+#ifndef SIGMUND_CLUSTER_LEASE_H_
+#define SIGMUND_CLUSTER_LEASE_H_
+
+#include <stdint.h>
+
+#include <limits>
+#include <string>
+
+namespace sigmund::cluster {
+
+// Priority class of a leased machine. Preemptible machines can be
+// revoked at any moment (Borg-style eviction); regular machines are
+// stable for the lifetime of the lease (§IV-B of the paper: Sigmund runs
+// almost entirely on pre-emptible resources, escalating only when it
+// must).
+enum class LeasePriority {
+  kPreemptible = 0,
+  kRegular = 1,
+};
+
+const char* LeasePriorityName(LeasePriority priority);
+
+// Machine-churn model for a preemptible cell. Inter-preemption times are
+// exponential (memoryless Borg evictions, same model as
+// SimJobConfig::preemption_rate_per_hour), measured in the *holder's*
+// simulated seconds — the same timeline that drives checkpoint cadence.
+struct ChurnConfig {
+  // Mean preemptions per VM-hour for preemptible leases. <= 0 disables
+  // churn entirely (every lease behaves like a regular machine).
+  double preemption_rate_per_hour = 0.0;
+
+  // Length of the eviction-grace window: once the eviction notice fires,
+  // the holder has this many (simulated) seconds of continued machine
+  // access to flush a final checkpoint before the machine is revoked. A
+  // holder that only notices past the window took a hard eviction and
+  // loses everything since its last durable checkpoint.
+  double eviction_grace_seconds = 5.0;
+
+  // After this many evictions, a task escalates from preemptible to
+  // regular priority and is never evicted again (tail retailers must
+  // still meet the daily deadline). <= 0 = never escalate.
+  int escalate_after_evictions = 3;
+
+  // Simulated seconds of rescheduling + environment setup charged to a
+  // task each time it restarts on a fresh machine.
+  double restart_overhead_seconds = 0.0;
+
+  // Seed for the deterministic churn schedule. Eviction times are drawn
+  // per (seed, task key, incarnation), so the schedule is independent of
+  // thread interleaving — a requirement for byte-identical reruns.
+  uint64_t seed = 42;
+};
+
+// A revocable grant of one machine to one task incarnation.
+//
+// The lease is driven by the holder's clock: the eviction time is drawn
+// when the lease is granted, and the holder polls Check(now) as its
+// simulated time advances. State machine:
+//
+//   kHeld            now < eviction_at
+//   kEvictionNotice  eviction_at <= now < eviction_at + grace
+//   kRevoked         now >= eviction_at + grace
+//
+// During kEvictionNotice the machine still works — this is the window in
+// which training flushes its eviction-grace checkpoint. A
+// default-constructed lease is a regular machine: never evicted.
+class MachineLease {
+ public:
+  enum class State { kHeld = 0, kEvictionNotice = 1, kRevoked = 2 };
+
+  MachineLease() = default;
+
+  State Check(double now_seconds) const;
+
+  LeasePriority priority() const { return priority_; }
+  bool preemptible() const {
+    return priority_ == LeasePriority::kPreemptible;
+  }
+  // +inf for a lease that will never be evicted.
+  double eviction_at_seconds() const { return eviction_at_seconds_; }
+  double grace_deadline_seconds() const { return grace_deadline_seconds_; }
+  // 0-based count of leases granted to this task before this one.
+  int64_t incarnation() const { return incarnation_; }
+  const std::string& task_key() const { return task_key_; }
+
+ private:
+  friend class PreemptibleExecutor;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  std::string task_key_;
+  LeasePriority priority_ = LeasePriority::kRegular;
+  double eviction_at_seconds_ = kNever;
+  double grace_deadline_seconds_ = kNever;
+  int64_t incarnation_ = 0;
+};
+
+// Deterministic, platform-stable 64-bit string hash (FNV-1a). std::hash
+// is implementation-defined, which would make churn schedules differ
+// across standard libraries.
+uint64_t StableHash64(const std::string& text);
+
+}  // namespace sigmund::cluster
+
+#endif  // SIGMUND_CLUSTER_LEASE_H_

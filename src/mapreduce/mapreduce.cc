@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "common/logging.h"
@@ -38,6 +41,12 @@ void MapReduceJob::MirrorStatsToRegistry() {
       ->Add(stats_.map_attempts);
   spec_.metrics->GetCounter("mapreduce_task_failures_total", map_labels)
       ->Add(stats_.map_failures);
+  spec_.metrics->GetCounter("mapreduce_backup_attempts_total", map_labels)
+      ->Add(stats_.map_backup_attempts);
+  spec_.metrics->GetCounter("mapreduce_backups_won_total", map_labels)
+      ->Add(stats_.map_backups_won);
+  spec_.metrics->GetCounter("mapreduce_attempts_cancelled_total", map_labels)
+      ->Add(stats_.map_attempts_cancelled);
   spec_.metrics->GetCounter("mapreduce_task_attempts_total", reduce_labels)
       ->Add(stats_.reduce_attempts);
   spec_.metrics->GetCounter("mapreduce_task_failures_total", reduce_labels)
@@ -112,79 +121,147 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
       ComputeSplits(static_cast<int64_t>(input.size()), spec_.num_map_tasks);
 
   // --- Map phase. Each task attempt runs the whole split; on injected
-  // failure its buffered output is discarded and the task retries.
-  std::vector<std::vector<Record>> map_outputs(splits.size());
+  // failure its buffered output is discarded and the task retries. With
+  // speculative_backups on, straggling tasks additionally get one backup
+  // attempt chain once most of the phase has committed; the first chain
+  // to commit wins and the loser cancels at its next record boundary.
+  const size_t num_tasks = splits.size();
+  std::vector<std::vector<Record>> map_outputs(num_tasks);
   std::mutex mu;
   Status first_error;
   std::atomic<int64_t> attempts{0};
   std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> backup_attempts{0};
+  std::atomic<int64_t> backups_won{0};
+  std::atomic<int64_t> attempts_cancelled{0};
+  // committed[t] is written under `mu` but read lock-free on the record
+  // loop's cancellation fast path.
+  std::unique_ptr<std::atomic<char>[]> committed(
+      new std::atomic<char>[num_tasks]);
+  for (size_t t = 0; t < num_tasks; ++t) committed[t].store(0);
+  std::vector<char> backup_launched(num_tasks, 0);  // guarded by mu
+  std::atomic<size_t> committed_count{0};
+  const bool speculate = spec_.speculative_backups && num_tasks >= 2;
+  // Backups launch once this many tasks have committed (at least 1, and
+  // always before the last task so there is a straggler left to clone).
+  const size_t speculation_trigger = std::min(
+      num_tasks - 1,
+      std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(spec_.speculation_commit_fraction *
+                                           static_cast<double>(num_tasks)))));
 
   ThreadPool pool(spec_.max_parallel_tasks);
   obs::Span map_span;
   if (spec_.tracer != nullptr) {
     map_span = spec_.tracer->StartSpan(span_prefix + "/map");
   }
-  for (size_t t = 0; t < splits.size(); ++t) {
-    pool.Schedule([&, t] {
-      Rng rng(SplitMix64(spec_.seed) ^ (0x9e37u + t));
-      for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
-        attempts.fetch_add(1);
-        const int64_t attempt_start =
-            clock != nullptr ? clock->NowMicros() : 0;
-        // Decide upfront whether this attempt gets "preempted"; if so, at
-        // which fraction of its split (output up to there is discarded).
-        const bool fail = rng.Bernoulli(spec_.map_task_failure_prob);
-        const double fail_frac = rng.UniformDouble();
 
-        std::vector<Record> buffer;
-        std::unique_ptr<Mapper> mapper = mapper_factory_();
-        Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
+  // One attempt chain (primary or backup) for map task `t`. Backups draw
+  // their failure injections from a distinct stream so a deterministic
+  // kill of the primary does not replay on its clone.
+  std::function<void(size_t, bool)> run_map_chain;
+  run_map_chain = [&](size_t t, bool is_backup) {
+    Rng rng(SplitMix64(spec_.seed) ^
+            (is_backup ? SplitMix64(0xbacc00ULL + t) : (0x9e37u + t)));
+    for (int attempt = 0; attempt < spec_.max_attempts_per_task; ++attempt) {
+      if (speculate && committed[t].load(std::memory_order_acquire) != 0) {
+        return;  // the other chain already won
+      }
+      attempts.fetch_add(1);
+      if (is_backup) backup_attempts.fetch_add(1);
+      const int64_t attempt_start = clock != nullptr ? clock->NowMicros() : 0;
+      // Decide upfront whether this attempt gets "preempted"; if so, at
+      // which fraction of its split (output up to there is discarded).
+      const bool fail = rng.Bernoulli(spec_.map_task_failure_prob);
+      const double fail_frac = rng.UniformDouble();
 
-        Status s = mapper->Start(static_cast<int>(t));
-        const auto [begin, end] = splits[t];
-        const int64_t kill_at =
-            begin + static_cast<int64_t>((end - begin) * fail_frac);
-        bool killed = false;
-        for (int64_t i = begin; s.ok() && i < end; ++i) {
-          if (fail && i >= kill_at) {
-            killed = true;
-            break;
-          }
-          s = mapper->Map(input[i], emit);
-        }
-        if (s.ok() && !killed) s = mapper->Finish(emit);
+      std::vector<Record> buffer;
+      std::unique_ptr<Mapper> mapper = mapper_factory_();
+      Emitter emit = [&buffer](Record r) { buffer.push_back(std::move(r)); };
 
-        if (map_task_micros != nullptr) {
-          map_task_micros->Observe(
-              static_cast<double>(clock->NowMicros() - attempt_start));
+      Status s = mapper->Start(static_cast<int>(t));
+      const auto [begin, end] = splits[t];
+      const int64_t kill_at =
+          begin + static_cast<int64_t>((end - begin) * fail_frac);
+      bool killed = false;
+      bool cancelled = false;
+      for (int64_t i = begin; s.ok() && i < end; ++i) {
+        if (speculate && committed[t].load(std::memory_order_acquire) != 0) {
+          cancelled = true;  // the other chain committed mid-split
+          break;
         }
-        if (killed) {
-          failures.fetch_add(1);
-          continue;  // retry; buffer dropped
+        if (fail && i >= kill_at) {
+          killed = true;
+          break;
         }
-        if (!s.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (first_error.ok()) first_error = s;
-          return;
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          map_outputs[t] = std::move(buffer);
-        }
+        s = mapper->Map(input[i], emit);
+      }
+      if (s.ok() && !killed && !cancelled) s = mapper->Finish(emit);
+
+      if (map_task_micros != nullptr && clock != nullptr) {
+        map_task_micros->Observe(
+            static_cast<double>(clock->NowMicros() - attempt_start));
+      }
+      if (cancelled) {
+        attempts_cancelled.fetch_add(1);
+        return;  // buffer dropped; the winner's output stands
+      }
+      if (killed) {
+        failures.fetch_add(1);
+        continue;  // retry; buffer dropped
+      }
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
         return;
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) {
-        first_error = UnavailableError(StrFormat(
-            "map task %zu exceeded %d attempts", t,
-            spec_.max_attempts_per_task));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (committed[t].load(std::memory_order_relaxed) != 0) {
+          return;  // lost the commit race; discard
+        }
+        map_outputs[t] = std::move(buffer);
+        committed[t].store(1, std::memory_order_release);
       }
-    });
+      committed_count.fetch_add(1);
+      if (is_backup) backups_won.fetch_add(1);
+      // Straggler detection: once enough of the phase has committed,
+      // clone every still-uncommitted task (once).
+      if (speculate && committed_count.load() >= speculation_trigger) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t other = 0; other < num_tasks; ++other) {
+          if (committed[other].load(std::memory_order_relaxed) == 0 &&
+              backup_launched[other] == 0) {
+            backup_launched[other] = 1;
+            pool.Schedule([&run_map_chain, other] {
+              run_map_chain(other, /*is_backup=*/true);
+            });
+          }
+        }
+      }
+      return;
+    }
+    // This chain exhausted its attempts; the task as a whole failed only
+    // if nobody else committed it.
+    std::lock_guard<std::mutex> lock(mu);
+    if (committed[t].load(std::memory_order_relaxed) == 0 &&
+        first_error.ok()) {
+      first_error = UnavailableError(StrFormat(
+          "map task %zu exceeded %d attempts", t,
+          spec_.max_attempts_per_task));
+    }
+  };
+
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Schedule([&run_map_chain, t] { run_map_chain(t, false); });
   }
   pool.Wait();
   map_span.End();
   stats_.map_attempts = attempts.load();
   stats_.map_failures = failures.load();
+  stats_.map_backup_attempts = backup_attempts.load();
+  stats_.map_backups_won = backups_won.load();
+  stats_.map_attempts_cancelled = attempts_cancelled.load();
   if (!first_error.ok()) return first_error;
 
   int64_t mapped = 0;
@@ -259,7 +336,7 @@ StatusOr<std::vector<Record>> MapReduceJob::Run(
           ++key_index;
         }
 
-        if (reduce_task_micros != nullptr) {
+        if (reduce_task_micros != nullptr && clock != nullptr) {
           reduce_task_micros->Observe(
               static_cast<double>(clock->NowMicros() - attempt_start));
         }

@@ -90,6 +90,18 @@ struct MapReduceSpec {
   // Cap on attempts per task (map or reduce) before the whole job fails.
   int max_attempts_per_task = 10;
 
+  // Straggler mitigation (Dean & Ghemawat's backup tasks): once at least
+  // speculation_commit_fraction of the map tasks have committed, every
+  // still-uncommitted map task gets one speculative backup attempt
+  // scheduled alongside its primary attempt chain. The first attempt to
+  // commit wins; the loser notices at its next record boundary and
+  // discards its buffer. Requires the mapper to be safe to run twice
+  // concurrently for the same split (pure, or idempotent side effects) —
+  // which is why the side-effect-heavy training job leaves this off while
+  // the read-only inference job can turn it on.
+  bool speculative_backups = false;
+  double speculation_commit_fraction = 0.75;
+
   uint64_t seed = 42;
 
   // --- Observability (all borrowed; null = off; never affects results).
@@ -110,6 +122,13 @@ struct MapReduceSpec {
 struct MapReduceStats {
   int64_t map_attempts = 0;
   int64_t map_failures = 0;
+  // Speculative-execution accounting: backup attempts launched for
+  // straggling map tasks, how many of those committed first, and attempts
+  // (primary or backup) that noticed the task was already committed and
+  // cancelled themselves mid-split.
+  int64_t map_backup_attempts = 0;
+  int64_t map_backups_won = 0;
+  int64_t map_attempts_cancelled = 0;
   int64_t reduce_attempts = 0;
   int64_t reduce_failures = 0;
   int64_t input_records = 0;

@@ -12,10 +12,10 @@ std::string ConfigRecord::Serialize() const {
   // Hyperparams already use ';' and '='; separate top-level fields with
   // '&' to stay unambiguous.
   return StrFormat(
-      "retailer=%d&model=%d&path=%s&warm=%d&trained=%d&map=%.17g&auc=%.17g&"
-      "epochs=%d&steps=%lld&hp=%s",
+      "retailer=%d&model=%d&path=%s&warm=%d&trained=%d&deg=%d&map=%.17g&"
+      "auc=%.17g&epochs=%d&steps=%lld&hp=%s",
       retailer, model_number, model_path.c_str(), warm_start ? 1 : 0,
-      trained ? 1 : 0, map_at_10, auc, epochs_run,
+      trained ? 1 : 0, degraded ? 1 : 0, map_at_10, auc, epochs_run,
       static_cast<long long>(sgd_steps), params.Serialize().c_str());
 }
 
@@ -46,6 +46,9 @@ StatusOr<ConfigRecord> ConfigRecord::Deserialize(const std::string& text) {
     } else if (key == "trained") {
       ok = ParseInt64(value, &i);
       record.trained = i != 0;
+    } else if (key == "deg") {
+      ok = ParseInt64(value, &i);
+      record.degraded = i != 0;
     } else if (key == "map") {
       ok = ParseDouble(value, &d);
       record.map_at_10 = d;

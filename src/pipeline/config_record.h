@@ -30,6 +30,11 @@ struct ConfigRecord {
 
   // --- Output fields, filled by the training job.
   bool trained = false;
+  // Training finished early — deadline budget or preemption budget
+  // exhausted. The (partially trained) model is still committed so the
+  // retailer stays servable, but model selection treats the retailer as
+  // degraded: freshness suffers, availability never does.
+  bool degraded = false;
   double map_at_10 = -1.0;
   double auc = -1.0;
   int epochs_run = 0;

@@ -189,6 +189,8 @@ InferenceJob::Run(const std::vector<data::RetailerId>& retailers) {
     spec.max_parallel_tasks = options_.max_parallel_tasks;
     spec.map_task_failure_prob = options_.map_task_failure_prob;
     spec.max_attempts_per_task = options_.max_attempts_per_task;
+    spec.speculative_backups = options_.speculative_backups;
+    spec.speculation_commit_fraction = options_.speculation_commit_fraction;
     spec.seed = options_.seed;
     spec.metrics = options_.metrics;
     spec.tracer = options_.tracer;

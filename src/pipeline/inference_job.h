@@ -44,6 +44,14 @@ class InferenceJob {
     double map_task_failure_prob = 0.0;
     int max_attempts_per_task = 10;
 
+    // Straggler mitigation: clone the slowest still-running map tasks
+    // once speculation_commit_fraction of each cell's map phase has
+    // committed; first commit wins. Safe here because the inference
+    // mapper only reads models — recommendation files are written after
+    // the MapReduce completes.
+    bool speculative_backups = false;
+    double speculation_commit_fraction = 0.75;
+
     // Retry policy for SFS access (model reads, recommendation writes).
     RetryPolicy sfs_retry;
 

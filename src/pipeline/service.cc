@@ -49,6 +49,21 @@ std::string DailyReport::ToString() const {
                        static_cast<double>(simulated_train_micros) / 1e6);
     }
   }
+  out += StrFormat(
+      "\n  churn: evictions=%lld grace_checkpoints=%lld hard=%lld "
+      "escalations=%lld budget_exhausted=%lld deadline_exceeded=%lld "
+      "degraded_retailers=%d backups=%lld backups_won=%lld "
+      "breaker_trips=%lld fallbacks_served=%lld",
+      static_cast<long long>(evictions),
+      static_cast<long long>(eviction_grace_checkpoints),
+      static_cast<long long>(hard_evictions),
+      static_cast<long long>(priority_escalations),
+      static_cast<long long>(preemption_budget_exhausted),
+      static_cast<long long>(deadline_exceeded), degraded_retailers,
+      static_cast<long long>(map_backup_attempts),
+      static_cast<long long>(map_backups_won),
+      static_cast<long long>(breaker_trips),
+      static_cast<long long>(fallbacks_served));
   return out;
 }
 
@@ -78,7 +93,8 @@ void SigmundService::UpsertRetailer(const data::RetailerData* data) {
 
 Status SigmundService::SelectBestModels(
     const std::vector<ConfigRecord>& results, DailyReport* report,
-    std::map<data::RetailerId, double>* best_map) {
+    std::map<data::RetailerId, double>* best_map,
+    std::set<data::RetailerId>* degraded) {
   std::map<data::RetailerId, const ConfigRecord*> best;
   for (const ConfigRecord& record : results) {
     if (!record.trained) continue;
@@ -89,6 +105,7 @@ Status SigmundService::SelectBestModels(
   }
   double map_sum = 0.0;
   for (const auto& [retailer, record] : best) {
+    if (record->degraded) degraded->insert(retailer);
     // Unwrap + CRC-check the trained model, then re-frame it at the best-
     // model path with a read-back-verified write: a torn copy can never
     // become the model inference loads.
@@ -221,9 +238,17 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
 
   // --- Model selection + quality guardrail.
   std::map<data::RetailerId, double> best_map;
+  std::set<data::RetailerId> degraded;
   {
     obs::Span span = tracer_->StartSpan("select_models");
-    SIGMUND_RETURN_IF_ERROR(SelectBestModels(*results, &report, &best_map));
+    SIGMUND_RETURN_IF_ERROR(
+        SelectBestModels(*results, &report, &best_map, &degraded));
+    report.degraded_retailers = static_cast<int>(degraded.size());
+    // Mirrored so the degradation shows up in RunProfile snapshots.
+    if (!degraded.empty()) {
+      metrics_->GetCounter("pipeline_degraded_retailers_total")
+          ->Add(static_cast<int64_t>(degraded.size()));
+    }
     end_stage(span, "select_models");
   }
   previous_results_ = std::move(results).value();
@@ -257,13 +282,15 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   if (!recommendations.ok()) return recommendations.status();
 
   // --- Batch-load the serving store from the materialized SFS files
-  // (regressed retailers keep serving the previous batch). A batch that
-  // fails its checksum is rejected and the retailer keeps its previous
+  // (regressed and degraded retailers keep serving the previous batch —
+  // a degraded retailer with no previous batch still loads its fresh one,
+  // so availability never drops below 100%). A batch that fails its
+  // checksum is rejected and the retailer keeps its previous
   // recommendations; a bad refresh never takes down serving.
   obs::Span store_span = tracer_->StartSpan("store_load");
   for (const auto& [retailer, recs] : *recommendations) {
     (void)recs;
-    if (hold_back.count(retailer) > 0 &&
+    if ((hold_back.count(retailer) > 0 || degraded.count(retailer) > 0) &&
         store_.RetailerVersion(retailer) > 0) {
       continue;
     }
@@ -325,6 +352,22 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   report.corrupt_batches_rejected =
       delta("serving_batch_loads_total", {{"outcome", "rejected"}});
   report.faults_injected = delta("sfs_faults_injected_total", none);
+  report.evictions = delta("training_evictions_total", none);
+  report.eviction_grace_checkpoints =
+      delta("training_eviction_grace_checkpoints_total", none);
+  report.hard_evictions = delta("training_hard_evictions_total", none);
+  report.priority_escalations =
+      delta("training_priority_escalations_total", none);
+  report.preemption_budget_exhausted =
+      delta("training_preemption_budget_exhausted_total", none);
+  report.deadline_exceeded = delta("training_deadline_exceeded_total", none);
+  report.map_backup_attempts =
+      delta("mapreduce_backup_attempts_total", none);
+  report.map_backups_won = delta("mapreduce_backups_won_total", none);
+  // Serving health is cumulative at snapshot time: requests arrive
+  // between daily runs, so a per-run delta would always read zero.
+  report.breaker_trips = after.CounterValue("serving_breaker_trips_total", none);
+  report.fallbacks_served = after.CounterValue("serving_fallbacks_total", none);
 
   // --- Machine-readable run profile: this run's span tree + the full
   // metrics snapshot.

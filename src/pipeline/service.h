@@ -1,7 +1,9 @@
 #ifndef SIGMUND_PIPELINE_SERVICE_H_
 #define SIGMUND_PIPELINE_SERVICE_H_
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,6 +45,29 @@ struct DailyReport {
   // Retailers whose new models regressed past the quality guardrail; the
   // store kept serving their previous batch.
   int quality_regressions = 0;
+  // Degradation ladder: retailers whose winning model trained under an
+  // exhausted deadline/preemption budget this run (the store keeps
+  // serving their previous batch when one exists).
+  int degraded_retailers = 0;
+  // Lease churn (preemptible training cells): machine revocations, final
+  // checkpoints flushed inside the eviction-grace window, revocations
+  // that missed the window, tasks escalated from preemptible to regular
+  // priority, models whose preemption budget ran out, and models stopped
+  // by their deadline.
+  int64_t evictions = 0;
+  int64_t eviction_grace_checkpoints = 0;
+  int64_t hard_evictions = 0;
+  int64_t priority_escalations = 0;
+  int64_t preemption_budget_exhausted = 0;
+  int64_t deadline_exceeded = 0;
+  // Straggler mitigation: speculative backup map attempts and winners.
+  int64_t map_backup_attempts = 0;
+  int64_t map_backups_won = 0;
+  // Serving health at report time. Serving traffic happens between daily
+  // runs, so these are cumulative counter values at snapshot time, not
+  // per-run deltas.
+  int64_t breaker_trips = 0;
+  int64_t fallbacks_served = 0;
   // Training-data shard bytes migrated across cells this run (§IV-B1);
   // 0 when data placement is disabled.
   int64_t shard_bytes_moved = 0;
@@ -157,10 +182,13 @@ class SigmundService {
 
  private:
   // Picks the best record per retailer, copies its model to BestModelPath
-  // and fills `best_map` per retailer.
+  // and fills `best_map` per retailer. Retailers whose winning record is
+  // marked degraded (deadline/preemption budget exhausted during
+  // training) are added to `degraded`.
   Status SelectBestModels(const std::vector<ConfigRecord>& results,
                           DailyReport* report,
-                          std::map<data::RetailerId, double>* best_map);
+                          std::map<data::RetailerId, double>* best_map,
+                          std::set<data::RetailerId>* degraded);
 
   sfs::SharedFileSystem* fs_;
   Options options_;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "cluster/executor.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -23,13 +24,18 @@ class TrainMapper : public mapreduce::Mapper {
   // `parent_span_id` wire observability; both are optional. Map tasks run
   // on pool threads, so per-model spans attach to the job span by
   // explicit parent id rather than the tracer's thread-local stack.
+  // `executor` (shared by every map task of the run) hands out the
+  // revocable machine leases each model trains under; never null, but
+  // inert unless churn is configured.
   TrainMapper(sfs::SharedFileSystem* fs, const RetailerRegistry* registry,
               const TrainingJob::Options* options, TrainingJob::Stats* stats,
+              cluster::PreemptibleExecutor* executor,
               obs::Histogram* model_micros, int64_t parent_span_id)
       : fs_(fs),
         registry_(registry),
         options_(options),
         stats_(stats),
+        executor_(executor),
         model_micros_(model_micros),
         parent_span_id_(parent_span_id) {}
 
@@ -133,13 +139,34 @@ class TrainMapper : public mapreduce::Mapper {
     const double epoch_seconds = options_->simulated_seconds_per_step *
                                  static_cast<double>(
                                      training_data.num_positions());
+    // Acquire the machine this model trains on. With churn configured the
+    // lease is revocable on the task's simulated clock; otherwise it is a
+    // stable machine and Check() below always reports kHeld.
+    const std::string task_key = record.Key();
+    const bool lease_revocable = executor_->churn_enabled();
+    cluster::MachineLease lease =
+        executor_->Acquire(task_key, clock.NowSeconds());
+
     int64_t total_steps = 0;
     Status checkpoint_error;
     // Forward-progress guard for pathological configs (preemption
-    // probability ~1 with checkpointing disabled).
-    int preemption_budget = 50;
+    // probability ~1 with checkpointing disabled, or churn so aggressive
+    // the inter-eviction time is shorter than an epoch). Shared by both
+    // injection paths: Bernoulli preemptions and lease evictions.
+    int preemption_budget = options_->preemption_budget;
+    bool budget_exhausted = false;
+    bool deadline_hit = false;
+    bool injection_disabled = false;
+    auto note_budget_exhausted = [&] {
+      if (!budget_exhausted) {
+        budget_exhausted = true;
+        injection_disabled = true;
+        stats_->preemption_budget_exhausted.fetch_add(1);
+      }
+    };
     while (start_epoch < record.params.num_epochs) {
       bool preempted = false;
+      bool evicted = false;
       core::BprTrainer::Options train_options;
       train_options.num_threads = options_->threads_per_model;
       train_options.num_epochs = record.params.num_epochs - start_epoch;
@@ -153,19 +180,69 @@ class TrainMapper : public mapreduce::Mapper {
               return false;
             }
             if (*wrote) stats_->checkpoints_written.fetch_add(1);
-            if (preemption_budget > 0 &&
-                preempt_rng.Bernoulli(options_->preemption_prob_per_epoch)) {
-              --preemption_budget;
-              preempted = true;
-              stats_->preemptions.fetch_add(1);
+            // Deadline budget: a model that overruns its share of the
+            // daily window stops here; the partial model is still
+            // committed (availability) but the record is marked degraded
+            // (freshness).
+            if (options_->per_model_deadline_seconds > 0.0 &&
+                clock.NowSeconds() >= options_->per_model_deadline_seconds) {
+              deadline_hit = true;
+              stats_->deadline_exceeded.fetch_add(1);
               return false;
+            }
+            // Lease revocation: the machine is going away. Caught inside
+            // the grace window there is time to flush one final
+            // checkpoint; past it, everything since the last periodic
+            // checkpoint is lost with the machine.
+            if (lease_revocable && !injection_disabled) {
+              const cluster::MachineLease::State lease_state =
+                  lease.Check(clock.NowSeconds());
+              if (lease_state != cluster::MachineLease::State::kHeld) {
+                if (preemption_budget <= 0) {
+                  note_budget_exhausted();
+                } else {
+                  --preemption_budget;
+                  const bool within_grace =
+                      lease_state ==
+                      cluster::MachineLease::State::kEvictionNotice;
+                  if (within_grace) {
+                    // A failed grace flush is not fatal: the machine is
+                    // gone either way, and restore falls back to the last
+                    // periodic checkpoint.
+                    Status flushed = checkpoints.ForceCheckpoint(
+                        model, start_epoch + epoch);
+                    if (flushed.ok()) {
+                      stats_->checkpoints_written.fetch_add(1);
+                      stats_->eviction_grace_checkpoints.fetch_add(1);
+                    }
+                  }
+                  executor_->OnEviction(task_key, within_grace);
+                  evicted = true;
+                  return false;
+                }
+              }
+            }
+            const bool preempt_draw =
+                preempt_rng.Bernoulli(options_->preemption_prob_per_epoch);
+            if (preempt_draw && !injection_disabled) {
+              if (preemption_budget > 0) {
+                --preemption_budget;
+                preempted = true;
+                stats_->preemptions.fetch_add(1);
+                return false;
+              }
+              note_budget_exhausted();
             }
             return true;
           };
       core::TrainStats train_stats = trainer.Train(train_options);
       total_steps += train_stats.sgd_steps;
       if (!checkpoint_error.ok()) return checkpoint_error;
-      if (!preempted) {
+      if (deadline_hit) {
+        start_epoch += train_stats.epochs_run;
+        break;
+      }
+      if (!preempted && !evicted) {
         start_epoch += train_stats.epochs_run;
         break;
       }
@@ -186,6 +263,14 @@ class TrainMapper : public mapreduce::Mapper {
         start_epoch = 0;
       } else {
         return restored.status();  // transient; task attempt retried
+      }
+      if (evicted) {
+        // Rescheduling is not free: pay the restart overhead, then lease
+        // the next machine. A task escalated to regular priority comes
+        // back on a stable machine (its new lease never expires).
+        clock.AdvanceSeconds(
+            std::max(0.0, options_->churn.restart_overhead_seconds));
+        lease = executor_->Acquire(task_key, clock.NowSeconds());
       }
     }
 
@@ -213,6 +298,14 @@ class TrainMapper : public mapreduce::Mapper {
     stats_->corrupt_checkpoints_skipped.fetch_add(
         checkpoints.corrupt_checkpoints_detected());
     record.trained = true;
+    // Degradation ladder, rung 1: the model shipped, but the training run
+    // blew its deadline or its preemption budget. Selection downstream
+    // treats the retailer as degraded and keeps serving yesterday's batch
+    // when one exists.
+    if (deadline_hit || budget_exhausted) {
+      record.degraded = true;
+      stats_->degraded_records.fetch_add(1);
+    }
     record.map_at_10 = metrics.map_at_k;
     record.auc = metrics.auc;
     record.epochs_run = start_epoch;
@@ -231,6 +324,7 @@ class TrainMapper : public mapreduce::Mapper {
   const RetailerRegistry* registry_;
   const TrainingJob::Options* options_;
   TrainingJob::Stats* stats_;
+  cluster::PreemptibleExecutor* executor_;
   obs::Histogram* model_micros_;
   int64_t parent_span_id_;
 };
@@ -271,17 +365,28 @@ StatusOr<std::vector<ConfigRecord>> TrainingJob::Run(
   spec.clock = options_.clock;
   spec.label = options_.job_label;
 
+  // One lease executor per run: map tasks on pool threads share it, and
+  // per-task eviction schedules depend only on (churn seed, record key,
+  // incarnation), so churn outcomes are independent of thread scheduling.
+  cluster::PreemptibleExecutor::Options executor_options;
+  executor_options.churn = options_.churn;
+  cluster::PreemptibleExecutor executor(executor_options);
+
   const int64_t parent_span_id = job_span.id();
   mapreduce::MapReduceJob job(
       spec,
-      [this, model_micros, parent_span_id] {
+      [this, &executor, model_micros, parent_span_id] {
         return std::make_unique<TrainMapper>(fs_, registry_, &options_,
-                                             &stats_, model_micros,
-                                             parent_span_id);
+                                             &stats_, &executor,
+                                             model_micros, parent_span_id);
       },
       [] { return mapreduce::IdentityReducer(); });
   StatusOr<std::vector<mapreduce::Record>> output = job.Run(input);
   stats_.mapreduce = job.stats();  // populated even when the job failed
+  stats_.evictions.fetch_add(executor.stats().evictions.load());
+  stats_.hard_evictions.fetch_add(executor.stats().hard_evictions.load());
+  stats_.priority_escalations.fetch_add(
+      executor.stats().escalations.load());
   MirrorStatsToRegistry();
   if (!output.ok()) return output.status();
 
@@ -312,6 +417,19 @@ void TrainingJob::MirrorStatsToRegistry() {
       ->Add(stats_.corrupt_checkpoints_skipped.load());
   m->GetCounter("training_simulated_micros_total")
       ->Add(stats_.simulated_train_micros.load());
+  m->GetCounter("training_evictions_total")->Add(stats_.evictions.load());
+  m->GetCounter("training_eviction_grace_checkpoints_total")
+      ->Add(stats_.eviction_grace_checkpoints.load());
+  m->GetCounter("training_hard_evictions_total")
+      ->Add(stats_.hard_evictions.load());
+  m->GetCounter("training_priority_escalations_total")
+      ->Add(stats_.priority_escalations.load());
+  m->GetCounter("training_preemption_budget_exhausted_total")
+      ->Add(stats_.preemption_budget_exhausted.load());
+  m->GetCounter("training_deadline_exceeded_total")
+      ->Add(stats_.deadline_exceeded.load());
+  m->GetCounter("training_degraded_records_total")
+      ->Add(stats_.degraded_records.load());
 }
 
 StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
@@ -355,7 +473,9 @@ StatusOr<std::vector<ConfigRecord>> MultiCellTrainingJob::Run(
         stats.mapreduce.reduce_attempts,
         stats.mapreduce.reduce_failures,
         stats.io.retry.retries.load(),
-        stats.io.corruptions_detected.load()});
+        stats.io.corruptions_detected.load(),
+        stats.evictions.load(),
+        stats.priority_escalations.load()});
   }
   std::sort(merged.begin(), merged.end(),
             [](const ConfigRecord& a, const ConfigRecord& b) {

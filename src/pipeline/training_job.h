@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/lease.h"
 #include "common/clock.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -49,6 +50,27 @@ class TrainingJob {
     // checkpoint and continues — re-doing any work since it.
     double preemption_prob_per_epoch = 0.0;
 
+    // Lease-based churn (§IV-B: training runs in preemptible cells). When
+    // churn.preemption_rate_per_hour > 0, every model trains under a
+    // revocable machine lease from a PreemptibleExecutor: eviction times
+    // follow an exponential schedule on the task's simulated clock; a
+    // lease checked inside the grace window flushes a final
+    // ForceCheckpoint before the machine disappears; a task evicted
+    // churn.escalate_after_evictions times is escalated to regular
+    // (non-revocable) priority so it can still meet the daily deadline.
+    cluster::ChurnConfig churn;
+
+    // Forward-progress guard: total preemptions + evictions a single
+    // model may absorb before injection is disabled for it. Exhaustion is
+    // counted (training_preemption_budget_exhausted_total) and marks the
+    // output record degraded.
+    int preemption_budget = 50;
+
+    // Deadline on each model's simulated training clock (seconds);
+    // 0 = none. A model that overruns stops early, is committed as-is so
+    // the retailer stays servable, and its record is marked degraded.
+    double per_model_deadline_seconds = 0.0;
+
     // Whole-task failure injection at the MapReduce layer (the task's
     // buffered output is discarded and the task retried; durable SFS
     // checkpoints survive, so retries resume rather than restart).
@@ -89,6 +111,18 @@ class TrainingJob {
     std::atomic<int64_t> epochs_recovered{0};  // epochs NOT redone thanks
                                                // to checkpoints
     std::atomic<int64_t> corrupt_checkpoints_skipped{0};
+    // Lease churn: revocations suffered, final checkpoints flushed inside
+    // the eviction-grace window, revocations that missed the window, and
+    // tasks escalated from preemptible to regular priority.
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> eviction_grace_checkpoints{0};
+    std::atomic<int64_t> hard_evictions{0};
+    std::atomic<int64_t> priority_escalations{0};
+    // Degradation ladder: models whose preemption budget ran out, whose
+    // deadline passed, and output records marked degraded for any reason.
+    std::atomic<int64_t> preemption_budget_exhausted{0};
+    std::atomic<int64_t> deadline_exceeded{0};
+    std::atomic<int64_t> degraded_records{0};
     // Total simulated training time across all model-training attempts
     // (each map task runs its own SimClock; see
     // Options::simulated_seconds_per_step).
@@ -147,6 +181,8 @@ class MultiCellTrainingJob {
     int64_t reduce_failures = 0;
     int64_t sfs_retries = 0;
     int64_t corruptions_detected = 0;
+    int64_t evictions = 0;
+    int64_t priority_escalations = 0;
   };
 
   MultiCellTrainingJob(sfs::SharedFileSystem* fs,

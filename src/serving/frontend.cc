@@ -1,15 +1,31 @@
 #include "serving/frontend.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace sigmund::serving {
 
+const char* ServingSourceName(ServingSource source) {
+  switch (source) {
+    case ServingSource::kStore:
+      return "store";
+    case ServingSource::kLastKnownGood:
+      return "last_known_good";
+    case ServingSource::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
 Frontend::Frontend(const RecommendationStore* store,
                    const core::ScoreCalibrator* calibrator,
-                   obs::MetricRegistry* metrics, const Clock* clock)
+                   obs::MetricRegistry* metrics, const Clock* clock,
+                   const Options& options)
     : store_(store),
       calibrator_(calibrator),
       clock_(clock != nullptr ? clock : RealClock::Get()),
+      options_(options),
       request_micros_(metrics != nullptr
                           ? metrics->GetHistogram("serving_request_micros")
                           : nullptr),
@@ -20,15 +36,55 @@ Frontend::Frontend(const RecommendationStore* store,
       requests_error_(metrics != nullptr
                           ? metrics->GetCounter("serving_requests_total",
                                                 {{"outcome", "error"}})
-                          : nullptr) {}
+                          : nullptr),
+      deadline_exceeded_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_deadline_exceeded_total")
+              : nullptr),
+      breaker_trips_(metrics != nullptr
+                         ? metrics->GetCounter("serving_breaker_trips_total")
+                         : nullptr),
+      breaker_short_circuits_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_breaker_short_circuits_total")
+              : nullptr),
+      fallback_last_known_good_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_fallbacks_total",
+                                    {{"source", "last_known_good"}})
+              : nullptr),
+      fallback_popularity_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_fallbacks_total",
+                                    {{"source", "popularity"}})
+              : nullptr) {}
+
+Frontend::Frontend(const RecommendationStore* store,
+                   const core::ScoreCalibrator* calibrator,
+                   obs::MetricRegistry* metrics, const Clock* clock)
+    : Frontend(store, calibrator, metrics, clock, Options()) {}
+
+void Frontend::SetPopularityFallback(data::RetailerId retailer,
+                                     std::vector<core::ScoredItem> items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RetailerState& state = state_[retailer];
+  state.popularity = std::move(items);
+  state.has_popularity = true;
+}
+
+bool Frontend::BreakerOpen(data::RetailerId retailer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = state_.find(retailer);
+  return it != state_.end() && it->second.breaker_open &&
+         clock_->NowSeconds() < it->second.open_until_seconds;
+}
 
 StatusOr<RecommendationResponse> Frontend::Handle(
     const RecommendationRequest& request) const {
-  SIGCHECK(store_ != nullptr);
-  const int64_t start_micros =
-      request_micros_ != nullptr ? clock_->NowMicros() : 0;
+  SIGCHECK(store_ != nullptr || lookup_ != nullptr);
+  const int64_t start_micros = clock_->NowMicros();
   // Records the request outcome + latency on every return path.
-  auto finish = [&](auto result) {
+  auto finish = [&](StatusOr<RecommendationResponse> result) {
     if (request_micros_ != nullptr) {
       request_micros_->Observe(
           static_cast<double>(clock_->NowMicros() - start_micros));
@@ -37,12 +93,10 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     return result;
   };
   if (request.context.empty()) {
-    return finish(StatusOr<RecommendationResponse>(
-        InvalidArgumentError("empty context")));
+    return finish(InvalidArgumentError("empty context"));
   }
   if (request.max_results <= 0) {
-    return finish(StatusOr<RecommendationResponse>(
-        InvalidArgumentError("max_results must be positive")));
+    return finish(InvalidArgumentError("max_results must be positive"));
   }
 
   RecommendationResponse response;
@@ -53,24 +107,104 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   response.funnel =
       core::ClassifyFunnelStage(request.context, /*catalog=*/nullptr, {});
 
-  StatusOr<std::vector<core::ScoredItem>> list =
-      store_->ServeContext(request.retailer, request.context);
-  if (!list.ok()) {
-    return finish(StatusOr<RecommendationResponse>(list.status()));
+  // Applies display thresholding + truncation and finishes the request.
+  auto deliver = [&](const std::vector<core::ScoredItem>& list,
+                     ServingSource source) {
+    response.source = source;
+    response.degraded = source != ServingSource::kStore;
+    for (const core::ScoredItem& item : list) {
+      if (static_cast<int>(response.items.size()) >= request.max_results) {
+        break;
+      }
+      if (calibrator_ != nullptr && request.display_threshold > 0.0 &&
+          !calibrator_->ShouldDisplay(item.score,
+                                      request.display_threshold)) {
+        ++response.suppressed_by_threshold;
+        continue;
+      }
+      response.items.push_back(item);
+    }
+    return finish(std::move(response));
+  };
+
+  // Serves the degradation ladder after a store failure (or an open
+  // breaker): last-known-good list, then popularity, then the error.
+  auto fall_back = [&](const Status& error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RetailerState& state = state_[request.retailer];
+    if (options_.fallback_to_last_known_good && state.has_last_known_good) {
+      if (fallback_last_known_good_ != nullptr) {
+        fallback_last_known_good_->Add(1);
+      }
+      return deliver(state.last_known_good, ServingSource::kLastKnownGood);
+    }
+    if (state.has_popularity) {
+      if (fallback_popularity_ != nullptr) fallback_popularity_->Add(1);
+      return deliver(state.popularity, ServingSource::kPopularity);
+    }
+    return finish(StatusOr<RecommendationResponse>(error));
+  };
+
+  // Circuit breaker: while open, don't even touch the store. Once the
+  // cooldown passes, let this request through as the half-open probe.
+  const bool breaker_enabled = options_.breaker_failure_threshold > 0;
+  bool short_circuited = false;
+  if (breaker_enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RetailerState& state = state_[request.retailer];
+    if (state.breaker_open &&
+        clock_->NowSeconds() < state.open_until_seconds) {
+      if (breaker_short_circuits_ != nullptr) {
+        breaker_short_circuits_->Add(1);
+      }
+      short_circuited = true;
+    }
+    // Past the cooldown the request proceeds as the half-open probe: a
+    // success below closes the breaker, a failure re-opens it.
+  }
+  if (short_circuited) {
+    return fall_back(UnavailableError("circuit breaker open"));
   }
 
-  for (const core::ScoredItem& item : *list) {
-    if (static_cast<int>(response.items.size()) >= request.max_results) {
-      break;
-    }
-    if (calibrator_ != nullptr && request.display_threshold > 0.0 &&
-        !calibrator_->ShouldDisplay(item.score, request.display_threshold)) {
-      ++response.suppressed_by_threshold;
-      continue;
-    }
-    response.items.push_back(item);
+  StatusOr<std::vector<core::ScoredItem>> list =
+      lookup_ != nullptr
+          ? lookup_(request.retailer, request.context)
+          : store_->ServeContext(request.retailer, request.context);
+
+  // Deadline: a lookup that finished too late is as bad as one that
+  // failed — the client has already given up.
+  if (list.ok() && options_.request_deadline_micros > 0 &&
+      clock_->NowMicros() - start_micros > options_.request_deadline_micros) {
+    if (deadline_exceeded_ != nullptr) deadline_exceeded_->Add(1);
+    list = UnavailableError("request deadline exceeded");
   }
-  return finish(StatusOr<RecommendationResponse>(std::move(response)));
+
+  if (list.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RetailerState& state = state_[request.retailer];
+    state.consecutive_failures = 0;
+    state.breaker_open = false;
+    if (options_.fallback_to_last_known_good) {
+      state.last_known_good = *list;
+      state.has_last_known_good = true;
+    }
+    return deliver(*list, ServingSource::kStore);
+  }
+
+  // Store failure: advance the breaker, then descend the ladder.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RetailerState& state = state_[request.retailer];
+    ++state.consecutive_failures;
+    if (breaker_enabled &&
+        state.consecutive_failures >= options_.breaker_failure_threshold) {
+      state.breaker_open = true;
+      state.open_until_seconds =
+          clock_->NowSeconds() + options_.breaker_open_seconds;
+      if (breaker_trips_ != nullptr) breaker_trips_->Add(1);
+    }
+  }
+  return fall_back(list.status());
 }
 
 }  // namespace sigmund::serving

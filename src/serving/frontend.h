@@ -1,6 +1,12 @@
 #ifndef SIGMUND_SERVING_FRONTEND_H_
 #define SIGMUND_SERVING_FRONTEND_H_
 
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "core/calibration.h"
@@ -20,25 +26,73 @@ struct RecommendationRequest {
   double display_threshold = 0.0;
 };
 
+// Where the served list came from — the store itself, or a rung of the
+// degradation ladder.
+enum class ServingSource {
+  kStore,           // healthy path
+  kLastKnownGood,   // store failed; replayed this retailer's last good list
+  kPopularity,      // no last-known-good either; static popularity list
+};
+
+const char* ServingSourceName(ServingSource source);
+
 struct RecommendationResponse {
   std::vector<core::ScoredItem> items;
   // Diagnostics for logging/experimentation.
   core::FunnelStage funnel = core::FunnelStage::kEarly;
   bool post_purchase = false;
   int suppressed_by_threshold = 0;
+  // Degradation diagnostics: true when the response was served from a
+  // fallback instead of the store.
+  bool degraded = false;
+  ServingSource source = ServingSource::kStore;
 };
 
 // The request path in front of the store: picks the right materialized
 // list (pre/post purchase, early/late funnel), applies the calibrated
-// display threshold, and truncates to max_results. Stateless and
-// thread-safe; all heavy computation already happened offline.
+// display threshold, and truncates to max_results.
+//
+// Robustness (degradation ladder, serving rungs): a per-request deadline
+// turns slow store lookups into failures; a per-retailer circuit breaker
+// trips after `breaker_failure_threshold` consecutive store errors and
+// short-circuits requests (no store call) until `breaker_open_seconds`
+// pass, then lets one probe through (half-open); failed or
+// short-circuited requests fall back to the retailer's last successfully
+// served list, then to a static popularity list, before giving up and
+// returning the error. Thread-safe; the fallback cache and breaker state
+// are internally synchronized.
 class Frontend {
  public:
-  // `store` is required; `calibrator` may be nullptr (no thresholding).
-  // `metrics` (borrowed, may be nullptr) turns on request observability:
-  // every Handle() records a serving_request_micros latency sample and
-  // bumps serving_requests_total{outcome=ok|error}. `clock` is the
-  // latency time source (nullptr = RealClock).
+  struct Options {
+    // Per-request deadline (microseconds on `clock`); 0 = none. A store
+    // lookup that finishes past the deadline counts as a failure.
+    int64_t request_deadline_micros = 0;
+    // Consecutive store errors (per retailer) that trip the breaker;
+    // 0 = breaker disabled.
+    int breaker_failure_threshold = 0;
+    // How long a tripped breaker stays open before the next probe.
+    double breaker_open_seconds = 30.0;
+    // Cache each retailer's last successful list and serve it when the
+    // store fails or the breaker is open.
+    bool fallback_to_last_known_good = true;
+  };
+
+  // Test seam: replaces the store lookup (so tests can inject errors,
+  // latency via a SimClock, or canned lists without a real store).
+  using StoreLookup = std::function<StatusOr<std::vector<core::ScoredItem>>(
+      data::RetailerId, const core::Context&)>;
+
+  // `store` is required (unless a lookup override is installed);
+  // `calibrator` may be nullptr (no thresholding). `metrics` (borrowed,
+  // may be nullptr) turns on request observability: every Handle()
+  // records a serving_request_micros latency sample and bumps
+  // serving_requests_total{outcome=ok|error}, plus the breaker/fallback
+  // counters described in Options. `clock` is the time source for
+  // latency, deadlines and breaker cooldowns (nullptr = RealClock).
+  Frontend(const RecommendationStore* store,
+           const core::ScoreCalibrator* calibrator,
+           obs::MetricRegistry* metrics, const Clock* clock,
+           const Options& options);
   Frontend(const RecommendationStore* store,
            const core::ScoreCalibrator* calibrator,
            obs::MetricRegistry* metrics = nullptr,
@@ -47,13 +101,49 @@ class Frontend {
   StatusOr<RecommendationResponse> Handle(
       const RecommendationRequest& request) const;
 
+  // Installs a popularity fallback list for `retailer` — the ladder's
+  // last rung, served when the store fails and no last-known-good list
+  // exists yet.
+  void SetPopularityFallback(data::RetailerId retailer,
+                             std::vector<core::ScoredItem> items);
+
+  // Replaces the store lookup (tests only).
+  void SetLookupForTesting(StoreLookup lookup) {
+    lookup_ = std::move(lookup);
+  }
+
+  // True if `retailer`'s circuit breaker is currently open (requests are
+  // short-circuited to fallbacks).
+  bool BreakerOpen(data::RetailerId retailer) const;
+
  private:
+  // Per-retailer serving health: breaker state + fallback cache.
+  struct RetailerState {
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    double open_until_seconds = 0.0;
+    bool has_last_known_good = false;
+    std::vector<core::ScoredItem> last_known_good;
+    bool has_popularity = false;
+    std::vector<core::ScoredItem> popularity;
+  };
+
   const RecommendationStore* store_;
   const core::ScoreCalibrator* calibrator_;
   const Clock* clock_;
+  Options options_;
+  StoreLookup lookup_;                // null = use store_->ServeContext
   obs::Histogram* request_micros_;    // null when metrics are off
   obs::Counter* requests_ok_;
   obs::Counter* requests_error_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* breaker_trips_;
+  obs::Counter* breaker_short_circuits_;
+  obs::Counter* fallback_last_known_good_;
+  obs::Counter* fallback_popularity_;
+
+  mutable std::mutex mu_;
+  mutable std::map<data::RetailerId, RetailerState> state_;
 };
 
 }  // namespace sigmund::serving

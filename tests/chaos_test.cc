@@ -8,6 +8,7 @@
 // kUnavailable), healed (torn writes caught by write-side read-back
 // verification), or re-executed deterministically (killed tasks).
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "data/world_generator.h"
 #include "pipeline/checkpoint.h"
 #include "pipeline/service.h"
+#include "serving/frontend.h"
 #include "sfs/fault_injection.h"
 #include "sfs/mem_filesystem.h"
 
@@ -290,6 +292,226 @@ TEST(ChaosTest, TornCheckpointWritesNeverCorruptRestore) {
                 model.item_embeddings().row(0)[k]);
     }
   }
+}
+
+// --- Lease churn chaos -------------------------------------------------------
+
+// Aggressive machine churn on top of the SFS fault profile: with
+// simulated_seconds_per_step = 1.0 an epoch spans hundreds of simulated
+// seconds, so a 30-preemptions/hour schedule (mean inter-eviction 120 s)
+// revokes nearly every machine at least once per epoch. The huge grace
+// window means every revocation is caught at an epoch boundary with time
+// to flush a final checkpoint, and the low escalation threshold forces
+// repeatedly-evicted tasks onto regular-priority machines.
+SigmundService::Options ChurnChaosOptions(const sfs::FaultCounters* counters) {
+  SigmundService::Options options = ChaosOptions(counters);
+  options.training.checkpoint_interval_seconds = 240.0;
+  options.training.simulated_seconds_per_step = 1.0;
+  options.training.churn.preemption_rate_per_hour = 30.0;
+  options.training.churn.eviction_grace_seconds = 1e6;
+  options.training.churn.escalate_after_evictions = 2;
+  options.training.churn.seed = 77;
+  return options;
+}
+
+// What one 3-day churn-chaos run leaves behind, for cross-run comparison.
+struct ChurnRunResult {
+  bool all_ok = false;
+  std::vector<std::string> reports;           // DailyReport::ToString per day
+  std::map<data::RetailerId, std::string> blobs;  // durable rec batches
+  std::map<data::RetailerId, int64_t> versions;
+  int64_t evictions = 0;
+  int64_t grace_checkpoints = 0;
+  int64_t hard_evictions = 0;
+  int64_t escalations = 0;
+  int64_t budget_exhausted = 0;
+  std::string day1_profile;
+};
+
+TEST(ChaosTest, ThreeDayChurnChaosKeepsFullCoverageAndIsDeterministic) {
+  ChaosFixture f;
+
+  auto run_three_days = [&f]() {
+    ChurnRunResult result;
+    sfs::MemFileSystem base;
+    sfs::FaultInjectingFileSystem chaos_fs(&base, ChaosProfile());
+    SimClock clock;
+    SigmundService::Options options =
+        ChurnChaosOptions(&chaos_fs.counters());
+    options.clock = &clock;  // deterministic wall timings in the report
+    SigmundService service(&chaos_fs, options);
+    service.UpsertRetailer(&f.r0.data);
+    service.UpsertRetailer(&f.r1.data);
+    for (int day = 0; day < 3; ++day) {
+      StatusOr<DailyReport> report = service.RunDaily();
+      if (!report.ok()) {
+        ADD_FAILURE() << "day " << day << ": " << report.status().ToString();
+        return result;
+      }
+      result.reports.push_back(report->ToString());
+      result.evictions += report->evictions;
+      result.grace_checkpoints += report->eviction_grace_checkpoints;
+      result.hard_evictions += report->hard_evictions;
+      result.escalations += report->priority_escalations;
+      result.budget_exhausted += report->preemption_budget_exhausted;
+      if (day == 0) result.day1_profile = report->profile_json;
+    }
+    for (data::RetailerId id : {0, 1}) {
+      result.versions[id] = service.store().RetailerVersion(id);
+      StatusOr<std::string> blob = base.Read(RecommendationPath(id));
+      if (blob.ok()) result.blobs[id] = *blob;
+    }
+    result.all_ok = true;
+    return result;
+  };
+
+  ChurnRunResult a = run_three_days();
+  ASSERT_TRUE(a.all_ok);
+
+  // 100% retailer coverage: churn never cost a retailer its batch.
+  for (data::RetailerId id : {0, 1}) {
+    EXPECT_GT(a.versions[id], 0) << "retailer " << id;
+    EXPECT_FALSE(a.blobs[id].empty()) << "retailer " << id;
+  }
+
+  // The churn actually bit, and the counters tell a coherent story:
+  // every revocation was caught inside the (huge) grace window, at least
+  // one grace-window checkpoint was flushed, at least one task escalated
+  // to regular priority, and nobody burned through the preemption budget.
+  EXPECT_GT(a.evictions, 0);
+  EXPECT_GE(a.grace_checkpoints, 1);
+  EXPECT_LE(a.grace_checkpoints, a.evictions);
+  EXPECT_EQ(a.hard_evictions, 0);
+  EXPECT_GE(a.escalations, 1);
+  EXPECT_EQ(a.budget_exhausted, 0);
+  EXPECT_NE(a.reports[0].find("churn: evictions="), std::string::npos);
+
+  // The new counters surface in the machine-readable run profile.
+  for (const char* counter :
+       {"training_evictions_total", "training_eviction_grace_checkpoints_total",
+        "training_priority_escalations_total",
+        "mapreduce_backup_attempts_total"}) {
+    EXPECT_NE(a.day1_profile.find(counter), std::string::npos) << counter;
+  }
+
+  // Byte-identical rerun: same seeds, same churn schedule, same faults —
+  // same reports, same durable recommendation bytes.
+  ChurnRunResult b = run_three_days();
+  ASSERT_TRUE(b.all_ok);
+  ASSERT_EQ(b.reports.size(), a.reports.size());
+  for (size_t day = 0; day < a.reports.size(); ++day) {
+    EXPECT_EQ(b.reports[day], a.reports[day]) << "day " << day;
+  }
+  EXPECT_EQ(b.blobs, a.blobs);
+  EXPECT_EQ(b.versions, a.versions);
+}
+
+// Degradation ladder, end to end: models stopped by the per-model
+// deadline are committed anyway (availability) but their retailers are
+// marked degraded, and from day 2 on a degraded retailer keeps serving
+// its previous batch instead of loading the rushed one. Serving-side
+// breaker trips and fallbacks recorded between runs surface in the next
+// day's report.
+TEST(ChaosTest, DeadlineDegradedRetailersKeepServingPreviousBatch) {
+  ChaosFixture f;
+  sfs::MemFileSystem fs;  // no SFS faults: isolate the deadline ladder
+  SimClock clock;
+  SigmundService::Options options = BaseOptions();
+  options.training.checkpoint_interval_seconds = 60.0;
+  options.training.simulated_seconds_per_step = 1.0;
+  // An epoch spans >= num_positions simulated seconds, so every model
+  // blows this budget at its first epoch boundary.
+  options.training.per_model_deadline_seconds = 10.0;
+  options.clock = &clock;
+  SigmundService service(&fs, options);
+  service.UpsertRetailer(&f.r0.data);
+  service.UpsertRetailer(&f.r1.data);
+
+  StatusOr<DailyReport> day1 = service.RunDaily();
+  ASSERT_TRUE(day1.ok()) << day1.status().ToString();
+  // Day 1: everyone degraded, but with no previous batch a degraded
+  // model still beats an empty store — full coverage from day one.
+  EXPECT_GT(day1->deadline_exceeded, 0);
+  EXPECT_EQ(day1->degraded_retailers, 2);
+  ASSERT_EQ(service.store().RetailerVersion(0), 1);
+  ASSERT_EQ(service.store().RetailerVersion(1), 1);
+  auto day1_served = service.store().ServeContext(
+      0, {{3, data::ActionType::kView}});
+  ASSERT_TRUE(day1_served.ok());
+
+  // Between the runs, serving traffic hits a failing store path: the
+  // breaker (threshold 1) trips on the first error and the popularity
+  // rung serves the request. Both counters land in the shared registry.
+  serving::Frontend::Options frontend_options;
+  frontend_options.breaker_failure_threshold = 1;
+  serving::Frontend frontend(&service.store(), nullptr, service.metrics(),
+                             &clock, frontend_options);
+  frontend.SetPopularityFallback(0, {{1, 1.0}});
+  frontend.SetLookupForTesting([](data::RetailerId, const core::Context&) {
+    return StatusOr<std::vector<core::ScoredItem>>(
+        UnavailableError("store down"));
+  });
+  serving::RecommendationRequest request;
+  request.retailer = 0;
+  request.context = {{0, data::ActionType::kView}};
+  auto fallback = frontend.Handle(request);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_TRUE(fallback->degraded);
+
+  StatusOr<DailyReport> day2 = service.RunDaily();
+  ASSERT_TRUE(day2.ok()) << day2.status().ToString();
+  EXPECT_EQ(day2->degraded_retailers, 2);
+  // Degraded retailers with a previous batch keep it: the store version
+  // never advanced and serving still answers with day 1's list.
+  EXPECT_EQ(service.store().RetailerVersion(0), 1);
+  EXPECT_EQ(service.store().RetailerVersion(1), 1);
+  auto day2_served = service.store().ServeContext(
+      0, {{3, data::ActionType::kView}});
+  ASSERT_TRUE(day2_served.ok());
+  ASSERT_EQ(day2_served->size(), day1_served->size());
+  for (size_t i = 0; i < day1_served->size(); ++i) {
+    EXPECT_EQ((*day2_served)[i].item, (*day1_served)[i].item);
+  }
+  // The serving-health counters recorded between runs show up in the
+  // day-2 report (cumulative snapshot values).
+  EXPECT_GE(day2->breaker_trips, 1);
+  EXPECT_GE(day2->fallbacks_served, 1);
+  EXPECT_NE(day2->ToString().find("degraded_retailers=2"),
+            std::string::npos);
+}
+
+// The inference MapReduce is speculation-safe (its mapper only reads
+// models), so turning speculative backups on under full chaos must not
+// change a single durable byte — first-commit-wins plus deterministic
+// mappers give exactly-once output either way.
+TEST(ChaosTest, SpeculativeInferenceUnderChaosMatchesRetryOnly) {
+  ChaosFixture f;
+
+  auto run_one_day = [&f](bool speculate) {
+    std::map<data::RetailerId, std::string> blobs;
+    sfs::MemFileSystem base;
+    sfs::FaultInjectingFileSystem chaos_fs(&base, ChaosProfile());
+    SigmundService::Options options = ChaosOptions(&chaos_fs.counters());
+    options.inference.speculative_backups = speculate;
+    SigmundService service(&chaos_fs, options);
+    service.UpsertRetailer(&f.r0.data);
+    service.UpsertRetailer(&f.r1.data);
+    StatusOr<DailyReport> day = service.RunDaily();
+    if (!day.ok()) {
+      ADD_FAILURE() << day.status().ToString();
+      return blobs;
+    }
+    for (data::RetailerId id : {0, 1}) {
+      StatusOr<std::string> blob = base.Read(RecommendationPath(id));
+      if (blob.ok()) blobs[id] = *blob;
+    }
+    return blobs;
+  };
+
+  std::map<data::RetailerId, std::string> retry_only = run_one_day(false);
+  std::map<data::RetailerId, std::string> speculative = run_one_day(true);
+  ASSERT_EQ(retry_only.size(), 2u);
+  EXPECT_EQ(speculative, retry_only);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
+#include "cluster/executor.h"
+#include "cluster/lease.h"
 #include "cluster/simulation.h"
 
 namespace sigmund::cluster {
@@ -203,6 +207,123 @@ TEST_P(SimRunnerPropertyTest, AccountingInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, SimRunnerPropertyTest,
                          ::testing::Values(0.0, 0.5, 2.0, 8.0, 30.0));
+
+// --- Lease-based preemptible execution runtime.
+
+PreemptibleExecutor::Options ChurnyOptions(double rate_per_hour,
+                                           uint64_t seed = 7) {
+  PreemptibleExecutor::Options options;
+  options.churn.preemption_rate_per_hour = rate_per_hour;
+  options.churn.eviction_grace_seconds = 5.0;
+  options.churn.escalate_after_evictions = 3;
+  options.churn.seed = seed;
+  return options;
+}
+
+TEST(MachineLeaseTest, DefaultLeaseIsNeverEvicted) {
+  MachineLease lease;
+  EXPECT_EQ(lease.Check(0.0), MachineLease::State::kHeld);
+  EXPECT_EQ(lease.Check(1e12), MachineLease::State::kHeld);
+  EXPECT_FALSE(lease.preemptible());
+}
+
+TEST(MachineLeaseTest, StateMachineWalksHeldNoticeRevoked) {
+  PreemptibleExecutor executor(ChurnyOptions(1.0));
+  MachineLease lease = executor.Acquire("r1/m000", 0.0);
+  ASSERT_TRUE(lease.preemptible());
+  const double eviction = lease.eviction_at_seconds();
+  ASSERT_GT(eviction, 0.0);
+  ASSERT_TRUE(std::isfinite(eviction));
+  EXPECT_EQ(lease.grace_deadline_seconds(), eviction + 5.0);
+  EXPECT_EQ(lease.Check(eviction - 1e-9), MachineLease::State::kHeld);
+  EXPECT_EQ(lease.Check(eviction), MachineLease::State::kEvictionNotice);
+  EXPECT_EQ(lease.Check(eviction + 4.999),
+            MachineLease::State::kEvictionNotice);
+  EXPECT_EQ(lease.Check(eviction + 5.0), MachineLease::State::kRevoked);
+}
+
+TEST(MachineLeaseTest, NoChurnMeansStableMachines) {
+  PreemptibleExecutor executor(ChurnyOptions(0.0));
+  EXPECT_FALSE(executor.churn_enabled());
+  MachineLease lease = executor.Acquire("r1/m000", 0.0);
+  EXPECT_EQ(lease.Check(1e12), MachineLease::State::kHeld);
+}
+
+TEST(PreemptibleExecutorTest, EvictionScheduleIsDeterministic) {
+  PreemptibleExecutor a(ChurnyOptions(2.0, 99));
+  PreemptibleExecutor b(ChurnyOptions(2.0, 99));
+  // Same (seed, key, incarnation) -> identical eviction time, regardless
+  // of executor instance or acquisition order.
+  MachineLease a0 = a.Acquire("r7/m002", 0.0);
+  b.Acquire("unrelated", 0.0);
+  MachineLease b0 = b.Acquire("r7/m002", 0.0);
+  EXPECT_EQ(a0.eviction_at_seconds(), b0.eviction_at_seconds());
+  // Different incarnations draw fresh times.
+  MachineLease a1 = a.Acquire("r7/m002", 10.0);
+  EXPECT_EQ(a1.incarnation(), 1);
+  EXPECT_NE(a1.eviction_at_seconds() - 10.0, a0.eviction_at_seconds());
+  // Different seeds give different schedules.
+  PreemptibleExecutor c(ChurnyOptions(2.0, 100));
+  MachineLease c0 = c.Acquire("r7/m002", 0.0);
+  EXPECT_NE(c0.eviction_at_seconds(), a0.eviction_at_seconds());
+}
+
+TEST(PreemptibleExecutorTest, EvictionTimesAreRelativeToAcquisition) {
+  PreemptibleExecutor executor(ChurnyOptions(1.0));
+  MachineLease at_zero = executor.Acquire("k", 0.0);
+  PreemptibleExecutor executor2(ChurnyOptions(1.0));
+  MachineLease at_hundred = executor2.Acquire("k", 100.0);
+  EXPECT_NEAR(at_hundred.eviction_at_seconds(),
+              at_zero.eviction_at_seconds() + 100.0, 1e-9);
+}
+
+TEST(PreemptibleExecutorTest, EscalatesToRegularAfterThreshold) {
+  PreemptibleExecutor executor(ChurnyOptions(5.0));
+  const std::string key = "r3/m001";
+  EXPECT_EQ(executor.TaskPriority(key), LeasePriority::kPreemptible);
+  EXPECT_FALSE(executor.OnEviction(key, /*within_grace=*/true));
+  EXPECT_FALSE(executor.OnEviction(key, /*within_grace=*/false));
+  // Third eviction crosses escalate_after_evictions = 3.
+  EXPECT_TRUE(executor.OnEviction(key, /*within_grace=*/true));
+  EXPECT_EQ(executor.TaskPriority(key), LeasePriority::kRegular);
+  EXPECT_EQ(executor.EvictionCount(key), 3);
+  // Escalated tasks come back on stable machines.
+  MachineLease lease = executor.Acquire(key, 123.0);
+  EXPECT_FALSE(lease.preemptible());
+  EXPECT_EQ(lease.Check(1e12), MachineLease::State::kHeld);
+  // Stats reflect the history.
+  EXPECT_EQ(executor.stats().evictions.load(), 3);
+  EXPECT_EQ(executor.stats().grace_evictions.load(), 2);
+  EXPECT_EQ(executor.stats().hard_evictions.load(), 1);
+  EXPECT_EQ(executor.stats().escalations.load(), 1);
+  EXPECT_EQ(executor.stats().leases_regular.load(), 1);
+  // Other tasks are unaffected by this task's escalation.
+  EXPECT_EQ(executor.TaskPriority("r3/m002"), LeasePriority::kPreemptible);
+}
+
+TEST(PreemptibleExecutorTest, MeanInterEvictionTimeTracksRate) {
+  // rate = 4/hour -> mean inter-preemption = 900s. Average many draws.
+  PreemptibleExecutor executor(ChurnyOptions(4.0, 31));
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    MachineLease lease =
+        executor.Acquire("task" + std::to_string(i), 0.0);
+    sum += lease.eviction_at_seconds();
+  }
+  const double mean = sum / n;
+  EXPECT_GT(mean, 900.0 * 0.9);
+  EXPECT_LT(mean, 900.0 * 1.1);
+}
+
+TEST(StableHashTest, GoldenValuesPinnedAcrossPlatforms) {
+  // FNV-1a reference values; a platform where these differ would break
+  // byte-identical churn reruns.
+  EXPECT_EQ(StableHash64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(StableHash64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(StableHash64("r1/m000"), StableHash64("r1/m000"));
+  EXPECT_NE(StableHash64("r1/m000"), StableHash64("r1/m001"));
+}
 
 }  // namespace
 }  // namespace sigmund::cluster

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "core/ab_experiment.h"
 #include "data/world_generator.h"
 #include "serving/frontend.h"
@@ -128,6 +130,142 @@ TEST(FrontendTest, InvalidRequestsRejected) {
   request.retailer = 9;  // unknown
   EXPECT_EQ(frontend.Handle(request).status().code(),
             StatusCode::kNotFound);
+}
+
+// --- Frontend degradation ladder ---------------------------------------------
+
+serving::RecommendationRequest ViewRequest() {
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+  return request;
+}
+
+TEST(FrontendDegradationTest, LastKnownGoodServedAfterStoreFailure) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  obs::MetricRegistry metrics;
+  SimClock clock;
+  serving::Frontend frontend(&store, nullptr, &metrics, &clock);
+
+  // A healthy request populates the last-known-good cache.
+  auto healthy = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy->degraded);
+  EXPECT_EQ(healthy->source, serving::ServingSource::kStore);
+
+  // Now the store starts failing; the frontend replays the cached list.
+  frontend.SetLookupForTesting([](data::RetailerId, const core::Context&) {
+    return StatusOr<std::vector<core::ScoredItem>>(
+        UnavailableError("store down"));
+  });
+  auto degraded = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->source, serving::ServingSource::kLastKnownGood);
+  ASSERT_EQ(degraded->items.size(), healthy->items.size());
+  EXPECT_EQ(degraded->items[0].item, healthy->items[0].item);
+  obs::RegistrySnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("serving_fallbacks_total",
+                                  {{"source", "last_known_good"}}),
+            1);
+}
+
+TEST(FrontendDegradationTest, PopularityIsTheLastRungBeforeError) {
+  serving::RecommendationStore store;
+  serving::Frontend frontend(&store, nullptr);
+  frontend.SetLookupForTesting([](data::RetailerId, const core::Context&) {
+    return StatusOr<std::vector<core::ScoredItem>>(
+        UnavailableError("store down"));
+  });
+  // No last-known-good and no popularity list: the error surfaces.
+  EXPECT_EQ(frontend.Handle(ViewRequest()).status().code(),
+            StatusCode::kUnavailable);
+  // With a popularity list installed the ladder catches the failure.
+  frontend.SetPopularityFallback(1, {{7, 1.0}, {8, 0.5}});
+  auto response = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->degraded);
+  EXPECT_EQ(response->source, serving::ServingSource::kPopularity);
+  ASSERT_EQ(response->items.size(), 2u);
+  EXPECT_EQ(response->items[0].item, 7);
+}
+
+TEST(FrontendDegradationTest, BreakerTripsShortCircuitsAndRecovers) {
+  serving::RecommendationStore store;
+  obs::MetricRegistry metrics;
+  SimClock clock;
+  serving::Frontend::Options options;
+  options.breaker_failure_threshold = 3;
+  options.breaker_open_seconds = 30.0;
+  serving::Frontend frontend(&store, nullptr, &metrics, &clock, options);
+  frontend.SetPopularityFallback(1, {{7, 1.0}});
+
+  int lookup_calls = 0;
+  bool lookup_healthy = false;
+  frontend.SetLookupForTesting(
+      [&](data::RetailerId, const core::Context&)
+          -> StatusOr<std::vector<core::ScoredItem>> {
+        ++lookup_calls;
+        if (!lookup_healthy) return UnavailableError("store down");
+        return std::vector<core::ScoredItem>{{1, 2.0}};
+      });
+
+  // Three consecutive failures trip the breaker.
+  for (int n = 0; n < 3; ++n) {
+    auto r = frontend.Handle(ViewRequest());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->source, serving::ServingSource::kPopularity);
+  }
+  EXPECT_EQ(lookup_calls, 3);
+  EXPECT_TRUE(frontend.BreakerOpen(1));
+
+  // While open, requests never reach the store.
+  auto shorted = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(shorted.ok());
+  EXPECT_TRUE(shorted->degraded);
+  EXPECT_EQ(lookup_calls, 3);
+
+  // After the cooldown a half-open probe goes through; its success
+  // closes the breaker again.
+  clock.AdvanceSeconds(31.0);
+  lookup_healthy = true;
+  auto probe = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->degraded);
+  EXPECT_EQ(probe->source, serving::ServingSource::kStore);
+  EXPECT_EQ(lookup_calls, 4);
+  EXPECT_FALSE(frontend.BreakerOpen(1));
+
+  obs::RegistrySnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("serving_breaker_trips_total", {}), 1);
+  EXPECT_EQ(snapshot.CounterValue("serving_breaker_short_circuits_total", {}),
+            1);
+}
+
+TEST(FrontendDegradationTest, SlowLookupPastDeadlineFallsBack) {
+  serving::RecommendationStore store;
+  obs::MetricRegistry metrics;
+  SimClock clock;
+  serving::Frontend::Options options;
+  options.request_deadline_micros = 1000;
+  serving::Frontend frontend(&store, nullptr, &metrics, &clock, options);
+  frontend.SetPopularityFallback(1, {{7, 1.0}});
+
+  // The lookup "takes" 5ms of simulated time — well past the 1ms
+  // deadline — and still returns a list; the frontend must discard it.
+  frontend.SetLookupForTesting(
+      [&clock](data::RetailerId, const core::Context&)
+          -> StatusOr<std::vector<core::ScoredItem>> {
+        clock.AdvanceMicros(5000);
+        return std::vector<core::ScoredItem>{{1, 2.0}};
+      });
+  auto response = frontend.Handle(ViewRequest());
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->degraded);
+  EXPECT_EQ(response->source, serving::ServingSource::kPopularity);
+  obs::RegistrySnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("serving_deadline_exceeded_total", {}), 1);
 }
 
 // --- AbExperiment ------------------------------------------------------------

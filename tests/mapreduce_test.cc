@@ -1,10 +1,15 @@
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "mapreduce/mapreduce.h"
 
@@ -284,6 +289,134 @@ TEST(MapReduceTest, EmptyInputProducesEmptyOutput) {
   auto out = job.Run({});
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out->empty());
+}
+
+// Regression: task-latency observation must tolerate a null spec.clock on
+// both the map and the reduce path. With metrics on, the runtime falls
+// back to RealClock; the guard inside the attempt loops must mirror the
+// guard on attempt_start so a refactor can never null-deref mid-attempt.
+TEST(MapReduceTest, TaskLatencyObservedWithDefaultAndSimClock) {
+  for (const bool use_sim_clock : {false, true}) {
+    SimClock sim;
+    obs::MetricRegistry registry;
+    MapReduceSpec spec;
+    spec.num_map_tasks = 2;
+    spec.num_reduce_tasks = 2;
+    spec.max_parallel_tasks = 2;
+    spec.metrics = &registry;
+    spec.clock = use_sim_clock ? &sim : nullptr;  // null -> RealClock
+    spec.label = "latency_test";
+    MapReduceJob job(
+        spec, [] { return std::make_unique<TokenMapper>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    auto out = job.Run(WordInput());
+    ASSERT_TRUE(out.ok());
+    // Both phases sampled one latency observation per attempt.
+    const obs::RegistrySnapshot snapshot = registry.Snapshot();
+    const obs::HistogramSnapshot* map_hist =
+        snapshot.FindHistogram("mapreduce_task_micros", {{"phase", "map"}});
+    ASSERT_NE(map_hist, nullptr);
+    EXPECT_EQ(map_hist->count, job.stats().map_attempts);
+    const obs::HistogramSnapshot* reduce_hist = snapshot.FindHistogram(
+        "mapreduce_task_micros", {{"phase", "reduce"}});
+    ASSERT_NE(reduce_hist, nullptr);
+    EXPECT_EQ(reduce_hist->count, job.stats().reduce_attempts);
+  }
+}
+
+// Mapper whose first (primary) attempt for task 0 is a straggler: it
+// sleeps per record, while every other task — and any backup attempt for
+// task 0 — runs at full speed.
+class StragglerMapper : public Mapper {
+ public:
+  explicit StragglerMapper(std::atomic<int>* task0_instances)
+      : task0_instances_(task0_instances) {}
+
+  Status Start(int task_id) override {
+    if (task_id == 0) {
+      straggle_ = task0_instances_->fetch_add(1) == 0;
+    }
+    return OkStatus();
+  }
+  Status Map(const Record& input, const Emitter& emit) override {
+    if (straggle_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    emit(input);
+    return OkStatus();
+  }
+
+ private:
+  std::atomic<int>* task0_instances_;
+  bool straggle_ = false;
+};
+
+TEST(MapReduceTest, SpeculativeBackupOvertakesStraggler) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 4;
+  spec.num_reduce_tasks = 0;
+  spec.max_parallel_tasks = 4;
+  spec.speculative_backups = true;
+  spec.speculation_commit_fraction = 0.75;
+  std::atomic<int> task0_instances{0};
+  MapReduceJob job(
+      spec,
+      [&task0_instances] {
+        return std::make_unique<StragglerMapper>(&task0_instances);
+      },
+      [] { return IdentityReducer(); });
+  std::vector<Record> input;
+  for (int i = 0; i < 32; ++i) input.push_back({std::to_string(i), "v"});
+  auto out = job.Run(input);
+  ASSERT_TRUE(out.ok());
+  // Exactly-once output despite two attempt chains racing on task 0.
+  EXPECT_EQ(out->size(), 32u);
+  EXPECT_GE(job.stats().map_backup_attempts, 1);
+  EXPECT_GE(job.stats().map_backups_won, 1);
+  // The straggling primary noticed the backup's commit and cancelled.
+  EXPECT_GE(job.stats().map_attempts_cancelled, 1);
+}
+
+TEST(MapReduceTest, SpeculationPreservesResultsAndExactlyOnce) {
+  auto run = [](bool speculate) {
+    MapReduceSpec spec;
+    spec.num_map_tasks = 6;
+    spec.num_reduce_tasks = 2;
+    spec.max_parallel_tasks = 4;
+    spec.map_task_failure_prob = 0.3;
+    spec.max_attempts_per_task = 50;
+    spec.seed = 33;
+    spec.speculative_backups = speculate;
+    MapReduceJob job(
+        spec, [] { return std::make_unique<TokenMapper>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    std::vector<Record> input;
+    for (int i = 0; i < 60; ++i) {
+      input.push_back({std::to_string(i), StrFormat("w%d", i % 5)});
+    }
+    auto out = job.Run(input);
+    EXPECT_TRUE(out.ok());
+    std::map<std::string, std::string> counts;
+    for (const Record& r : *out) counts[r.key] = r.value;
+    return counts;
+  };
+  // Speculation can change which attempt commits, never what it commits.
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(MapReduceTest, SpeculationOffLaunchesNoBackups) {
+  MapReduceSpec spec;
+  spec.num_map_tasks = 4;
+  spec.num_reduce_tasks = 0;
+  spec.max_parallel_tasks = 4;
+  MapReduceJob job(
+      spec, [] { return std::make_unique<TokenMapper>(); },
+      [] { return IdentityReducer(); });
+  std::vector<Record> input(16, Record{"k", "v"});
+  ASSERT_TRUE(job.Run(input).ok());
+  EXPECT_EQ(job.stats().map_backup_attempts, 0);
+  EXPECT_EQ(job.stats().map_backups_won, 0);
+  EXPECT_EQ(job.stats().map_attempts_cancelled, 0);
 }
 
 // Property: results identical regardless of task/parallelism configuration.

@@ -32,6 +32,7 @@ TEST(ConfigRecordTest, SerializeRoundTrip) {
   record.auc = 0.9;
   record.epochs_run = 11;
   record.sgd_steps = 98765;
+  record.degraded = true;
 
   StatusOr<ConfigRecord> parsed =
       ConfigRecord::Deserialize(record.Serialize());
@@ -44,6 +45,7 @@ TEST(ConfigRecordTest, SerializeRoundTrip) {
   EXPECT_TRUE(parsed->trained);
   EXPECT_DOUBLE_EQ(parsed->map_at_10, 0.1234);
   EXPECT_EQ(parsed->sgd_steps, 98765);
+  EXPECT_TRUE(parsed->degraded);
 }
 
 TEST(ConfigRecordTest, KeyFormat) {
@@ -234,6 +236,60 @@ TEST(CheckpointManagerTest, ClearRetriesTransientDeleteFailures) {
   ASSERT_TRUE(manager.Clear().ok());
   EXPECT_TRUE(f.fs.List("ck/r0")->empty());
   ASSERT_TRUE(manager.Clear().ok());  // idempotent under faults too
+}
+
+TEST(CheckpointManagerTest, StaleCheckpointNeverShadowsNewerCommit) {
+  CheckpointFixture f;
+  // Every Delete fails, so GC is permanently defeated: each commit leaves
+  // the previous checkpoint stranded on disk.
+  sfs::FaultProfile profile;
+  profile.delete_error_prob = 1.0;
+  profile.seed = 17;
+  sfs::FaultInjectingFileSystem faulty(&f.fs, profile);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  CheckpointManager manager(&faulty, &f.clock, "ck/r0", 1.0, policy);
+  ASSERT_TRUE(manager.ForceCheckpoint(f.model, 2).ok());
+  // Mutate the model so the stale and fresh checkpoints hold different
+  // bytes, then commit again at a later epoch.
+  Rng rng(99);
+  f.model.InitRandom(&rng);
+  ASSERT_TRUE(manager.ForceCheckpoint(f.model, 7).ok());
+  // The stale epoch-2 file really is still there...
+  EXPECT_EQ(f.fs.List("ck/r0/ckpt.")->size(), 2u);
+  // ...but Restore must take the newest commit, epoch and bytes both.
+  StatusOr<CheckpointManager::Restored> restored =
+      manager.Restore(&f.world.data.catalog);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->epoch, 7);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(restored->model.item_embeddings().row(0)[k],
+              f.model.item_embeddings().row(0)[k]);
+  }
+}
+
+TEST(CheckpointManagerTest, EvictionGraceCheckpointResumesRestartedTask) {
+  CheckpointFixture f;
+  // First incarnation: the eviction notice arrives mid-epoch and the
+  // grace handler flushes state with ForceCheckpoint before the machine
+  // goes away.
+  {
+    CheckpointManager manager(&f.fs, &f.clock, "ck/r0", 1e9);
+    ASSERT_TRUE(manager.ForceCheckpoint(f.model, 6).ok());
+  }
+  // Second incarnation on a fresh machine: a brand-new manager over the
+  // same directory must see the grace checkpoint and hand back the exact
+  // epoch and model, so training resumes at epoch 7 instead of 0.
+  CheckpointManager restarted(&f.fs, &f.clock, "ck/r0", 1e9);
+  EXPECT_TRUE(restarted.HasCheckpoint());
+  StatusOr<CheckpointManager::Restored> restored =
+      restarted.Restore(&f.world.data.catalog);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->epoch, 6);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(restored->model.item_embeddings().row(0)[k],
+              f.model.item_embeddings().row(0)[k]);
+  }
 }
 
 // --- Bin packing ------------------------------------------------------------
