@@ -16,9 +16,14 @@
 //        aggressive eviction schedules and a per-model deadline; grace-
 //        window checkpoints, priority escalation, and the degradation
 //        ladder keep every retailer servable.
+// Day 6/7: safe rollout — the serving plane becomes three replicated
+//        store copies with staggered cutover, and each new batch must
+//        pass a CTR canary against live simulated traffic before it owns
+//        100% of a retailer (rollback is a pointer flip).
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "data/world_generator.h"
 #include "pipeline/service.h"
@@ -228,6 +233,51 @@ int main() {
               static_cast<long long>(day5->priority_escalations),
               day5->degraded_retailers);
   ShowSample(churny_service, 2);
+
+  // --- Days 6/7: safe rollout. Serving moves to a 3-replica store group
+  // and every staged batch is canaried on simulated live traffic (clicks
+  // from the ground-truth oracle) before promotion. Day 6 establishes the
+  // first batches (nothing to canary against); day 7's batches must each
+  // hold >= 80% of control CTR or they are rolled back on the spot.
+  std::vector<data::RetailerWorld*> worlds = {&small, &medium, &large,
+                                              &newcomer};
+  pipeline::SigmundService::Options rollout = options;
+  rollout.serving.num_replicas = 3;
+  rollout.serving.store.retained_versions = 3;
+  rollout.canary.enabled = true;
+  rollout.canary.canary_fraction = 0.2;
+  rollout.canary.oracle = [&worlds](data::RetailerId id) {
+    return &worlds[id]->truth;
+  };
+  pipeline::SigmundService rollout_service(&fs, rollout);
+  for (data::RetailerWorld* world : worlds) {
+    rollout_service.UpsertRetailer(&world->data);
+  }
+  StatusOr<pipeline::DailyReport> day6 = rollout_service.RunDaily();
+  if (!day6.ok()) {
+    std::printf("day 6 failed: %s\n", day6.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 6 (replicated serving): %s\n", day6->ToString().c_str());
+  StatusOr<pipeline::DailyReport> day7 = rollout_service.RunDaily();
+  if (!day7.ok()) {
+    std::printf("day 7 failed: %s\n", day7.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 7 (canaried rollout): %s\n", day7->ToString().c_str());
+  std::printf("  -> canary verdicts: %lld promoted, %lld rolled back; "
+              "%lld follower cutovers; rollback window: retailer 0 retains"
+              " versions",
+              static_cast<long long>(day7->canary_promotions),
+              static_cast<long long>(day7->canary_rollbacks),
+              static_cast<long long>(day7->replica_cutovers));
+  for (int64_t version : rollout_service.store().RetainedVersions(0)) {
+    std::printf(" v%lld", static_cast<long long>(version));
+  }
+  std::printf(" (active v%lld)\n",
+              static_cast<long long>(
+                  rollout_service.store().RetailerVersion(0)));
+  ShowSample(rollout_service, 0);
 
   // Full trace of the chaos day, span by span.
   std::printf("\nday 4 trace:\n%s",

@@ -64,6 +64,16 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(map_backups_won),
       static_cast<long long>(breaker_trips),
       static_cast<long long>(fallbacks_served));
+  out += StrFormat(
+      "\n  rollout: canary_promotions=%lld canary_rollbacks=%lld "
+      "replica_cutovers=%lld cutovers_skipped=%lld failovers=%lld "
+      "hedged_reads=%lld",
+      static_cast<long long>(canary_promotions),
+      static_cast<long long>(canary_rollbacks),
+      static_cast<long long>(replica_cutovers),
+      static_cast<long long>(replica_cutovers_skipped),
+      static_cast<long long>(replica_failovers),
+      static_cast<long long>(hedged_reads));
   return out;
 }
 
@@ -85,6 +95,9 @@ SigmundService::SigmundService(sfs::SharedFileSystem* fs,
   }
   io_.SetMetrics(metrics_, clock_);
   monitor_.set_metrics(metrics_);
+  store_group_ = std::make_unique<serving::ReplicatedStoreGroup>(
+      options_.serving, metrics_);
+  canary_ = std::make_unique<CanaryController>(options_.canary, metrics_);
 }
 
 void SigmundService::UpsertRetailer(const data::RetailerData* data) {
@@ -281,30 +294,67 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   end_stage(inference_span, "inference");
   if (!recommendations.ok()) return recommendations.status();
 
-  // --- Batch-load the serving store from the materialized SFS files
-  // (regressed and degraded retailers keep serving the previous batch —
-  // a degraded retailer with no previous batch still loads its fresh one,
-  // so availability never drops below 100%). A batch that fails its
-  // checksum is rejected and the retailer keeps its previous
-  // recommendations; a bad refresh never takes down serving.
+  // --- Safe rollout into the serving plane (DESIGN.md §7). For each
+  // retailer that passed the offline gates: stage the new batch on the
+  // primary replica (previous version keeps serving), canary it on
+  // simulated live traffic when configured, then either activate
+  // (pointer flip) and cut the follower replicas over one at a time, or
+  // discard the staged version. Regressed and degraded retailers keep
+  // serving the previous batch — a degraded retailer with no previous
+  // batch still loads its fresh one, so availability never drops below
+  // 100%. A batch that fails its checksum is rejected and the retailer
+  // keeps its previous recommendations; a bad refresh never takes down
+  // serving.
   obs::Span store_span = tracer_->StartSpan("store_load");
+  serving::RecommendationStore* primary = store_group_->primary();
+  if (store_group_->num_replicas() > 1) {
+    // Refresh replica health before cutting over: live replicas
+    // heartbeat through the (possibly fault-injected) SFS, probes read
+    // the heartbeats back.
+    SIGMUND_RETURN_IF_ERROR(
+        store_group_->WriteHeartbeats(fs_, options_.sfs_retry));
+    store_group_->ProbeReplicas(*fs_, options_.sfs_retry);
+  }
   for (const auto& [retailer, recs] : *recommendations) {
     (void)recs;
     if ((hold_back.count(retailer) > 0 || degraded.count(retailer) > 0) &&
-        store_.RetailerVersion(retailer) > 0) {
+        primary->RetailerVersion(retailer) > 0) {
       continue;
     }
-    Status loaded = store_.LoadRetailerFromFile(
-        retailer, *fs_, RecommendationPath(retailer), options_.sfs_retry,
-        &io_);
-    if (loaded.code() == StatusCode::kDataLoss) {
-      // Counted through serving_batch_loads_total{outcome=rejected}.
-      SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
-                      << "retailer " << retailer << ": "
-                      << loaded.ToString();
-      continue;
+    const std::string path = RecommendationPath(retailer);
+    StatusOr<int64_t> staged = primary->StageRetailerFromFile(
+        retailer, *fs_, path, options_.sfs_retry, &io_);
+    if (!staged.ok()) {
+      if (staged.status().code() == StatusCode::kDataLoss) {
+        // Counted through serving_batch_loads_total{outcome=rejected}.
+        SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
+                        << "retailer " << retailer << ": "
+                        << staged.status().ToString();
+        continue;
+      }
+      return staged.status();
     }
-    SIGMUND_RETURN_IF_ERROR(loaded);
+    if (options_.canary.enabled && primary->RetailerVersion(retailer) > 0) {
+      StatusOr<const data::RetailerData*> retailer_data =
+          registry_.Get(retailer);
+      if (retailer_data.ok()) {
+        const CanaryController::Outcome canary = canary_->Evaluate(
+            retailer, *primary, *staged, **retailer_data, days_run_);
+        if (canary.verdict == CanaryController::Verdict::kRolledBack) {
+          SIGLOG(WARNING) << "canary rolled back batch v" << *staged
+                          << " for retailer " << retailer
+                          << ": canary_ctr=" << canary.CanaryCtr()
+                          << " control_ctr=" << canary.ControlCtr()
+                          << "; keeping previous recommendations";
+          SIGMUND_RETURN_IF_ERROR(
+              primary->DiscardVersion(retailer, *staged));
+          continue;
+        }
+      }
+    }
+    SIGMUND_RETURN_IF_ERROR(primary->ActivateVersion(retailer, *staged));
+    SIGMUND_RETURN_IF_ERROR(store_group_->CutoverFollowersFromFile(
+        retailer, *fs_, path, *staged, options_.sfs_retry, &io_));
   }
   end_stage(store_span, "store_load");
 
@@ -364,10 +414,22 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   report.map_backup_attempts =
       delta("mapreduce_backup_attempts_total", none);
   report.map_backups_won = delta("mapreduce_backups_won_total", none);
+  report.canary_promotions =
+      delta("canary_verdicts_total", {{"verdict", "promoted"}});
+  report.canary_rollbacks =
+      delta("canary_verdicts_total", {{"verdict", "rolled_back"}});
+  report.replica_cutovers =
+      delta("serving_replica_cutovers_total", {{"outcome", "ok"}});
+  report.replica_cutovers_skipped =
+      delta("serving_replica_cutovers_total", {{"outcome", "skipped_dead"}});
   // Serving health is cumulative at snapshot time: requests arrive
   // between daily runs, so a per-run delta would always read zero.
   report.breaker_trips = after.CounterValue("serving_breaker_trips_total", none);
   report.fallbacks_served = after.CounterValue("serving_fallbacks_total", none);
+  report.replica_failovers =
+      after.CounterValue("serving_replica_failovers_total", none);
+  report.hedged_reads =
+      after.CounterValue("serving_hedged_reads_total", none);
 
   // --- Machine-readable run profile: this run's span tree + the full
   // metrics snapshot.

@@ -13,12 +13,14 @@
 #include "common/retry.h"
 #include "common/trace.h"
 #include "common/status.h"
+#include "pipeline/canary.h"
 #include "pipeline/data_placement.h"
 #include "pipeline/inference_job.h"
 #include "pipeline/quality_monitor.h"
 #include "pipeline/registry.h"
 #include "pipeline/sweep.h"
 #include "pipeline/training_job.h"
+#include "serving/replicated_store.h"
 #include "serving/store.h"
 #include "sfs/fault_injection.h"
 #include "sfs/reliable_io.h"
@@ -68,6 +70,14 @@ struct DailyReport {
   // per-run deltas.
   int64_t breaker_trips = 0;
   int64_t fallbacks_served = 0;
+  int64_t replica_failovers = 0;
+  int64_t hedged_reads = 0;
+  // Safe-rollout ladder, this run: canary verdicts on staged batches and
+  // staggered follower cutovers completed/skipped (per-run deltas).
+  int64_t canary_promotions = 0;
+  int64_t canary_rollbacks = 0;
+  int64_t replica_cutovers = 0;
+  int64_t replica_cutovers_skipped = 0;
   // Training-data shard bytes migrated across cells this run (§IV-B1);
   // 0 when data placement is disabled.
   int64_t shard_bytes_moved = 0;
@@ -127,6 +137,17 @@ class SigmundService {
     // moved bytes reported in DailyReport. Empty = disabled.
     DataPlacementPlanner::Options placement;
 
+    // Safe-rollout serving plane. `serving.num_replicas` > 1 turns on the
+    // replicated store group with staggered follower cutover and
+    // heartbeat-probed failover; `serving.store.retained_versions` sets
+    // the per-retailer rollback window.
+    serving::ReplicatedStoreGroup::Options serving;
+    // Canary rollout: when `canary.enabled` and `canary.oracle` are set,
+    // each staged batch (for a retailer with an active one) is evaluated
+    // on simulated live traffic after the offline MAP gate, and promoted
+    // or rolled back by observed CTR.
+    CanaryController::Options canary;
+
     // Retry policy for the service's own SFS access (best-model copies,
     // sweep results, data placement, store batch loads). The training and
     // inference jobs carry their own policies in `training.sfs_retry` /
@@ -164,8 +185,21 @@ class SigmundService {
   // periodic model restart or a catastrophic loss of models).
   void ForceFullSweep() { force_full_sweep_ = true; }
 
-  const serving::RecommendationStore& store() const { return store_; }
-  serving::RecommendationStore* mutable_store() { return &store_; }
+  // The primary serving replica (the version authority). With
+  // num_replicas == 1 this is the whole serving plane, exactly as before
+  // replication existed.
+  const serving::RecommendationStore& store() const {
+    return *store_group_->primary();
+  }
+  serving::RecommendationStore* mutable_store() {
+    return store_group_->primary();
+  }
+  // The whole replicated serving plane (request routing, failover,
+  // cutover, rollback).
+  serving::ReplicatedStoreGroup* store_group() { return store_group_.get(); }
+  const serving::ReplicatedStoreGroup& store_group() const {
+    return *store_group_;
+  }
   const RetailerRegistry& registry() const { return registry_; }
 
   // Best trained config per retailer from the most recent run.
@@ -193,7 +227,10 @@ class SigmundService {
   sfs::SharedFileSystem* fs_;
   Options options_;
   RetailerRegistry registry_;
-  serving::RecommendationStore store_;
+  // Serving plane + canary controller; built in the constructor once the
+  // metrics registry is resolved.
+  std::unique_ptr<serving::ReplicatedStoreGroup> store_group_;
+  std::unique_ptr<CanaryController> canary_;
   QualityMonitor monitor_;
   std::vector<ConfigRecord> previous_results_;
   // Where each retailer's data shard currently lives (data placement).

@@ -1,5 +1,6 @@
 #include "serving/frontend.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,7 +19,7 @@ const char* ServingSourceName(ServingSource source) {
   return "unknown";
 }
 
-Frontend::Frontend(const RecommendationStore* store,
+Frontend::Frontend(const ServingReader* store,
                    const core::ScoreCalibrator* calibrator,
                    obs::MetricRegistry* metrics, const Clock* clock,
                    const Options& options)
@@ -26,16 +27,9 @@ Frontend::Frontend(const RecommendationStore* store,
       calibrator_(calibrator),
       clock_(clock != nullptr ? clock : RealClock::Get()),
       options_(options),
+      metrics_(metrics),
       request_micros_(metrics != nullptr
                           ? metrics->GetHistogram("serving_request_micros")
-                          : nullptr),
-      requests_ok_(metrics != nullptr
-                       ? metrics->GetCounter("serving_requests_total",
-                                             {{"outcome", "ok"}})
-                       : nullptr),
-      requests_error_(metrics != nullptr
-                          ? metrics->GetCounter("serving_requests_total",
-                                                {{"outcome", "error"}})
                           : nullptr),
       deadline_exceeded_(
           metrics != nullptr
@@ -47,19 +41,9 @@ Frontend::Frontend(const RecommendationStore* store,
       breaker_short_circuits_(
           metrics != nullptr
               ? metrics->GetCounter("serving_breaker_short_circuits_total")
-              : nullptr),
-      fallback_last_known_good_(
-          metrics != nullptr
-              ? metrics->GetCounter("serving_fallbacks_total",
-                                    {{"source", "last_known_good"}})
-              : nullptr),
-      fallback_popularity_(
-          metrics != nullptr
-              ? metrics->GetCounter("serving_fallbacks_total",
-                                    {{"source", "popularity"}})
               : nullptr) {}
 
-Frontend::Frontend(const RecommendationStore* store,
+Frontend::Frontend(const ServingReader* store,
                    const core::ScoreCalibrator* calibrator,
                    obs::MetricRegistry* metrics, const Clock* clock)
     : Frontend(store, calibrator, metrics, clock, Options()) {}
@@ -83,12 +67,22 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     const RecommendationRequest& request) const {
   SIGCHECK(store_ != nullptr || lookup_ != nullptr);
   const int64_t start_micros = clock_->NowMicros();
+  // The serving batch version this request is answered from; starts as
+  // the retailer's active version and is rewritten when a fallback serves
+  // an older snapshot. Labels the per-request counters so every serve —
+  // healthy or degraded — is attributable to a concrete snapshot.
+  int64_t batch_version =
+      store_ != nullptr ? store_->RetailerVersion(request.retailer) : 0;
   // Records the request outcome + latency on every return path.
   auto finish = [&](StatusOr<RecommendationResponse> result) {
-    if (request_micros_ != nullptr) {
+    if (metrics_ != nullptr) {
       request_micros_->Observe(
           static_cast<double>(clock_->NowMicros() - start_micros));
-      (result.ok() ? requests_ok_ : requests_error_)->Add(1);
+      metrics_
+          ->GetCounter("serving_requests_total",
+                       {{"outcome", result.ok() ? "ok" : "error"},
+                        {"version", std::to_string(batch_version)}})
+          ->Add(1);
     }
     return result;
   };
@@ -112,6 +106,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
                      ServingSource source) {
     response.source = source;
     response.degraded = source != ServingSource::kStore;
+    response.batch_version = batch_version;
     for (const core::ScoredItem& item : list) {
       if (static_cast<int>(response.items.size()) >= request.max_results) {
         break;
@@ -129,17 +124,28 @@ StatusOr<RecommendationResponse> Frontend::Handle(
 
   // Serves the degradation ladder after a store failure (or an open
   // breaker): last-known-good list, then popularity, then the error.
+  auto count_fallback = [&](const char* source) {
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("serving_fallbacks_total",
+                       {{"source", source},
+                        {"version", std::to_string(batch_version)}})
+          ->Add(1);
+    }
+  };
   auto fall_back = [&](const Status& error) {
     std::lock_guard<std::mutex> lock(mu_);
     RetailerState& state = state_[request.retailer];
     if (options_.fallback_to_last_known_good && state.has_last_known_good) {
-      if (fallback_last_known_good_ != nullptr) {
-        fallback_last_known_good_->Add(1);
-      }
+      // The replayed list belongs to the snapshot it was cached from, not
+      // to whatever the store considers active now.
+      batch_version = state.last_known_good_version;
+      count_fallback("last_known_good");
       return deliver(state.last_known_good, ServingSource::kLastKnownGood);
     }
     if (state.has_popularity) {
-      if (fallback_popularity_ != nullptr) fallback_popularity_->Add(1);
+      batch_version = 0;  // the static list belongs to no snapshot
+      count_fallback("popularity");
       return deliver(state.popularity, ServingSource::kPopularity);
     }
     return finish(StatusOr<RecommendationResponse>(error));
@@ -187,6 +193,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     if (options_.fallback_to_last_known_good) {
       state.last_known_good = *list;
       state.has_last_known_good = true;
+      state.last_known_good_version = batch_version;
     }
     return deliver(*list, ServingSource::kStore);
   }

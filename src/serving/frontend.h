@@ -46,6 +46,12 @@ struct RecommendationResponse {
   // fallback instead of the store.
   bool degraded = false;
   ServingSource source = ServingSource::kStore;
+  // The serving batch version the items came from: the store's active
+  // version for kStore, the version cached alongside a last-known-good
+  // list for kLastKnownGood, 0 for popularity fallbacks (which belong to
+  // no snapshot). Makes every degraded/fallback/canary serve attributable
+  // to a concrete snapshot in logs and RunProfile.
+  int64_t batch_version = 0;
 };
 
 // The request path in front of the store: picks the right materialized
@@ -82,18 +88,21 @@ class Frontend {
   using StoreLookup = std::function<StatusOr<std::vector<core::ScoredItem>>(
       data::RetailerId, const core::Context&)>;
 
-  // `store` is required (unless a lookup override is installed);
+  // `store` is required (unless a lookup override is installed) — any
+  // ServingReader: a plain RecommendationStore or a ReplicatedStoreGroup.
   // `calibrator` may be nullptr (no thresholding). `metrics` (borrowed,
   // may be nullptr) turns on request observability: every Handle()
   // records a serving_request_micros latency sample and bumps
-  // serving_requests_total{outcome=ok|error}, plus the breaker/fallback
-  // counters described in Options. `clock` is the time source for
-  // latency, deadlines and breaker cooldowns (nullptr = RealClock).
-  Frontend(const RecommendationStore* store,
+  // serving_requests_total{outcome=ok|error, version=...} (version = the
+  // serving batch version the request was answered from), plus the
+  // breaker/fallback counters described in Options. `clock` is the time
+  // source for latency, deadlines and breaker cooldowns (nullptr =
+  // RealClock).
+  Frontend(const ServingReader* store,
            const core::ScoreCalibrator* calibrator,
            obs::MetricRegistry* metrics, const Clock* clock,
            const Options& options);
-  Frontend(const RecommendationStore* store,
+  Frontend(const ServingReader* store,
            const core::ScoreCalibrator* calibrator,
            obs::MetricRegistry* metrics = nullptr,
            const Clock* clock = nullptr);
@@ -124,23 +133,22 @@ class Frontend {
     double open_until_seconds = 0.0;
     bool has_last_known_good = false;
     std::vector<core::ScoredItem> last_known_good;
+    // Batch version the cached last-known-good list was served from.
+    int64_t last_known_good_version = 0;
     bool has_popularity = false;
     std::vector<core::ScoredItem> popularity;
   };
 
-  const RecommendationStore* store_;
+  const ServingReader* store_;
   const core::ScoreCalibrator* calibrator_;
   const Clock* clock_;
   Options options_;
   StoreLookup lookup_;                // null = use store_->ServeContext
+  obs::MetricRegistry* metrics_;      // null when metrics are off
   obs::Histogram* request_micros_;    // null when metrics are off
-  obs::Counter* requests_ok_;
-  obs::Counter* requests_error_;
   obs::Counter* deadline_exceeded_;
   obs::Counter* breaker_trips_;
   obs::Counter* breaker_short_circuits_;
-  obs::Counter* fallback_last_known_good_;
-  obs::Counter* fallback_popularity_;
 
   mutable std::mutex mu_;
   mutable std::map<data::RetailerId, RetailerState> state_;

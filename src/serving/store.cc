@@ -10,8 +10,8 @@
 
 namespace sigmund::serving {
 
-void RecommendationStore::LoadRetailer(
-    data::RetailerId retailer,
+std::shared_ptr<const RecommendationStore::Shard>
+RecommendationStore::BuildShard(
     std::vector<core::ItemRecommendations> recommendations) {
   auto shard = std::make_shared<Shard>();
   // Index by query item; the vector is addressed directly by item id.
@@ -24,17 +24,88 @@ void RecommendationStore::LoadRetailer(
     data::ItemIndex query = recs.query;
     shard->by_item[query] = std::move(recs);
   }
-
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = shards_.find(retailer);
-  shard->version = it == shards_.end() ? 1 : it->second->version + 1;
-  shards_[retailer] = std::move(shard);
+  return shard;
 }
 
-Status RecommendationStore::LoadRetailerFromFile(
+void RecommendationStore::Retire(Entry* entry, int64_t keep) const {
+  const size_t retained =
+      static_cast<size_t>(std::max(1, options_.retained_versions));
+  auto it = entry->versions.begin();
+  while (entry->versions.size() > retained && it != entry->versions.end()) {
+    if (it->first == entry->active || it->first == keep) {
+      ++it;
+      continue;
+    }
+    it = entry->versions.erase(it);
+  }
+}
+
+int64_t RecommendationStore::StageRetailer(
+    data::RetailerId retailer,
+    std::vector<core::ItemRecommendations> recommendations, int64_t version) {
+  std::shared_ptr<const Shard> shard = BuildShard(std::move(recommendations));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[retailer];
+  if (version <= 0) version = entry.next_version;
+  entry.next_version = std::max(entry.next_version, version + 1);
+  entry.versions[version] = std::move(shard);
+  // A staged-but-never-activated pile must not grow unboundedly either;
+  // the staged version itself is always kept.
+  Retire(&entry, version);
+  return version;
+}
+
+void RecommendationStore::LoadRetailer(
+    data::RetailerId retailer,
+    std::vector<core::ItemRecommendations> recommendations) {
+  const int64_t version = StageRetailer(retailer, std::move(recommendations));
+  SIGCHECK(ActivateVersion(retailer, version).ok());
+}
+
+Status RecommendationStore::ActivateVersion(data::RetailerId retailer,
+                                            int64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.count(version) == 0) {
+    return NotFoundError(StrFormat(
+        "retailer %d has no resident batch version %lld", retailer,
+        static_cast<long long>(version)));
+  }
+  it->second.active = version;
+  Retire(&it->second, version);
+  return OkStatus();
+}
+
+Status RecommendationStore::RollbackRetailer(data::RetailerId retailer,
+                                             int64_t version) {
+  // Pure pointer flip: the target version is already resident in memory,
+  // so no filesystem is touched and nothing is reloaded.
+  return ActivateVersion(retailer, version);
+}
+
+Status RecommendationStore::DiscardVersion(data::RetailerId retailer,
+                                           int64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.count(version) == 0) {
+    return NotFoundError(StrFormat(
+        "retailer %d has no resident batch version %lld", retailer,
+        static_cast<long long>(version)));
+  }
+  if (it->second.active == version) {
+    return FailedPreconditionError(StrFormat(
+        "batch version %lld is active for retailer %d; activate another "
+        "version before discarding it",
+        static_cast<long long>(version), retailer));
+  }
+  it->second.versions.erase(version);
+  return OkStatus();
+}
+
+StatusOr<int64_t> RecommendationStore::StageRetailerFromFile(
     data::RetailerId retailer, const sfs::SharedFileSystem& fs,
     const std::string& path, const RetryPolicy& policy,
-    sfs::ReliableIoCounters* io) {
+    sfs::ReliableIoCounters* io, int64_t version) {
   // Batch-load latency + outcome counters when observability is wired in
   // through the caller's ReliableIoCounters.
   obs::MetricRegistry* metrics = io != nullptr ? io->metrics : nullptr;
@@ -44,14 +115,15 @@ Status RecommendationStore::LoadRetailerFromFile(
     clock = io->clock != nullptr ? io->clock : RealClock::Get();
     start_micros = clock->NowMicros();
   }
-  auto finish = [&](const char* outcome, Status status) {
+  auto finish = [&](const char* outcome,
+                    StatusOr<int64_t> result) -> StatusOr<int64_t> {
     if (metrics != nullptr) {
       metrics->GetHistogram("serving_batch_load_micros")
           ->Observe(static_cast<double>(clock->NowMicros() - start_micros));
       metrics->GetCounter("serving_batch_loads_total", {{"outcome", outcome}})
           ->Add(1);
     }
-    return status;
+    return result;
   };
   RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
   StatusOr<std::string> blob =
@@ -88,24 +160,42 @@ Status RecommendationStore::LoadRetailerFromFile(
     }
     recommendations.push_back(std::move(recs).value());
   }
-  LoadRetailer(retailer, std::move(recommendations));
-  return finish("ok", OkStatus());
+  const int64_t staged =
+      StageRetailer(retailer, std::move(recommendations), version);
+  return finish("ok", staged);
 }
 
-StatusOr<std::vector<core::ScoredItem>> RecommendationStore::Lookup(
-    data::RetailerId retailer, data::ItemIndex item,
+Status RecommendationStore::LoadRetailerFromFile(
+    data::RetailerId retailer, const sfs::SharedFileSystem& fs,
+    const std::string& path, const RetryPolicy& policy,
+    sfs::ReliableIoCounters* io, int64_t version) {
+  StatusOr<int64_t> staged =
+      StageRetailerFromFile(retailer, fs, path, policy, io, version);
+  if (!staged.ok()) return staged.status();
+  return ActivateVersion(retailer, *staged);
+}
+
+std::shared_ptr<const RecommendationStore::Shard>
+RecommendationStore::FindShard(data::RetailerId retailer,
+                               int64_t version) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end()) return nullptr;
+  const Entry& entry = it->second;
+  const int64_t wanted = version <= 0 ? entry.active : version;
+  if (wanted == 0) return nullptr;
+  auto shard = entry.versions.find(wanted);
+  return shard == entry.versions.end() ? nullptr : shard->second;
+}
+
+StatusOr<std::vector<core::ScoredItem>> RecommendationStore::LookupInShard(
+    const Shard* shard, data::RetailerId retailer, data::ItemIndex item,
     RecommendationKind kind) const {
-  std::shared_ptr<Shard> shard;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = shards_.find(retailer);
-    if (it == shards_.end()) {
-      return NotFoundError(StrFormat("retailer %d not loaded", retailer));
-    }
-    shard = it->second;
+  if (shard == nullptr) {
+    return NotFoundError(StrFormat("retailer %d not loaded", retailer));
   }
-  if (item < 0 || item >= static_cast<data::ItemIndex>(
-                              shard->by_item.size())) {
+  if (item < 0 ||
+      item >= static_cast<data::ItemIndex>(shard->by_item.size())) {
     return NotFoundError(StrFormat("no recommendations for item %d", item));
   }
   const core::ItemRecommendations& recs = shard->by_item[item];
@@ -113,8 +203,28 @@ StatusOr<std::vector<core::ScoredItem>> RecommendationStore::Lookup(
                                                 : recs.purchase_based;
 }
 
+StatusOr<std::vector<core::ScoredItem>> RecommendationStore::Lookup(
+    data::RetailerId retailer, data::ItemIndex item,
+    RecommendationKind kind) const {
+  return LookupAtVersion(retailer, item, kind, /*version=*/0);
+}
+
+StatusOr<std::vector<core::ScoredItem>> RecommendationStore::LookupAtVersion(
+    data::RetailerId retailer, data::ItemIndex item, RecommendationKind kind,
+    int64_t version) const {
+  std::shared_ptr<const Shard> shard = FindShard(retailer, version);
+  return LookupInShard(shard.get(), retailer, item, kind);
+}
+
 StatusOr<std::vector<core::ScoredItem>> RecommendationStore::ServeContext(
     data::RetailerId retailer, const core::Context& context) const {
+  return ServeContextAtVersion(retailer, context, /*version=*/0);
+}
+
+StatusOr<std::vector<core::ScoredItem>>
+RecommendationStore::ServeContextAtVersion(data::RetailerId retailer,
+                                           const core::Context& context,
+                                           int64_t version) const {
   if (context.empty()) {
     return InvalidArgumentError("empty context");
   }
@@ -125,28 +235,33 @@ StatusOr<std::vector<core::ScoredItem>> RecommendationStore::ServeContext(
       latest.action == data::ActionType::kCart ||
       latest.action == data::ActionType::kConversion;
   if (post_purchase) {
-    return Lookup(retailer, latest.item,
-                  RecommendationKind::kPurchaseBased);
+    return LookupAtVersion(retailer, latest.item,
+                           RecommendationKind::kPurchaseBased, version);
+  }
+  std::shared_ptr<const Shard> shard = FindShard(retailer, version);
+  if (shard == nullptr) {
+    return NotFoundError(StrFormat("retailer %d not loaded", retailer));
   }
   // Browsing: a late-funnel user gets the facet-constrained variant.
   if (core::ClassifyFunnelStage(context, /*catalog=*/nullptr, {}) ==
       core::FunnelStage::kLate) {
-    return LookupLateFunnel(retailer, latest.item);
+    const data::ItemIndex item = latest.item;
+    if (item >= 0 &&
+        item < static_cast<data::ItemIndex>(shard->by_item.size()) &&
+        !shard->by_item[item].view_based_late.empty()) {
+      return shard->by_item[item].view_based_late;
+    }
   }
-  return Lookup(retailer, latest.item, RecommendationKind::kViewBased);
+  return LookupInShard(shard.get(), retailer, latest.item,
+                       RecommendationKind::kViewBased);
 }
 
 StatusOr<std::vector<core::ScoredItem>>
 RecommendationStore::LookupLateFunnel(data::RetailerId retailer,
                                       data::ItemIndex item) const {
-  std::shared_ptr<Shard> shard;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = shards_.find(retailer);
-    if (it == shards_.end()) {
-      return NotFoundError(StrFormat("retailer %d not loaded", retailer));
-    }
-    shard = it->second;
+  std::shared_ptr<const Shard> shard = FindShard(retailer, /*version=*/0);
+  if (shard == nullptr) {
+    return NotFoundError(StrFormat("retailer %d not loaded", retailer));
   }
   if (item < 0 ||
       item >= static_cast<data::ItemIndex>(shard->by_item.size())) {
@@ -159,22 +274,49 @@ RecommendationStore::LookupLateFunnel(data::RetailerId retailer,
 
 int RecommendationStore::num_retailers() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return static_cast<int>(shards_.size());
+  int count = 0;
+  for (const auto& [retailer, entry] : entries_) {
+    if (entry.active != 0) ++count;
+  }
+  return count;
 }
 
 int64_t RecommendationStore::num_items() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t total = 0;
-  for (const auto& [retailer, shard] : shards_) {
-    total += static_cast<int64_t>(shard->by_item.size());
+  for (const auto& [retailer, entry] : entries_) {
+    if (entry.active == 0) continue;
+    auto shard = entry.versions.find(entry.active);
+    if (shard == entry.versions.end()) continue;
+    total += static_cast<int64_t>(shard->second->by_item.size());
   }
   return total;
 }
 
 int64_t RecommendationStore::RetailerVersion(data::RetailerId retailer) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = shards_.find(retailer);
-  return it == shards_.end() ? 0 : it->second->version;
+  auto it = entries_.find(retailer);
+  return it == entries_.end() ? 0 : it->second.active;
+}
+
+int64_t RecommendationStore::LatestVersion(data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.rbegin()->first;
+}
+
+std::vector<int64_t> RecommendationStore::RetainedVersions(
+    data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<int64_t> versions;
+  auto it = entries_.find(retailer);
+  if (it == entries_.end()) return versions;
+  versions.reserve(it->second.versions.size());
+  for (const auto& [version, shard] : it->second.versions) {
+    versions.push_back(version);
+  }
+  return versions;
 }
 
 }  // namespace sigmund::serving

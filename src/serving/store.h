@@ -21,23 +21,63 @@ enum class RecommendationKind {
   kPurchaseBased = 1,
 };
 
+// Read-side interface of the serving plane: everything a request path
+// needs from a store, whether it is a single RecommendationStore or a
+// replicated group fronting several. Lets the Frontend (and tests) stay
+// agnostic to the replication topology.
+class ServingReader {
+ public:
+  virtual ~ServingReader() = default;
+
+  // Serves a user context from the currently active batch.
+  virtual StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context) const = 0;
+
+  // Active batch version for `retailer` (0 = never loaded).
+  virtual int64_t RetailerVersion(data::RetailerId retailer) const = 0;
+};
+
 // The serving store (§II-A, §V): an in-memory map from (retailer, item) to
 // pre-materialized recommendation lists, refreshed by whole-retailer batch
 // updates whenever the inference job completes. Serving does no model
 // computation — the paper's "very lightweight computation at serving
 // time".
 //
-// Thread-safe: lookups take a shared lock; batch loads swap a retailer's
-// shard under an exclusive lock.
-class RecommendationStore {
+// Safe rollout: each batch load is a *version*; the store retains the last
+// `retained_versions` per retailer, so activation and rollback are pure
+// pointer flips — no SFS I/O, no rebuild. A new batch can be staged
+// (resident but not serving) for canary evaluation, then activated or
+// discarded.
+//
+// Thread-safe: lookups take a shared lock and copy out a shared_ptr to an
+// immutable shard, so a concurrent activation/rollback can never expose a
+// torn or mixed-version list; batch loads swap the active pointer under an
+// exclusive lock.
+class RecommendationStore : public ServingReader {
  public:
-  RecommendationStore() = default;
+  struct Options {
+    // Batch versions retained per retailer (including the active one);
+    // older versions are evicted on activation. Minimum 1.
+    int retained_versions = 3;
+  };
 
-  // Atomically replaces all recommendations for `retailer`.
-  // `recommendations` must be sorted by query item (as produced by the
-  // inference job).
+  RecommendationStore() = default;
+  explicit RecommendationStore(const Options& options) : options_(options) {}
+
+  // Atomically replaces all recommendations for `retailer`: stages the
+  // batch as the next version and activates it immediately (the
+  // non-canary path). `recommendations` must be sorted by query item (as
+  // produced by the inference job).
   void LoadRetailer(data::RetailerId retailer,
                     std::vector<core::ItemRecommendations> recommendations);
+
+  // Stages a batch as a resident but *not yet serving* version and
+  // returns its version number. `version` 0 auto-assigns the next number
+  // in the retailer's sequence; a positive `version` pins it (used to
+  // keep replica version numbering aligned during cutover).
+  int64_t StageRetailer(data::RetailerId retailer,
+                        std::vector<core::ItemRecommendations> recommendations,
+                        int64_t version = 0);
 
   // Batch-loads a retailer from the inference job's SFS output file
   // (newline-separated serialized ItemRecommendations, optionally wrapped
@@ -46,12 +86,36 @@ class RecommendationStore {
   // undecodable record) is rejected with kDataLoss and the retailer's
   // previously loaded recommendations stay live — a bad refresh must
   // never take down serving. `io`, if given, accumulates retry and
-  // corruption counters.
+  // corruption counters. Stages + activates in one step.
   Status LoadRetailerFromFile(data::RetailerId retailer,
                               const sfs::SharedFileSystem& fs,
                               const std::string& path,
                               const RetryPolicy& policy = {},
-                              sfs::ReliableIoCounters* io = nullptr);
+                              sfs::ReliableIoCounters* io = nullptr,
+                              int64_t version = 0);
+
+  // Like LoadRetailerFromFile but only stages the batch (canary path):
+  // the previously active version keeps serving until ActivateVersion.
+  // Returns the staged version number.
+  StatusOr<int64_t> StageRetailerFromFile(data::RetailerId retailer,
+                                          const sfs::SharedFileSystem& fs,
+                                          const std::string& path,
+                                          const RetryPolicy& policy = {},
+                                          sfs::ReliableIoCounters* io = nullptr,
+                                          int64_t version = 0);
+
+  // Flips the active pointer to a resident version (O(1), no SFS I/O).
+  // Evicts versions beyond the retention window. kNotFound if the
+  // version is not resident.
+  Status ActivateVersion(data::RetailerId retailer, int64_t version);
+
+  // Instant rollback to a retained previous version — a pure pointer
+  // flip, by design doing no SFS I/O and no batch reload.
+  Status RollbackRetailer(data::RetailerId retailer, int64_t version);
+
+  // Drops a resident non-active version (e.g. a canary that failed).
+  // kFailedPrecondition if `version` is currently active.
+  Status DiscardVersion(data::RetailerId retailer, int64_t version);
 
   // Recommendations for one query item. kNotFound when the retailer or
   // item has no materialized list.
@@ -59,34 +123,76 @@ class RecommendationStore {
       data::RetailerId retailer, data::ItemIndex item,
       RecommendationKind kind) const;
 
+  // Like Lookup, but against a specific resident version (<= 0 = the
+  // active one). Canary traffic reads the staged version through this.
+  StatusOr<std::vector<core::ScoredItem>> LookupAtVersion(
+      data::RetailerId retailer, data::ItemIndex item,
+      RecommendationKind kind, int64_t version) const;
+
   // Serves a user context: uses the most recent context entry; a
   // conversion/cart context gets purchase-based (accessory)
   // recommendations, otherwise view-based (substitutes). Late-funnel
   // contexts (classified catalog-free, §III-D1) get the facet-constrained
   // substitute variant when the inference job materialized one.
   StatusOr<std::vector<core::ScoredItem>> ServeContext(
-      data::RetailerId retailer, const core::Context& context) const;
+      data::RetailerId retailer, const core::Context& context) const override;
+
+  // ServeContext against a specific resident version (<= 0 = active).
+  StatusOr<std::vector<core::ScoredItem>> ServeContextAtVersion(
+      data::RetailerId retailer, const core::Context& context,
+      int64_t version) const;
 
   // Late-funnel substitute list for one item; falls back to the regular
   // view-based list when no late variant was materialized.
   StatusOr<std::vector<core::ScoredItem>> LookupLateFunnel(
       data::RetailerId retailer, data::ItemIndex item) const;
 
-  // Number of retailers currently loaded / total materialized lists.
+  // Number of retailers currently active / total materialized lists in
+  // active batches.
   int num_retailers() const;
   int64_t num_items() const;
 
-  // Batch-update version counter for `retailer` (0 = never loaded).
-  int64_t RetailerVersion(data::RetailerId retailer) const;
+  // Active batch version for `retailer` (0 = never activated).
+  int64_t RetailerVersion(data::RetailerId retailer) const override;
+
+  // Highest resident (staged or active) version; 0 when none.
+  int64_t LatestVersion(data::RetailerId retailer) const;
+
+  // All resident versions, ascending.
+  std::vector<int64_t> RetainedVersions(data::RetailerId retailer) const;
 
  private:
   struct Shard {
     std::vector<core::ItemRecommendations> by_item;  // index = query item
-    int64_t version = 0;
   };
 
+  // Per-retailer version chain: resident shards keyed by version, the
+  // active pointer, and the auto-assignment counter.
+  struct Entry {
+    std::map<int64_t, std::shared_ptr<const Shard>> versions;
+    int64_t active = 0;
+    int64_t next_version = 1;
+  };
+
+  static std::shared_ptr<const Shard> BuildShard(
+      std::vector<core::ItemRecommendations> recommendations);
+
+  // Shard for (retailer, version); version <= 0 = active. Null when not
+  // resident.
+  std::shared_ptr<const Shard> FindShard(data::RetailerId retailer,
+                                         int64_t version) const;
+
+  // Evicts versions beyond the retention window (caller holds mu_
+  // exclusively). Never evicts the active version or `keep`.
+  void Retire(Entry* entry, int64_t keep) const;
+
+  StatusOr<std::vector<core::ScoredItem>> LookupInShard(
+      const Shard* shard, data::RetailerId retailer, data::ItemIndex item,
+      RecommendationKind kind) const;
+
+  Options options_;
   mutable std::shared_mutex mu_;
-  std::map<data::RetailerId, std::shared_ptr<Shard>> shards_;
+  std::map<data::RetailerId, Entry> entries_;
 };
 
 }  // namespace sigmund::serving

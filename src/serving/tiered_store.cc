@@ -1,15 +1,57 @@
 #include "serving/tiered_store.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 
 namespace sigmund::serving {
 
-std::string TieredStore::FlashPath(data::RetailerId retailer,
+std::string TieredStore::FlashPath(data::RetailerId retailer, int64_t version,
                                    data::ItemIndex item) {
-  return StrFormat("flash/r%d/i%d", retailer, item);
+  return StrFormat("flash/r%d/v%lld/i%d", retailer,
+                   static_cast<long long>(version), item);
+}
+
+std::string TieredStore::FlashRoot(data::RetailerId retailer) {
+  return StrFormat("flash/r%d/", retailer);
+}
+
+void TieredStore::CollectStaleFlash(data::RetailerId retailer,
+                                    int64_t keep_version) {
+  // Gather this retailer's stale files plus any deletes that failed on a
+  // previous pass, then retire them. List/Delete failures are tolerated:
+  // whatever survives is retried on the next load.
+  const std::string keep_prefix =
+      StrFormat("flash/r%d/v%lld/", retailer,
+                static_cast<long long>(keep_version));
+  std::vector<std::string> stale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stale.swap(pending_gc_);
+  }
+  StatusOr<std::vector<std::string>> files = fs_->List(FlashRoot(retailer));
+  if (files.ok()) {
+    for (std::string& path : *files) {
+      if (path.compare(0, keep_prefix.size(), keep_prefix) != 0) {
+        stale.push_back(std::move(path));
+      }
+    }
+  }
+  std::vector<std::string> still_pending;
+  for (const std::string& path : stale) {
+    Status deleted = fs_->Delete(path);
+    if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+      still_pending.push_back(path);
+    }
+  }
+  if (!still_pending.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_gc_.insert(pending_gc_.end(),
+                       std::make_move_iterator(still_pending.begin()),
+                       std::make_move_iterator(still_pending.end()));
+  }
 }
 
 Status TieredStore::LoadRetailer(
@@ -36,27 +78,38 @@ Status TieredStore::LoadRetailer(
   std::unordered_map<data::ItemIndex, bool> is_hot;
   for (size_t n = 0; n < order.size(); ++n) is_hot[order[n]] = n < hot_count;
 
-  // Everything goes to flash (the authoritative copy); hot items are
-  // additionally pinned in memory.
+  // Everything goes to flash (the authoritative copy) under a fresh
+  // version directory; hot items are additionally pinned in memory.
   HotShard shard;
   shard.total_items = static_cast<int>(recs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto prev = hot_.find(retailer);
+    shard.version = prev == hot_.end() ? 1 : prev->second.version + 1;
+  }
   for (const core::ItemRecommendations& rec : recs) {
-    SIGMUND_RETURN_IF_ERROR(
-        fs_->Write(FlashPath(retailer, rec.query), rec.Serialize()));
+    SIGMUND_RETURN_IF_ERROR(fs_->Write(
+        FlashPath(retailer, shard.version, rec.query), rec.Serialize()));
     if (is_hot[rec.query]) shard.pinned.emplace(rec.query, rec);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  hot_[retailer] = std::move(shard);
-  // Drop stale cache entries for this retailer (batch-update semantics).
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->first.first == retailer) {
-      cache_index_.erase(it->first);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  const int64_t version = shard.version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hot_[retailer] = std::move(shard);
+    // Drop stale cache entries for this retailer (batch-update semantics).
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->first.first == retailer) {
+        cache_index_.erase(it->first);
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  // Retire the previous version's flash files now that the new shard is
+  // live; lookups racing the swap already resolve to the new version.
+  CollectStaleFlash(retailer, version);
   return OkStatus();
 }
 
@@ -78,6 +131,7 @@ StatusOr<std::vector<core::ScoredItem>> TieredStore::Lookup(
                                                   : recs.purchase_based;
   };
 
+  int64_t version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto shard = hot_.find(retailer);
@@ -87,6 +141,7 @@ StatusOr<std::vector<core::ScoredItem>> TieredStore::Lookup(
     if (item < 0 || item >= shard->second.total_items) {
       return NotFoundError(StrFormat("no recommendations for item %d", item));
     }
+    version = shard->second.version;
     // Tier 1: pinned memory.
     auto pinned = shard->second.pinned.find(item);
     if (pinned != shard->second.pinned.end()) {
@@ -105,7 +160,7 @@ StatusOr<std::vector<core::ScoredItem>> TieredStore::Lookup(
   }
 
   // Tier 3: flash read (outside the lock; reads are the slow path).
-  StatusOr<std::string> bytes = fs_->Read(FlashPath(retailer, item));
+  StatusOr<std::string> bytes = fs_->Read(FlashPath(retailer, version, item));
   if (!bytes.ok()) return bytes.status();
   StatusOr<core::ItemRecommendations> recs =
       core::ItemRecommendations::Deserialize(*bytes);

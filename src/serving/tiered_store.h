@@ -49,8 +49,12 @@ class TieredStore {
       : fs_(fs), options_(options) {}
 
   // Batch-loads one retailer: writes every item's recommendations to the
-  // flash tier and pins the top hot_fraction items by `popularity` (same
-  // length as the catalog) in memory. Replaces any previous version.
+  // flash tier (under a fresh per-retailer version directory) and pins
+  // the top hot_fraction items by `popularity` (same length as the
+  // catalog) in memory. Replaces any previous version and garbage-
+  // collects the previous version's flash files, so repeated reloads keep
+  // the flash-tier file count bounded by the catalog size. Files whose
+  // delete hit a transient error are retried on the next load.
   Status LoadRetailer(data::RetailerId retailer,
                       const std::vector<core::ItemRecommendations>& recs,
                       const std::vector<int64_t>& popularity);
@@ -69,14 +73,20 @@ class TieredStore {
   };
   StatusOr<Footprint> RetailerFootprint(data::RetailerId retailer) const;
 
-  static std::string FlashPath(data::RetailerId retailer,
+  // Flash files are laid out per batch version —
+  // flash/r<retailer>/v<version>/i<item> — so a reload writes into a
+  // fresh directory and the stale one can be GC'd wholesale.
+  static std::string FlashPath(data::RetailerId retailer, int64_t version,
                                data::ItemIndex item);
+  static std::string FlashRoot(data::RetailerId retailer);
 
  private:
   struct HotShard {
     // item -> recommendations, for pinned items only.
     std::unordered_map<data::ItemIndex, core::ItemRecommendations> pinned;
     int total_items = 0;
+    // Flash version this shard's tier-3 files live under.
+    int64_t version = 0;
   };
 
   using CacheKey = std::pair<data::RetailerId, data::ItemIndex>;
@@ -90,10 +100,17 @@ class TieredStore {
   // Inserts into the LRU (caller holds mu_).
   void CacheInsert(const CacheKey& key, core::ItemRecommendations recs);
 
+  // Deletes every flash file of `retailer` not under `keep_version`;
+  // failed deletes land in pending_gc_ for the next load to retry.
+  void CollectStaleFlash(data::RetailerId retailer, int64_t keep_version);
+
   sfs::SharedFileSystem* fs_;
   Options options_;
   mutable std::mutex mu_;
   std::map<data::RetailerId, HotShard> hot_;
+  // Stale flash paths whose delete failed transiently; retried on the
+  // next LoadRetailer (any retailer). Guarded by mu_.
+  std::vector<std::string> pending_gc_;
   // LRU: most-recent at front.
   std::list<std::pair<CacheKey, core::ItemRecommendations>> lru_;
   std::unordered_map<CacheKey, decltype(lru_)::iterator, CacheKeyHash>

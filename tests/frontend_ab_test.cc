@@ -132,6 +132,90 @@ TEST(FrontendTest, InvalidRequestsRejected) {
             StatusCode::kNotFound);
 }
 
+// --- Batch-version labeling ---------------------------------------------------
+
+TEST(FrontendTest, ResponsesCarryTheServingBatchVersion) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  obs::MetricRegistry metrics;
+  serving::Frontend frontend(&store, nullptr, &metrics);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+
+  auto v1 = frontend.Handle(request);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->batch_version, 1);
+
+  // After a batch cutover the label follows the active version, so
+  // per-request counters split cleanly by serving batch.
+  store.LoadRetailer(1, {MakeRecs(0)});
+  auto v2 = frontend.Handle(request);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->batch_version, 2);
+
+  obs::RegistrySnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue(
+                "serving_requests_total",
+                {{"outcome", "ok"}, {"version", "1"}}),
+            1);
+  EXPECT_EQ(snapshot.CounterValue(
+                "serving_requests_total",
+                {{"outcome", "ok"}, {"version", "2"}}),
+            1);
+  // The unlabeled view still aggregates across versions.
+  EXPECT_EQ(snapshot.CounterValue("serving_requests_total",
+                                  {{"outcome", "ok"}}),
+            2);
+}
+
+TEST(FrontendTest, FallbacksLabelTheVersionTheyActuallyServe) {
+  serving::RecommendationStore store;
+  LoadStore(&store);
+  obs::MetricRegistry metrics;
+  serving::Frontend frontend(&store, nullptr, &metrics);
+  serving::RecommendationRequest request;
+  request.retailer = 1;
+  request.context = {{0, ActionType::kView}};
+
+  // Populate the last-known-good cache at version 1, then break the store.
+  ASSERT_TRUE(frontend.Handle(request).ok());
+  frontend.SetLookupForTesting([](data::RetailerId, const core::Context&) {
+    return StatusOr<std::vector<core::ScoredItem>>(
+        UnavailableError("store down"));
+  });
+
+  // The LKG rung serves version 1's cached list and says so — even though
+  // the store's active version has moved on to 2 underneath.
+  store.LoadRetailer(1, {MakeRecs(0)});
+  auto lkg = frontend.Handle(request);
+  ASSERT_TRUE(lkg.ok());
+  EXPECT_EQ(lkg->source, serving::ServingSource::kLastKnownGood);
+  EXPECT_EQ(lkg->batch_version, 1);
+
+  // The popularity rung serves no batch at all: version 0.
+  serving::Frontend bare(&store, nullptr, &metrics);
+  bare.SetLookupForTesting([](data::RetailerId, const core::Context&) {
+    return StatusOr<std::vector<core::ScoredItem>>(
+        UnavailableError("store down"));
+  });
+  bare.SetPopularityFallback(1, {{7, 1.0}});
+  auto popularity = bare.Handle(request);
+  ASSERT_TRUE(popularity.ok());
+  EXPECT_EQ(popularity->source, serving::ServingSource::kPopularity);
+  EXPECT_EQ(popularity->batch_version, 0);
+
+  obs::RegistrySnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue(
+                "serving_fallbacks_total",
+                {{"source", "last_known_good"}, {"version", "1"}}),
+            1);
+  EXPECT_EQ(snapshot.CounterValue(
+                "serving_fallbacks_total",
+                {{"source", "popularity"}, {"version", "0"}}),
+            1);
+}
+
 // --- Frontend degradation ladder ---------------------------------------------
 
 serving::RecommendationRequest ViewRequest() {

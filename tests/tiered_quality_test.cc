@@ -110,6 +110,81 @@ TEST(TieredStoreTest, FootprintReflectsHotFraction) {
   EXPECT_FALSE(store.RetailerFootprint(2).ok());
 }
 
+TEST(TieredStoreTest, RepeatedReloadsKeepFlashFileCountBounded) {
+  TieredFixture f;
+  serving::TieredStore store(&f.fs, f.SmallOptions());
+  for (int reload = 0; reload < 8; ++reload) {
+    ASSERT_TRUE(store.LoadRetailer(1, f.recs, f.popularity).ok());
+    // Stale versions are GC'd wholesale: the flash tier never holds more
+    // than one file per catalog item.
+    StatusOr<std::vector<std::string>> files =
+        f.fs.List(serving::TieredStore::FlashRoot(1));
+    ASSERT_TRUE(files.ok());
+    EXPECT_EQ(files->size(), f.recs.size()) << "after reload " << reload;
+  }
+  // And the surviving files are the live version's: cold lookups work.
+  auto result = store.Lookup(1, 7, serving::RecommendationKind::kViewBased);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].item, 8);
+}
+
+// Deletes that fail transiently are retried on the next load instead of
+// leaking stale files forever.
+class FlakyDeleteFs : public sfs::SharedFileSystem {
+ public:
+  explicit FlakyDeleteFs(sfs::SharedFileSystem* base) : base_(base) {}
+  bool fail_deletes = false;
+
+  Status Write(const std::string& path, const std::string& data) override {
+    return base_->Write(path, data);
+  }
+  StatusOr<std::string> Read(const std::string& path) const override {
+    return base_->Read(path);
+  }
+  Status Delete(const std::string& path) override {
+    if (fail_deletes) return UnavailableError("flaky delete");
+    return base_->Delete(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  bool Exists(const std::string& path) const override {
+    return base_->Exists(path);
+  }
+  StatusOr<std::vector<std::string>> List(
+      const std::string& prefix) const override {
+    return base_->List(prefix);
+  }
+  StatusOr<int64_t> FileSize(const std::string& path) const override {
+    return base_->FileSize(path);
+  }
+
+ private:
+  sfs::SharedFileSystem* base_;
+};
+
+TEST(TieredStoreTest, FailedGcDeletesAreRetriedOnNextLoad) {
+  TieredFixture f;
+  FlakyDeleteFs fs(&f.fs);
+  serving::TieredStore store(&fs, f.SmallOptions());
+  ASSERT_TRUE(store.LoadRetailer(1, f.recs, f.popularity).ok());
+
+  // The reload's GC pass can't delete anything: both versions linger.
+  fs.fail_deletes = true;
+  ASSERT_TRUE(store.LoadRetailer(1, f.recs, f.popularity).ok());
+  StatusOr<std::vector<std::string>> files =
+      f.fs.List(serving::TieredStore::FlashRoot(1));
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 2 * f.recs.size());
+
+  // Storage heals; the next load drains the pending GC queue too.
+  fs.fail_deletes = false;
+  ASSERT_TRUE(store.LoadRetailer(1, f.recs, f.popularity).ok());
+  files = f.fs.List(serving::TieredStore::FlashRoot(1));
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), f.recs.size());
+}
+
 TEST(TieredStoreTest, MissingRetailerOrItem) {
   TieredFixture f;
   serving::TieredStore store(&f.fs, f.SmallOptions());
@@ -169,6 +244,36 @@ TEST(QualityMonitorTest, HistoryWindowAgesOut) {
                             // regressed again; now window [0.15, 0.15]
   // The old plateau has aged out: 0.15 is the new normal.
   EXPECT_EQ(monitor.Record(1, 0.15), pipeline::QualityMonitor::Verdict::kOk);
+}
+
+// Plateau behavior: a *persistent* regression keeps getting flagged only
+// while the old peak is inside the trailing window. Once the window slides
+// past it, the lower plateau is the new baseline — the guard protects
+// against sudden drops, not against a world that genuinely got harder.
+TEST(QualityMonitorTest, PersistentRegressionBecomesNewBaseline) {
+  pipeline::QualityMonitor::Options options;
+  options.history_days = 3;
+  options.max_relative_drop = 0.5;
+  pipeline::QualityMonitor monitor(options);
+
+  monitor.Record(1, 0.40);
+  monitor.Record(1, 0.42);
+  monitor.Record(1, 0.41);
+  EXPECT_DOUBLE_EQ(monitor.TrailingBest(1), 0.42);
+
+  // The metric collapses to 0.12 and stays there. While any old-peak day
+  // is still in the 3-day window, every new day is flagged...
+  EXPECT_EQ(monitor.Record(1, 0.12),
+            pipeline::QualityMonitor::Verdict::kRegressed);  // best is .42
+  EXPECT_EQ(monitor.Record(1, 0.12),
+            pipeline::QualityMonitor::Verdict::kRegressed);  // .42 in window
+  EXPECT_EQ(monitor.Record(1, 0.12),
+            pipeline::QualityMonitor::Verdict::kRegressed);  // .41 in window
+  // ...and once the window holds nothing but the plateau, 0.12 is normal.
+  EXPECT_EQ(monitor.Record(1, 0.12), pipeline::QualityMonitor::Verdict::kOk);
+  EXPECT_DOUBLE_EQ(monitor.TrailingBest(1), 0.12);
+  // Recovery from the plateau is of course fine too.
+  EXPECT_EQ(monitor.Record(1, 0.35), pipeline::QualityMonitor::Verdict::kOk);
 }
 
 TEST(QualityMonitorTest, RetailersIndependent) {
