@@ -1,0 +1,278 @@
+// E21: Overload resilience (DESIGN.md §8). The serving plane's admission
+// control must prevent congestion collapse: as offered load climbs past
+// capacity, goodput (requests completing inside their deadline) must stay
+// near capacity instead of falling toward zero, p99 latency of admitted
+// requests must stay inside the deadline, and shedding must be strictly
+// priority-ordered (health probes shed long before any user-facing
+// request). An unprotected plane (huge static concurrency limit) is run
+// over the same load curve as the collapse baseline, a retry storm is run
+// with and without the client retry budget, and a million-user closed-loop
+// day — diurnal ramp plus a 10× flash crowd — exercises the whole ladder.
+//
+// Everything runs over SimClock: millions of simulated users in seconds
+// of wall time, and same-seed reruns make byte-identical admit/shed
+// decisions (asserted below via LoadGenReport::decision_hash).
+//
+// Results land in BENCH_overload.json. Pass --quick for the CI-sized run.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "serving/loadgen.h"
+
+using namespace sigmund;
+using serving::LoadGenOptions;
+using serving::LoadGenReport;
+using serving::RunLoadGenerator;
+
+namespace {
+
+// The simulated backend: `kServerCapacity` requests at full speed,
+// `kServiceMicros` each → capacity ≈ 8000 requests/second.
+constexpr int kServerCapacity = 16;
+constexpr int64_t kServiceMicros = 2000;
+constexpr int64_t kDeadlineMicros = 50000;
+constexpr double kCapacityRps =
+    1e6 * kServerCapacity / static_cast<double>(kServiceMicros);
+
+LoadGenOptions BaseOptions(double duration_seconds, uint64_t seed) {
+  LoadGenOptions options;
+  options.seed = seed;
+  options.duration_seconds = duration_seconds;
+  options.num_retailers = 500;
+  options.zipf_exponent = 1.1;
+  options.service_micros = kServiceMicros;
+  options.service_jitter_micros = 500;
+  options.server_capacity = kServerCapacity;
+  options.deadline_micros = kDeadlineMicros;
+  // The protected plane: adaptive limiter defending a 20ms target, a
+  // bounded queue with CoDel, probe/canary watermarks at the defaults.
+  options.admission.limiter.target_latency_micros = 20000;
+  options.admission.limiter.initial_limit = 32;
+  options.admission.limiter.max_limit = 2048;
+  // Small on purpose: at capacity-limited drain (~8000/s) a 64-deep queue
+  // adds at most ~8ms of wait, keeping queued-then-served requests well
+  // inside the 50ms deadline. Deeper queues just convert goodput to
+  // deadline sheds.
+  options.admission.queue_capacity = 64;
+  return options;
+}
+
+// Unprotected baseline: a huge static limit, no queue, no watermarks —
+// the pre-admission Frontend, which accepts everything.
+void Unprotect(LoadGenOptions* options) {
+  options->admission.limiter.initial_limit = 1 << 20;
+  options->admission.limiter.min_limit = 1 << 20;
+  options->admission.limiter.max_limit = 1 << 20;
+  options->admission.queue_capacity = 0;
+  options->admission.probe_watermark = 2.0;
+  options->admission.canary_watermark = 2.0;
+}
+
+std::string ReportJson(const LoadGenReport& report) {
+  int64_t shed = 0;
+  for (const serving::LoadGenPriorityStats& stats : report.priorities) {
+    shed += stats.shed;
+  }
+  return StrFormat(
+      "{\"offered_rps\": %.1f, \"goodput_rps\": %.1f, "
+      "\"p50_micros\": %.0f, \"p99_micros\": %.0f, \"shed\": %lld, "
+      "\"completed\": %lld, \"retries_suppressed\": %lld, "
+      "\"final_limit\": %d, \"max_occ_probe_admitted\": %.3f, "
+      "\"min_occ_user_shed\": %.3f, \"decision_hash\": \"%016llx\"}",
+      report.offered_rps, report.goodput_rps, report.p50_latency_micros,
+      report.p99_latency_micros, static_cast<long long>(shed),
+      static_cast<long long>(report.total_completed),
+      static_cast<long long>(report.retries_suppressed),
+      report.final_concurrency_limit, report.max_occupancy_probe_admitted,
+      report.min_occupancy_user_shed,
+      static_cast<unsigned long long>(report.decision_hash));
+}
+
+int64_t UserRetries(const LoadGenReport& report) {
+  return report
+      .priorities[static_cast<int>(serving::RequestPriority::kUserFacing)]
+      .retries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const double duration = quick ? 4.0 : 20.0;
+  const std::vector<double> multipliers = {0.5, 1.0, 2.0, 4.0, 10.0};
+
+  std::string json = "{\n  \"bench\": \"e21_overload\",\n";
+  json += StrFormat("  \"quick\": %s,\n", quick ? "true" : "false");
+  json += StrFormat("  \"theoretical_capacity_rps\": %.0f,\n", kCapacityRps);
+  json += StrFormat("  \"deadline_micros\": %lld,\n",
+                    static_cast<long long>(kDeadlineMicros));
+
+  // --- Goodput-vs-offered-load curve, protected vs unprotected.
+  std::printf("e21_overload: goodput vs offered load (%s run)\n",
+              quick ? "quick" : "full");
+  std::printf("%-6s %12s | %12s %10s | %12s %10s\n", "mult", "offered",
+              "goodput", "p99_ms", "goodput0", "p99_ms0");
+  double measured_capacity = 0.0;
+  LoadGenReport at_10x;
+  std::vector<std::string> curve_json;
+  for (double mult : multipliers) {
+    LoadGenOptions options = BaseOptions(duration, /*seed=*/42);
+    options.open_rps = mult * kCapacityRps;
+    options.probe_rps = 50.0;
+    options.canary_rps = 50.0;
+    const LoadGenReport protected_run = RunLoadGenerator(options);
+
+    LoadGenOptions raw = options;
+    Unprotect(&raw);
+    const LoadGenReport unprotected_run = RunLoadGenerator(raw);
+
+    std::printf("%-6.1f %12.0f | %12.0f %10.1f | %12.0f %10.1f\n", mult,
+                protected_run.offered_rps, protected_run.goodput_rps,
+                protected_run.p99_latency_micros / 1000.0,
+                unprotected_run.goodput_rps,
+                unprotected_run.p99_latency_micros / 1000.0);
+    curve_json.push_back(StrFormat(
+        "    {\"multiplier\": %.1f, \"protected\": %s, \"unprotected\": "
+        "%s}",
+        mult, ReportJson(protected_run).c_str(),
+        ReportJson(unprotected_run).c_str()));
+
+    if (mult == 1.0) measured_capacity = protected_run.goodput_rps;
+    if (mult == 10.0) at_10x = protected_run;
+
+    // No congestion collapse at or past capacity: p99 of completed
+    // (admitted) requests holds inside the deadline.
+    SIGCHECK(protected_run.p99_latency_micros <=
+             static_cast<double>(kDeadlineMicros));
+    // Strict priority ordering whenever both events exist: every probe
+    // admission happened at lower occupancy than the cheapest user shed.
+    if (protected_run.min_occupancy_user_shed <= 1.0) {
+      SIGCHECK(protected_run.max_occupancy_probe_admitted <
+               protected_run.min_occupancy_user_shed);
+    }
+  }
+  json += "  \"curve\": [\n";
+  for (size_t i = 0; i < curve_json.size(); ++i) {
+    json += curve_json[i];
+    json += i + 1 < curve_json.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+
+  // The acceptance bar: goodput at 10× offered load ≥ 85% of measured
+  // capacity (goodput at 1×).
+  SIGCHECK(measured_capacity > 0.0);
+  SIGCHECK(at_10x.goodput_rps >= 0.85 * measured_capacity);
+  std::printf("capacity=%.0f rps, goodput@10x=%.0f rps (%.0f%%)\n",
+              measured_capacity, at_10x.goodput_rps,
+              100.0 * at_10x.goodput_rps / measured_capacity);
+
+  // --- Retry storm: shed-triggered client retries at 2× capacity,
+  // unlimited vs budgeted. The budget invariant: sustained retry volume
+  // <= ratio × fresh request volume (+ the small initial reserve).
+  {
+    LoadGenOptions storm = BaseOptions(duration, /*seed=*/7);
+    storm.open_rps = 2.0 * kCapacityRps;
+    storm.client_retries = 3;
+    storm.retry_backoff_seconds = 0.01;
+    storm.retry_budget_ratio = -1.0;  // unlimited
+    const LoadGenReport unlimited = RunLoadGenerator(storm);
+
+    storm.retry_budget_ratio = 0.1;
+    const LoadGenReport budgeted = RunLoadGenerator(storm);
+
+    const int64_t fresh = budgeted.priorities[static_cast<int>(
+                                                  serving::RequestPriority::
+                                                      kUserFacing)]
+                              .offered;
+    std::printf(
+        "retry storm @2x: unlimited retries=%lld, budgeted retries=%lld "
+        "(suppressed=%lld), budget cap=%.0f\n",
+        static_cast<long long>(UserRetries(unlimited)),
+        static_cast<long long>(UserRetries(budgeted)),
+        static_cast<long long>(budgeted.retries_suppressed),
+        0.1 * static_cast<double>(fresh) + 10.0);
+    SIGCHECK(UserRetries(budgeted) <= UserRetries(unlimited));
+    // Finagle invariant: withdrawals can never exceed deposits + reserve.
+    SIGCHECK(static_cast<double>(UserRetries(budgeted)) <=
+             0.1 * static_cast<double>(fresh) + 10.0 + 1.0);
+    json += StrFormat(
+        "  \"retry_storm\": {\"unlimited\": %s, \"budgeted\": %s},\n",
+        ReportJson(unlimited).c_str(), ReportJson(budgeted).c_str());
+  }
+
+  // --- A million-user day: closed-loop population with think time (the
+  // paper's "heavy traffic from millions of users"), a diurnal ramp on
+  // the open-loop stream, and a 10× flash crowd in the middle.
+  {
+    LoadGenOptions day = BaseOptions(quick ? 6.0 : 30.0, /*seed=*/1234);
+    day.closed_users = quick ? 100000 : 1000000;
+    day.think_seconds = quick ? 30.0 : 180.0;
+    day.open_rps = 0.25 * kCapacityRps;
+    day.diurnal_amplitude = 0.5;
+    day.diurnal_period_seconds = day.duration_seconds;
+    day.flash_at_seconds = day.duration_seconds * 0.4;
+    day.flash_duration_seconds = day.duration_seconds * 0.2;
+    day.flash_factor = 10.0;
+    day.probe_rps = 20.0;
+    day.client_retries = 2;
+    day.retry_backoff_seconds = 0.02;
+    day.retry_budget_ratio = 0.1;
+    const LoadGenReport crowd = RunLoadGenerator(day);
+    const LoadGenReport rerun = RunLoadGenerator(day);
+    std::printf(
+        "million-user day: users=%d offered=%.0f rps goodput=%.0f rps "
+        "p99=%.1fms hash=%016llx\n",
+        day.closed_users, crowd.offered_rps, crowd.goodput_rps,
+        crowd.p99_latency_micros / 1000.0,
+        static_cast<unsigned long long>(crowd.decision_hash));
+    // Determinism: a same-seed rerun replays byte-identical decisions.
+    SIGCHECK(crowd.decision_hash == rerun.decision_hash);
+    SIGCHECK(crowd.total_offered == rerun.total_offered);
+    // The flash crowd must not collapse the day's goodput. Day-average
+    // goodput is bounded by capacity during the flash but by (smaller)
+    // offered load off-peak — the diurnal ramp idles the plane on
+    // purpose — so it lands a bit under both caps even with zero
+    // collapse; 80% of the binding cap is the no-collapse bar here. (The
+    // strict 85%-of-capacity acceptance bar is the 10x curve point
+    // above, where offered load exceeds capacity the whole run.)
+    SIGCHECK(crowd.goodput_rps >=
+             0.8 * std::min(measured_capacity, crowd.offered_rps));
+    // Client-observed latency here includes retry backoffs (a shed, a
+    // wait, a second attempt), which by construction runs right up to the
+    // deadline — so the day's p99 gets a small margin. The strict
+    // p99-within-deadline bar on admitted requests is asserted on the
+    // curve above, where latency is pure queue+service.
+    SIGCHECK(crowd.p99_latency_micros <=
+             1.1 * static_cast<double>(kDeadlineMicros));
+    json += StrFormat("  \"million_user_day\": %s,\n",
+                      ReportJson(crowd).c_str());
+    json += StrFormat(
+        "  \"determinism\": {\"hash\": \"%016llx\", \"rerun_hash\": "
+        "\"%016llx\", \"identical\": true},\n",
+        static_cast<unsigned long long>(crowd.decision_hash),
+        static_cast<unsigned long long>(rerun.decision_hash));
+  }
+
+  json += StrFormat(
+      "  \"acceptance\": {\"measured_capacity_rps\": %.1f, "
+      "\"goodput_at_10x_rps\": %.1f, \"goodput_ratio\": %.3f}\n}\n",
+      measured_capacity, at_10x.goodput_rps,
+      at_10x.goodput_rps / measured_capacity);
+
+  std::FILE* out = std::fopen("BENCH_overload.json", "w");
+  SIGCHECK(out != nullptr);
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_overload.json\n");
+  return 0;
+}

@@ -18,6 +18,11 @@ enum class StatusCode {
   kUnavailable,   // transient failure; retry may succeed (e.g. preemption)
   kDataLoss,
   kInternal,
+  // The serving plane shed this request on purpose (admission control,
+  // rate limit, queue overflow). Distinct from kUnavailable: retrying an
+  // overloaded server amplifies the overload, so shed responses are not
+  // retried by the generic retry loop.
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -68,6 +73,7 @@ Status OutOfRangeError(std::string message);
 Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // A Status or a value of type T. Accessing value() on a non-OK StatusOr
 // aborts the process (there are no exceptions to throw).

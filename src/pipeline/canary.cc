@@ -95,13 +95,41 @@ CanaryController::Outcome CanaryController::Evaluate(
             ? static_cast<data::ItemIndex>(rng.Uniform(data.num_items()))
             : history[rng.Uniform(history.size())].item;
     const core::Context context{{context_item, data::ActionType::kView}};
-    StatusOr<std::vector<core::ScoredItem>> list =
-        store.ServeContextAtVersion(retailer, context,
-                                    canary_arm ? canary_version : 0);
     std::vector<data::ItemIndex> ranked;
-    if (list.ok()) {
-      ranked.reserve(list->size());
-      for (const core::ScoredItem& item : *list) ranked.push_back(item.item);
+    if (options_.serve_hook) {
+      // Serving-plane path: impressions the plane shed or answered from a
+      // fallback say nothing about the staged batch — exclude them from
+      // both arms so overload cannot masquerade as a bad canary.
+      CanaryServe served = options_.serve_hook(
+          retailer, context, canary_arm ? canary_version : 0);
+      const bool shed =
+          served.status.code() == StatusCode::kResourceExhausted;
+      if (shed || (served.status.ok() && served.degraded)) {
+        ++outcome.ignored_samples;
+        if (metrics_ != nullptr) {
+          metrics_
+              ->GetCounter("canary_samples_ignored_total",
+                           {{"reason", shed ? "shed" : "degraded"}})
+              ->Add(1);
+        }
+        continue;
+      }
+      if (served.status.ok()) {
+        ranked.reserve(served.items.size());
+        for (const core::ScoredItem& item : served.items) {
+          ranked.push_back(item.item);
+        }
+      }
+    } else {
+      StatusOr<std::vector<core::ScoredItem>> list =
+          store.ServeContextAtVersion(retailer, context,
+                                      canary_arm ? canary_version : 0);
+      if (list.ok()) {
+        ranked.reserve(list->size());
+        for (const core::ScoredItem& item : *list) {
+          ranked.push_back(item.item);
+        }
+      }
     }
     const bool clicked =
         !ranked.empty() &&
@@ -136,8 +164,14 @@ CanaryController::Outcome CanaryController::Evaluate(
 
   if (!decided) {
     // Final call: too little control signal passes (tiny retailers bounce
-    // around zero clicks); otherwise the canary must hold its CTR.
-    if (outcome.control_clicks < options_.min_clicks) {
+    // around zero clicks); otherwise the canary must hold its CTR. An
+    // empty canary arm also passes: when every canary sample was excluded
+    // (the whole plane shed or fell back, e.g. during a load spike) there
+    // is no signal about the batch at all, and rolling back on a measured
+    // CTR of 0/0 would be exactly the spurious-overload-rollback this
+    // exclusion exists to prevent.
+    if (outcome.control_clicks < options_.min_clicks ||
+        outcome.canary_impressions == 0) {
       outcome.verdict = Verdict::kPromoted;
     } else {
       outcome.verdict = outcome.CanaryCtr() >=

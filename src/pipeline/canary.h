@@ -30,6 +30,17 @@ namespace sigmund::pipeline {
 // produce byte-identical verdicts.
 class CanaryController {
  public:
+  // What one canary impression was served, when routed through a serving
+  // path that can shed or degrade (the Frontend). `status` with
+  // kResourceExhausted = the request was shed by admission control;
+  // `degraded` = the items came from a fallback (last-known-good,
+  // popularity, brownout), not the batch under evaluation.
+  struct CanaryServe {
+    Status status;
+    std::vector<core::ScoredItem> items;
+    bool degraded = false;
+  };
+
   struct Options {
     // Master switch; off = every staged batch promotes unexamined (the
     // pre-canary behavior).
@@ -55,6 +66,19 @@ class CanaryController {
     // generated the data; used only for evaluation, never training).
     // Returning null skips the canary for that retailer.
     std::function<const data::GroundTruthModel*(data::RetailerId)> oracle;
+    // Optional serve hook routing canary impressions through the full
+    // serving plane (admission control + degradation ladder) instead of
+    // straight off the store. `version` is the canary version for the
+    // canary arm, 0 (active) for control. Shed (kResourceExhausted) and
+    // degraded serves are EXCLUDED from both arms — an overloaded plane
+    // sheds or falls back regardless of which batch is staged, so letting
+    // those samples count as "impression, no click" would tank canary CTR
+    // and auto-roll-back perfectly good batches during load spikes.
+    // Excluded samples are counted in
+    // canary_samples_ignored_total{reason=shed|degraded}.
+    std::function<CanaryServe(data::RetailerId, const core::Context&,
+                              int64_t version)>
+        serve_hook;
   };
 
   enum class Verdict {
@@ -70,6 +94,9 @@ class CanaryController {
     int canary_clicks = 0;
     int control_clicks = 0;
     bool early_stopped = false;
+    // Impressions excluded from both arms because the serving plane shed
+    // or degraded them (only nonzero when a serve_hook is installed).
+    int ignored_samples = 0;
 
     double CanaryCtr() const {
       return canary_impressions > 0

@@ -74,6 +74,14 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(replica_cutovers_skipped),
       static_cast<long long>(replica_failovers),
       static_cast<long long>(hedged_reads));
+  out += StrFormat(
+      "\n  overload: shed=%lld brownouts=%lld hedges_suppressed=%lld "
+      "retry_budget_exhausted=%lld canary_ignored=%lld",
+      static_cast<long long>(requests_shed),
+      static_cast<long long>(brownout_serves),
+      static_cast<long long>(hedges_suppressed),
+      static_cast<long long>(retry_budget_exhausted),
+      static_cast<long long>(canary_samples_ignored));
   return out;
 }
 
@@ -430,6 +438,15 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       after.CounterValue("serving_replica_failovers_total", none);
   report.hedged_reads =
       after.CounterValue("serving_hedged_reads_total", none);
+  report.requests_shed = after.CounterValue("serving_shed_total", none);
+  report.brownout_serves =
+      after.CounterValue("serving_brownout_total", none);
+  report.hedges_suppressed =
+      after.CounterValue("serving_hedges_suppressed_total", none);
+  report.retry_budget_exhausted =
+      after.CounterValue("serving_retry_budget_exhausted_total", none);
+  report.canary_samples_ignored =
+      delta("canary_samples_ignored_total", none);
 
   // --- Machine-readable run profile: this run's span tree + the full
   // metrics snapshot.

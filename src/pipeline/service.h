@@ -72,6 +72,17 @@ struct DailyReport {
   int64_t fallbacks_served = 0;
   int64_t replica_failovers = 0;
   int64_t hedged_reads = 0;
+  // Overload plane (DESIGN.md §8), cumulative like the rest of serving
+  // health: requests shed by admission control, responses served under a
+  // brownout rung, hedges suppressed by the hedge budget, and client
+  // retries blocked by the retry budget.
+  int64_t requests_shed = 0;
+  int64_t brownout_serves = 0;
+  int64_t hedges_suppressed = 0;
+  int64_t retry_budget_exhausted = 0;
+  // Canary impressions excluded because the serving plane shed or
+  // degraded them (per-run delta; see CanaryController::Options).
+  int64_t canary_samples_ignored = 0;
   // Safe-rollout ladder, this run: canary verdicts on staged batches and
   // staggered follower cutovers completed/skipped (per-run deltas).
   int64_t canary_promotions = 0;

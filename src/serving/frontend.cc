@@ -1,9 +1,11 @@
 #include "serving/frontend.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace sigmund::serving {
 
@@ -15,6 +17,8 @@ const char* ServingSourceName(ServingSource source) {
       return "last_known_good";
     case ServingSource::kPopularity:
       return "popularity";
+    case ServingSource::kBrownoutLastKnownGood:
+      return "brownout_last_known_good";
   }
   return "unknown";
 }
@@ -35,23 +39,67 @@ Frontend::Frontend(const ServingReader* store,
           metrics != nullptr
               ? metrics->GetCounter("serving_deadline_exceeded_total")
               : nullptr),
+      overrun_micros_(
+          metrics != nullptr
+              ? metrics->GetHistogram("serving_deadline_overrun_micros")
+              : nullptr),
       breaker_trips_(metrics != nullptr
                          ? metrics->GetCounter("serving_breaker_trips_total")
                          : nullptr),
       breaker_short_circuits_(
           metrics != nullptr
               ? metrics->GetCounter("serving_breaker_short_circuits_total")
-              : nullptr) {}
+              : nullptr),
+      state_evictions_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_state_evictions_total")
+              : nullptr),
+      state_entries_(metrics != nullptr
+                         ? metrics->GetGauge("serving_state_entries")
+                         : nullptr),
+      client_retries_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_client_retries_total")
+              : nullptr),
+      retry_budget_exhausted_(
+          metrics != nullptr
+              ? metrics->GetCounter("serving_retry_budget_exhausted_total")
+              : nullptr),
+      retry_budget_tokens_(options.retry_budget) {}
 
 Frontend::Frontend(const ServingReader* store,
                    const core::ScoreCalibrator* calibrator,
                    obs::MetricRegistry* metrics, const Clock* clock)
     : Frontend(store, calibrator, metrics, clock, Options()) {}
 
+Frontend::RetailerState& Frontend::TouchLocked(
+    data::RetailerId retailer) const {
+  auto [it, inserted] = state_.try_emplace(retailer);
+  if (inserted) {
+    lru_.push_front(retailer);
+    it->second.lru_it = lru_.begin();
+  } else if (it->second.lru_it != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  if (options_.max_retailer_states > 0 &&
+      static_cast<int>(state_.size()) > options_.max_retailer_states) {
+    // The just-touched entry sits at the LRU front, so the victim is
+    // always some other retailer — the one coldest for the longest.
+    const data::RetailerId victim = lru_.back();
+    lru_.pop_back();
+    state_.erase(victim);
+    if (state_evictions_ != nullptr) state_evictions_->Add(1);
+  }
+  if (state_entries_ != nullptr) {
+    state_entries_->Set(static_cast<double>(state_.size()));
+  }
+  return it->second;
+}
+
 void Frontend::SetPopularityFallback(data::RetailerId retailer,
                                      std::vector<core::ScoredItem> items) {
   std::lock_guard<std::mutex> lock(mu_);
-  RetailerState& state = state_[retailer];
+  RetailerState& state = TouchLocked(retailer);
   state.popularity = std::move(items);
   state.has_popularity = true;
 }
@@ -61,6 +109,11 @@ bool Frontend::BreakerOpen(data::RetailerId retailer) const {
   auto it = state_.find(retailer);
   return it != state_.end() && it->second.breaker_open &&
          clock_->NowSeconds() < it->second.open_until_seconds;
+}
+
+int Frontend::NumRetailerStates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(state_.size());
 }
 
 StatusOr<RecommendationResponse> Frontend::Handle(
@@ -73,14 +126,25 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   // healthy or degraded — is attributable to a concrete snapshot.
   int64_t batch_version =
       store_ != nullptr ? store_->RetailerVersion(request.retailer) : 0;
-  // Records the request outcome + latency on every return path.
+  bool admitted = false;
+  // Records the request outcome + latency on every return path, and gives
+  // the admission slot back with the observed latency so the concurrency
+  // limiter learns from every admitted request.
   auto finish = [&](StatusOr<RecommendationResponse> result) {
+    const int64_t latency = clock_->NowMicros() - start_micros;
+    if (admitted && options_.admission != nullptr) {
+      options_.admission->Release(latency);
+    }
     if (metrics_ != nullptr) {
-      request_micros_->Observe(
-          static_cast<double>(clock_->NowMicros() - start_micros));
+      request_micros_->Observe(static_cast<double>(latency));
+      const char* outcome =
+          result.ok() ? "ok"
+          : result.status().code() == StatusCode::kResourceExhausted
+              ? "shed"
+              : "error";
       metrics_
           ->GetCounter("serving_requests_total",
-                       {{"outcome", result.ok() ? "ok" : "error"},
+                       {{"outcome", outcome},
                         {"version", std::to_string(batch_version)}})
           ->Add(1);
     }
@@ -93,6 +157,24 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     return finish(InvalidArgumentError("max_results must be positive"));
   }
 
+  // Admission: shed requests return kResourceExhausted without touching
+  // the store (or the per-retailer breaker/fallback state). The Frontend
+  // is synchronous, so a request is admitted or shed — never queued.
+  const int64_t deadline_micros =
+      options_.request_deadline_micros > 0
+          ? start_micros + options_.request_deadline_micros
+          : 0;
+  if (options_.admission != nullptr) {
+    const AdmissionController::Admission admission =
+        options_.admission->Offer(request.retailer, request.priority,
+                                  deadline_micros, /*may_queue=*/false);
+    if (admission.outcome != AdmissionController::Outcome::kAdmitted) {
+      return finish(ResourceExhaustedError(
+          std::string("request shed: ") + ShedReasonName(admission.reason)));
+    }
+    admitted = true;
+  }
+
   RecommendationResponse response;
   const core::ContextEntry& latest = request.context.back();
   response.post_purchase =
@@ -101,6 +183,33 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   response.funnel =
       core::ClassifyFunnelStage(request.context, /*catalog=*/nullptr, {});
 
+  // Brownout ladder: under sustained limiter pressure the response gets
+  // cheaper before anything sheds — fewer results (rung 1), no calibration
+  // thresholding (rung 2), last-known-good without a store call (rung 3).
+  int rung = 0;
+  if (options_.admission != nullptr) {
+    const double pressure = options_.admission->Pressure();
+    if (pressure >= options_.brownout_serve_lkg_pressure) {
+      rung = 3;
+    } else if (pressure >= options_.brownout_skip_threshold_pressure) {
+      rung = 2;
+    } else if (pressure >= options_.brownout_shrink_pressure) {
+      rung = 1;
+    }
+  }
+  response.brownout_rung = rung;
+  if (rung > 0 && metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("serving_brownout_total",
+                     {{"rung", std::to_string(rung)}})
+        ->Add(1);
+  }
+  const int effective_max =
+      rung >= 1 ? std::max(1, std::min(request.max_results,
+                                       options_.brownout_max_results))
+                : request.max_results;
+  const bool apply_threshold = rung < 2;
+
   // Applies display thresholding + truncation and finishes the request.
   auto deliver = [&](const std::vector<core::ScoredItem>& list,
                      ServingSource source) {
@@ -108,10 +217,11 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     response.degraded = source != ServingSource::kStore;
     response.batch_version = batch_version;
     for (const core::ScoredItem& item : list) {
-      if (static_cast<int>(response.items.size()) >= request.max_results) {
+      if (static_cast<int>(response.items.size()) >= effective_max) {
         break;
       }
-      if (calibrator_ != nullptr && request.display_threshold > 0.0 &&
+      if (apply_threshold && calibrator_ != nullptr &&
+          request.display_threshold > 0.0 &&
           !calibrator_->ShouldDisplay(item.score,
                                       request.display_threshold)) {
         ++response.suppressed_by_threshold;
@@ -135,7 +245,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   };
   auto fall_back = [&](const Status& error) {
     std::lock_guard<std::mutex> lock(mu_);
-    RetailerState& state = state_[request.retailer];
+    RetailerState& state = TouchLocked(request.retailer);
     if (options_.fallback_to_last_known_good && state.has_last_known_good) {
       // The replayed list belongs to the snapshot it was cached from, not
       // to whatever the store considers active now.
@@ -151,13 +261,28 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     return finish(StatusOr<RecommendationResponse>(error));
   };
 
+  // Brownout rung 3: the plane is saturated, so answer from the cached
+  // last-known-good list without spending a store lookup — the cheapest
+  // response that is still this retailer's own ranking. Retailers with no
+  // cached list yet fall through to the normal path.
+  if (rung >= 3 && options_.fallback_to_last_known_good) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RetailerState& state = TouchLocked(request.retailer);
+    if (state.has_last_known_good) {
+      batch_version = state.last_known_good_version;
+      count_fallback("brownout_last_known_good");
+      return deliver(state.last_known_good,
+                     ServingSource::kBrownoutLastKnownGood);
+    }
+  }
+
   // Circuit breaker: while open, don't even touch the store. Once the
   // cooldown passes, let this request through as the half-open probe.
   const bool breaker_enabled = options_.breaker_failure_threshold > 0;
   bool short_circuited = false;
   if (breaker_enabled) {
     std::lock_guard<std::mutex> lock(mu_);
-    RetailerState& state = state_[request.retailer];
+    RetailerState& state = TouchLocked(request.retailer);
     if (state.breaker_open &&
         clock_->NowSeconds() < state.open_until_seconds) {
       if (breaker_short_circuits_ != nullptr) {
@@ -172,22 +297,49 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     return fall_back(UnavailableError("circuit breaker open"));
   }
 
-  StatusOr<std::vector<core::ScoredItem>> list =
-      lookup_ != nullptr
-          ? lookup_(request.retailer, request.context)
-          : store_->ServeContext(request.retailer, request.context);
+  auto do_lookup = [&]() {
+    return lookup_ != nullptr
+               ? lookup_(request.retailer, request.context)
+               : store_->ServeContext(request.retailer, request.context);
+  };
+  if (options_.store_retries > 0) retry_budget_tokens_.RecordRequest();
+  StatusOr<std::vector<core::ScoredItem>> list = do_lookup();
+  // Budgeted client retries: each attempt must withdraw a token banked by
+  // real request volume, so a failing store sees at most
+  // (1 + retry_budget.ratio) × offered load — retries can never become a
+  // storm that finishes the backend off. Shed responses
+  // (kResourceExhausted) are deliberately not retryable.
+  for (int attempt = 0;
+       attempt < options_.store_retries && !list.ok() &&
+       IsRetryableError(list.status());
+       ++attempt) {
+    if (!retry_budget_tokens_.TryWithdraw()) {
+      if (retry_budget_exhausted_ != nullptr) retry_budget_exhausted_->Add(1);
+      break;
+    }
+    if (client_retries_ != nullptr) client_retries_->Add(1);
+    list = do_lookup();
+  }
 
   // Deadline: a lookup that finished too late is as bad as one that
-  // failed — the client has already given up.
-  if (list.ok() && options_.request_deadline_micros > 0 &&
-      clock_->NowMicros() - start_micros > options_.request_deadline_micros) {
-    if (deadline_exceeded_ != nullptr) deadline_exceeded_->Add(1);
-    list = UnavailableError("request deadline exceeded");
+  // failed — the client has already given up. The overrun size feeds a
+  // histogram so tail blowups are visible, not just counted.
+  if (list.ok() && options_.request_deadline_micros > 0) {
+    const int64_t elapsed = clock_->NowMicros() - start_micros;
+    if (elapsed > options_.request_deadline_micros) {
+      if (deadline_exceeded_ != nullptr) deadline_exceeded_->Add(1);
+      response.overrun_micros = elapsed - options_.request_deadline_micros;
+      if (overrun_micros_ != nullptr) {
+        overrun_micros_->Observe(
+            static_cast<double>(response.overrun_micros));
+      }
+      list = UnavailableError("request deadline exceeded");
+    }
   }
 
   if (list.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
-    RetailerState& state = state_[request.retailer];
+    RetailerState& state = TouchLocked(request.retailer);
     state.consecutive_failures = 0;
     state.breaker_open = false;
     if (options_.fallback_to_last_known_good) {
@@ -201,7 +353,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   // Store failure: advance the breaker, then descend the ladder.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    RetailerState& state = state_[request.retailer];
+    RetailerState& state = TouchLocked(request.retailer);
     ++state.consecutive_failures;
     if (breaker_enabled &&
         state.consecutive_failures >= options_.breaker_failure_threshold) {

@@ -2,6 +2,7 @@
 #define SIGMUND_SERVING_FRONTEND_H_
 
 #include <functional>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 #include "common/metrics.h"
 #include "core/calibration.h"
 #include "core/funnel.h"
+#include "serving/admission.h"
 #include "serving/store.h"
 
 namespace sigmund::serving {
@@ -24,6 +26,9 @@ struct RecommendationRequest {
   // Minimum calibrated click probability to display a recommendation
   // (§VII future work); <= 0 disables thresholding (always show top-K).
   double display_threshold = 0.0;
+  // Priority class for admission control: under overload the lowest class
+  // is shed first (user-facing > canary > health-probe).
+  RequestPriority priority = RequestPriority::kUserFacing;
 };
 
 // Where the served list came from — the store itself, or a rung of the
@@ -32,6 +37,9 @@ enum class ServingSource {
   kStore,           // healthy path
   kLastKnownGood,   // store failed; replayed this retailer's last good list
   kPopularity,      // no last-known-good either; static popularity list
+  // Brownout rung 3: the store is healthy but the plane is saturated, so
+  // the cached last-known-good list is served without a store call.
+  kBrownoutLastKnownGood,
 };
 
 const char* ServingSourceName(ServingSource source);
@@ -52,6 +60,14 @@ struct RecommendationResponse {
   // no snapshot). Makes every degraded/fallback/canary serve attributable
   // to a concrete snapshot in logs and RunProfile.
   int64_t batch_version = 0;
+  // Brownout ladder rung this response was served under (0 = healthy;
+  // 1 = max_results shrunk; 2 = calibration thresholding skipped too;
+  // 3 = answered from last-known-good without touching the store).
+  int brownout_rung = 0;
+  // When the store lookup finished past the request deadline: how late it
+  // was, in micros (0 otherwise). Lets brownout triggers key on the size
+  // of tail overruns rather than just failure counts.
+  int64_t overrun_micros = 0;
 };
 
 // The request path in front of the store: picks the right materialized
@@ -65,8 +81,20 @@ struct RecommendationResponse {
 // pass, then lets one probe through (half-open); failed or
 // short-circuited requests fall back to the retailer's last successfully
 // served list, then to a static popularity list, before giving up and
-// returning the error. Thread-safe; the fallback cache and breaker state
-// are internally synchronized.
+// returning the error.
+//
+// Overload robustness (DESIGN.md §8): when an AdmissionController is
+// wired in, every request passes admission first — shed requests return
+// kResourceExhausted without touching the store — and the controller's
+// sustained-pressure signal drives a brownout ladder that degrades
+// response quality in rungs (shrink max_results, skip calibration
+// thresholding, answer from last-known-good) before anything sheds.
+// Transient store failures may be retried, but only inside a
+// Finagle-style retry budget so retries can never multiply offered load.
+//
+// Thread-safe; the fallback cache and breaker state are internally
+// synchronized, and the per-retailer state map is LRU-bounded by
+// `max_retailer_states` so serving 100k retailers cannot leak memory.
 class Frontend {
  public:
   struct Options {
@@ -81,6 +109,32 @@ class Frontend {
     // Cache each retailer's last successful list and serve it when the
     // store fails or the breaker is open.
     bool fallback_to_last_known_good = true;
+
+    // LRU cap on per-retailer state entries (breaker + fallback cache);
+    // 0 = unbounded (legacy). Evictions are counted in
+    // serving_state_evictions_total; the live size is the
+    // serving_state_entries gauge.
+    int max_retailer_states = 0;
+
+    // Admission control (borrowed; null = accept everything, the legacy
+    // behavior). Shed requests return kResourceExhausted and are counted
+    // by reason/priority in serving_shed_total.
+    AdmissionController* admission = nullptr;
+
+    // Brownout ladder: rung thresholds on the controller's sustained
+    // pressure signal (EWMA occupancy in [0, 1]). Rungs only engage when
+    // `admission` is wired.
+    double brownout_shrink_pressure = 0.85;      // rung 1
+    double brownout_skip_threshold_pressure = 0.92;  // rung 2
+    double brownout_serve_lkg_pressure = 0.97;   // rung 3
+    // Rung >= 1 caps max_results at this.
+    int brownout_max_results = 3;
+
+    // Client retries of transient store failures per request; 0 = none.
+    // Every retry must withdraw from `retry_budget`, so sustained retry
+    // volume is capped at a fraction of real request volume.
+    int store_retries = 0;
+    RetryBudget::Options retry_budget;
   };
 
   // Test seam: replaces the store lookup (so tests can inject errors,
@@ -93,11 +147,11 @@ class Frontend {
   // `calibrator` may be nullptr (no thresholding). `metrics` (borrowed,
   // may be nullptr) turns on request observability: every Handle()
   // records a serving_request_micros latency sample and bumps
-  // serving_requests_total{outcome=ok|error, version=...} (version = the
-  // serving batch version the request was answered from), plus the
-  // breaker/fallback counters described in Options. `clock` is the time
-  // source for latency, deadlines and breaker cooldowns (nullptr =
-  // RealClock).
+  // serving_requests_total{outcome=ok|shed|error, version=...} (version =
+  // the serving batch version the request was answered from), plus the
+  // breaker/fallback/admission counters described in Options. `clock` is
+  // the time source for latency, deadlines and breaker cooldowns
+  // (nullptr = RealClock).
   Frontend(const ServingReader* store,
            const core::ScoreCalibrator* calibrator,
            obs::MetricRegistry* metrics, const Clock* clock,
@@ -125,6 +179,9 @@ class Frontend {
   // short-circuited to fallbacks).
   bool BreakerOpen(data::RetailerId retailer) const;
 
+  // Live per-retailer state entries (breaker + fallback cache).
+  int NumRetailerStates() const;
+
  private:
   // Per-retailer serving health: breaker state + fallback cache.
   struct RetailerState {
@@ -137,7 +194,13 @@ class Frontend {
     int64_t last_known_good_version = 0;
     bool has_popularity = false;
     std::vector<core::ScoredItem> popularity;
+    // Position in the LRU list (most-recent at front).
+    std::list<data::RetailerId>::iterator lru_it;
   };
+
+  // Finds-or-creates `retailer`'s state, marks it most-recently-used, and
+  // LRU-evicts past the cap. Caller holds mu_.
+  RetailerState& TouchLocked(data::RetailerId retailer) const;
 
   const ServingReader* store_;
   const core::ScoreCalibrator* calibrator_;
@@ -147,11 +210,18 @@ class Frontend {
   obs::MetricRegistry* metrics_;      // null when metrics are off
   obs::Histogram* request_micros_;    // null when metrics are off
   obs::Counter* deadline_exceeded_;
+  obs::Histogram* overrun_micros_;
   obs::Counter* breaker_trips_;
   obs::Counter* breaker_short_circuits_;
+  obs::Counter* state_evictions_;
+  obs::Gauge* state_entries_;
+  obs::Counter* client_retries_;
+  obs::Counter* retry_budget_exhausted_;
+  mutable RetryBudget retry_budget_tokens_;
 
   mutable std::mutex mu_;
   mutable std::map<data::RetailerId, RetailerState> state_;
+  mutable std::list<data::RetailerId> lru_;  // front = most recent
 };
 
 }  // namespace sigmund::serving

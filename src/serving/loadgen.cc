@@ -1,0 +1,405 @@
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace sigmund::serving {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+enum EventKind : int {
+  kOpenArrival = 0,
+  kProbeArrival = 1,
+  kCanaryArrival = 2,
+  kClosedArrival = 3,
+  kCompletion = 4,  // payload = request index
+  kRetry = 5,       // payload = request index
+};
+
+struct Event {
+  int64_t time = 0;
+  uint64_t seq = 0;  // tie-break so simultaneous events stay FIFO
+  int kind = 0;
+  int64_t payload = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct Request {
+  RequestPriority priority = RequestPriority::kUserFacing;
+  data::RetailerId retailer = 0;
+  int64_t arrival_micros = 0;
+  int64_t service_start_micros = 0;  // when it was admitted into a slot
+  int64_t deadline_micros = 0;       // absolute; 0 = none
+  int attempt = 0;
+  bool closed_loop = false;
+};
+
+class Sim {
+ public:
+  Sim(const LoadGenOptions& options, obs::MetricRegistry* metrics)
+      : options_(options),
+        rng_(SplitMix64(options.seed ^ 0x5EEDF00DULL)),
+        controller_(options.admission, metrics, &clock_),
+        end_micros_(
+            static_cast<int64_t>(options.duration_seconds * 1e6)) {
+    hash_ = kFnvOffset;
+    // Zipf cumulative weights over retailers.
+    const int n = std::max(1, options_.num_retailers);
+    zipf_cdf_.resize(n);
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1),
+                              options_.zipf_exponent);
+      zipf_cdf_[r] = total;
+    }
+    for (int r = 0; r < n; ++r) zipf_cdf_[r] /= total;
+    if (options_.retry_budget_ratio >= 0.0) {
+      RetryBudget::Options budget;
+      budget.ratio = options_.retry_budget_ratio;
+      retry_budget_ = std::make_unique<RetryBudget>(budget);
+    }
+  }
+
+  LoadGenReport Run() {
+    // Prime the arrival streams. Closed users start staggered across one
+    // think interval, so a million users don't arrive on the same micro.
+    if (options_.open_rps > 0.0) {
+      Schedule(NextArrivalGap(OpenRate(0)), kOpenArrival, 0);
+    }
+    if (options_.probe_rps > 0.0) {
+      Schedule(NextArrivalGap(options_.probe_rps), kProbeArrival, 0);
+    }
+    if (options_.canary_rps > 0.0) {
+      Schedule(NextArrivalGap(options_.canary_rps), kCanaryArrival, 0);
+    }
+    const int64_t think_micros =
+        static_cast<int64_t>(options_.think_seconds * 1e6);
+    for (int u = 0; u < options_.closed_users; ++u) {
+      Schedule(rng_.Uniform(static_cast<uint64_t>(
+                   std::max<int64_t>(1, think_micros))),
+               kClosedArrival, u);
+    }
+
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      clock_.SetMicros(event.time);
+      Dispatch(event);
+    }
+    return Finish();
+  }
+
+ private:
+  LoadGenPriorityStats& Stats(RequestPriority priority) {
+    return report_.priorities[static_cast<int>(priority)];
+  }
+
+  void Mix(uint64_t v) {
+    hash_ ^= v;
+    hash_ *= kFnvPrime;
+  }
+
+  void Schedule(int64_t time, int kind, int64_t payload) {
+    events_.push(Event{time, next_seq_++, kind, payload});
+  }
+
+  // Exponential inter-arrival gap for a Poisson stream at `rate`/sec.
+  int64_t NextArrivalGap(double rate) {
+    if (rate <= 0.0) return end_micros_ + 1;
+    const double u = rng_.UniformDouble();
+    const double gap_seconds = -std::log(1.0 - u) / rate;
+    return std::max<int64_t>(1, static_cast<int64_t>(gap_seconds * 1e6));
+  }
+
+  double OpenRate(int64_t now) const {
+    const double t = static_cast<double>(now) * 1e-6;
+    double rate = options_.open_rps;
+    if (options_.diurnal_amplitude != 0.0 &&
+        options_.diurnal_period_seconds > 0.0) {
+      rate *= 1.0 + options_.diurnal_amplitude *
+                        std::sin(2.0 * M_PI * t /
+                                 options_.diurnal_period_seconds);
+    }
+    if (options_.flash_at_seconds >= 0.0 &&
+        t >= options_.flash_at_seconds &&
+        t < options_.flash_at_seconds + options_.flash_duration_seconds) {
+      rate *= options_.flash_factor;
+    }
+    return std::max(0.0, rate);
+  }
+
+  data::RetailerId ZipfRetailer() {
+    const double u = rng_.UniformDouble();
+    const auto it =
+        std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<data::RetailerId>(
+        std::min<size_t>(it - zipf_cdf_.begin(), zipf_cdf_.size() - 1));
+  }
+
+  size_t MakeRequest(RequestPriority priority, int64_t now,
+                     bool closed_loop) {
+    Request request;
+    request.priority = priority;
+    request.retailer = ZipfRetailer();
+    request.arrival_micros = now;
+    request.deadline_micros =
+        options_.deadline_micros > 0 ? now + options_.deadline_micros : 0;
+    request.closed_loop = closed_loop;
+    requests_.push_back(request);
+    ++Stats(priority).offered;
+    ++report_.total_offered;
+    if (priority == RequestPriority::kUserFacing &&
+        retry_budget_ != nullptr) {
+      retry_budget_->RecordRequest();
+    }
+    return requests_.size() - 1;
+  }
+
+  int64_t ServiceMicros() {
+    int64_t base = options_.service_micros;
+    if (options_.service_jitter_micros > 0) {
+      base += static_cast<int64_t>(rng_.Uniform(
+          static_cast<uint64_t>(options_.service_jitter_micros + 1)));
+    }
+    // Past server capacity each in-flight request gets a fractional share
+    // of the machine: this is the mechanism congestion collapse rides on.
+    const double load =
+        static_cast<double>(controller_.in_flight()) /
+        static_cast<double>(std::max(1, options_.server_capacity));
+    return static_cast<int64_t>(static_cast<double>(base) *
+                                std::max(1.0, load));
+  }
+
+  void StartService(size_t index, int64_t now) {
+    ++Stats(requests_[index].priority).admitted;
+    requests_[index].service_start_micros = now;
+    Schedule(now + ServiceMicros(), kCompletion,
+             static_cast<int64_t>(index));
+  }
+
+  void HandleShed(size_t index, double occupancy, int64_t now,
+                  ShedReason reason) {
+    Request& request = requests_[index];
+    ++Stats(request.priority).shed;
+    ++report_.shed_by_reason[ShedReasonName(reason)];
+    Mix(static_cast<uint64_t>(now));
+    Mix(0xDEAD5EEDULL ^ static_cast<uint64_t>(reason));
+    if (request.priority == RequestPriority::kUserFacing &&
+        (reason == ShedReason::kWatermark ||
+         reason == ShedReason::kQueueFull)) {
+      report_.min_occupancy_user_shed =
+          std::min(report_.min_occupancy_user_shed, occupancy);
+    }
+    // Client retry on shed (user-facing only): the retry-storm ingredient.
+    if (request.priority == RequestPriority::kUserFacing &&
+        request.attempt < options_.client_retries && now < end_micros_ &&
+        (request.deadline_micros == 0 || now < request.deadline_micros)) {
+      if (retry_budget_ != nullptr && !retry_budget_->TryWithdraw()) {
+        ++report_.retries_suppressed;
+      } else {
+        const int64_t backoff = static_cast<int64_t>(
+            options_.retry_backoff_seconds * 1e6);
+        Schedule(now + std::max<int64_t>(1, backoff), kRetry,
+                 static_cast<int64_t>(index));
+        return;  // the user is still waiting, not thinking
+      }
+    }
+    FinishClosedLoop(index, now);
+  }
+
+  // A closed-loop user whose request reached a terminal state thinks,
+  // then issues the next one.
+  void FinishClosedLoop(size_t index, int64_t now) {
+    if (!requests_[index].closed_loop || now >= end_micros_) return;
+    const int64_t think = NextArrivalGap(
+        options_.think_seconds > 0.0 ? 1.0 / options_.think_seconds : 0.0);
+    Schedule(now + think, kClosedArrival, 0);
+  }
+
+  void OfferRequest(size_t index, int64_t now) {
+    Request& request = requests_[index];
+    const double occupancy = controller_.Occupancy();
+    const AdmissionController::Admission admission = controller_.Offer(
+        request.retailer, request.priority, request.deadline_micros,
+        /*may_queue=*/true);
+    Mix(static_cast<uint64_t>(now));
+    Mix((static_cast<uint64_t>(request.priority) << 8) |
+        static_cast<uint64_t>(admission.outcome));
+    switch (admission.outcome) {
+      case AdmissionController::Outcome::kAdmitted:
+        if (request.priority == RequestPriority::kHealthProbe) {
+          report_.max_occupancy_probe_admitted =
+              std::max(report_.max_occupancy_probe_admitted, occupancy);
+        }
+        StartService(index, now);
+        return;
+      case AdmissionController::Outcome::kQueued:
+        queued_[admission.id] = index;
+        return;
+      case AdmissionController::Outcome::kShed:
+        HandleShed(index, occupancy, now, admission.reason);
+        return;
+    }
+  }
+
+  void ProcessDrained(const AdmissionController::Drained& drained,
+                      int64_t now) {
+    for (const AdmissionController::Ticket& ticket : drained.admitted) {
+      auto it = queued_.find(ticket.id);
+      SIGCHECK(it != queued_.end());
+      const size_t index = it->second;
+      queued_.erase(it);
+      if (requests_[index].priority == RequestPriority::kHealthProbe) {
+        report_.max_occupancy_probe_admitted =
+            std::max(report_.max_occupancy_probe_admitted,
+                     controller_.Occupancy());
+      }
+      StartService(index, now);
+    }
+    for (const AdmissionController::Ticket& ticket : drained.shed) {
+      auto it = queued_.find(ticket.id);
+      SIGCHECK(it != queued_.end());
+      const size_t index = it->second;
+      queued_.erase(it);
+      HandleShed(index, controller_.Occupancy(), now, ticket.shed_reason);
+    }
+  }
+
+  void Complete(size_t index, int64_t now) {
+    Request& request = requests_[index];
+    const int64_t latency = now - request.arrival_micros;
+    LoadGenPriorityStats& stats = Stats(request.priority);
+    ++stats.completed;
+    ++report_.total_completed;
+    const bool good =
+        request.deadline_micros == 0 || now <= request.deadline_micros;
+    if (good) {
+      ++stats.good;
+    } else {
+      ++stats.late;
+    }
+    latencies_.push_back(latency);
+    Mix(static_cast<uint64_t>(now));
+    Mix(0xC0FFEEULL ^ static_cast<uint64_t>(latency));
+    // The limiter learns from SERVICE latency only; the end-to-end
+    // latency above (which includes queue wait) is what the client sees
+    // and what the goodput/deadline accounting uses.
+    ProcessDrained(
+        controller_.Release(now - request.service_start_micros), now);
+    FinishClosedLoop(index, now);
+  }
+
+  void Dispatch(const Event& event) {
+    switch (event.kind) {
+      case kOpenArrival: {
+        if (event.time >= end_micros_) return;
+        OfferRequest(
+            MakeRequest(RequestPriority::kUserFacing, event.time, false),
+            event.time);
+        const double rate = OpenRate(event.time);
+        Schedule(event.time + NextArrivalGap(rate), kOpenArrival, 0);
+        return;
+      }
+      case kProbeArrival: {
+        if (event.time >= end_micros_) return;
+        OfferRequest(
+            MakeRequest(RequestPriority::kHealthProbe, event.time, false),
+            event.time);
+        Schedule(event.time + NextArrivalGap(options_.probe_rps),
+                 kProbeArrival, 0);
+        return;
+      }
+      case kCanaryArrival: {
+        if (event.time >= end_micros_) return;
+        OfferRequest(
+            MakeRequest(RequestPriority::kCanary, event.time, false),
+            event.time);
+        Schedule(event.time + NextArrivalGap(options_.canary_rps),
+                 kCanaryArrival, 0);
+        return;
+      }
+      case kClosedArrival: {
+        if (event.time >= end_micros_) return;
+        OfferRequest(
+            MakeRequest(RequestPriority::kUserFacing, event.time, true),
+            event.time);
+        return;
+      }
+      case kCompletion:
+        Complete(static_cast<size_t>(event.payload), event.time);
+        return;
+      case kRetry: {
+        const size_t index = static_cast<size_t>(event.payload);
+        Request& request = requests_[index];
+        ++request.attempt;
+        ++Stats(request.priority).retries;
+        OfferRequest(index, event.time);
+        return;
+      }
+    }
+  }
+
+  LoadGenReport Finish() {
+    report_.offered_rps = static_cast<double>(report_.total_offered) /
+                          std::max(1e-9, options_.duration_seconds);
+    int64_t good = 0;
+    for (const LoadGenPriorityStats& stats : report_.priorities) {
+      good += stats.good;
+    }
+    report_.goodput_rps = static_cast<double>(good) /
+                          std::max(1e-9, options_.duration_seconds);
+    if (!latencies_.empty()) {
+      std::sort(latencies_.begin(), latencies_.end());
+      report_.p50_latency_micros = static_cast<double>(
+          latencies_[latencies_.size() / 2]);
+      report_.p99_latency_micros = static_cast<double>(
+          latencies_[latencies_.size() * 99 / 100]);
+    }
+    report_.final_concurrency_limit = controller_.concurrency_limit();
+    report_.final_pressure = controller_.Pressure();
+    report_.decision_hash = hash_;
+    return report_;
+  }
+
+  LoadGenOptions options_;
+  SimClock clock_;
+  Rng rng_;
+  AdmissionController controller_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  int64_t end_micros_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  uint64_t next_seq_ = 0;
+  std::vector<Request> requests_;
+  std::unordered_map<uint64_t, size_t> queued_;
+  std::vector<double> zipf_cdf_;
+  std::vector<int64_t> latencies_;
+  uint64_t hash_ = 0;
+  LoadGenReport report_;
+};
+
+}  // namespace
+
+LoadGenReport RunLoadGenerator(const LoadGenOptions& options,
+                               obs::MetricRegistry* metrics) {
+  Sim sim(options, metrics);
+  return sim.Run();
+}
+
+}  // namespace sigmund::serving

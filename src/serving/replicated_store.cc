@@ -12,6 +12,13 @@ namespace sigmund::serving {
 ReplicatedStoreGroup::ReplicatedStoreGroup(const Options& options,
                                            obs::MetricRegistry* metrics)
     : options_(options), metrics_(metrics) {
+  if (options_.hedge_budget_ratio >= 0.0) {
+    RetryBudget::Options budget;
+    budget.ratio = options_.hedge_budget_ratio;
+    budget.initial_tokens = options_.hedge_budget_initial_tokens;
+    budget.max_tokens = options_.hedge_budget_max_tokens;
+    hedge_budget_ = std::make_unique<RetryBudget>(budget);
+  }
   const int n = std::max(1, options_.num_replicas);
   replicas_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -86,7 +93,17 @@ StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
           ->Observe(static_cast<double>(micros));
     }
   };
-  if (options_.hedged_reads && order.size() >= 2) {
+  // Every read banks hedge-budget tokens; each hedge below spends one, so
+  // hedging can never more than (1 + ratio)× the replica read volume.
+  if (hedge_budget_ != nullptr) hedge_budget_->RecordRequest();
+  bool hedge = options_.hedged_reads && order.size() >= 2;
+  if (hedge && hedge_budget_ != nullptr && !hedge_budget_->TryWithdraw()) {
+    hedge = false;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("serving_hedges_suppressed_total")->Add(1);
+    }
+  }
+  if (hedge) {
     // Hedge: read the two most-preferred replicas and serve the faster
     // copy (accounted micros; the replicas hold the same batch, so only
     // latency differs).

@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "serving/admission.h"
 #include "serving/store.h"
 #include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
@@ -41,6 +42,15 @@ class ReplicatedStoreGroup : public ServingReader {
     // Read the preferred and the next-preferred replica, serve the
     // faster copy (by accounted latency below).
     bool hedged_reads = false;
+    // Finagle-style budget on hedges: every read deposits this fraction
+    // of a token, every hedge withdraws one, so sustained hedging is
+    // capped at `hedge_budget_ratio` × read volume and a slow store sees
+    // at most (1 + ratio) × offered load. < 0 = unlimited (legacy).
+    // Suppressed hedges are counted in serving_hedges_suppressed_total.
+    double hedge_budget_ratio = -1.0;
+    // Reserve/cap for the hedge budget (only read when the ratio >= 0).
+    double hedge_budget_initial_tokens = 10.0;
+    double hedge_budget_max_tokens = 1000.0;
     // Accounted per-replica read latency in simulated micros (capacity
     // planning; nothing sleeps). Index = replica; replicas past the end
     // of the vector use the last element; empty = 150 for all.
@@ -132,6 +142,9 @@ class ReplicatedStoreGroup : public ServingReader {
 
   Options options_;
   obs::MetricRegistry* metrics_;
+  // Null when hedge_budget_ratio < 0 (unlimited hedging). RetryBudget is
+  // internally synchronized, so the const ServeContext path can spend it.
+  mutable std::unique_ptr<RetryBudget> hedge_budget_;
   std::vector<std::unique_ptr<RecommendationStore>> replicas_;
   std::function<void(data::RetailerId, int)> cutover_hook_;
 
