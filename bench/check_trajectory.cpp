@@ -1,0 +1,136 @@
+// Perf-trajectory gate (DESIGN.md §10). Scans a directory of committed
+// baselines (bench/baselines/*.json), loads each baseline's results file
+// from the results directory (where CI just ran the benchmarks), and
+// fails — exit 1, one line per problem — when any gated metric drifts
+// outside its tolerance band or disappears from the results.
+//
+//   check_trajectory [--quick|--full]
+//       --baselines ../bench/baselines --results .
+//
+// --quick/--full selects which baselines apply (a baseline tagged
+// "mode": "quick" only gates quick runs); without either flag every
+// baseline is checked.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/trajectory.h"
+
+using namespace sigmund::bench;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "any";
+  std::string baselines_dir = "bench/baselines";
+  std::string results_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      mode = "quick";
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      mode = "full";
+    } else if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      baselines_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--results") == 0 && i + 1 < argc) {
+      results_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: check_trajectory [--quick|--full] "
+                   "[--baselines DIR] [--results DIR]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::filesystem::path> baseline_files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(baselines_dir, ec)) {
+    if (entry.path().extension() == ".json") {
+      baseline_files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "check_trajectory: cannot read baselines dir %s\n",
+                 baselines_dir.c_str());
+    return 2;
+  }
+  if (baseline_files.empty()) {
+    std::fprintf(stderr, "check_trajectory: no baselines in %s\n",
+                 baselines_dir.c_str());
+    return 2;
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+
+  TrajectoryResult result;
+  int baselines_checked = 0;
+  int skipped = 0;
+  for (const std::filesystem::path& file : baseline_files) {
+    std::string text;
+    if (!ReadFile(file.string(), &text)) {
+      std::fprintf(stderr, "check_trajectory: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    Baseline baseline;
+    std::string error;
+    if (!ParseBaseline(text, &baseline, &error)) {
+      std::fprintf(stderr, "check_trajectory: %s: %s\n",
+                   file.string().c_str(), error.c_str());
+      return 2;
+    }
+    if (!ModeMatches(baseline.mode, mode)) {
+      ++skipped;
+      continue;
+    }
+    ++baselines_checked;
+
+    const std::string results_path =
+        (std::filesystem::path(results_dir) / baseline.results_file)
+            .string();
+    std::string results_text;
+    if (!ReadFile(results_path, &results_text)) {
+      result.missing.push_back({baseline.bench, baseline.results_file,
+                                "results file not found in " + results_dir});
+      continue;
+    }
+    JsonValue results;
+    if (!ParseJson(results_text, &results, &error)) {
+      result.missing.push_back(
+          {baseline.bench, baseline.results_file, "bad JSON: " + error});
+      continue;
+    }
+    CheckTrajectory(baseline, results, &result);
+  }
+
+  for (const TrajectoryIssue& issue : result.missing) {
+    std::printf("MISSING  %-16s %-40s %s\n", issue.bench.c_str(),
+                issue.path.c_str(), issue.message.c_str());
+  }
+  for (const TrajectoryIssue& issue : result.violations) {
+    std::printf("VIOLATION %-16s %-40s %s\n", issue.bench.c_str(),
+                issue.path.c_str(), issue.message.c_str());
+  }
+  std::printf(
+      "check_trajectory: %d baseline(s), %d metric(s) checked, %d skipped "
+      "by mode, %zu violation(s), %zu missing\n",
+      baselines_checked, result.metrics_checked, skipped,
+      result.violations.size(), result.missing.size());
+  return result.ok() ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/slo.h"
 #include "common/string_util.h"
 #include "serving/loadgen.h"
 
@@ -227,6 +228,29 @@ int main(int argc, char** argv) {
     day.client_retries = 2;
     day.retry_backoff_seconds = 0.02;
     day.retry_budget_ratio = 0.1;
+    // Request tracing with tail-based sampling plus SLO burn-rate
+    // evaluation, on for the flash-crowd day (DESIGN.md §10). Both are
+    // provably passive: the rerun below — same options, so also traced —
+    // plus the tracing-off run in slo_trace_test pin decision_hash.
+    day.trace_requests = true;
+    day.trace.sample_rate = 0.001;
+    day.trace.max_kept_traces = 1 << 20;
+    day.slo_enabled = true;
+    {
+      obs::SloObjective availability;
+      availability.name = "serving_availability";
+      availability.total_counter = "serving_requests_total";
+      availability.bad_counter = "serving_requests_total";
+      availability.bad_labels = {{"outcome", "shed"}};
+      availability.objective = 0.99;
+      day.slo.objectives.push_back(availability);
+      // Short enough that the long window clears the flash crowd before
+      // the day ends, so the fired alert also resolves in-run.
+      day.slo.short_window_micros = 500'000;
+      day.slo.long_window_micros = 2'000'000;
+      day.slo.fire_burn_rate = 2.0;
+      day.slo.resolve_burn_rate = 1.0;
+    }
     const LoadGenReport crowd = RunLoadGenerator(day);
     const LoadGenReport rerun = RunLoadGenerator(day);
     std::printf(
@@ -254,8 +278,43 @@ int main(int argc, char** argv) {
     // curve above, where latency is pure queue+service.
     SIGCHECK(crowd.p99_latency_micros <=
              1.1 * static_cast<double>(kDeadlineMicros));
+    // Tail-based sampling keeps 100% of the interesting tail: every
+    // terminally shed request and every deadline overrun has a kept
+    // trace (healthy traffic is hash-sampled at 0.1%).
+    SIGCHECK(crowd.terminal_sheds > 0);
+    SIGCHECK(crowd.shed_traces_kept == crowd.terminal_sheds);
+    SIGCHECK(crowd.late_traces_kept == crowd.deadline_overruns);
+    // The flash crowd burns error budget fast enough to fire the
+    // availability SLO, and the alert resolves once the crowd passes.
+    SIGCHECK(crowd.slo_alerts_fired >= 1);
+    SIGCHECK(crowd.slo_alerts_resolved >= 1);
+    std::printf(
+        "  traces: started=%lld kept=%lld (sheds %lld/%lld, overruns "
+        "%lld/%lld); slo alerts fired=%lld resolved=%lld\n",
+        static_cast<long long>(crowd.traces_started),
+        static_cast<long long>(crowd.traces_kept),
+        static_cast<long long>(crowd.shed_traces_kept),
+        static_cast<long long>(crowd.terminal_sheds),
+        static_cast<long long>(crowd.late_traces_kept),
+        static_cast<long long>(crowd.deadline_overruns),
+        static_cast<long long>(crowd.slo_alerts_fired),
+        static_cast<long long>(crowd.slo_alerts_resolved));
     json += StrFormat("  \"million_user_day\": %s,\n",
                       ReportJson(crowd).c_str());
+    json += StrFormat(
+        "  \"trace\": {\"started\": %lld, \"kept\": %lld, "
+        "\"terminal_sheds\": %lld, \"shed_traces_kept\": %lld, "
+        "\"deadline_overruns\": %lld, \"late_traces_kept\": %lld},\n",
+        static_cast<long long>(crowd.traces_started),
+        static_cast<long long>(crowd.traces_kept),
+        static_cast<long long>(crowd.terminal_sheds),
+        static_cast<long long>(crowd.shed_traces_kept),
+        static_cast<long long>(crowd.deadline_overruns),
+        static_cast<long long>(crowd.late_traces_kept));
+    json += StrFormat(
+        "  \"slo\": {\"alerts_fired\": %lld, \"alerts_resolved\": %lld},\n",
+        static_cast<long long>(crowd.slo_alerts_fired),
+        static_cast<long long>(crowd.slo_alerts_resolved));
     json += StrFormat(
         "  \"determinism\": {\"hash\": \"%016llx\", \"rerun_hash\": "
         "\"%016llx\", \"identical\": true},\n",

@@ -1,75 +1,161 @@
 // Observability overhead micro-benchmarks: the per-event cost of the
 // instruments the daily pipeline leans on (counter bumps, histogram
-// observations, span start/end) plus the cost of a *suppressed* log
-// statement, which must be near-zero since hot loops keep SIGLOG(DEBUG)
-// lines in place.
+// observations, exemplar attachment, span start/end, request-trace
+// start/submit) plus the cost of a *suppressed* log statement, which must
+// be near-zero since hot loops keep SIGLOG(DEBUG) lines in place.
+//
+// Results land in BENCH_obs.json so the perf-trajectory gate
+// (check_trajectory) can catch an instrument getting expensive. These are
+// wall-clock numbers — the committed baseline bands are loose on purpose.
+// Pass --quick for the CI-sized run.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 
-namespace sigmund {
+using namespace sigmund;
+
 namespace {
 
-void BM_CounterAdd(benchmark::State& state) {
+int64_t g_iters = 2'000'000;
+
+// Runs `body` g_iters times and returns mean nanoseconds per call.
+template <typename Body>
+double TimeNs(Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < g_iters; ++i) body(i);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(g_iters);
+}
+
+double BenchCounterAdd() {
   obs::MetricRegistry registry;
   obs::Counter* counter = registry.GetCounter("bench_total");
-  for (auto _ : state) {
-    counter->Add(1);
-  }
-  benchmark::DoNotOptimize(counter->Value());
+  const double ns = TimeNs([&](int64_t) { counter->Add(1); });
+  SIGCHECK(counter->Value() == g_iters);
+  return ns;
 }
-BENCHMARK(BM_CounterAdd)->ThreadRange(1, 8);
 
-void BM_HistogramObserve(benchmark::State& state) {
+double BenchHistogramObserve() {
   obs::MetricRegistry registry;
   obs::Histogram* histogram = registry.GetHistogram("bench_micros");
   double value = 1.0;
-  for (auto _ : state) {
+  const double ns = TimeNs([&](int64_t) {
     histogram->Observe(value);
     value = value < 1e6 ? value * 1.1 : 1.0;  // walk the buckets
-  }
-  benchmark::DoNotOptimize(histogram->Count());
+  });
+  SIGCHECK(histogram->Count() == g_iters);
+  return ns;
 }
-BENCHMARK(BM_HistogramObserve)->ThreadRange(1, 8);
 
-void BM_RegistryLookup(benchmark::State& state) {
+double BenchExemplarAttach() {
+  obs::MetricRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram("bench_micros");
+  const double ns = TimeNs([&](int64_t i) {
+    histogram->AttachExemplar(static_cast<double>(i % 1000),
+                              static_cast<uint64_t>(i + 1));
+  });
+  SIGCHECK(histogram->ExemplarIds()[0] != 0 ||
+           histogram->ExemplarIds().back() != 0);
+  return ns;
+}
+
+double BenchRegistryLookup() {
   // The anti-pattern being measured: looking the instrument up by name on
   // every event instead of caching the pointer (a mutex + map walk).
   obs::MetricRegistry registry;
-  for (auto _ : state) {
+  return TimeNs([&](int64_t) {
     registry.GetCounter("bench_lookup_total", {{"op", "read"}})->Add(1);
-  }
+  });
 }
-BENCHMARK(BM_RegistryLookup);
 
-void BM_SpanStartEnd(benchmark::State& state) {
+double BenchSpanStartEnd() {
   SimClock clock;
   obs::Tracer tracer(&clock);
-  for (auto _ : state) {
+  return TimeNs([&](int64_t) {
     obs::Span span = tracer.StartSpan("bench");
-    benchmark::DoNotOptimize(span.id());
-  }
-  state.SetLabel("spans recorded: " + std::to_string(tracer.Spans().size()));
+    (void)span.id();
+  });
 }
-BENCHMARK(BM_SpanStartEnd);
 
-void BM_SuppressedLog(benchmark::State& state) {
+double BenchRequestTrace() {
+  // One full request-trace lifecycle: start, two child spans with an
+  // annotation, verdict, submit through the tail sampler (1% keep).
+  SimClock clock;
+  obs::MetricRegistry registry;
+  obs::RequestTracer::Options options;
+  options.sample_rate = 0.01;
+  options.max_kept_traces = 1024;
+  obs::RequestTracer tracer(options, &registry, &clock);
+  const double ns = TimeNs([&](int64_t) {
+    obs::RequestTrace trace = tracer.StartRequest("bench/request");
+    const int64_t admission = trace.StartSpan("admission");
+    trace.Annotate(admission, "outcome", "admitted");
+    trace.EndSpan(admission);
+    const int64_t lookup = trace.StartSpan("store_lookup");
+    trace.EndSpan(lookup);
+    tracer.Submit(std::move(trace));
+  });
+  SIGCHECK(tracer.KeptCount() > 0);
+  return ns;
+}
+
+double BenchSuppressedLog() {
   SetMinLogSeverity(LogSeverity::kError);
   int64_t side_effect = 0;
-  for (auto _ : state) {
-    SIGLOG(DEBUG) << "dropped " << ++side_effect;
-  }
+  const double ns =
+      TimeNs([&](int64_t) { SIGLOG(DEBUG) << "dropped " << ++side_effect; });
   SetMinLogSeverity(LogSeverity::kInfo);
   // The stream arguments of a suppressed statement are never evaluated.
-  if (side_effect != 0) state.SkipWithError("suppressed log was evaluated");
+  SIGCHECK(side_effect == 0);
+  return ns;
 }
-BENCHMARK(BM_SuppressedLog);
 
 }  // namespace
-}  // namespace sigmund
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) g_iters = 200'000;
+
+  std::vector<std::pair<std::string, double>> results;
+  results.emplace_back("counter_add_ns", BenchCounterAdd());
+  results.emplace_back("histogram_observe_ns", BenchHistogramObserve());
+  results.emplace_back("exemplar_attach_ns", BenchExemplarAttach());
+  results.emplace_back("registry_lookup_ns", BenchRegistryLookup());
+  results.emplace_back("span_start_end_ns", BenchSpanStartEnd());
+  results.emplace_back("request_trace_ns", BenchRequestTrace());
+  results.emplace_back("suppressed_log_ns", BenchSuppressedLog());
+
+  std::string json = "{\n  \"bench\": \"obs_overhead\",\n";
+  json += StrFormat("  \"quick\": %s,\n", quick ? "true" : "false");
+  json += StrFormat("  \"iters\": %lld,\n", static_cast<long long>(g_iters));
+  json += "  \"metrics\": {\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-24s %10.1f ns/op\n", results[i].first.c_str(),
+                results[i].second);
+    json += StrFormat("    \"%s\": %.2f%s\n", results[i].first.c_str(),
+                      results[i].second,
+                      i + 1 < results.size() ? "," : "");
+  }
+  json += "  }\n}\n";
+
+  std::FILE* out = std::fopen("BENCH_obs.json", "w");
+  SIGCHECK(out != nullptr);
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_obs.json\n");
+  return 0;
+}

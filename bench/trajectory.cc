@@ -1,0 +1,321 @@
+#include "bench/trajectory.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sigmund::bench {
+namespace {
+
+// Recursive-descent parser over a byte cursor. Accepts strict JSON plus
+// the one extension benchmark files rely on: nothing. Keeps errors
+// byte-addressed so a malformed baseline is easy to fix.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = StrFormat("%s at byte %zu", what.c_str(), pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (ConsumeWord("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (ConsumeWord("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (ConsumeWord("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber(out);
+    }
+    return Fail(StrFormat("unexpected character '%c'", c));
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Benchmark files never emit non-ASCII; decode the BMP code
+          // point as a single byte when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Fail("bad \\u escape");
+          out->push_back(code < 128 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      pos_ = start;
+      return Fail("bad number");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool IsIndex(const std::string& segment) {
+  if (segment.empty()) return false;
+  for (char c : segment) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+double ReadRatio(const JsonValue& band, const char* key, double fallback) {
+  const JsonValue* value = band.Find(key);
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+const JsonValue* FindPath(const JsonValue& root, const std::string& path) {
+  const JsonValue* node = &root;
+  size_t start = 0;
+  while (start <= path.size()) {
+    const size_t dot = path.find('.', start);
+    const std::string segment =
+        path.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (node->type == JsonValue::Type::kArray && IsIndex(segment)) {
+      const size_t index = static_cast<size_t>(std::strtoul(
+          segment.c_str(), nullptr, 10));
+      if (index >= node->array.size()) return nullptr;
+      node = &node->array[index];
+    } else {
+      node = node->Find(segment);
+      if (node == nullptr) return nullptr;
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return node;
+}
+
+bool ParseBaseline(const std::string& text, Baseline* out,
+                   std::string* error) {
+  JsonValue doc;
+  if (!ParseJson(text, &doc, error)) return false;
+  const JsonValue* bench = doc.Find("bench");
+  const JsonValue* results_file = doc.Find("results_file");
+  const JsonValue* metrics = doc.Find("metrics");
+  if (bench == nullptr || bench->type != JsonValue::Type::kString ||
+      results_file == nullptr ||
+      results_file->type != JsonValue::Type::kString) {
+    if (error != nullptr) *error = "baseline needs bench + results_file";
+    return false;
+  }
+  if (metrics == nullptr || !metrics->is_object() ||
+      metrics->object.empty()) {
+    if (error != nullptr) *error = "baseline needs non-empty metrics";
+    return false;
+  }
+  out->bench = bench->string_value;
+  out->results_file = results_file->string_value;
+  const JsonValue* mode = doc.Find("mode");
+  out->mode = mode != nullptr && mode->type == JsonValue::Type::kString
+                  ? mode->string_value
+                  : "any";
+  out->metrics.clear();
+  for (const auto& [path, band] : metrics->object) {
+    const JsonValue* expect = band.Find("expect");
+    if (expect == nullptr || !expect->is_number()) {
+      if (error != nullptr) {
+        *error = StrFormat("metric %s needs a numeric expect", path.c_str());
+      }
+      return false;
+    }
+    MetricBand metric;
+    metric.path = path;
+    metric.expect = expect->number;
+    metric.min_ratio = ReadRatio(band, "min_ratio", 0.0);
+    metric.max_ratio = ReadRatio(band, "max_ratio", 1e18);
+    out->metrics.push_back(std::move(metric));
+  }
+  return true;
+}
+
+void CheckTrajectory(const Baseline& baseline, const JsonValue& results,
+                     TrajectoryResult* result) {
+  for (const MetricBand& metric : baseline.metrics) {
+    ++result->metrics_checked;
+    const JsonValue* value = FindPath(results, metric.path);
+    if (value == nullptr || !value->is_number()) {
+      result->missing.push_back(
+          {baseline.bench, metric.path,
+           value == nullptr ? "path missing from results"
+                            : "value is not a number"});
+      continue;
+    }
+    // Bands are ratios of the expectation's magnitude, so they behave
+    // for the (rare) negative expectation too.
+    const double scale = std::fabs(metric.expect);
+    const double lo = metric.expect - (1.0 - metric.min_ratio) * scale;
+    const double hi = metric.expect + (metric.max_ratio - 1.0) * scale;
+    if (value->number < lo || value->number > hi) {
+      result->violations.push_back(
+          {baseline.bench, metric.path,
+           StrFormat("value %.4f outside [%.4f, %.4f] (expect %.4f, "
+                     "ratios %.2f..%.2f)",
+                     value->number, lo, hi, metric.expect, metric.min_ratio,
+                     metric.max_ratio)});
+    }
+  }
+}
+
+bool ModeMatches(const std::string& baseline_mode,
+                 const std::string& run_mode) {
+  return baseline_mode == "any" || run_mode == "any" ||
+         baseline_mode == run_mode;
+}
+
+}  // namespace sigmund::bench

@@ -1,0 +1,109 @@
+#ifndef SIGMUND_BENCH_TRAJECTORY_H_
+#define SIGMUND_BENCH_TRAJECTORY_H_
+
+// Perf-trajectory gate (DESIGN.md §10): compares the BENCH_*.json files a
+// benchmark run just produced against committed baselines with
+// per-metric tolerance bands, so a PR that silently regresses goodput or
+// inflates observability overhead fails CI instead of landing.
+//
+// A baseline is itself JSON (bench/baselines/*.json):
+//
+//   {
+//     "bench": "e21_overload",
+//     "mode": "quick",                       // quick | full | any
+//     "results_file": "BENCH_overload.json",
+//     "metrics": {
+//       "acceptance.goodput_ratio": {"expect": 0.95,
+//                                    "min_ratio": 0.9, "max_ratio": 1.2}
+//     }
+//   }
+//
+// A metric path is dotted; numeric segments index arrays
+// ("curve.0.multiplier"). A metric violates its band when
+// value < expect*min_ratio or value > expect*max_ratio; a missing results
+// file or path is its own failure class so a renamed metric can't silently
+// drop out of the gate. Deterministic SimClock metrics get tight bands;
+// wall-clock ones get loose bands or are left out.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sigmund::bench {
+
+// A tiny recursive-descent JSON document — just enough to read benchmark
+// result and baseline files. Numbers are doubles; object order is
+// preserved. No dependency on anything outside the standard library.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_object() const { return type == Type::kObject; }
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and describes the
+// problem (with byte offset) in `*error`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Resolves a dotted path against a document: object segments are member
+// names, all-digit segments index arrays. Returns nullptr when any
+// segment is missing.
+const JsonValue* FindPath(const JsonValue& root, const std::string& path);
+
+// One gated metric: the committed expectation and the tolerated band
+// around it, as ratios (min_ratio=0.9, max_ratio=1.15 tolerates -10%
+// .. +15% drift before failing).
+struct MetricBand {
+  std::string path;
+  double expect = 0.0;
+  double min_ratio = 0.0;
+  double max_ratio = 1e18;
+};
+
+// One committed baseline file.
+struct Baseline {
+  std::string bench;
+  std::string mode = "any";  // which run shape this baseline gates
+  std::string results_file;
+  std::vector<MetricBand> metrics;
+};
+
+// Parses a baseline document. Returns false + error on malformed or
+// incomplete input (missing bench/results_file/metrics).
+bool ParseBaseline(const std::string& text, Baseline* out,
+                   std::string* error);
+
+struct TrajectoryIssue {
+  std::string bench;
+  std::string path;
+  std::string message;
+};
+
+struct TrajectoryResult {
+  int metrics_checked = 0;
+  std::vector<TrajectoryIssue> violations;  // out-of-band values
+  std::vector<TrajectoryIssue> missing;     // absent files/paths/numbers
+  bool ok() const { return violations.empty() && missing.empty(); }
+};
+
+// Checks every metric of `baseline` against the parsed results document,
+// appending to `result`.
+void CheckTrajectory(const Baseline& baseline, const JsonValue& results,
+                     TrajectoryResult* result);
+
+// True when a baseline tagged `baseline_mode` applies to a run of
+// `run_mode` ("quick"/"full"): "any" matches everything on either side.
+bool ModeMatches(const std::string& baseline_mode,
+                 const std::string& run_mode);
+
+}  // namespace sigmund::bench
+
+#endif  // SIGMUND_BENCH_TRAJECTORY_H_

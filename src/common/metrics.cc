@@ -28,22 +28,11 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
-// Escapes a label value for the text exposition (quotes and backslashes).
+// Escapes a label value for the Prometheus text exposition. The format
+// defines exactly three escapes inside a quoted label value — backslash,
+// double quote, and line feed — and a raw carriage return would also
+// split the sample line, so it is folded into the \n escape.
 std::string EscapeLabelValue(const std::string& value) {
-  std::string out;
-  out.reserve(value.size());
-  for (char c : value) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::string JsonEscape(const std::string& value) {
   std::string out;
   out.reserve(value.size());
   for (char c : value) {
@@ -55,10 +44,8 @@ std::string JsonEscape(const std::string& value) {
         out += "\\\\";
         break;
       case '\n':
+      case '\r':
         out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
         break;
       default:
         out.push_back(c);
@@ -123,6 +110,43 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
 
 }  // namespace
 
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -144,6 +168,13 @@ Histogram::Histogram(const HistogramOptions& options)
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
   buckets_ = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+  exemplar_ids_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  exemplar_values_ = std::vector<std::atomic<double>>(bounds_.size() + 1);
+  // Not every standard library value-initializes atomics (pre-P0883
+  // behavior); zero them explicitly so "no exemplar yet" reads as 0.
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& id : exemplar_ids_) id.store(0, std::memory_order_relaxed);
+  for (auto& v : exemplar_values_) v.store(0.0, std::memory_order_relaxed);
 }
 
 void Histogram::Observe(double value) {
@@ -158,6 +189,17 @@ void Histogram::Observe(double value) {
   AtomicMax(&max_, value);
 }
 
+void Histogram::AttachExemplar(double value, uint64_t trace_id) {
+  if (trace_id == 0) return;
+  const size_t index =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  // Last writer wins; the id and value race benignly (an exemplar is a
+  // sample, not an invariant).
+  exemplar_ids_[index].store(trace_id, std::memory_order_relaxed);
+  exemplar_values_[index].store(value, std::memory_order_relaxed);
+}
+
 double Histogram::Min() const { return min_.load(std::memory_order_relaxed); }
 double Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
 
@@ -169,6 +211,22 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+std::vector<uint64_t> Histogram::ExemplarIds() const {
+  std::vector<uint64_t> ids(exemplar_ids_.size());
+  for (size_t i = 0; i < exemplar_ids_.size(); ++i) {
+    ids[i] = exemplar_ids_[i].load(std::memory_order_relaxed);
+  }
+  return ids;
+}
+
+std::vector<double> Histogram::ExemplarValues() const {
+  std::vector<double> values(exemplar_values_.size());
+  for (size_t i = 0; i < exemplar_values_.size(); ++i) {
+    values[i] = exemplar_values_[i].load(std::memory_order_relaxed);
+  }
+  return values;
+}
+
 double Histogram::Quantile(double q) const {
   return QuantileFromBuckets(bounds_, BucketCounts(), Count(), Min(), Max(),
                              q);
@@ -176,6 +234,8 @@ double Histogram::Quantile(double q) const {
 
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  for (auto& id : exemplar_ids_) id.store(0, std::memory_order_relaxed);
+  for (auto& v : exemplar_values_) v.store(0.0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),
@@ -186,6 +246,35 @@ void Histogram::Reset() {
 
 double HistogramSnapshot::Quantile(double q) const {
   return QuantileFromBuckets(bounds, buckets, count, min, max, q);
+}
+
+uint64_t HistogramSnapshot::ExemplarForQuantile(double q) const {
+  if (count <= 0 || exemplar_ids.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Bucket containing the target rank.
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  size_t index = buckets.size() - 1;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && buckets[i] > 0) {
+      index = i;
+      break;
+    }
+  }
+  if (exemplar_ids[index] != 0) return exemplar_ids[index];
+  // Nearest exemplar-carrying bucket, lower buckets preferred (they hold
+  // observations the quantile actually dominates).
+  for (size_t step = 1; step < exemplar_ids.size(); ++step) {
+    if (index >= step && exemplar_ids[index - step] != 0) {
+      return exemplar_ids[index - step];
+    }
+    if (index + step < exemplar_ids.size() &&
+        exemplar_ids[index + step] != 0) {
+      return exemplar_ids[index + step];
+    }
+  }
+  return 0;
 }
 
 // --- MetricRegistry --------------------------------------------------------
@@ -270,6 +359,8 @@ RegistrySnapshot MetricRegistry::Snapshot() const {
         if (entry.histogram != nullptr) {
           m.histogram.bounds = entry.histogram->BucketBounds();
           m.histogram.buckets = entry.histogram->BucketCounts();
+          m.histogram.exemplar_ids = entry.histogram->ExemplarIds();
+          m.histogram.exemplar_values = entry.histogram->ExemplarValues();
           m.histogram.count = entry.histogram->Count();
           m.histogram.sum = entry.histogram->Sum();
           m.histogram.min = entry.histogram->Min();
@@ -371,9 +462,19 @@ std::string RegistrySnapshot::ToText() const {
               "le", i < m.histogram.bounds.size()
                         ? RenderNumber(m.histogram.bounds[i])
                         : "+Inf");
-          out += StrFormat("%s_bucket%s %lld\n", m.name.c_str(),
+          out += StrFormat("%s_bucket%s %lld", m.name.c_str(),
                            RenderLabels(with_le).c_str(),
                            static_cast<long long>(cumulative));
+          // OpenMetrics-style exemplar: the last kept trace observed in
+          // this bucket, so a hot bucket links straight to a trace.
+          if (i < m.histogram.exemplar_ids.size() &&
+              m.histogram.exemplar_ids[i] != 0) {
+            out += StrFormat(
+                " # {trace_id=\"%llu\"} %s",
+                static_cast<unsigned long long>(m.histogram.exemplar_ids[i]),
+                RenderNumber(m.histogram.exemplar_values[i]).c_str());
+          }
+          out += "\n";
         }
         out += StrFormat("%s_sum%s %s\n", m.name.c_str(), labels.c_str(),
                          RenderNumber(m.histogram.sum).c_str());
@@ -406,7 +507,7 @@ std::string RegistrySnapshot::ToJson() const {
         if (!histograms.empty()) histograms += ",";
         histograms += StrFormat(
             "\"%s\":{\"count\":%lld,\"sum\":%s,\"min\":%s,\"max\":%s,"
-            "\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+            "\"p50\":%s,\"p95\":%s,\"p99\":%s",
             key.c_str(), static_cast<long long>(m.histogram.count),
             RenderNumber(m.histogram.count > 0 ? m.histogram.sum : 0)
                 .c_str(),
@@ -417,6 +518,13 @@ std::string RegistrySnapshot::ToJson() const {
             RenderNumber(m.histogram.Quantile(0.5)).c_str(),
             RenderNumber(m.histogram.Quantile(0.95)).c_str(),
             RenderNumber(m.histogram.Quantile(0.99)).c_str());
+        const uint64_t exemplar = m.histogram.ExemplarForQuantile(0.99);
+        if (exemplar != 0) {
+          histograms +=
+              StrFormat(",\"p99_exemplar\":\"%llu\"",
+                        static_cast<unsigned long long>(exemplar));
+        }
+        histograms += "}";
         break;
       }
     }

@@ -75,11 +75,21 @@ struct HistogramOptions {
 // Distribution of observed values (typically latencies in microseconds).
 // Observe() is thread-safe and lock-free; quantiles are estimated by
 // linear interpolation inside the bucket containing the target rank.
+//
+// Exemplars: each bucket can retain the id of the last *kept* trace whose
+// observation landed in it (OpenMetrics-style), so the exposition's p99
+// bucket links straight to a request trace. AttachExemplar is called only
+// for traces the tail sampler decided to keep — every exemplar resolves.
 class Histogram {
  public:
   explicit Histogram(const HistogramOptions& options);
 
   void Observe(double value);
+
+  // Records `trace_id` as the exemplar of the bucket containing `value`
+  // (last writer wins). Does not count as an observation — call Observe
+  // separately. trace_id 0 is ignored (reserved for "no exemplar").
+  void AttachExemplar(double value, uint64_t trace_id);
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -93,12 +103,18 @@ class Histogram {
   // back of BucketCounts()).
   const std::vector<double>& BucketBounds() const { return bounds_; }
   std::vector<int64_t> BucketCounts() const;
+  // Per-bucket exemplar trace ids (0 = none) and the values they came in
+  // with; same length as BucketCounts().
+  std::vector<uint64_t> ExemplarIds() const;
+  std::vector<double> ExemplarValues() const;
 
   void Reset();
 
  private:
   std::vector<double> bounds_;                         // ascending
   std::vector<std::atomic<int64_t>> buckets_;          // bounds_.size() + 1
+  std::vector<std::atomic<uint64_t>> exemplar_ids_;    // 0 = no exemplar
+  std::vector<std::atomic<double>> exemplar_values_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
@@ -109,12 +125,19 @@ class Histogram {
 struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<int64_t> buckets;  // bounds.size() + 1 (last = +Inf bucket)
+  std::vector<uint64_t> exemplar_ids;  // per bucket; 0 = none
+  std::vector<double> exemplar_values;
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
 
   double Quantile(double q) const;
+
+  // Trace id exemplifying the bucket that contains quantile q: that
+  // bucket's own exemplar when set, else the nearest bucket's (lower
+  // buckets preferred). 0 = no exemplar anywhere in the histogram.
+  uint64_t ExemplarForQuantile(double q) const;
 };
 
 enum class MetricKind { kCounter = 0, kGauge = 1, kHistogram = 2 };
@@ -201,6 +224,12 @@ class MetricRegistry {
 
 // Renders labels as {k="v",...} (empty string for no labels).
 std::string RenderLabels(const Labels& labels);
+
+// Escapes a string for embedding inside a JSON string literal (quotes,
+// backslashes, and all control characters). Shared by every hand-rolled
+// JSON emitter in obs so span names / label values can never produce
+// invalid JSON.
+std::string JsonEscape(const std::string& value);
 
 }  // namespace sigmund::obs
 

@@ -15,7 +15,25 @@ namespace {
 // no locks and never crosses threads by accident.
 thread_local std::vector<std::pair<const Tracer*, int64_t>> tls_open_spans;
 
+// SplitMix64 finalizer: the healthy-sampling hash. Pure function of the
+// input, so keep decisions are reproducible across runs and platforms.
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+// --- SpanRecord ------------------------------------------------------------
+
+std::string SpanRecord::Annotation(const std::string& key) const {
+  for (const auto& [k, v] : annotations) {
+    if (k == key) return v;
+  }
+  return "";
+}
 
 // --- Span ------------------------------------------------------------------
 
@@ -39,6 +57,11 @@ void Span::End() {
   // id_ is kept: like DurationMicros(), it stays readable after End() so
   // callers can still key Subtree()/BuildRunProfile on the ended span.
   tracer_ = nullptr;
+}
+
+void Span::Annotate(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  tracer_->Annotate(id_, key, value);
 }
 
 // --- Tracer ----------------------------------------------------------------
@@ -154,6 +177,241 @@ void Tracer::Clear() {
   spans_.clear();
 }
 
+void Tracer::Annotate(int64_t id, const std::string& key,
+                      const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t index = id - id_base_;
+  if (index >= 0 && index < static_cast<int64_t>(spans_.size())) {
+    spans_[index].annotations.emplace_back(key, value);
+  }
+}
+
+// --- Request-scoped tracing ------------------------------------------------
+
+const char* TraceVerdictName(TraceVerdict verdict) {
+  switch (verdict) {
+    case TraceVerdict::kHealthy:
+      return "healthy";
+    case TraceVerdict::kShed:
+      return "shed";
+    case TraceVerdict::kError:
+      return "error";
+    case TraceVerdict::kDeadlineOverrun:
+      return "deadline_overrun";
+  }
+  return "unknown";
+}
+
+int64_t TraceContext::StartSpan(const std::string& name) const {
+  if (trace == nullptr) return 0;
+  return trace->StartSpan(name, span_id);
+}
+
+void TraceContext::EndSpan(int64_t id) const {
+  if (trace != nullptr) trace->EndSpan(id);
+}
+
+void TraceContext::Annotate(const std::string& key,
+                            const std::string& value) const {
+  if (trace != nullptr) trace->Annotate(span_id, key, value);
+}
+
+void TraceContext::SetVerdict(TraceVerdict verdict) const {
+  if (trace != nullptr) trace->SetVerdict(verdict);
+}
+
+std::string RequestTraceRecord::Annotation(const std::string& key) const {
+  for (const SpanRecord& span : spans) {
+    for (const auto& [k, v] : span.annotations) {
+      if (k == key) return v;
+    }
+  }
+  return "";
+}
+
+std::string RequestTraceRecord::ToJson() const {
+  std::string spans_json;
+  for (const SpanRecord& span : spans) {
+    if (!spans_json.empty()) spans_json += ",";
+    std::string annotations_json;
+    for (const auto& [k, v] : span.annotations) {
+      if (!annotations_json.empty()) annotations_json += ",";
+      annotations_json += StrFormat("\"%s\":\"%s\"", JsonEscape(k).c_str(),
+                                    JsonEscape(v).c_str());
+    }
+    spans_json += StrFormat(
+        "{\"id\":%lld,\"parent_id\":%lld,\"name\":\"%s\","
+        "\"start_micros\":%lld,\"duration_micros\":%lld",
+        static_cast<long long>(span.id),
+        static_cast<long long>(span.parent_id),
+        JsonEscape(span.name).c_str(),
+        static_cast<long long>(span.start_micros),
+        static_cast<long long>(span.DurationMicros()));
+    if (!annotations_json.empty()) {
+      spans_json += StrFormat(",\"annotations\":{%s}",
+                              annotations_json.c_str());
+    }
+    spans_json += "}";
+  }
+  return StrFormat(
+      "{\"trace_id\":%llu,\"name\":\"%s\",\"verdict\":\"%s\","
+      "\"start_micros\":%lld,\"duration_micros\":%lld,\"spans\":[%s]}",
+      static_cast<unsigned long long>(trace_id), JsonEscape(name).c_str(),
+      TraceVerdictName(verdict), static_cast<long long>(start_micros),
+      static_cast<long long>(end_micros - start_micros), spans_json.c_str());
+}
+
+RequestTrace::RequestTrace(uint64_t trace_id, std::string name,
+                           const Clock* clock)
+    : clock_(clock), record_(std::make_unique<RequestTraceRecord>()) {
+  record_->trace_id = trace_id;
+  record_->name = name;
+  record_->start_micros = clock_->NowMicros();
+  SpanRecord root;
+  root.id = 1;
+  root.parent_id = 0;
+  root.name = std::move(name);
+  root.start_micros = record_->start_micros;
+  record_->spans.push_back(std::move(root));
+}
+
+int64_t RequestTrace::StartSpan(const std::string& name, int64_t parent_id) {
+  if (!active()) return 0;
+  SpanRecord span;
+  span.id = static_cast<int64_t>(record_->spans.size()) + 1;
+  span.parent_id = parent_id == 0 ? root_span_id() : parent_id;
+  span.name = name;
+  span.start_micros = clock_->NowMicros();
+  record_->spans.push_back(std::move(span));
+  return record_->spans.back().id;
+}
+
+void RequestTrace::EndSpan(int64_t id) {
+  if (!active()) return;
+  const int64_t index = id - 1;
+  if (index < 0 || index >= static_cast<int64_t>(record_->spans.size())) {
+    return;
+  }
+  record_->spans[index].end_micros = clock_->NowMicros();
+}
+
+void RequestTrace::Annotate(int64_t id, const std::string& key,
+                            const std::string& value) {
+  if (!active()) return;
+  if (id == 0) id = root_span_id();
+  const int64_t index = id - 1;
+  if (index < 0 || index >= static_cast<int64_t>(record_->spans.size())) {
+    return;
+  }
+  record_->spans[index].annotations.emplace_back(key, value);
+}
+
+void RequestTrace::SetVerdict(TraceVerdict verdict) {
+  if (!active()) return;
+  // Worst-verdict-wins: never downgrade back to healthy.
+  if (verdict == TraceVerdict::kHealthy &&
+      record_->verdict != TraceVerdict::kHealthy) {
+    return;
+  }
+  record_->verdict = verdict;
+}
+
+TraceContext RequestTrace::Context(int64_t span_id) {
+  TraceContext context;
+  if (active()) {
+    context.trace = this;
+    context.span_id = span_id == 0 ? root_span_id() : span_id;
+  }
+  return context;
+}
+
+RequestTracer::RequestTracer(const Options& options, MetricRegistry* metrics,
+                             const Clock* clock)
+    : options_(options),
+      metrics_(metrics),
+      clock_(clock != nullptr ? clock : RealClock::Get()) {
+  double rate = options_.sample_rate;
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  // hash < threshold keeps; threshold = rate scaled to the u64 range.
+  if (rate >= 1.0) {
+    sample_threshold_ = ~0ULL;
+  } else {
+    sample_threshold_ = static_cast<uint64_t>(
+        rate * 18446744073709551616.0 /* 2^64 */);
+  }
+}
+
+RequestTrace RequestTracer::StartRequest(const std::string& name) {
+  uint64_t trace_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_id = next_trace_id_++;
+  }
+  return RequestTrace(trace_id, name, clock_);
+}
+
+bool RequestTracer::WouldKeepHealthy(uint64_t trace_id) const {
+  if (sample_threshold_ == ~0ULL) return true;
+  return MixTraceId(trace_id ^ options_.seed) < sample_threshold_;
+}
+
+bool RequestTracer::Submit(RequestTrace trace) {
+  if (!trace.active()) return false;
+  RequestTraceRecord record = std::move(*trace.record_);
+  trace.record_.reset();
+  record.end_micros = clock_->NowMicros();
+  // Close the root span (and any spans left open) at submit time.
+  for (SpanRecord& span : record.spans) {
+    if (span.end_micros == 0) span.end_micros = record.end_micros;
+  }
+  const bool keep = record.verdict != TraceVerdict::kHealthy ||
+                    WouldKeepHealthy(record.trace_id);
+  if (metrics_ != nullptr) {
+    const Labels labels = {{"verdict", TraceVerdictName(record.verdict)}};
+    metrics_->GetCounter("trace_requests_total", labels)->Add(1);
+    if (keep) metrics_->GetCounter("trace_kept_total", labels)->Add(1);
+  }
+  if (!keep) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t capacity =
+      options_.max_kept_traces > 0
+          ? static_cast<size_t>(options_.max_kept_traces)
+          : 1;
+  if (kept_.size() < capacity) {
+    kept_.push_back(std::move(record));
+  } else {
+    // Ring buffer: overwrite the oldest entry.
+    kept_[kept_head_] = std::move(record);
+    kept_head_ = (kept_head_ + 1) % capacity;
+  }
+  return true;
+}
+
+std::vector<RequestTraceRecord> RequestTracer::KeptTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTraceRecord> out;
+  out.reserve(kept_.size());
+  // Oldest first.
+  for (size_t i = 0; i < kept_.size(); ++i) {
+    out.push_back(kept_[(kept_head_ + i) % kept_.size()]);
+  }
+  return out;
+}
+
+bool RequestTracer::HasTrace(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RequestTraceRecord& record : kept_) {
+    if (record.trace_id == trace_id) return true;
+  }
+  return false;
+}
+
+int64_t RequestTracer::KeptCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(kept_.size());
+}
+
 // --- RunProfile ------------------------------------------------------------
 
 RunProfile BuildRunProfile(std::string name, const Tracer& tracer,
@@ -174,16 +432,51 @@ std::string RunProfile::ToJson() const {
     if (!spans_json.empty()) spans_json += ",";
     spans_json += StrFormat(
         "{\"id\":%lld,\"parent_id\":%lld,\"name\":\"%s\","
-        "\"start_micros\":%lld,\"duration_micros\":%lld}",
+        "\"start_micros\":%lld,\"duration_micros\":%lld",
         static_cast<long long>(span.id),
-        static_cast<long long>(span.parent_id), span.name.c_str(),
+        static_cast<long long>(span.parent_id),
+        JsonEscape(span.name).c_str(),
         static_cast<long long>(span.start_micros),
         static_cast<long long>(span.DurationMicros()));
+    std::string annotations_json;
+    for (const auto& [k, v] : span.annotations) {
+      if (!annotations_json.empty()) annotations_json += ",";
+      annotations_json += StrFormat("\"%s\":\"%s\"", JsonEscape(k).c_str(),
+                                    JsonEscape(v).c_str());
+    }
+    if (!annotations_json.empty()) {
+      spans_json += StrFormat(",\"annotations\":{%s}",
+                              annotations_json.c_str());
+    }
+    spans_json += "}";
   }
-  return StrFormat("{\"name\":\"%s\",\"total_micros\":%lld,\"spans\":[%s],"
-                   "\"metrics\":%s}",
-                   name.c_str(), static_cast<long long>(total_micros),
-                   spans_json.c_str(), metrics.ToJson().c_str());
+  std::string stages_json;
+  for (const auto& [stage, micros] : stages) {
+    if (!stages_json.empty()) stages_json += ",";
+    stages_json += StrFormat("\"%s\":%lld", JsonEscape(stage).c_str(),
+                             static_cast<long long>(micros));
+  }
+  // Serving-plane overload summary, pulled from the metrics snapshot so
+  // the profile answers "did this run shed / brown out?" without
+  // spelunking the full registry dump.
+  const std::string overload_json = StrFormat(
+      "{\"shed_total\":%lld,\"brownout_total\":%lld,"
+      "\"hedges_suppressed_total\":%lld,\"retry_budget_exhausted_total\":"
+      "%lld}",
+      static_cast<long long>(metrics.CounterValue("serving_shed_total")),
+      static_cast<long long>(
+          metrics.CounterValue("serving_brownout_total")),
+      static_cast<long long>(
+          metrics.CounterValue("serving_hedges_suppressed_total")),
+      static_cast<long long>(
+          metrics.CounterValue("serving_retry_budget_exhausted_total")));
+  return StrFormat(
+      "{\"name\":\"%s\",\"total_micros\":%lld,\"spans\":[%s],"
+      "\"stages\":{%s},\"overload\":%s,\"slo\":%s,\"metrics\":%s}",
+      JsonEscape(name).c_str(), static_cast<long long>(total_micros),
+      spans_json.c_str(), stages_json.c_str(), overload_json.c_str(),
+      slo_json.empty() ? "{}" : slo_json.c_str(),
+      metrics.ToJson().c_str());
 }
 
 }  // namespace sigmund::obs

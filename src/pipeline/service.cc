@@ -82,6 +82,12 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(hedges_suppressed),
       static_cast<long long>(retry_budget_exhausted),
       static_cast<long long>(canary_samples_ignored));
+  if (!slo_json.empty()) {
+    out += StrFormat(
+        "\n  slo: firing=%d fired=%lld resolved=%lld",
+        slo_objectives_firing, static_cast<long long>(slo_alerts_fired),
+        static_cast<long long>(slo_alerts_resolved));
+  }
   return out;
 }
 
@@ -448,12 +454,23 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   report.canary_samples_ignored =
       delta("canary_samples_ignored_total", none);
 
+  // --- SLO evaluation: burn rates over the run-end snapshot. Runs after
+  // the pipeline finished, so it is passive by construction.
+  if (options_.slo != nullptr) {
+    options_.slo->Evaluate(after, clock_->NowMicros());
+    report.slo_alerts_fired = options_.slo->FiredTotal();
+    report.slo_alerts_resolved = options_.slo->ResolvedTotal();
+    report.slo_objectives_firing = options_.slo->FiringCount();
+    report.slo_json = options_.slo->ToJson();
+  }
+
   // --- Machine-readable run profile: this run's span tree + the full
   // metrics snapshot.
-  report.profile_json =
-      obs::BuildRunProfile(StrFormat("day%d", days_run_), *tracer_,
-                           day_span.id(), after)
-          .ToJson();
+  obs::RunProfile profile = obs::BuildRunProfile(
+      StrFormat("day%d", days_run_), *tracer_, day_span.id(), after);
+  profile.stages = report.stage_wall_micros;
+  if (!report.slo_json.empty()) profile.slo_json = report.slo_json;
+  report.profile_json = profile.ToJson();
 
   ++days_run_;
   return report;

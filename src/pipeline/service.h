@@ -11,6 +11,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "common/slo.h"
 #include "common/trace.h"
 #include "common/status.h"
 #include "pipeline/canary.h"
@@ -113,6 +114,15 @@ struct DailyReport {
   int64_t total_wall_micros = 0;
   // Simulated training time accumulated by this run's map tasks.
   int64_t simulated_train_micros = 0;
+
+  // --- SLO alerting (zeros / "" when no SloEngine is wired in). Fires +
+  // resolves are cumulative engine totals at report time; firing is how
+  // many objectives are in the firing state right now.
+  int64_t slo_alerts_fired = 0;
+  int64_t slo_alerts_resolved = 0;
+  int slo_objectives_firing = 0;
+  std::string slo_json;
+
   // Machine-readable run profile: the run's span tree plus a full metrics
   // snapshot, as JSON (see obs::RunProfile). Write it next to the daily
   // report.
@@ -179,6 +189,13 @@ class SigmundService {
     obs::MetricRegistry* metrics = nullptr;
     obs::Tracer* tracer = nullptr;
     const Clock* clock = nullptr;
+
+    // SLO engine (borrowed; null = no SLO evaluation). When wired in,
+    // every RunDaily evaluates the declared objectives over the run-end
+    // registry snapshot and surfaces burn rates / alert transitions in
+    // DailyReport and the RunProfile "slo" section. Evaluation happens
+    // after the run completes, so it can never perturb the run itself.
+    obs::SloEngine* slo = nullptr;
   };
 
   // `fs` is borrowed and holds all models/checkpoints/recommendations.

@@ -123,6 +123,23 @@ AdmissionController::AdmissionController(const Options& options,
     limit_gauge_->Set(static_cast<double>(limiter_.limit()));
     queue_gauge_ = metrics_->GetGauge("serving_admission_queue_depth");
     pressure_gauge_ = metrics_->GetGauge("serving_admission_pressure");
+    in_flight_gauge_ = metrics_->GetGauge("serving_limiter_in_flight");
+  }
+}
+
+void AdmissionController::SampleLocked(Admission* admission) {
+  admission->in_flight = in_flight_;
+  admission->queue_depth = queue_size_;
+  admission->limit = limiter_.limit();
+  admission->pressure = pressure_;
+  // Per-request gauge sampling: every admission decision refreshes the
+  // queue-depth and in-flight gauges, so the exposition shows the state
+  // the latest request saw (not just the last queue operation).
+  if (queue_gauge_ != nullptr) {
+    queue_gauge_->Set(static_cast<double>(queue_size_));
+  }
+  if (in_flight_gauge_ != nullptr) {
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
   }
 }
 
@@ -175,6 +192,7 @@ AdmissionController::Admission AdmissionController::Offer(
     if (!it->second.TryTake(now)) {
       admission.reason = ShedReason::kRateLimited;
       CountShed(priority, admission.reason);
+      SampleLocked(&admission);
       return admission;
     }
   }
@@ -191,6 +209,7 @@ AdmissionController::Admission AdmissionController::Offer(
   if (occupancy >= watermark) {
     admission.reason = ShedReason::kWatermark;
     CountShed(priority, admission.reason);
+    SampleLocked(&admission);
     return admission;
   }
 
@@ -198,12 +217,14 @@ AdmissionController::Admission AdmissionController::Offer(
     ++in_flight_;
     admission.outcome = Outcome::kAdmitted;
     CountAdmitted(priority);
+    SampleLocked(&admission);
     return admission;
   }
 
   if (!may_queue || options_.queue_capacity <= 0) {
     admission.reason = ShedReason::kQueueFull;
     CountShed(priority, admission.reason);
+    SampleLocked(&admission);
     return admission;
   }
 
@@ -219,6 +240,7 @@ AdmissionController::Admission AdmissionController::Offer(
     if (victim < 0) {
       admission.reason = ShedReason::kQueueFull;
       CountShed(priority, admission.reason);
+      SampleLocked(&admission);
       return admission;
     }
     // Evict the youngest waiter of the lowest class — it has the least
@@ -235,11 +257,9 @@ AdmissionController::Admission AdmissionController::Offer(
   ticket.deadline_micros = deadline_micros;
   queues_[static_cast<int>(priority)].push_back(ticket);
   ++queue_size_;
-  if (queue_gauge_ != nullptr) {
-    queue_gauge_->Set(static_cast<double>(queue_size_));
-  }
   admission.outcome = Outcome::kQueued;
   admission.id = ticket.id;
+  SampleLocked(&admission);
   return admission;
 }
 
@@ -307,6 +327,9 @@ AdmissionController::Drained AdmissionController::Release(
   }
   DrainLocked(&drained);
   UpdatePressureLocked();
+  if (in_flight_gauge_ != nullptr) {
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  }
   return drained;
 }
 

@@ -228,6 +228,14 @@ class AdmissionController {
     Outcome outcome = Outcome::kShed;
     ShedReason reason = ShedReason::kNone;
     uint64_t id = 0;  // ticket id for queued requests
+    // Controller state sampled at decision time (race-free: taken under
+    // the controller lock in the same critical section as the decision),
+    // so shed traces can annotate exactly the queue/limiter picture the
+    // decision saw.
+    int in_flight = 0;     // after this decision
+    int queue_depth = 0;   // after this decision
+    int limit = 0;         // concurrency limit at decision time
+    double pressure = 0;   // EWMA pressure after this decision
   };
 
   // What a completion freed up: queued requests admitted into the slot
@@ -264,6 +272,9 @@ class AdmissionController {
  private:
   double OccupancyLocked() const;
   void UpdatePressureLocked();
+  // Samples queue depth / in-flight / limit / pressure into `admission`
+  // and refreshes the per-request gauges. Caller holds mu_.
+  void SampleLocked(Admission* admission);
   void CountShed(RequestPriority priority, ShedReason reason);
   void CountAdmitted(RequestPriority priority);
   // Pops deadline-expired / CoDel-shed heads and admits queued requests
@@ -276,6 +287,7 @@ class AdmissionController {
   obs::Gauge* limit_gauge_ = nullptr;
   obs::Gauge* queue_gauge_ = nullptr;
   obs::Gauge* pressure_gauge_ = nullptr;
+  obs::Gauge* in_flight_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   AdaptiveConcurrencyLimiter limiter_;

@@ -127,6 +127,17 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   int64_t batch_version =
       store_ != nullptr ? store_->RetailerVersion(request.retailer) : 0;
   bool admitted = false;
+  // Request tracing: annotate the caller's trace when one is attached,
+  // else start our own (submitted in finish; kept ones become exemplars).
+  obs::RequestTrace owned_trace;
+  obs::TraceContext trace = request.trace;
+  if (!trace.active() && options_.request_tracer != nullptr) {
+    owned_trace = options_.request_tracer->StartRequest("serving/handle");
+    trace = owned_trace.Context();
+  }
+  // Set when the store lookup finished past the request deadline — drives
+  // the kDeadlineOverrun verdict even when a fallback then serves.
+  bool overran_deadline = false;
   // Records the request outcome + latency on every return path, and gives
   // the admission slot back with the observed latency so the concurrency
   // limiter learns from every admitted request.
@@ -134,6 +145,20 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     const int64_t latency = clock_->NowMicros() - start_micros;
     if (admitted && options_.admission != nullptr) {
       options_.admission->Release(latency);
+    }
+    if (trace.active()) {
+      // Verdict precedence: shed > deadline overrun > error > healthy
+      // (SetVerdict never downgrades a caller-set verdict to healthy).
+      obs::TraceVerdict verdict = obs::TraceVerdict::kHealthy;
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kResourceExhausted) {
+        verdict = obs::TraceVerdict::kShed;
+      } else if (overran_deadline) {
+        verdict = obs::TraceVerdict::kDeadlineOverrun;
+      } else if (!result.ok()) {
+        verdict = obs::TraceVerdict::kError;
+      }
+      trace.SetVerdict(verdict);
     }
     if (metrics_ != nullptr) {
       request_micros_->Observe(static_cast<double>(latency));
@@ -147,6 +172,16 @@ StatusOr<RecommendationResponse> Frontend::Handle(
                        {{"outcome", outcome},
                         {"version", std::to_string(batch_version)}})
           ->Add(1);
+    }
+    if (owned_trace.active() && options_.request_tracer != nullptr) {
+      const uint64_t trace_id = owned_trace.trace_id();
+      if (options_.request_tracer->Submit(std::move(owned_trace)) &&
+          request_micros_ != nullptr) {
+        // Kept trace: link the latency bucket this request landed in to
+        // the trace, so the exposition's p99 resolves to a real request.
+        request_micros_->AttachExemplar(static_cast<double>(latency),
+                                        trace_id);
+      }
     }
     return result;
   };
@@ -165,13 +200,34 @@ StatusOr<RecommendationResponse> Frontend::Handle(
           ? start_micros + options_.request_deadline_micros
           : 0;
   if (options_.admission != nullptr) {
+    const int64_t admission_span = trace.StartSpan("admission");
+    const obs::TraceContext admission_ctx{trace.trace, admission_span};
     const AdmissionController::Admission admission =
         options_.admission->Offer(request.retailer, request.priority,
                                   deadline_micros, /*may_queue=*/false);
+    if (admission_ctx.active()) {
+      // The queue/limiter picture the decision saw, sampled atomically
+      // with it — what a shed trace needs to explain itself.
+      admission_ctx.Annotate("priority",
+                             RequestPriorityName(request.priority));
+      admission_ctx.Annotate("queue_depth",
+                             std::to_string(admission.queue_depth));
+      admission_ctx.Annotate("in_flight",
+                             std::to_string(admission.in_flight));
+      admission_ctx.Annotate("limit", std::to_string(admission.limit));
+      admission_ctx.Annotate("pressure",
+                             std::to_string(admission.pressure));
+    }
     if (admission.outcome != AdmissionController::Outcome::kAdmitted) {
+      admission_ctx.Annotate("outcome", "shed");
+      admission_ctx.Annotate("shed_reason",
+                             ShedReasonName(admission.reason));
+      trace.EndSpan(admission_span);
       return finish(ResourceExhaustedError(
           std::string("request shed: ") + ShedReasonName(admission.reason)));
     }
+    admission_ctx.Annotate("outcome", "admitted");
+    trace.EndSpan(admission_span);
     admitted = true;
   }
 
@@ -198,11 +254,14 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     }
   }
   response.brownout_rung = rung;
-  if (rung > 0 && metrics_ != nullptr) {
-    metrics_
-        ->GetCounter("serving_brownout_total",
-                     {{"rung", std::to_string(rung)}})
-        ->Add(1);
+  if (rung > 0) {
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("serving_brownout_total",
+                       {{"rung", std::to_string(rung)}})
+          ->Add(1);
+    }
+    trace.Annotate("brownout_rung", std::to_string(rung));
   }
   const int effective_max =
       rung >= 1 ? std::max(1, std::min(request.max_results,
@@ -216,6 +275,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     response.source = source;
     response.degraded = source != ServingSource::kStore;
     response.batch_version = batch_version;
+    trace.Annotate("source", ServingSourceName(source));
     for (const core::ScoredItem& item : list) {
       if (static_cast<int>(response.items.size()) >= effective_max) {
         break;
@@ -294,13 +354,23 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     // success below closes the breaker, a failure re-opens it.
   }
   if (short_circuited) {
+    trace.Annotate("breaker", "short_circuit");
     return fall_back(UnavailableError("circuit breaker open"));
   }
 
   auto do_lookup = [&]() {
-    return lookup_ != nullptr
-               ? lookup_(request.retailer, request.context)
-               : store_->ServeContext(request.retailer, request.context);
+    const int64_t lookup_span = trace.StartSpan("store_lookup");
+    const obs::TraceContext lookup_ctx{trace.trace, lookup_span};
+    StatusOr<std::vector<core::ScoredItem>> result =
+        lookup_ != nullptr
+            ? lookup_(request.retailer, request.context)
+            : store_->ServeContext(request.retailer, request.context,
+                                   lookup_ctx);
+    if (!result.ok()) {
+      lookup_ctx.Annotate("error", result.status().message());
+    }
+    trace.EndSpan(lookup_span);
+    return result;
   };
   if (options_.store_retries > 0) retry_budget_tokens_.RecordRequest();
   StatusOr<std::vector<core::ScoredItem>> list = do_lookup();
@@ -315,9 +385,11 @@ StatusOr<RecommendationResponse> Frontend::Handle(
        ++attempt) {
     if (!retry_budget_tokens_.TryWithdraw()) {
       if (retry_budget_exhausted_ != nullptr) retry_budget_exhausted_->Add(1);
+      trace.Annotate("retry_budget", "exhausted");
       break;
     }
     if (client_retries_ != nullptr) client_retries_->Add(1);
+    trace.Annotate("retry_attempt", std::to_string(attempt + 1));
     list = do_lookup();
   }
 
@@ -333,6 +405,9 @@ StatusOr<RecommendationResponse> Frontend::Handle(
         overrun_micros_->Observe(
             static_cast<double>(response.overrun_micros));
       }
+      overran_deadline = true;
+      trace.Annotate("overrun_micros",
+                     std::to_string(response.overrun_micros));
       list = UnavailableError("request deadline exceeded");
     }
   }

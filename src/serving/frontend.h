@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/calibration.h"
 #include "core/funnel.h"
 #include "serving/admission.h"
@@ -29,6 +30,10 @@ struct RecommendationRequest {
   // Priority class for admission control: under overload the lowest class
   // is shed first (user-facing > canary > health-probe).
   RequestPriority priority = RequestPriority::kUserFacing;
+  // Caller-owned request trace to annotate (inactive = none). When left
+  // inactive and the frontend has a `request_tracer`, Handle() starts,
+  // populates, and submits its own trace for the request.
+  obs::TraceContext trace;
 };
 
 // Where the served list came from — the store itself, or a rung of the
@@ -135,6 +140,15 @@ class Frontend {
     // volume is capped at a fraction of real request volume.
     int store_retries = 0;
     RetryBudget::Options retry_budget;
+
+    // Request tracer (borrowed; null = tracing off). Every Handle() whose
+    // request carries no caller trace builds one span tree — admission
+    // decision, brownout rung, store lookup with retry/hedge annotations,
+    // deadline overrun, fallback source — and submits it to the tracer's
+    // tail sampler; kept traces become exemplars on
+    // serving_request_micros. Requests that do carry a caller trace are
+    // annotated in place (submission stays with the caller).
+    obs::RequestTracer* request_tracer = nullptr;
   };
 
   // Test seam: replaces the store lookup (so tests can inject errors,

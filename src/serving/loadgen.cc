@@ -24,7 +24,14 @@ enum EventKind : int {
   kClosedArrival = 3,
   kCompletion = 4,  // payload = request index
   kRetry = 5,       // payload = request index
+  kSloTick = 6,     // periodic SLO evaluation (separate seq space)
 };
+
+// SLO ticks take their tie-break seqs from a disjoint space above every
+// possible simulation seq, so enabling SLO evaluation cannot shift the
+// FIFO order of same-micro simulation events — the decision_hash stays
+// byte-identical with the engine on or off.
+constexpr uint64_t kSloSeqBase = 1ULL << 62;
 
 struct Event {
   int64_t time = 0;
@@ -48,6 +55,8 @@ struct Request {
   int64_t deadline_micros = 0;       // absolute; 0 = none
   int attempt = 0;
   bool closed_loop = false;
+  obs::RequestTrace trace;     // inactive when tracing is off
+  int64_t service_span = 0;    // open "service" span while in a slot
 };
 
 class Sim {
@@ -59,6 +68,16 @@ class Sim {
         end_micros_(
             static_cast<int64_t>(options.duration_seconds * 1e6)) {
     hash_ = kFnvOffset;
+    // Tracing / SLO need a registry to record into; fall back to an
+    // owned one when the caller passed none.
+    registry_ = metrics != nullptr ? metrics : &owned_registry_;
+    if (options_.trace_requests) {
+      tracer_ = std::make_unique<obs::RequestTracer>(options_.trace,
+                                                     registry_, &clock_);
+    }
+    if (options_.slo_enabled) {
+      slo_ = std::make_unique<obs::SloEngine>(options_.slo, registry_);
+    }
     // Zipf cumulative weights over retailers.
     const int n = std::max(1, options_.num_retailers);
     zipf_cdf_.resize(n);
@@ -73,6 +92,23 @@ class Sim {
       RetryBudget::Options budget;
       budget.ratio = options_.retry_budget_ratio;
       retry_budget_ = std::make_unique<RetryBudget>(budget);
+    }
+    if (tracer_ != nullptr || slo_ != nullptr) {
+      // Cached instrument pointers — the hot path never takes the
+      // registry lock. Only materialized when tracing/SLO is on, so the
+      // baseline simulation does no extra work at all.
+      requests_ok_ = registry_->GetCounter("serving_requests_total",
+                                           {{"outcome", "ok"}});
+      requests_late_ = registry_->GetCounter("serving_requests_total",
+                                             {{"outcome", "late"}});
+      requests_shed_ = registry_->GetCounter("serving_requests_total",
+                                             {{"outcome", "shed"}});
+      for (int p = 0; p < kNumRequestPriorities; ++p) {
+        latency_hist_[p] = registry_->GetHistogram(
+            "serving_latency_micros",
+            {{"priority",
+              RequestPriorityName(static_cast<RequestPriority>(p))}});
+      }
     }
   }
 
@@ -95,6 +131,7 @@ class Sim {
                    std::max<int64_t>(1, think_micros))),
                kClosedArrival, u);
     }
+    if (slo_ != nullptr) ScheduleSloTick(SloIntervalMicros());
 
     while (!events_.empty()) {
       const Event event = events_.top();
@@ -117,6 +154,17 @@ class Sim {
 
   void Schedule(int64_t time, int kind, int64_t payload) {
     events_.push(Event{time, next_seq_++, kind, payload});
+  }
+
+  int64_t SloIntervalMicros() const {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(options_.slo_eval_interval_seconds * 1e6));
+  }
+
+  // SLO ticks draw seqs from kSloSeqBase so they sort after every
+  // same-micro simulation event and never consume a simulation seq.
+  void ScheduleSloTick(int64_t time) {
+    events_.push(Event{time, kSloSeqBase + slo_seq_++, kSloTick, 0});
   }
 
   // Exponential inter-arrival gap for a Poisson stream at `rate`/sec.
@@ -161,7 +209,14 @@ class Sim {
     request.deadline_micros =
         options_.deadline_micros > 0 ? now + options_.deadline_micros : 0;
     request.closed_loop = closed_loop;
-    requests_.push_back(request);
+    if (tracer_ != nullptr) {
+      request.trace = tracer_->StartRequest(
+          std::string("loadgen/") + RequestPriorityName(priority));
+      request.trace.Annotate(0, "retailer",
+                             std::to_string(request.retailer));
+      ++report_.traces_started;
+    }
+    requests_.push_back(std::move(request));
     ++Stats(priority).offered;
     ++report_.total_offered;
     if (priority == RequestPriority::kUserFacing &&
@@ -187,8 +242,12 @@ class Sim {
   }
 
   void StartService(size_t index, int64_t now) {
-    ++Stats(requests_[index].priority).admitted;
-    requests_[index].service_start_micros = now;
+    Request& request = requests_[index];
+    ++Stats(request.priority).admitted;
+    request.service_start_micros = now;
+    if (request.trace.active()) {
+      request.service_span = request.trace.StartSpan("service");
+    }
     Schedule(now + ServiceMicros(), kCompletion,
              static_cast<int64_t>(index));
   }
@@ -212,12 +271,24 @@ class Sim {
         (request.deadline_micros == 0 || now < request.deadline_micros)) {
       if (retry_budget_ != nullptr && !retry_budget_->TryWithdraw()) {
         ++report_.retries_suppressed;
+        request.trace.Annotate(0, "retry", "suppressed_budget");
       } else {
         const int64_t backoff = static_cast<int64_t>(
             options_.retry_backoff_seconds * 1e6);
         Schedule(now + std::max<int64_t>(1, backoff), kRetry,
                  static_cast<int64_t>(index));
         return;  // the user is still waiting, not thinking
+      }
+    }
+    // Terminal shed: the client gave up on this request.
+    ++report_.terminal_sheds;
+    if (requests_shed_ != nullptr) requests_shed_->Add(1);
+    if (request.trace.active()) {
+      request.trace.Annotate(0, "shed_reason", ShedReasonName(reason));
+      request.trace.SetVerdict(obs::TraceVerdict::kShed);
+      if (tracer_->Submit(std::move(request.trace))) {
+        ++report_.traces_kept;
+        ++report_.shed_traces_kept;  // == terminal_sheds: 100% kept
       }
     }
     FinishClosedLoop(index, now);
@@ -241,6 +312,31 @@ class Sim {
     Mix(static_cast<uint64_t>(now));
     Mix((static_cast<uint64_t>(request.priority) << 8) |
         static_cast<uint64_t>(admission.outcome));
+    if (request.trace.active()) {
+      // One "admission" span per offer (retries get their own), carrying
+      // the queue/limiter state the decision saw.
+      const int64_t span = request.trace.StartSpan("admission");
+      request.trace.Annotate(span, "attempt",
+                             std::to_string(request.attempt));
+      request.trace.Annotate(span, "queue_depth",
+                             std::to_string(admission.queue_depth));
+      request.trace.Annotate(span, "in_flight",
+                             std::to_string(admission.in_flight));
+      request.trace.Annotate(span, "limit",
+                             std::to_string(admission.limit));
+      request.trace.Annotate(
+          span, "outcome",
+          admission.outcome == AdmissionController::Outcome::kAdmitted
+              ? "admitted"
+          : admission.outcome == AdmissionController::Outcome::kQueued
+              ? "queued"
+              : "shed");
+      if (admission.outcome == AdmissionController::Outcome::kShed) {
+        request.trace.Annotate(span, "shed_reason",
+                               ShedReasonName(admission.reason));
+      }
+      request.trace.EndSpan(span);
+    }
     switch (admission.outcome) {
       case AdmissionController::Outcome::kAdmitted:
         if (request.priority == RequestPriority::kHealthProbe) {
@@ -291,12 +387,39 @@ class Sim {
         request.deadline_micros == 0 || now <= request.deadline_micros;
     if (good) {
       ++stats.good;
+      if (requests_ok_ != nullptr) requests_ok_->Add(1);
     } else {
       ++stats.late;
+      ++report_.deadline_overruns;
+      if (requests_late_ != nullptr) requests_late_->Add(1);
+    }
+    if (latency_hist_[static_cast<int>(request.priority)] != nullptr) {
+      latency_hist_[static_cast<int>(request.priority)]->Observe(
+          static_cast<double>(latency));
     }
     latencies_.push_back(latency);
     Mix(static_cast<uint64_t>(now));
     Mix(0xC0FFEEULL ^ static_cast<uint64_t>(latency));
+    if (request.trace.active()) {
+      request.trace.EndSpan(request.service_span);
+      if (!good) {
+        request.trace.Annotate(
+            0, "overrun_micros",
+            std::to_string(now - request.deadline_micros));
+        request.trace.SetVerdict(obs::TraceVerdict::kDeadlineOverrun);
+      }
+      const uint64_t trace_id = request.trace.trace_id();
+      if (tracer_->Submit(std::move(request.trace))) {
+        ++report_.traces_kept;
+        if (!good) ++report_.late_traces_kept;
+        // Kept trace: make it the exemplar of the latency bucket this
+        // completion landed in, so the p99 bucket links to a trace.
+        if (latency_hist_[static_cast<int>(request.priority)] != nullptr) {
+          latency_hist_[static_cast<int>(request.priority)]
+              ->AttachExemplar(static_cast<double>(latency), trace_id);
+        }
+      }
+    }
     // The limiter learns from SERVICE latency only; the end-to-end
     // latency above (which includes queue wait) is what the client sees
     // and what the goodput/deadline accounting uses.
@@ -352,6 +475,12 @@ class Sim {
         OfferRequest(index, event.time);
         return;
       }
+      case kSloTick: {
+        slo_->Evaluate(registry_->Snapshot(), event.time);
+        const int64_t next = event.time + SloIntervalMicros();
+        if (next <= end_micros_) ScheduleSloTick(next);
+        return;
+      }
     }
   }
 
@@ -374,6 +503,15 @@ class Sim {
     report_.final_concurrency_limit = controller_.concurrency_limit();
     report_.final_pressure = controller_.Pressure();
     report_.decision_hash = hash_;
+    if (tracer_ != nullptr) {
+      report_.kept_traces = tracer_->KeptTraces();
+    }
+    if (slo_ != nullptr) {
+      report_.slo_alerts_fired = slo_->FiredTotal();
+      report_.slo_alerts_resolved = slo_->ResolvedTotal();
+      report_.slo_alerts = slo_->alert_log();
+      report_.slo_json = slo_->ToJson();
+    }
     return report_;
   }
 
@@ -383,6 +521,18 @@ class Sim {
   AdmissionController controller_;
   std::unique_ptr<RetryBudget> retry_budget_;
   int64_t end_micros_;
+
+  // Tracing / SLO (null when disabled). owned_registry_ backs them when
+  // the caller passed no registry of their own.
+  obs::MetricRegistry owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  std::unique_ptr<obs::RequestTracer> tracer_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  obs::Counter* requests_ok_ = nullptr;
+  obs::Counter* requests_late_ = nullptr;
+  obs::Counter* requests_shed_ = nullptr;
+  obs::Histogram* latency_hist_[kNumRequestPriorities] = {};
+  uint64_t slo_seq_ = 0;
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   uint64_t next_seq_ = 0;

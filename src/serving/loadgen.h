@@ -5,9 +5,12 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/slo.h"
+#include "common/trace.h"
 #include "serving/admission.h"
 
 namespace sigmund::serving {
@@ -77,6 +80,21 @@ struct LoadGenOptions {
   // The admission plane under test. An "unprotected" baseline is modeled
   // by pinning min/max/initial limit to a huge value.
   AdmissionController::Options admission;
+
+  // --- Request tracing (tail-based sampling). Provably passive: every
+  // keep decision is a pure hash of (trace id, trace.seed), so enabling
+  // tracing changes neither the simulation RNG stream nor any admission
+  // decision — decision_hash is byte-identical with tracing on or off.
+  bool trace_requests = false;
+  obs::RequestTracer::Options trace;
+
+  // --- SLO burn-rate evaluation over the run's metrics. Evaluation
+  // events live in their own event-sequence space, so enabling them
+  // never perturbs the tie-break order of simulation events (passivity,
+  // again asserted via decision_hash).
+  bool slo_enabled = false;
+  obs::SloEngine::Options slo;
+  double slo_eval_interval_seconds = 0.25;
 };
 
 struct LoadGenPriorityStats {
@@ -115,6 +133,25 @@ struct LoadGenReport {
   // FNV-1a over every (time, stream, outcome) decision; byte-identical
   // across same-seed reruns.
   uint64_t decision_hash = 0;
+
+  // --- Tracing (zero / empty unless trace_requests). A request is
+  // "terminally shed" when its final outcome was a shed (no retry left);
+  // the tail sampler keeps 100% of those, so terminal_sheds ==
+  // shed_traces_kept, and likewise every late completion is kept.
+  int64_t traces_started = 0;
+  int64_t traces_kept = 0;
+  int64_t terminal_sheds = 0;
+  int64_t shed_traces_kept = 0;
+  int64_t deadline_overruns = 0;  // completions past their deadline
+  int64_t late_traces_kept = 0;
+  // Kept traces, oldest first (bounded by trace.max_kept_traces).
+  std::vector<obs::RequestTraceRecord> kept_traces;
+
+  // --- SLO alerting (zero / empty unless slo_enabled).
+  int64_t slo_alerts_fired = 0;
+  int64_t slo_alerts_resolved = 0;
+  std::vector<obs::AlertEvent> slo_alerts;
+  std::string slo_json;  // SloEngine::ToJson(); "" when disabled
 };
 
 // Runs one simulation. `metrics` (borrowed, may be null) receives the

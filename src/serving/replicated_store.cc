@@ -71,6 +71,12 @@ std::vector<int> ReplicatedStoreGroup::ServingOrder(
 
 StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
     data::RetailerId retailer, const core::Context& context) const {
+  return ServeContext(retailer, context, obs::TraceContext());
+}
+
+StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
+    data::RetailerId retailer, const core::Context& context,
+    obs::TraceContext trace) const {
   if (context.empty()) {
     return InvalidArgumentError("empty context");
   }
@@ -84,9 +90,14 @@ StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
   if (order.empty()) {
     return UnavailableError("no serving replicas alive");
   }
-  if (order.front() != preferred && metrics_ != nullptr) {
-    metrics_->GetCounter("serving_replica_failovers_total")->Add(1);
+  if (order.front() != preferred) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("serving_replica_failovers_total")->Add(1);
+    }
+    trace.Annotate("replica_failover",
+                   StrFormat("%d->%d", preferred, order.front()));
   }
+  trace.Annotate("replica", StrFormat("%d", order.front()));
   auto observe = [&](int64_t micros) {
     if (metrics_ != nullptr) {
       metrics_->GetHistogram("serving_replica_read_micros")
@@ -102,6 +113,7 @@ StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
     if (metrics_ != nullptr) {
       metrics_->GetCounter("serving_hedges_suppressed_total")->Add(1);
     }
+    trace.Annotate("hedge", "suppressed_budget");
   }
   if (hedge) {
     // Hedge: read the two most-preferred replicas and serve the faster
@@ -116,10 +128,14 @@ StatusOr<std::vector<core::ScoredItem>> ReplicatedStoreGroup::ServeContext(
     if (metrics_ != nullptr) {
       metrics_->GetCounter("serving_hedged_reads_total")->Add(1);
     }
+    trace.Annotate("hedge", StrFormat("%d+%d", first, second));
     const bool backup_wins =
         b.ok() && (!a.ok() || ReadMicros(second) < ReadMicros(first));
-    if (backup_wins && metrics_ != nullptr) {
-      metrics_->GetCounter("serving_hedge_wins_total")->Add(1);
+    if (backup_wins) {
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("serving_hedge_wins_total")->Add(1);
+      }
+      trace.Annotate("hedge_winner", "backup");
     }
     observe(a.ok() && b.ok()
                 ? std::min(ReadMicros(first), ReadMicros(second))

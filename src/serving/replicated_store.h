@@ -63,9 +63,14 @@ class ReplicatedStoreGroup : public ServingReader {
   explicit ReplicatedStoreGroup(const Options& options,
                                 obs::MetricRegistry* metrics = nullptr);
 
-  // --- ServingReader: the request path.
+  // --- ServingReader: the request path. The traced overload is the real
+  // implementation: replica choice, failover, and hedge decisions are
+  // annotated onto the request trace (no-ops on an inactive context).
   StatusOr<std::vector<core::ScoredItem>> ServeContext(
       data::RetailerId retailer, const core::Context& context) const override;
+  StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context,
+      obs::TraceContext trace) const override;
   // The primary's active version (the group's version authority).
   int64_t RetailerVersion(data::RetailerId retailer) const override;
 

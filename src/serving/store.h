@@ -8,6 +8,7 @@
 
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/inference.h"
 #include "sfs/reliable_io.h"
 #include "sfs/shared_filesystem.h"
@@ -32,6 +33,17 @@ class ServingReader {
   // Serves a user context from the currently active batch.
   virtual StatusOr<std::vector<core::ScoredItem>> ServeContext(
       data::RetailerId retailer, const core::Context& context) const = 0;
+
+  // Trace-aware variant: implementations that make routing decisions
+  // (replica choice, failover, hedging) annotate them onto `trace`. The
+  // default forwards to the untraced overload, so plain stores need not
+  // care; an inactive context is always a no-op.
+  virtual StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context,
+      obs::TraceContext trace) const {
+    (void)trace;
+    return ServeContext(retailer, context);
+  }
 
   // Active batch version for `retailer` (0 = never loaded).
   virtual int64_t RetailerVersion(data::RetailerId retailer) const = 0;

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/slo.h"
 #include "data/world_generator.h"
 #include "pipeline/checkpoint.h"
 #include "pipeline/service.h"
@@ -194,6 +195,17 @@ TEST(ChaosTest, ExternalObservabilityNeverPerturbsResults) {
   options.metrics = &registry;
   options.tracer = &tracer;
   options.clock = &clock;
+  // SLO engine wired into run B only: evaluation happens after each run
+  // over a snapshot, so it must not move a single byte of output.
+  obs::SloObjective map_failures;
+  map_failures.name = "map_reliability";
+  map_failures.total_counter = "mapreduce_task_attempts_total";
+  map_failures.bad_counter = "mapreduce_task_failures_total";
+  map_failures.objective = 0.5;  // chaos run: generous budget
+  obs::SloEngine::Options slo_options;
+  slo_options.objectives.push_back(map_failures);
+  obs::SloEngine slo(slo_options, &registry);
+  options.slo = &slo;
   SigmundService service_b(&fs_b, options);
   fs_b.SetMetrics(&registry);  // live per-op fault counting
   service_b.UpsertRetailer(&f.r0.data);
@@ -234,6 +246,12 @@ TEST(ChaosTest, ExternalObservabilityNeverPerturbsResults) {
   EXPECT_FALSE(day_b->profile_json.empty());
   EXPECT_NE(day_b->profile_json.find("\"run_daily/day0\""),
             std::string::npos);
+
+  // The SLO engine observed the chaos day (post-run evaluation) and its
+  // verdict rode along in the report without perturbing any output above.
+  EXPECT_FALSE(day_b->slo_json.empty());
+  EXPECT_NE(day_b->slo_json.find("\"map_reliability\""), std::string::npos);
+  EXPECT_NE(day_b->profile_json.find("\"slo\""), std::string::npos);
 }
 
 // Direct acceptance criterion: a torn checkpoint write must never crash

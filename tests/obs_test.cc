@@ -187,6 +187,66 @@ TEST(ExpositionTest, JsonExpositionCarriesQuantiles) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+// Regression: label values carrying Prometheus-special characters must be
+// escaped in the text exposition — an unescaped quote or newline corrupts
+// every line after it for any scrape parser.
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry.GetCounter("odd_total", {{"path", "a\\b"}})->Add(1);
+  registry.GetCounter("odd_total", {{"msg", "say \"hi\""}})->Add(1);
+  registry.GetCounter("odd_total", {{"err", "line1\nline2"}})->Add(1);
+  registry.GetCounter("odd_total", {{"crlf", "x\r\ny"}})->Add(1);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("msg=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("err=\"line1\\nline2\""), std::string::npos);
+  // Raw newlines must never survive inside a label value: every line of
+  // the exposition is either a comment or "name{...} value".
+  for (const char* forbidden : {"line1\nline2", "say \"hi\""}) {
+    EXPECT_EQ(text.find(forbidden), std::string::npos) << forbidden;
+  }
+  EXPECT_NE(text.find("crlf=\"x\\n\\ny\""), std::string::npos);
+}
+
+// Exemplars: a kept trace attached to a bucket shows up OpenMetrics-style
+// in the text exposition, in the JSON p99 link, and through the
+// nearest-bucket fallback of ExemplarForQuantile.
+TEST(ExpositionTest, ExemplarsLinkBucketsToTraces) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_micros");
+  for (int i = 0; i < 100; ++i) h->Observe(8.0);
+  h->AttachExemplar(8.0, /*trace_id=*/77);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find(" # {trace_id=\"77\"} 8"), std::string::npos);
+
+  // The p99 rank falls in the same point-mass bucket: direct hit.
+  EXPECT_EQ(registry.Snapshot()
+                .FindHistogram("lat_micros")
+                ->ExemplarForQuantile(0.99),
+            77u);
+  // JSON carries the link for RunProfile consumers.
+  EXPECT_NE(registry.JsonExposition().find("\"p99_exemplar\":\"77\""),
+            std::string::npos);
+
+  // Fallback: observations land in a bucket with no exemplar of its own;
+  // the nearest exemplar-carrying bucket (lower preferred) answers.
+  Histogram* sparse = registry.GetHistogram("sparse_micros");
+  sparse->Observe(1.0);
+  sparse->AttachExemplar(1.0, 5);
+  for (int i = 0; i < 1000; ++i) sparse->Observe(1e6);
+  EXPECT_EQ(registry.Snapshot()
+                .FindHistogram("sparse_micros")
+                ->ExemplarForQuantile(0.99),
+            5u);
+  // No exemplar anywhere: 0 = "no link".
+  Histogram* bare = registry.GetHistogram("bare_micros");
+  bare->Observe(1.0);
+  EXPECT_EQ(
+      registry.Snapshot().FindHistogram("bare_micros")->ExemplarForQuantile(
+          0.99),
+      0u);
+}
+
 // ---------------------------------------------------------------------------
 // Span tracing under SimClock.
 

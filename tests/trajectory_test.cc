@@ -1,0 +1,248 @@
+// Perf-trajectory gate (DESIGN.md §10): the JSON reader, dotted-path
+// resolution, baseline parsing, tolerance-band checking — including the
+// committed bench/baselines files staying well-formed — and the RunProfile
+// golden schema (a parseable document with every required section).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/trajectory.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace sigmund {
+namespace {
+
+using bench::Baseline;
+using bench::CheckTrajectory;
+using bench::FindPath;
+using bench::JsonValue;
+using bench::ModeMatches;
+using bench::ParseBaseline;
+using bench::ParseJson;
+using bench::TrajectoryResult;
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+// --- JSON parsing ------------------------------------------------------------
+
+TEST(TrajectoryJsonTest, ParsesScalarsObjectsAndArrays) {
+  const JsonValue doc = MustParse(
+      "{\"a\": 1.5, \"b\": \"text\", \"c\": [1, 2, 3], "
+      "\"d\": {\"nested\": true}, \"e\": null, \"f\": -2e3}");
+  EXPECT_DOUBLE_EQ(doc.Find("a")->number, 1.5);
+  EXPECT_EQ(doc.Find("b")->string_value, "text");
+  ASSERT_EQ(doc.Find("c")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.Find("c")->array[1].number, 2.0);
+  EXPECT_TRUE(doc.Find("d")->Find("nested")->bool_value);
+  EXPECT_EQ(doc.Find("e")->type, JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(doc.Find("f")->number, -2000.0);
+}
+
+TEST(TrajectoryJsonTest, ParsesEscapesInStrings) {
+  const JsonValue doc =
+      MustParse("{\"k\": \"a\\\"b\\\\c\\nd\\tе\\u0041\"}");
+  const std::string& value = doc.Find("k")->string_value;
+  EXPECT_NE(value.find("a\"b\\c\nd\t"), std::string::npos);
+  EXPECT_NE(value.find('A'), std::string::npos);  // A
+}
+
+TEST(TrajectoryJsonTest, RejectsMalformedInput) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &value, &error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &value, &error));
+  EXPECT_FALSE(ParseJson("[1, 2", &value, &error));
+  EXPECT_FALSE(ParseJson("\"unterminated", &value, &error));
+}
+
+TEST(TrajectoryJsonTest, FindPathResolvesDotsAndArrayIndexes) {
+  const JsonValue doc = MustParse(
+      "{\"acceptance\": {\"ratio\": 0.95}, "
+      "\"curve\": [{\"mult\": 0.5}, {\"mult\": 1.0}]}");
+  ASSERT_NE(FindPath(doc, "acceptance.ratio"), nullptr);
+  EXPECT_DOUBLE_EQ(FindPath(doc, "acceptance.ratio")->number, 0.95);
+  ASSERT_NE(FindPath(doc, "curve.1.mult"), nullptr);
+  EXPECT_DOUBLE_EQ(FindPath(doc, "curve.1.mult")->number, 1.0);
+  EXPECT_EQ(FindPath(doc, "acceptance.missing"), nullptr);
+  EXPECT_EQ(FindPath(doc, "curve.7.mult"), nullptr);
+  EXPECT_EQ(FindPath(doc, "nope"), nullptr);
+}
+
+// --- Baselines and band checking ---------------------------------------------
+
+constexpr char kBaseline[] = R"({
+  "bench": "demo",
+  "mode": "quick",
+  "results_file": "BENCH_demo.json",
+  "metrics": {
+    "acceptance.goodput": {"expect": 100.0,
+                           "min_ratio": 0.9, "max_ratio": 1.2},
+    "acceptance.p99": {"expect": 50.0, "max_ratio": 1.1}
+  }
+})";
+
+TEST(TrajectoryBaselineTest, ParsesBandsAndDefaults) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(kBaseline, &baseline, &error)) << error;
+  EXPECT_EQ(baseline.bench, "demo");
+  EXPECT_EQ(baseline.mode, "quick");
+  EXPECT_EQ(baseline.results_file, "BENCH_demo.json");
+  ASSERT_EQ(baseline.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(baseline.metrics[0].expect, 100.0);
+  EXPECT_DOUBLE_EQ(baseline.metrics[0].min_ratio, 0.9);
+  EXPECT_DOUBLE_EQ(baseline.metrics[1].min_ratio, 0.0);  // default: no floor
+}
+
+TEST(TrajectoryBaselineTest, RejectsIncompleteBaselines) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline("{\"bench\": \"x\"}", &baseline, &error));
+  EXPECT_FALSE(ParseBaseline(
+      "{\"bench\": \"x\", \"results_file\": \"y\", \"metrics\": {}}",
+      &baseline, &error));
+  EXPECT_FALSE(ParseBaseline(
+      "{\"bench\": \"x\", \"results_file\": \"y\", "
+      "\"metrics\": {\"p\": {\"min_ratio\": 1}}}",
+      &baseline, &error));  // no expect
+}
+
+TEST(TrajectoryCheckTest, InBandPassesOutOfBandFails) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(kBaseline, &baseline, &error));
+
+  // In band on both metrics.
+  TrajectoryResult good;
+  CheckTrajectory(baseline,
+                  MustParse("{\"acceptance\": {\"goodput\": 95, "
+                            "\"p99\": 54}}"),
+                  &good);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.metrics_checked, 2);
+
+  // A 20% throughput regression must fail the gate.
+  TrajectoryResult regressed;
+  CheckTrajectory(baseline,
+                  MustParse("{\"acceptance\": {\"goodput\": 80, "
+                            "\"p99\": 50}}"),
+                  &regressed);
+  ASSERT_EQ(regressed.violations.size(), 1u);
+  EXPECT_EQ(regressed.violations[0].path, "acceptance.goodput");
+  EXPECT_FALSE(regressed.ok());
+
+  // A latency blow-up past max_ratio fails too.
+  TrajectoryResult slow;
+  CheckTrajectory(baseline,
+                  MustParse("{\"acceptance\": {\"goodput\": 100, "
+                            "\"p99\": 60}}"),
+                  &slow);
+  ASSERT_EQ(slow.violations.size(), 1u);
+  EXPECT_EQ(slow.violations[0].path, "acceptance.p99");
+}
+
+TEST(TrajectoryCheckTest, MissingPathIsItsOwnFailureClass) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(kBaseline, &baseline, &error));
+  TrajectoryResult result;
+  CheckTrajectory(baseline,
+                  MustParse("{\"acceptance\": {\"goodput\": 100, "
+                            "\"p99\": \"fast\"}}"),
+                  &result);
+  // goodput in band; p99 present but not a number; nothing silently
+  // passes.
+  EXPECT_TRUE(result.violations.empty());
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0].path, "acceptance.p99");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TrajectoryCheckTest, ModeMatching) {
+  EXPECT_TRUE(ModeMatches("any", "quick"));
+  EXPECT_TRUE(ModeMatches("quick", "quick"));
+  EXPECT_TRUE(ModeMatches("quick", "any"));
+  EXPECT_FALSE(ModeMatches("full", "quick"));
+}
+
+// The baselines committed under bench/baselines must stay parseable —
+// a broken baseline would make CI's gate step fail confusingly.
+TEST(TrajectoryCheckTest, CommittedBaselinesParse) {
+  const char* files[] = {"bench/baselines/overload_quick.json",
+                         "bench/baselines/obs_quick.json"};
+  for (const char* relative : files) {
+    // Tests run from the build tree; the sources sit one level up.
+    std::ifstream in(std::string("../") + relative);
+    if (!in.is_open()) in.open(std::string("../../") + relative);
+    if (!in.is_open()) GTEST_SKIP() << "source tree not reachable";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Baseline baseline;
+    std::string error;
+    EXPECT_TRUE(ParseBaseline(buffer.str(), &baseline, &error))
+        << relative << ": " << error;
+    EXPECT_FALSE(baseline.metrics.empty()) << relative;
+  }
+}
+
+// --- RunProfile golden schema ------------------------------------------------
+
+TEST(RunProfileSchemaTest, ProfileJsonCarriesEveryRequiredSection) {
+  SimClock clock;
+  obs::Tracer tracer(&clock);
+  obs::MetricRegistry metrics;
+  metrics.GetCounter("serving_shed_total")->Add(3);
+  metrics.GetHistogram("stage_micros")->Observe(123.0);
+  int64_t root_id = 0;
+  {
+    obs::Span day = tracer.StartSpan("day1");
+    root_id = day.id();
+    {
+      obs::Span train = tracer.StartSpan("training");
+      train.Annotate("models", "7");
+      clock.AdvanceMicros(1000);
+    }
+    clock.AdvanceMicros(500);
+  }
+  obs::RunProfile profile =
+      obs::BuildRunProfile("day1", tracer, root_id, metrics.Snapshot());
+  profile.stages = {{"training", 1000}, {"serve", 500}};
+  profile.slo_json = "{\"fired_total\": 0}";
+  const std::string json = profile.ToJson();
+
+  // The profile must parse as JSON — annotations with quotes and all.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error << "\n" << json;
+
+  // Golden schema: every consumer-visible section is present.
+  for (const char* key : {"name", "total_micros", "spans", "stages",
+                          "overload", "slo", "metrics"}) {
+    EXPECT_NE(doc.Find(key), nullptr) << "missing section: " << key;
+  }
+  EXPECT_EQ(doc.Find("name")->string_value, "day1");
+  EXPECT_DOUBLE_EQ(doc.Find("total_micros")->number, 1500.0);
+  ASSERT_GE(doc.Find("spans")->array.size(), 2u);
+  const JsonValue& train = doc.Find("spans")->array[1];
+  EXPECT_EQ(train.Find("name")->string_value, "training");
+  ASSERT_NE(train.Find("annotations"), nullptr);
+  EXPECT_EQ(train.Find("annotations")->Find("models")->string_value, "7");
+  EXPECT_DOUBLE_EQ(FindPath(doc, "stages.training")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(FindPath(doc, "overload.shed_total")->number, 3.0);
+  EXPECT_DOUBLE_EQ(FindPath(doc, "slo.fired_total")->number, 0.0);
+  ASSERT_NE(doc.Find("metrics"), nullptr);
+}
+
+}  // namespace
+}  // namespace sigmund
