@@ -1,5 +1,7 @@
 #include "cluster/lease.h"
 
+#include "common/hash.h"
+
 namespace sigmund::cluster {
 
 const char* LeasePriorityName(LeasePriority priority) {
@@ -18,13 +20,6 @@ MachineLease::State MachineLease::Check(double now_seconds) const {
   return State::kRevoked;
 }
 
-uint64_t StableHash64(const std::string& text) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  for (unsigned char c : text) {
-    h ^= static_cast<uint64_t>(c);
-    h *= 0x100000001b3ULL;  // FNV prime
-  }
-  return h;
-}
+uint64_t StableHash64(const std::string& text) { return Fnv1a64(text); }
 
 }  // namespace sigmund::cluster

@@ -95,9 +95,9 @@ class MachineLease {
   int64_t incarnation_ = 0;
 };
 
-// Deterministic, platform-stable 64-bit string hash (FNV-1a). std::hash
-// is implementation-defined, which would make churn schedules differ
-// across standard libraries.
+// Deterministic, platform-stable 64-bit string hash (FNV-1a, delegating
+// to common/hash.h). std::hash is implementation-defined, which would
+// make churn schedules differ across standard libraries.
 uint64_t StableHash64(const std::string& text);
 
 }  // namespace sigmund::cluster

@@ -1,0 +1,70 @@
+#ifndef SIGMUND_COMMON_HASH_H_
+#define SIGMUND_COMMON_HASH_H_
+
+#include <stdint.h>
+
+#include <string_view>
+
+namespace sigmund {
+
+// Deterministic, platform-stable hashing shared by every subsystem that
+// needs reproducible decisions: the load generator's decision hash, trace
+// tail-sampling, fault-injection schedules, cluster churn schedules, and
+// A/B arm assignment. std::hash is implementation-defined, so anything
+// that must stay byte-identical across standard libraries lives here.
+
+// --- FNV-1a -----------------------------------------------------------------
+
+inline constexpr uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+// FNV-1a over a byte string, continuing from `h` (chainable).
+inline constexpr uint64_t Fnv1a64(std::string_view bytes,
+                                  uint64_t h = kFnv64OffsetBasis) {
+  for (char c : bytes) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+// Folds one 64-bit word into a running FNV-1a hash (word-at-a-time
+// variant; the loadgen decision hash chains these per decision).
+inline constexpr uint64_t Fnv1a64Mix(uint64_t h, uint64_t value) {
+  h ^= value;
+  h *= kFnv64Prime;
+  return h;
+}
+
+// --- SplitMix64 finalizer ---------------------------------------------------
+
+// Stateless 64-bit mixer (the SplitMix64 step): bijective, avalanching,
+// identical to common/random.h's SplitMix64 — duplicated as a constexpr
+// so hash-only call sites need no RNG dependency. Used for trace
+// tail-sampling and hash-split decisions.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// --- Deterministic splits ---------------------------------------------------
+
+// Maps (seed, key) to [0, 1) and returns true when it falls below
+// `fraction` — the canonical sticky A/B split: a given key lands in the
+// same arm on every call with the same seed, changing the seed reshuffles
+// arms, and raising `fraction` only ever moves keys *into* the treatment
+// arm (monotone ramp-up, so a 5% -> 20% rollout keeps the 5%).
+inline constexpr bool HashSplit(uint64_t seed, uint64_t key,
+                                double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  // 2^64 as a double; the product is clamped by the comparisons above.
+  const double scaled = fraction * 18446744073709551616.0;
+  return static_cast<double>(Mix64(key ^ Mix64(seed))) < scaled;
+}
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_HASH_H_

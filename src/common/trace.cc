@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace sigmund::obs {
@@ -14,15 +15,6 @@ namespace {
 // remembers which tracer it belongs to). Thread-local so parenthood needs
 // no locks and never crosses threads by accident.
 thread_local std::vector<std::pair<const Tracer*, int64_t>> tls_open_spans;
-
-// SplitMix64 finalizer: the healthy-sampling hash. Pure function of the
-// input, so keep decisions are reproducible across runs and platforms.
-uint64_t MixTraceId(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
 
 }  // namespace
 
@@ -353,7 +345,9 @@ RequestTrace RequestTracer::StartRequest(const std::string& name) {
 
 bool RequestTracer::WouldKeepHealthy(uint64_t trace_id) const {
   if (sample_threshold_ == ~0ULL) return true;
-  return MixTraceId(trace_id ^ options_.seed) < sample_threshold_;
+  // Mix64 is the healthy-sampling hash: a pure function of the input, so
+  // keep decisions are reproducible across runs and platforms.
+  return Mix64(trace_id ^ options_.seed) < sample_threshold_;
 }
 
 bool RequestTracer::Submit(RequestTrace trace) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace sigmund::core {
@@ -21,7 +22,7 @@ AbExperiment::Outcome AbExperiment::Run(
        u < static_cast<data::UserIndex>(contexts.size()); ++u) {
     if (contexts[u].empty()) continue;
     // Sticky 50/50 split by user hash (independent of the RNG stream).
-    const bool in_treatment = (SplitMix64(u * 2654435761ULL + 17) & 1) != 0;
+    const bool in_treatment = (Mix64(u * 2654435761ULL + 17) & 1) != 0;
     const Arm& arm = in_treatment ? treatment : control;
     ArmResult& result = in_treatment ? outcome.treatment : outcome.control;
 

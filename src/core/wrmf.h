@@ -52,6 +52,11 @@ class WrmfModel {
     return item_factors_.data() + static_cast<size_t>(i) * dim();
   }
 
+  // Full factor matrices (row-major, rows x dim) — what the retrieval
+  // index builder snapshots into an ANN artifact.
+  const std::vector<float>& user_factors() const { return user_factors_; }
+  const std::vector<float>& item_factors() const { return item_factors_; }
+
   // Predicted preference of user u for item i.
   double Score(data::UserIndex u, data::ItemIndex i) const;
 

@@ -26,21 +26,32 @@ CanaryController::CanaryController(const Options& options,
 
 void CanaryController::Count(const Outcome& outcome) const {
   if (metrics_ == nullptr) return;
+  const std::string& plane = options_.plane;
   metrics_
       ->GetCounter("canary_verdicts_total",
-                   {{"verdict", VerdictName(outcome.verdict)}})
+                   {{"plane", plane},
+                    {"verdict", VerdictName(outcome.verdict)}})
       ->Add(1);
   if (outcome.canary_impressions + outcome.control_impressions == 0) return;
-  metrics_->GetCounter("canary_impressions_total", {{"arm", "canary"}})
+  metrics_
+      ->GetCounter("canary_impressions_total",
+                   {{"arm", "canary"}, {"plane", plane}})
       ->Add(outcome.canary_impressions);
-  metrics_->GetCounter("canary_impressions_total", {{"arm", "control"}})
+  metrics_
+      ->GetCounter("canary_impressions_total",
+                   {{"arm", "control"}, {"plane", plane}})
       ->Add(outcome.control_impressions);
-  metrics_->GetCounter("canary_clicks_total", {{"arm", "canary"}})
+  metrics_
+      ->GetCounter("canary_clicks_total",
+                   {{"arm", "canary"}, {"plane", plane}})
       ->Add(outcome.canary_clicks);
-  metrics_->GetCounter("canary_clicks_total", {{"arm", "control"}})
+  metrics_
+      ->GetCounter("canary_clicks_total",
+                   {{"arm", "control"}, {"plane", plane}})
       ->Add(outcome.control_clicks);
   if (outcome.early_stopped) {
-    metrics_->GetCounter("canary_early_stops_total")->Add(1);
+    metrics_->GetCounter("canary_early_stops_total", {{"plane", plane}})
+        ->Add(1);
   }
 }
 
@@ -109,7 +120,8 @@ CanaryController::Outcome CanaryController::Evaluate(
         if (metrics_ != nullptr) {
           metrics_
               ->GetCounter("canary_samples_ignored_total",
-                           {{"reason", shed ? "shed" : "degraded"}})
+                           {{"plane", options_.plane},
+                            {"reason", shed ? "shed" : "degraded"}})
               ->Add(1);
         }
         continue;

@@ -60,6 +60,11 @@ class CanaryController {
     // verdict is called before max_impressions (<= 0 disables).
     double early_stop_z = 3.0;
     uint64_t seed = 1;
+    // Which rollout plane this controller gates — "batch" (materialized
+    // recommendation batches) or "retrieval" (online ANN indexes). Pure
+    // labeling: every canary_* counter carries plane=<this>, so the two
+    // ladders stay separable in RunProfile and the daily report.
+    std::string plane = "batch";
     // Click model of the simulated users.
     data::CtrSimulator::Config ctr;
     // Ground-truth oracle per retailer (the hidden preference model that

@@ -5,7 +5,9 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/model.h"
 #include "pipeline/config_record.h"
+#include "retrieval/artifact.h"
 
 namespace sigmund::pipeline {
 
@@ -75,6 +77,16 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(replica_failovers),
       static_cast<long long>(hedged_reads));
   out += StrFormat(
+      "\n  retrieval: indexes_built=%d promotions=%lld rollbacks=%lld "
+      "corrupt_rejected=%lld requests(materialized=%lld "
+      "online_retrieval=%lld fallback=%lld)",
+      retrieval_indexes_built, static_cast<long long>(retrieval_promotions),
+      static_cast<long long>(retrieval_rollbacks),
+      static_cast<long long>(corrupt_indexes_rejected),
+      static_cast<long long>(requests_materialized),
+      static_cast<long long>(requests_online_retrieval),
+      static_cast<long long>(requests_fallback));
+  out += StrFormat(
       "\n  overload: shed=%lld brownouts=%lld hedges_suppressed=%lld "
       "retry_budget_exhausted=%lld canary_ignored=%lld",
       static_cast<long long>(requests_shed),
@@ -112,6 +124,31 @@ SigmundService::SigmundService(sfs::SharedFileSystem* fs,
   store_group_ = std::make_unique<serving::ReplicatedStoreGroup>(
       options_.serving, metrics_);
   canary_ = std::make_unique<CanaryController>(options_.canary, metrics_);
+  retrieval_reader_ = std::make_unique<retrieval::OnlineRetrievalReader>(
+      options_.retrieval.reader, metrics_);
+  if (options_.retrieval.enabled) {
+    // The retrieval canary inherits the batch canary's thresholds and
+    // oracle but gates the other plane: its canary arm reads the staged
+    // ANN index, its control arm the live materialized plane — exactly
+    // the comparison the A/B route will serve if the index activates.
+    CanaryController::Options retrieval_canary = options_.canary;
+    retrieval_canary.plane = "retrieval";
+    retrieval_canary.serve_hook =
+        [this](data::RetailerId retailer, const core::Context& context,
+               int64_t version) {
+          CanaryController::CanaryServe serve;
+          StatusOr<std::vector<core::ScoredItem>> result =
+              version != 0 ? retrieval_reader_->ServeContextAtVersion(
+                                 retailer, context, version)
+                           : store_group_->primary()->ServeContext(retailer,
+                                                                   context);
+          serve.status = result.status();
+          if (result.ok()) serve.items = *std::move(result);
+          return serve;
+        };
+    retrieval_canary_ =
+        std::make_unique<CanaryController>(retrieval_canary, metrics_);
+  }
 }
 
 void SigmundService::UpsertRetailer(const data::RetailerData* data) {
@@ -372,6 +409,89 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   }
   end_stage(store_span, "store_load");
 
+  // --- Online retrieval plane (DESIGN.md §11): snapshot each retailer's
+  // best model into a versioned ANN index artifact, publish it CRC-framed
+  // through the same Stage/Activate flow as recommendation batches, and
+  // gate activation with a retrieval-plane canary against the live
+  // materialized plane. A corrupt artifact is rejected at stage time and
+  // the previous index (or the materialized-only route) keeps serving.
+  if (options_.retrieval.enabled) {
+    obs::Span retrieval_span = tracer_->StartSpan("retrieval_index");
+    for (const auto& [retailer, recs] : *recommendations) {
+      (void)recs;
+      if ((hold_back.count(retailer) > 0 || degraded.count(retailer) > 0) &&
+          retrieval_reader_->RetailerVersion(retailer) > 0) {
+        continue;
+      }
+      StatusOr<const data::RetailerData*> retailer_data =
+          registry_.Get(retailer);
+      if (!retailer_data.ok()) continue;
+      StatusOr<std::string> model_bytes = sfs::ReadChecksummedFile(
+          fs_, BestModelPath(retailer), options_.sfs_retry, &io_);
+      if (!model_bytes.ok()) {
+        // No (readable) best model — e.g. corrupt frame or a retailer
+        // served purely from a previous day. The index just isn't
+        // refreshed; never fail the run over it.
+        if (model_bytes.status().code() == StatusCode::kDataLoss ||
+            model_bytes.status().code() == StatusCode::kNotFound) {
+          continue;
+        }
+        return model_bytes.status();
+      }
+      StatusOr<core::BprModel> model = core::BprModel::Deserialize(
+          *model_bytes, &(*retailer_data)->catalog);
+      if (!model.ok()) {
+        SIGLOG(WARNING) << "retailer " << retailer
+                        << ": best model undecodable, skipping index build: "
+                        << model.status().ToString();
+        continue;
+      }
+      retrieval::IndexArtifact artifact = retrieval::BuildArtifactFromModel(
+          retailer, *model, options_.retrieval.ann);
+      if (options_.retrieval.build_hook_for_testing) {
+        options_.retrieval.build_hook_for_testing(retailer, &artifact);
+      }
+      const std::string index_path = retrieval::IndexArtifactPath(retailer);
+      SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+          fs_, index_path, artifact.Serialize(), options_.sfs_retry, &io_));
+      StatusOr<int64_t> staged = retrieval_reader_->StageFromFile(
+          retailer, *fs_, index_path, options_.sfs_retry, &io_);
+      if (!staged.ok()) {
+        if (staged.status().code() == StatusCode::kDataLoss) {
+          SIGLOG(WARNING) << "rejecting corrupt retrieval index for retailer "
+                          << retailer << ": " << staged.status().ToString();
+          metrics_
+              ->GetCounter("retrieval_index_builds_total",
+                           {{"outcome", "rejected"}})
+              ->Add(1);
+          continue;
+        }
+        return staged.status();
+      }
+      ++report.retrieval_indexes_built;
+      metrics_
+          ->GetCounter("retrieval_index_builds_total", {{"outcome", "ok"}})
+          ->Add(1);
+      if (retrieval_canary_ != nullptr) {
+        const CanaryController::Outcome canary = retrieval_canary_->Evaluate(
+            retailer, *primary, *staged, **retailer_data, days_run_);
+        if (canary.verdict == CanaryController::Verdict::kRolledBack) {
+          SIGLOG(WARNING) << "retrieval canary rolled back index v" << *staged
+                          << " for retailer " << retailer
+                          << ": canary_ctr=" << canary.CanaryCtr()
+                          << " control_ctr=" << canary.ControlCtr()
+                          << "; retailer stays on the materialized plane";
+          SIGMUND_RETURN_IF_ERROR(
+              retrieval_reader_->DiscardVersion(retailer, *staged));
+          continue;
+        }
+      }
+      SIGMUND_RETURN_IF_ERROR(
+          retrieval_reader_->ActivateVersion(retailer, *staged));
+    }
+    end_stage(retrieval_span, "retrieval_index");
+  }
+
   // --- Mirror chaos-layer fault totals into the registry. Self-
   // correcting: only the portion not already recorded (e.g. by a fault
   // injector wired live via SetMetrics) is added, so the registry's sum
@@ -428,10 +548,21 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   report.map_backup_attempts =
       delta("mapreduce_backup_attempts_total", none);
   report.map_backups_won = delta("mapreduce_backups_won_total", none);
-  report.canary_promotions =
-      delta("canary_verdicts_total", {{"verdict", "promoted"}});
+  // Canary verdicts are split by plane: the batch ladder and the online
+  // retrieval ladder roll out (and back) independently.
+  report.canary_promotions = delta(
+      "canary_verdicts_total", {{"plane", "batch"}, {"verdict", "promoted"}});
   report.canary_rollbacks =
-      delta("canary_verdicts_total", {{"verdict", "rolled_back"}});
+      delta("canary_verdicts_total",
+            {{"plane", "batch"}, {"verdict", "rolled_back"}});
+  report.retrieval_promotions =
+      delta("canary_verdicts_total",
+            {{"plane", "retrieval"}, {"verdict", "promoted"}});
+  report.retrieval_rollbacks =
+      delta("canary_verdicts_total",
+            {{"plane", "retrieval"}, {"verdict", "rolled_back"}});
+  report.corrupt_indexes_rejected =
+      delta("retrieval_index_builds_total", {{"outcome", "rejected"}});
   report.replica_cutovers =
       delta("serving_replica_cutovers_total", {{"outcome", "ok"}});
   report.replica_cutovers_skipped =
@@ -453,6 +584,14 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       after.CounterValue("serving_retry_budget_exhausted_total", none);
   report.canary_samples_ignored =
       delta("canary_samples_ignored_total", none);
+  // Per-path request counts: cumulative like the rest of serving health
+  // (traffic arrives between runs, so per-run deltas would read zero).
+  report.requests_materialized =
+      after.CounterValue("serving_requests_total", {{"path", "materialized"}});
+  report.requests_online_retrieval = after.CounterValue(
+      "serving_requests_total", {{"path", "online_retrieval"}});
+  report.requests_fallback =
+      after.CounterValue("serving_requests_total", {{"path", "fallback"}});
 
   // --- SLO evaluation: burn rates over the run-end snapshot. Runs after
   // the pipeline finished, so it is passive by construction.

@@ -1,6 +1,7 @@
 #ifndef SIGMUND_PIPELINE_SERVICE_H_
 #define SIGMUND_PIPELINE_SERVICE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -21,6 +22,8 @@
 #include "pipeline/registry.h"
 #include "pipeline/sweep.h"
 #include "pipeline/training_job.h"
+#include "retrieval/index.h"
+#include "retrieval/reader.h"
 #include "serving/replicated_store.h"
 #include "serving/store.h"
 #include "sfs/fault_injection.h"
@@ -84,6 +87,19 @@ struct DailyReport {
   // Canary impressions excluded because the serving plane shed or
   // degraded them (per-run delta; see CanaryController::Options).
   int64_t canary_samples_ignored = 0;
+  // Online retrieval plane (DESIGN.md §11), this run: ANN index
+  // artifacts built + staged, retrieval-plane canary verdicts, and
+  // corrupt index artifacts rejected at stage time.
+  int retrieval_indexes_built = 0;
+  int64_t retrieval_promotions = 0;
+  int64_t retrieval_rollbacks = 0;
+  int64_t corrupt_indexes_rejected = 0;
+  // Per-path serving request counts (cumulative at report time, like the
+  // rest of serving health): materialized store vs. online ANN retrieval
+  // vs. any degradation-ladder fallback.
+  int64_t requests_materialized = 0;
+  int64_t requests_online_retrieval = 0;
+  int64_t requests_fallback = 0;
   // Safe-rollout ladder, this run: canary verdicts on staged batches and
   // staggered follower cutovers completed/skipped (per-run deltas).
   int64_t canary_promotions = 0;
@@ -169,6 +185,26 @@ class SigmundService {
     // or rolled back by observed CTR.
     CanaryController::Options canary;
 
+    // Online embedding-retrieval plane (DESIGN.md §11). When enabled,
+    // each daily run snapshots every retailer's best model into a
+    // versioned, CRC-framed ANN index artifact
+    // (retrieval::IndexArtifactPath), stages it on the online reader,
+    // gates it with a retrieval-plane canary against the live
+    // materialized plane (when `canary.enabled`), and activates or
+    // discards it. Serving the staged index to users is the Frontend's
+    // job (Options::retrieval_store + retrieval_ab_fraction).
+    struct RetrievalOptions {
+      bool enabled = false;
+      retrieval::AnnIndex::Options ann;
+      retrieval::OnlineRetrievalReader::Options reader;
+      // Chaos seam: invoked on each freshly built artifact before it is
+      // published, so tests can degrade an index (truncate its factors)
+      // and prove the retrieval canary rolls it back on live signal.
+      std::function<void(data::RetailerId, retrieval::IndexArtifact*)>
+          build_hook_for_testing;
+    };
+    RetrievalOptions retrieval;
+
     // Retry policy for the service's own SFS access (best-model copies,
     // sweep results, data placement, store batch loads). The training and
     // inference jobs carry their own policies in `training.sfs_retry` /
@@ -230,6 +266,16 @@ class SigmundService {
   }
   const RetailerRegistry& registry() const { return registry_; }
 
+  // The online retrieval plane's serving endpoint (always constructed;
+  // empty until Options::retrieval.enabled runs populate it). Hand it to
+  // the Frontend as Options::retrieval_store to serve the A/B arm.
+  retrieval::OnlineRetrievalReader* retrieval_reader() {
+    return retrieval_reader_.get();
+  }
+  const retrieval::OnlineRetrievalReader& retrieval_reader() const {
+    return *retrieval_reader_;
+  }
+
   // Best trained config per retailer from the most recent run.
   const std::vector<ConfigRecord>& latest_results() const {
     return previous_results_;
@@ -259,6 +305,12 @@ class SigmundService {
   // metrics registry is resolved.
   std::unique_ptr<serving::ReplicatedStoreGroup> store_group_;
   std::unique_ptr<CanaryController> canary_;
+  // Online retrieval plane: the versioned ANN reader plus its own canary
+  // controller (plane="retrieval"), whose serve hook routes canary
+  // impressions to the staged index and control impressions to the live
+  // materialized plane.
+  std::unique_ptr<retrieval::OnlineRetrievalReader> retrieval_reader_;
+  std::unique_ptr<CanaryController> retrieval_canary_;
   QualityMonitor monitor_;
   std::vector<ConfigRecord> previous_results_;
   // Where each retailer's data shard currently lives (data placement).

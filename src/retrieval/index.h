@@ -1,0 +1,122 @@
+#ifndef SIGMUND_RETRIEVAL_INDEX_H_
+#define SIGMUND_RETRIEVAL_INDEX_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "core/inference.h"
+
+namespace sigmund::retrieval {
+
+// Per-query search accounting, surfaced as trace annotations and metrics
+// by the online reader (how much of the catalog a request actually
+// touched is the knob-tuning signal for nprobe/num_lists).
+struct SearchStats {
+  int lists_probed = 0;
+  int64_t candidates_scanned = 0;
+};
+
+// Maximum-inner-product search over a fixed set of item vectors — the
+// online alternative to materialized lists: instead of precomputing top-K
+// per query item offline, the index holds the model's item factors and
+// answers arbitrary query embeddings at request time (DESIGN.md §11).
+//
+// Implementations are immutable after construction and safe for
+// concurrent Search calls. Results are sorted by descending score with
+// ties broken by ascending item index, so same-seed runs are
+// byte-identical regardless of thread interleaving.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual int dim() const = 0;
+  virtual int num_items() const = 0;
+
+  // Top-k items by dot product with `query` (dim() floats). `nprobe`
+  // bounds how many coarse lists an approximate index scans; exact
+  // implementations ignore it. `stats` (may be null) reports how much
+  // work the query did.
+  virtual std::vector<core::ScoredItem> Search(const float* query, int k,
+                                               int nprobe,
+                                               SearchStats* stats) const = 0;
+};
+
+// Brute force: scans every item. The recall-1.0 reference the ANN index
+// is benchmarked and tested against, behind the same interface so the
+// serving path can swap it in for tiny catalogs.
+class ExactIndex : public VectorIndex {
+ public:
+  // `vectors` is num_items x dim, row-major; moved in.
+  ExactIndex(std::vector<float> vectors, int dim);
+
+  int dim() const override { return dim_; }
+  int num_items() const override { return num_items_; }
+
+  std::vector<core::ScoredItem> Search(const float* query, int k, int nprobe,
+                                       SearchStats* stats) const override;
+
+ private:
+  int dim_ = 0;
+  int num_items_ = 0;
+  std::vector<float> vectors_;
+};
+
+// IVF-style approximate index: a coarse quantizer (seeded deterministic
+// k-means over the item vectors) partitions the catalog into
+// `num_lists` inverted lists; a query scores every centroid, probes the
+// top `nprobe` lists, and exactly re-ranks only their members by dot
+// product. Per-list storage is contiguous SoA (ids and vectors in
+// separate flat arrays, grouped by list) so a probe is a pure sequential
+// scan.
+//
+// Determinism: k-means uses strided initial centers and
+// lowest-index tie-breaks, so the same (vectors, options) always builds
+// a byte-identical index — a requirement for the versioned artifact's
+// CRC to be reproducible across reruns.
+class AnnIndex : public VectorIndex {
+ public:
+  struct Options {
+    // Coarse-quantizer cells. Clamped to [1, num_items] at build time.
+    int num_lists = 16;
+    // Lloyd iterations of the k-means build.
+    int kmeans_iters = 8;
+    uint64_t seed = 1;
+  };
+
+  AnnIndex() = default;
+
+  // Builds the index over `vectors` (num_items x dim, row-major).
+  static AnnIndex Build(const std::vector<float>& vectors, int dim,
+                        const Options& options);
+
+  int dim() const override { return dim_; }
+  int num_items() const override { return num_items_; }
+  int num_lists() const { return num_lists_; }
+
+  std::vector<core::ScoredItem> Search(const float* query, int k, int nprobe,
+                                       SearchStats* stats) const override;
+
+  // Payload (de)serialization; framing/checksumming is the artifact
+  // layer's job. DeserializeFrom validates internal consistency and
+  // returns kDataLoss on any truncated or incoherent encoding.
+  void SerializeTo(BinaryWriter* writer) const;
+  static StatusOr<AnnIndex> DeserializeFrom(BinaryReader* reader);
+
+ private:
+  int dim_ = 0;
+  int num_items_ = 0;
+  int num_lists_ = 0;
+  std::vector<float> centroids_;      // num_lists x dim
+  std::vector<int32_t> list_offsets_;  // num_lists + 1, into list_ids_
+  // SoA list storage: ids and vectors grouped by list, contiguous per
+  // list so a probe scans a single cache-friendly range.
+  std::vector<int32_t> list_ids_;     // num_items (original item index)
+  std::vector<float> list_vectors_;   // num_items x dim
+};
+
+}  // namespace sigmund::retrieval
+
+#endif  // SIGMUND_RETRIEVAL_INDEX_H_

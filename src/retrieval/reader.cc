@@ -1,0 +1,203 @@
+#include "retrieval/reader.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sigmund::retrieval {
+
+OnlineRetrievalReader::OnlineRetrievalReader(const Options& options,
+                                             obs::MetricRegistry* metrics)
+    : options_(options), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    queries_ok_ = metrics_->GetCounter("retrieval_queries_total",
+                                       {{"outcome", "ok"}});
+    queries_error_ = metrics_->GetCounter("retrieval_queries_total",
+                                          {{"outcome", "error"}});
+    candidates_scanned_ =
+        metrics_->GetHistogram("retrieval_candidates_scanned");
+  }
+}
+
+int64_t OnlineRetrievalReader::StageArtifact(data::RetailerId retailer,
+                                             IndexArtifact artifact,
+                                             int64_t version) {
+  auto shared = std::make_shared<const IndexArtifact>(std::move(artifact));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[retailer];
+  const int64_t assigned = version > 0 ? version : entry.next_version;
+  entry.next_version = std::max(entry.next_version, assigned + 1);
+  entry.versions[assigned] = std::move(shared);
+  Retire(&entry, assigned);
+  return assigned;
+}
+
+StatusOr<int64_t> OnlineRetrievalReader::StageFromFile(
+    data::RetailerId retailer, const sfs::SharedFileSystem& fs,
+    const std::string& path, const RetryPolicy& policy,
+    sfs::ReliableIoCounters* io, int64_t version) {
+  StatusOr<std::string> payload =
+      sfs::ReadChecksummedFile(&fs, path, policy, io);
+  if (!payload.ok()) return payload.status();
+  StatusOr<IndexArtifact> artifact = IndexArtifact::Deserialize(*payload);
+  if (!artifact.ok()) {
+    // CRC passed but the payload is incoherent — count it with the same
+    // severity as a torn frame: the artifact never becomes servable.
+    if (io != nullptr) io->CountCorruptionDetected();
+    return artifact.status();
+  }
+  return StageArtifact(retailer, std::move(artifact).value(), version);
+}
+
+Status OnlineRetrievalReader::ActivateVersion(data::RetailerId retailer,
+                                              int64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.count(version) == 0) {
+    return NotFoundError("retrieval index version not resident");
+  }
+  it->second.active = version;
+  Retire(&it->second, version);
+  return OkStatus();
+}
+
+Status OnlineRetrievalReader::RollbackRetailer(data::RetailerId retailer,
+                                               int64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.count(version) == 0) {
+    return NotFoundError("retrieval index version not resident");
+  }
+  it->second.active = version;
+  return OkStatus();
+}
+
+Status OnlineRetrievalReader::DiscardVersion(data::RetailerId retailer,
+                                             int64_t version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.count(version) == 0) {
+    return NotFoundError("retrieval index version not resident");
+  }
+  if (it->second.active == version) {
+    return FailedPreconditionError("cannot discard the active index");
+  }
+  it->second.versions.erase(version);
+  return OkStatus();
+}
+
+std::shared_ptr<const IndexArtifact> OnlineRetrievalReader::FindArtifact(
+    data::RetailerId retailer, int64_t version) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end()) return nullptr;
+  const int64_t wanted = version > 0 ? version : it->second.active;
+  if (wanted == 0) return nullptr;
+  auto vit = it->second.versions.find(wanted);
+  return vit != it->second.versions.end() ? vit->second : nullptr;
+}
+
+void OnlineRetrievalReader::Retire(Entry* entry, int64_t keep) const {
+  const int retained = std::max(options_.retained_versions, 1);
+  while (static_cast<int>(entry->versions.size()) > retained) {
+    auto oldest = entry->versions.begin();
+    if (oldest->first == entry->active || oldest->first == keep) break;
+    entry->versions.erase(oldest);
+  }
+}
+
+StatusOr<std::vector<core::ScoredItem>> OnlineRetrievalReader::ServeContext(
+    data::RetailerId retailer, const core::Context& context) const {
+  return ServeContextAtVersion(retailer, context, 0);
+}
+
+StatusOr<std::vector<core::ScoredItem>> OnlineRetrievalReader::ServeContext(
+    data::RetailerId retailer, const core::Context& context,
+    obs::TraceContext trace) const {
+  return ServeContextAtVersion(retailer, context, 0, trace);
+}
+
+StatusOr<std::vector<core::ScoredItem>>
+OnlineRetrievalReader::ServeContextAtVersion(data::RetailerId retailer,
+                                             const core::Context& context,
+                                             int64_t version,
+                                             obs::TraceContext trace) const {
+  if (context.empty()) {
+    if (queries_error_ != nullptr) queries_error_->Add(1);
+    return InvalidArgumentError("empty context");
+  }
+  std::shared_ptr<const IndexArtifact> artifact =
+      FindArtifact(retailer, version);
+  if (artifact == nullptr) {
+    if (queries_error_ != nullptr) queries_error_->Add(1);
+    return NotFoundError("no retrieval index for retailer");
+  }
+
+  std::vector<float> query(artifact->dim);
+  artifact->QueryEmbedding(context, query.data());
+
+  // Over-fetch by the context length so dropping already-seen items (the
+  // query item itself would otherwise top the list) still leaves top_k.
+  const int fetch =
+      options_.top_k + static_cast<int>(std::min<size_t>(
+                           context.size(), artifact->index.num_items()));
+  SearchStats stats;
+  std::vector<core::ScoredItem> found =
+      artifact->index.Search(query.data(), fetch, options_.nprobe, &stats);
+
+  std::vector<core::ScoredItem> items;
+  items.reserve(options_.top_k);
+  for (const core::ScoredItem& item : found) {
+    if (static_cast<int>(items.size()) >= options_.top_k) break;
+    bool seen = false;
+    for (const core::ContextEntry& entry : context) {
+      if (entry.item == item.item) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) items.push_back(item);
+  }
+
+  if (trace.active()) {
+    trace.Annotate("nprobe", std::to_string(options_.nprobe));
+    trace.Annotate("lists_probed", std::to_string(stats.lists_probed));
+    trace.Annotate("candidates_scanned",
+                   std::to_string(stats.candidates_scanned));
+  }
+  if (queries_ok_ != nullptr) queries_ok_->Add(1);
+  if (candidates_scanned_ != nullptr) {
+    candidates_scanned_->Observe(
+        static_cast<double>(stats.candidates_scanned));
+  }
+  return items;
+}
+
+int64_t OnlineRetrievalReader::RetailerVersion(
+    data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  return it != entries_.end() ? it->second.active : 0;
+}
+
+int64_t OnlineRetrievalReader::LatestVersion(data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  if (it == entries_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.rbegin()->first;
+}
+
+std::vector<int64_t> OnlineRetrievalReader::RetainedVersions(
+    data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<int64_t> versions;
+  auto it = entries_.find(retailer);
+  if (it != entries_.end()) {
+    for (const auto& [version, artifact] : it->second.versions) {
+      (void)artifact;
+      versions.push_back(version);
+    }
+  }
+  return versions;
+}
+
+}  // namespace sigmund::retrieval

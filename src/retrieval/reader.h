@@ -1,0 +1,118 @@
+#ifndef SIGMUND_RETRIEVAL_READER_H_
+#define SIGMUND_RETRIEVAL_READER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "core/inference.h"
+#include "retrieval/artifact.h"
+#include "serving/store.h"
+#include "sfs/reliable_io.h"
+#include "sfs/shared_filesystem.h"
+
+namespace sigmund::retrieval {
+
+// The online retrieval plane's serving endpoint: a serving::ServingReader
+// over versioned, immutable IndexArtifacts — so everything built for the
+// materialized plane (Frontend degradation ladder, admission control,
+// tracing, canary gating) applies to the ANN path unchanged.
+//
+// Versioning mirrors RecommendationStore: each staged artifact is a
+// version in a per-retailer chain; Stage leaves the previous version
+// serving, Activate/Rollback are O(1) pointer flips, and the last
+// `retained_versions` stay resident for instant rollback. A corrupt
+// artifact (bad CRC, torn frame, incoherent encoding) is rejected at
+// stage time with kDataLoss and the previous version keeps serving.
+//
+// Thread-safe: queries copy out a shared_ptr to an immutable artifact
+// under a shared lock; stage/activate/rollback swap pointers under an
+// exclusive lock.
+class OnlineRetrievalReader : public serving::ServingReader {
+ public:
+  struct Options {
+    // Results per query.
+    int top_k = 10;
+    // Coarse lists probed per query (the recall/latency knob).
+    int nprobe = 8;
+    // Artifact versions retained per retailer (including active).
+    int retained_versions = 3;
+  };
+
+  // `metrics` borrowed, may be null: queries land in
+  // retrieval_queries_total{outcome} and scanned-candidate counts in the
+  // retrieval_candidates_scanned histogram.
+  explicit OnlineRetrievalReader(const Options& options,
+                                 obs::MetricRegistry* metrics = nullptr);
+
+  // Stages `artifact` as a resident, not-yet-serving version and returns
+  // its version number (0 auto-assigns; positive pins).
+  int64_t StageArtifact(data::RetailerId retailer, IndexArtifact artifact,
+                        int64_t version = 0);
+
+  // Reads a CRC-framed artifact from the shared filesystem and stages
+  // it. kDataLoss (corrupt frame or incoherent payload) leaves the
+  // retailer's existing versions untouched.
+  StatusOr<int64_t> StageFromFile(data::RetailerId retailer,
+                                  const sfs::SharedFileSystem& fs,
+                                  const std::string& path,
+                                  const RetryPolicy& policy = {},
+                                  sfs::ReliableIoCounters* io = nullptr,
+                                  int64_t version = 0);
+
+  // Pointer flips, mirroring RecommendationStore semantics.
+  Status ActivateVersion(data::RetailerId retailer, int64_t version);
+  Status RollbackRetailer(data::RetailerId retailer, int64_t version);
+  Status DiscardVersion(data::RetailerId retailer, int64_t version);
+
+  // ServingReader: answers from the active artifact. kNotFound when the
+  // retailer has no active index.
+  StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context) const override;
+  StatusOr<std::vector<core::ScoredItem>> ServeContext(
+      data::RetailerId retailer, const core::Context& context,
+      obs::TraceContext trace) const override;
+
+  // Canary traffic reads a staged version through this (<= 0 = active).
+  StatusOr<std::vector<core::ScoredItem>> ServeContextAtVersion(
+      data::RetailerId retailer, const core::Context& context,
+      int64_t version, obs::TraceContext trace = {}) const;
+
+  int64_t RetailerVersion(data::RetailerId retailer) const override;
+  int64_t LatestVersion(data::RetailerId retailer) const;
+  std::vector<int64_t> RetainedVersions(data::RetailerId retailer) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::map<int64_t, std::shared_ptr<const IndexArtifact>> versions;
+    int64_t active = 0;
+    int64_t next_version = 1;
+  };
+
+  std::shared_ptr<const IndexArtifact> FindArtifact(data::RetailerId retailer,
+                                                    int64_t version) const;
+  // Evicts beyond the retention window (caller holds mu_ exclusively);
+  // never evicts the active version or `keep`.
+  void Retire(Entry* entry, int64_t keep) const;
+
+  Options options_;
+  obs::MetricRegistry* metrics_;
+  obs::Counter* queries_ok_ = nullptr;
+  obs::Counter* queries_error_ = nullptr;
+  obs::Histogram* candidates_scanned_ = nullptr;
+
+  mutable std::shared_mutex mu_;
+  std::map<data::RetailerId, Entry> entries_;
+};
+
+}  // namespace sigmund::retrieval
+
+#endif  // SIGMUND_RETRIEVAL_READER_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/retry.h"
 
@@ -19,6 +20,8 @@ const char* ServingSourceName(ServingSource source) {
       return "popularity";
     case ServingSource::kBrownoutLastKnownGood:
       return "brownout_last_known_good";
+    case ServingSource::kOnlineRetrieval:
+      return "online_retrieval";
   }
   return "unknown";
 }
@@ -138,6 +141,10 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   // Set when the store lookup finished past the request deadline — drives
   // the kDeadlineOverrun verdict even when a fallback then serves.
   bool overran_deadline = false;
+  // Which plane answered: "materialized" (the store), "online_retrieval"
+  // (the ANN index), or "fallback" (any degradation-ladder rung). Labels
+  // serving_requests_total so the A/B arms are separable in RunProfile.
+  const char* serving_path = "materialized";
   // Records the request outcome + latency on every return path, and gives
   // the admission slot back with the observed latency so the concurrency
   // limiter learns from every admitted request.
@@ -170,6 +177,7 @@ StatusOr<RecommendationResponse> Frontend::Handle(
       metrics_
           ->GetCounter("serving_requests_total",
                        {{"outcome", outcome},
+                        {"path", serving_path},
                         {"version", std::to_string(batch_version)}})
           ->Add(1);
     }
@@ -239,6 +247,35 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   response.funnel =
       core::ClassifyFunnelStage(request.context, /*catalog=*/nullptr, {});
 
+  // Online-retrieval A/B arm: a sticky, seed-stable hash split of
+  // (retailer, user) sends retrieval_ab_fraction of traffic to the ANN
+  // index — but only when the retailer actually has an active index, so
+  // a rollback (version -> 0) instantly returns it to the materialized
+  // plane without touching the split.
+  bool retrieval_arm = false;
+  int64_t retrieval_version = 0;
+  if (options_.retrieval_store != nullptr &&
+      options_.retrieval_ab_fraction > 0.0) {
+    retrieval_version =
+        options_.retrieval_store->RetailerVersion(request.retailer);
+    if (retrieval_version > 0) {
+      // Anonymous requests key on the latest context item instead (high
+      // bit set so item keys can never collide with user keys).
+      const uint64_t subject =
+          request.user >= 0
+              ? static_cast<uint64_t>(request.user)
+              : 0x8000000000000000ULL |
+                    static_cast<uint64_t>(static_cast<uint32_t>(latest.item));
+      const uint64_t key = Fnv1a64Mix(
+          Fnv1a64Mix(kFnv64OffsetBasis,
+                     static_cast<uint64_t>(request.retailer)),
+          subject);
+      retrieval_arm = HashSplit(options_.retrieval_ab_seed, key,
+                                options_.retrieval_ab_fraction);
+      if (retrieval_arm) trace.Annotate("ab_arm", "online_retrieval");
+    }
+  }
+
   // Brownout ladder: under sustained limiter pressure the response gets
   // cheaper before anything sheds — fewer results (rung 1), no calibration
   // thresholding (rung 2), last-known-good without a store call (rung 3).
@@ -273,8 +310,13 @@ StatusOr<RecommendationResponse> Frontend::Handle(
   auto deliver = [&](const std::vector<core::ScoredItem>& list,
                      ServingSource source) {
     response.source = source;
-    response.degraded = source != ServingSource::kStore;
+    response.degraded = source != ServingSource::kStore &&
+                        source != ServingSource::kOnlineRetrieval;
     response.batch_version = batch_version;
+    serving_path = source == ServingSource::kOnlineRetrieval
+                       ? "online_retrieval"
+                   : source == ServingSource::kStore ? "materialized"
+                                                     : "fallback";
     trace.Annotate("source", ServingSourceName(source));
     for (const core::ScoredItem& item : list) {
       if (static_cast<int>(response.items.size()) >= effective_max) {
@@ -358,7 +400,32 @@ StatusOr<RecommendationResponse> Frontend::Handle(
     return fall_back(UnavailableError("circuit breaker open"));
   }
 
-  auto do_lookup = [&]() {
+  bool served_from_retrieval = false;
+  auto do_lookup = [&]() -> StatusOr<std::vector<core::ScoredItem>> {
+    // A/B treatment: try the ANN plane first. A retrieval failure never
+    // costs the user the request — it demotes this request back to the
+    // materialized store (counted, so a sick index is visible) and the
+    // normal ladder takes over from there.
+    if (retrieval_arm) {
+      const int64_t retrieval_span = trace.StartSpan("retrieval_lookup");
+      const obs::TraceContext retrieval_ctx{trace.trace, retrieval_span};
+      StatusOr<std::vector<core::ScoredItem>> result =
+          options_.retrieval_store->ServeContext(request.retailer,
+                                                 request.context,
+                                                 retrieval_ctx);
+      if (result.ok()) {
+        trace.EndSpan(retrieval_span);
+        served_from_retrieval = true;
+        batch_version = retrieval_version;
+        return result;
+      }
+      retrieval_ctx.Annotate("error", result.status().message());
+      trace.EndSpan(retrieval_span);
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("serving_retrieval_fallbacks_total")->Add(1);
+      }
+      retrieval_arm = false;  // retries go straight to the store
+    }
     const int64_t lookup_span = trace.StartSpan("store_lookup");
     const obs::TraceContext lookup_ctx{trace.trace, lookup_span};
     StatusOr<std::vector<core::ScoredItem>> result =
@@ -422,7 +489,9 @@ StatusOr<RecommendationResponse> Frontend::Handle(
       state.has_last_known_good = true;
       state.last_known_good_version = batch_version;
     }
-    return deliver(*list, ServingSource::kStore);
+    return deliver(*list, served_from_retrieval
+                              ? ServingSource::kOnlineRetrieval
+                              : ServingSource::kStore);
   }
 
   // Store failure: advance the breaker, then descend the ladder.

@@ -23,6 +23,10 @@ namespace sigmund::serving {
 struct RecommendationRequest {
   data::RetailerId retailer = 0;
   core::Context context;
+  // Stable user identity for sticky experiment splits (retrieval A/B arm
+  // assignment); -1 = anonymous, in which case the latest context item
+  // stands in as the split key.
+  data::UserIndex user = -1;
   int max_results = 10;
   // Minimum calibrated click probability to display a recommendation
   // (§VII future work); <= 0 disables thresholding (always show top-K).
@@ -45,6 +49,9 @@ enum class ServingSource {
   // Brownout rung 3: the store is healthy but the plane is saturated, so
   // the cached last-known-good list is served without a store call.
   kBrownoutLastKnownGood,
+  // Healthy serve from the online embedding-retrieval plane (ANN index)
+  // instead of the materialized store — the A/B treatment arm.
+  kOnlineRetrieval,
 };
 
 const char* ServingSourceName(ServingSource source);
@@ -140,6 +147,21 @@ class Frontend {
     // volume is capped at a fraction of real request volume.
     int store_retries = 0;
     RetryBudget::Options retry_budget;
+
+    // Online retrieval plane (borrowed; null = off). When set, a sticky
+    // hash split of (retailer, user) routes `retrieval_ab_fraction` of
+    // requests to this reader (the ANN-index path) instead of the
+    // materialized store — but only for retailers whose reader has an
+    // active index version, so rolling an index back (version -> 0)
+    // instantly returns the whole retailer to the materialized plane. A
+    // retrieval lookup that fails falls back to the materialized store in
+    // the same request before the degradation ladder is consulted.
+    const ServingReader* retrieval_store = nullptr;
+    // Fraction of eligible traffic served by the retrieval plane.
+    // Monotone ramp-up: raising it only moves users *into* the arm.
+    double retrieval_ab_fraction = 0.0;
+    // Seed of the sticky split; changing it reshuffles arm membership.
+    uint64_t retrieval_ab_seed = 0x5e72;
 
     // Request tracer (borrowed; null = tracing off). Every Handle() whose
     // request carries no caller trace builds one span tree — admission

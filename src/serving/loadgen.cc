@@ -8,14 +8,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/random.h"
 
 namespace sigmund::serving {
 namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
 
 enum EventKind : int {
   kOpenArrival = 0,
@@ -67,7 +65,7 @@ class Sim {
         controller_(options.admission, metrics, &clock_),
         end_micros_(
             static_cast<int64_t>(options.duration_seconds * 1e6)) {
-    hash_ = kFnvOffset;
+    hash_ = kFnv64OffsetBasis;
     // Tracing / SLO need a registry to record into; fall back to an
     // owned one when the caller passed none.
     registry_ = metrics != nullptr ? metrics : &owned_registry_;
@@ -147,10 +145,7 @@ class Sim {
     return report_.priorities[static_cast<int>(priority)];
   }
 
-  void Mix(uint64_t v) {
-    hash_ ^= v;
-    hash_ *= kFnvPrime;
-  }
+  void Mix(uint64_t v) { hash_ = Fnv1a64Mix(hash_, v); }
 
   void Schedule(int64_t time, int kind, int64_t payload) {
     events_.push(Event{time, next_seq_++, kind, payload});

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/hash.h"
 #include "common/random.h"
 
 namespace sigmund::sfs {
@@ -10,13 +11,12 @@ namespace {
 
 // FNV-1a over the path, mixed with the op and access index via SplitMix64.
 // Cheap, stable across platforms, and good enough to decorrelate draws.
+// Chains from this module's historical offset basis (a truncated FNV
+// constant that predates common/hash.h) so seeded chaos profiles keep
+// drawing the exact fault schedules their tests were tuned against.
+constexpr uint64_t kFaultScheduleBasis = 1469598103934665603ull;
 uint64_t HashPath(std::string_view path) {
-  uint64_t h = 1469598103934665603ull;
-  for (char c : path) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return Fnv1a64(path, kFaultScheduleBasis);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/binary_io.h"
 #include "common/clock.h"
 #include "common/crc32.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -496,6 +497,65 @@ TEST(RetryTest, StatusOrFlavorReturnsValue) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(*result, 42);
   EXPECT_EQ(stats.retries.load(), 1);
+}
+
+
+// --- Shared hashing (common/hash.h) ---------------------------------------
+
+TEST(HashTest, Fnv1a64MatchesReferenceVectors) {
+  // Canonical FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64(""), kFnv64OffsetBasis);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1a64ChainsAcrossCalls) {
+  // Hashing in two chained pieces equals hashing the concatenation —
+  // the property the loadgen decision hash and fault schedules rely on.
+  EXPECT_EQ(Fnv1a64("bar", Fnv1a64("foo")), Fnv1a64("foobar"));
+  // Word-at-a-time mixing is order-sensitive and chainable too.
+  EXPECT_NE(Fnv1a64Mix(Fnv1a64Mix(kFnv64OffsetBasis, 1), 2),
+            Fnv1a64Mix(Fnv1a64Mix(kFnv64OffsetBasis, 2), 1));
+}
+
+TEST(HashTest, Mix64MatchesSplitMix64) {
+  // common/hash.h duplicates the SplitMix64 step as a constexpr; the two
+  // must never drift (trace sampling and A/B splits assume it).
+  for (uint64_t x : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                     0xffffffffffffffffULL}) {
+    EXPECT_EQ(Mix64(x), SplitMix64(x)) << x;
+  }
+}
+
+TEST(HashTest, HashSplitEdgesAndStickiness) {
+  // Degenerate fractions short-circuit.
+  EXPECT_FALSE(HashSplit(1, 99, 0.0));
+  EXPECT_FALSE(HashSplit(1, 99, -0.5));
+  EXPECT_TRUE(HashSplit(1, 99, 1.0));
+  EXPECT_TRUE(HashSplit(1, 99, 1.5));
+  // Pure function of (seed, key): trivially sticky, seed reshuffles.
+  int moved = 0;
+  for (uint64_t key = 0; key < 256; ++key) {
+    EXPECT_EQ(HashSplit(7, key, 0.3), HashSplit(7, key, 0.3));
+    if (HashSplit(7, key, 0.3) != HashSplit(8, key, 0.3)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashTest, HashSplitIsMonotoneAndRoughlyProportional) {
+  int in_03 = 0, in_06 = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    const bool at_03 = HashSplit(42, key, 0.3);
+    const bool at_06 = HashSplit(42, key, 0.6);
+    in_03 += at_03;
+    in_06 += at_06;
+    // Monotone ramp-up: raising the fraction only moves keys INTO the
+    // treatment arm, never out of it.
+    if (at_03) EXPECT_TRUE(at_06) << key;
+  }
+  EXPECT_NEAR(in_03 / 2000.0, 0.3, 0.05);
+  EXPECT_NEAR(in_06 / 2000.0, 0.6, 0.05);
 }
 
 }  // namespace

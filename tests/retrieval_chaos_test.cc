@@ -1,0 +1,195 @@
+// Chaos acceptance for the online retrieval plane: a serving replica dies
+// in the middle of the staggered batch cutover while the ANN A/B arm is
+// live behind the Frontend. Every request must keep succeeding — answered
+// by the materialized survivors or the retrieval plane, never an error —
+// and the entire scenario must be byte-identical across reruns.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "data/world_generator.h"
+#include "pipeline/service.h"
+#include "serving/frontend.h"
+#include "serving/replicated_store.h"
+#include "sfs/mem_filesystem.h"
+
+namespace sigmund {
+namespace {
+
+using data::ActionType;
+
+struct ChaosFixture {
+  data::WorldGenerator generator{[] {
+    data::WorldConfig config;
+    config.seed = 29;
+    return config;
+  }()};
+  std::vector<data::RetailerWorld> worlds = {
+      generator.GenerateRetailer(0, 50), generator.GenerateRetailer(1, 90)};
+
+  pipeline::SigmundService::Options Options() const {
+    pipeline::SigmundService::Options options;
+    options.sweep.grid.factors = {4, 8};
+    options.sweep.grid.lambdas_v = {0.1, 0.01};
+    options.sweep.grid.lambdas_vc = {0.01};
+    options.sweep.grid.sweep_taxonomy = false;
+    options.sweep.grid.sweep_brand = false;
+    options.sweep.grid.num_epochs = 3;
+    options.sweep.incremental_top_k = 2;
+    options.training.num_map_tasks = 4;
+    options.training.max_parallel_tasks = 2;
+    options.training.checkpoint_interval_seconds = 0.0;
+    options.inference.inference.top_k = 5;
+    options.serving.num_replicas = 3;
+    options.canary.enabled = true;
+    options.canary.canary_fraction = 0.5;
+    options.canary.min_relative_ctr = 0.5;
+    options.canary.early_stop_z = 4.0;
+    options.canary.seed = 11;
+    options.canary.oracle = [this](data::RetailerId id) {
+      return &worlds[id].truth;
+    };
+    options.retrieval.enabled = true;
+    options.retrieval.ann.num_lists = 8;
+    options.retrieval.reader.top_k = 5;
+    options.retrieval.reader.nprobe = 4;
+    return options;
+  }
+};
+
+// Everything a scenario run leaves behind, for rerun comparison.
+struct ScenarioResult {
+  bool all_ok = false;
+  std::vector<std::string> reports;
+  std::map<data::RetailerId, int64_t> store_versions;
+  std::map<data::RetailerId, int64_t> index_versions;
+  std::string served_fingerprint;
+  int64_t serves_materialized = 0;
+  int64_t serves_retrieval = 0;
+  int64_t failed_serves = 0;
+  int64_t total_serves = 0;
+};
+
+TEST(RetrievalChaosTest, ReplicaDiesMidCutoverWithAnnArmLive) {
+  ChaosFixture f;
+
+  auto run_scenario = [&]() {
+    ScenarioResult result;
+    sfs::MemFileSystem fs;
+    SimClock clock;
+    pipeline::SigmundService::Options options = f.Options();
+    options.clock = &clock;
+    pipeline::SigmundService service(&fs, options);
+    service.UpsertRetailer(&f.worlds[0].data);
+    service.UpsertRetailer(&f.worlds[1].data);
+    serving::ReplicatedStoreGroup* group = service.store_group();
+
+    // The full serving plane: replicated materialized store behind the
+    // Frontend, with half of eligible traffic on the ANN arm.
+    obs::MetricRegistry metrics;
+    serving::Frontend::Options fopts;
+    fopts.retrieval_store = service.retrieval_reader();
+    fopts.retrieval_ab_fraction = 0.5;
+    serving::Frontend frontend(group, nullptr, &metrics, &clock, fopts);
+
+    auto serve_everything = [&] {
+      for (data::RetailerId id : {0, 1}) {
+        for (data::ItemIndex item = 0; item < 10; ++item) {
+          serving::RecommendationRequest request;
+          request.retailer = id;
+          request.user = static_cast<data::UserIndex>(item * 7 + id);
+          request.context = {{item, ActionType::kView}};
+          StatusOr<serving::RecommendationResponse> response =
+              frontend.Handle(request);
+          ++result.total_serves;
+          if (!response.ok() || response->items.empty()) {
+            ++result.failed_serves;
+            continue;
+          }
+          if (response->source == serving::ServingSource::kOnlineRetrieval) {
+            ++result.serves_retrieval;
+          } else {
+            ++result.serves_materialized;
+          }
+          for (const core::ScoredItem& scored : response->items) {
+            result.served_fingerprint +=
+                StrFormat("%d/%d:%d ", id, request.user, scored.item);
+          }
+        }
+      }
+    };
+
+    // Day 1: batches fan out to all replicas and every retailer's ANN
+    // index builds, passes the retrieval canary, and activates.
+    StatusOr<pipeline::DailyReport> day1 = service.RunDaily();
+    if (!day1.ok()) {
+      ADD_FAILURE() << day1.status().ToString();
+      return result;
+    }
+    result.reports.push_back(day1->ToString());
+    serve_everything();
+
+    // Day 2's chaos: replica 2 dies while drained for the staggered
+    // cutover — with the ANN arm still live and traffic flowing.
+    group->SetCutoverHookForTesting(
+        [&](data::RetailerId /*retailer*/, int replica) {
+          if (replica == 2 && group->ReplicaAlive(2)) {
+            group->KillReplica(2);
+          }
+          serve_everything();  // survivors + ANN plane absorb the drain
+        });
+    StatusOr<pipeline::DailyReport> day2 = service.RunDaily();
+    if (!day2.ok()) {
+      ADD_FAILURE() << day2.status().ToString();
+      return result;
+    }
+    result.reports.push_back(day2->ToString());
+    serve_everything();
+
+    for (data::RetailerId id : {0, 1}) {
+      result.store_versions[id] = service.store().RetailerVersion(id);
+      result.index_versions[id] =
+          service.retrieval_reader()->RetailerVersion(id);
+    }
+    result.all_ok = true;
+    return result;
+  };
+
+  ScenarioResult a = run_scenario();
+  ASSERT_TRUE(a.all_ok);
+
+  // Not a single request failed — not during the clean day, not during
+  // the drain-plus-death cutover, not after.
+  EXPECT_EQ(a.failed_serves, 0);
+  EXPECT_GT(a.total_serves, 0);
+  // Both planes actually served: the A/B split put traffic on the ANN
+  // path while the materialized plane kept the rest.
+  EXPECT_GT(a.serves_retrieval, 0);
+  EXPECT_GT(a.serves_materialized, 0);
+  // Day 2 completed the rollout on the survivors: stores and indexes
+  // both advanced to v2 despite the dead replica.
+  for (data::RetailerId id : {0, 1}) {
+    EXPECT_EQ(a.store_versions[id], 2) << "retailer " << id;
+    EXPECT_EQ(a.index_versions[id], 2) << "retailer " << id;
+  }
+
+  // The whole scenario — reports, versions, every served item on both
+  // planes — reruns byte-identically.
+  ScenarioResult b = run_scenario();
+  ASSERT_TRUE(b.all_ok);
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.store_versions, b.store_versions);
+  EXPECT_EQ(a.index_versions, b.index_versions);
+  EXPECT_EQ(a.served_fingerprint, b.served_fingerprint);
+  EXPECT_EQ(a.serves_retrieval, b.serves_retrieval);
+  EXPECT_EQ(a.serves_materialized, b.serves_materialized);
+}
+
+}  // namespace
+}  // namespace sigmund
