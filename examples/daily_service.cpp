@@ -20,12 +20,19 @@
 //        store copies with staggered cutover, and each new batch must
 //        pass a CTR canary against live simulated traffic before it owns
 //        100% of a retailer (rollback is a pointer flip).
+// Day 8/9/10: poisoned feed — the data-plane sentry watches every feed.
+//        Day 8 establishes per-retailer baselines; day 9 one retailer's
+//        feed arrives bot-flooded and is quarantined (no retrain, no
+//        index rebuild, serving continues from last-known-good); day 10's
+//        clean feed releases the quarantine and training resumes
+//        warm-started.
 
 #include <cstdio>
 #include <fstream>
 #include <vector>
 
 #include "data/world_generator.h"
+#include "dataqual/corruptor.h"
 #include "pipeline/service.h"
 #include "sfs/fault_injection.h"
 #include "sfs/mem_filesystem.h"
@@ -278,6 +285,84 @@ int main() {
               static_cast<long long>(
                   rollout_service.store().RetailerVersion(0)));
   ShowSample(rollout_service, 0);
+
+  // --- Days 8/9/10: poisoned feed. The data-plane sentry (DESIGN.md §12)
+  // profiles every retailer's feed before any training happens. Day 8 is
+  // clean and establishes each retailer's last-good baseline. On day 9
+  // the medium retailer's feed arrives bot-flooded — one scraper user
+  // owning half the events — and is quarantined: no retrain, no
+  // retrieval-index rebuild, the last-known-good batch keeps serving.
+  // Day 10's clean feed auto-releases the quarantine and training
+  // resumes warm-started from the pre-poison checkpoint.
+  pipeline::SigmundService::Options guarded = options;
+  guarded.dataqual.enabled = true;
+  pipeline::SigmundService dq_service(&fs, guarded);
+  for (data::RetailerWorld* world : worlds) {
+    dq_service.UpsertRetailer(&world->data);
+  }
+  StatusOr<pipeline::DailyReport> day8 = dq_service.RunDaily();
+  if (!day8.ok()) {
+    std::printf("day 8 failed: %s\n", day8.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 8 (sentry baselines): %s\n", day8->ToString().c_str());
+
+  data::AdvanceOneDay(generator, &small, 2, 901);
+  data::AdvanceOneDay(generator, &medium, 5, 902);
+  data::AdvanceOneDay(generator, &large, 12, 903);
+  data::AdvanceOneDay(generator, &newcomer, 2, 904);
+  dataqual::FeedCorruptor::Options corruptor_options;
+  corruptor_options.seed = 99;
+  dataqual::FeedCorruptor corruptor(corruptor_options);
+  data::RetailerData poisoned = corruptor.Apply(
+      medium.data, dataqual::Corruption::kBotFlood, medium.data.id, /*day=*/9);
+  for (data::RetailerWorld* world : worlds) {
+    dq_service.UpsertRetailer(world == &medium ? &poisoned : &world->data);
+  }
+  const int64_t pre_poison_version =
+      dq_service.store().RetailerVersion(medium.data.id);
+  StatusOr<pipeline::DailyReport> day9 = dq_service.RunDaily();
+  if (!day9.ok()) {
+    std::printf("day 9 failed: %s\n", day9.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 9 (poisoned feed): %s\n", day9->ToString().c_str());
+  std::printf("  -> retailer %d quarantined (bot flood): %lld feed "
+              "quarantine(s), still serving last-known-good v%lld "
+              "(unchanged: %s)\n",
+              medium.data.id,
+              static_cast<long long>(day9->feed_quarantines),
+              static_cast<long long>(
+                  dq_service.store().RetailerVersion(medium.data.id)),
+              dq_service.store().RetailerVersion(medium.data.id) ==
+                      pre_poison_version
+                  ? "yes"
+                  : "NO");
+  ShowSample(dq_service, medium.data.id);
+
+  data::AdvanceOneDay(generator, &small, 2, 905);
+  data::AdvanceOneDay(generator, &medium, 5, 906);
+  data::AdvanceOneDay(generator, &large, 12, 907);
+  data::AdvanceOneDay(generator, &newcomer, 2, 908);
+  for (data::RetailerWorld* world : worlds) {
+    dq_service.UpsertRetailer(&world->data);
+  }
+  StatusOr<pipeline::DailyReport> day10 = dq_service.RunDaily();
+  if (!day10.ok()) {
+    std::printf("day 10 failed: %s\n", day10.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 10 (quarantine released): %s\n", day10->ToString().c_str());
+  std::printf("  -> %lld release(s); retailer %d retrained warm-started "
+              "(%lld models this day, %lld full-grid sign-ups) and now "
+              "serves v%lld\n",
+              static_cast<long long>(day10->quarantine_releases),
+              medium.data.id,
+              static_cast<long long>(day10->models_trained),
+              static_cast<long long>(day10->new_retailers),
+              static_cast<long long>(
+                  dq_service.store().RetailerVersion(medium.data.id)));
+  ShowSample(dq_service, medium.data.id);
 
   // Full trace of the chaos day, span by span.
   std::printf("\nday 4 trace:\n%s",

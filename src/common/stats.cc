@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace sigmund {
+
+double TwoProportionZ(int64_t hits1, int64_t n1, int64_t hits0, int64_t n0) {
+  if (n1 <= 0 || n0 <= 0) return 0.0;
+  const double p1 = static_cast<double>(hits1) / static_cast<double>(n1);
+  const double p0 = static_cast<double>(hits0) / static_cast<double>(n0);
+  const double pooled = static_cast<double>(hits1 + hits0) /
+                        static_cast<double>(n1 + n0);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) *
+                (1.0 / static_cast<double>(n1) + 1.0 / static_cast<double>(n0)));
+  return se > 0.0 ? (p1 - p0) / se : 0.0;
+}
+
+double PopulationStabilityIndex(const std::vector<double>& expected,
+                                const std::vector<double>& observed) {
+  if (expected.size() != observed.size() || expected.empty()) return 0.0;
+  double expected_sum = 0.0, observed_sum = 0.0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected_sum += expected[i];
+    observed_sum += observed[i];
+  }
+  if (expected_sum <= 0.0 || observed_sum <= 0.0) return 0.0;
+  // Epsilon-smooth each bucket so a bucket that is empty on one side
+  // contributes a large-but-finite term instead of infinity.
+  constexpr double kEpsilon = 1e-4;
+  double psi = 0.0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const double e = std::max(expected[i] / expected_sum, kEpsilon);
+    const double o = std::max(observed[i] / observed_sum, kEpsilon);
+    psi += (o - e) * std::log(o / e);
+  }
+  return psi;
+}
+
+}  // namespace sigmund

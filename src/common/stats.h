@@ -1,0 +1,27 @@
+#ifndef SIGMUND_COMMON_STATS_H_
+#define SIGMUND_COMMON_STATS_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+namespace sigmund {
+
+// Two-proportion z statistic of arm 1 vs. arm 0 (pooled variance): the
+// sequential test behind the CTR canary (DESIGN.md §7) and the data-plane
+// sentry's action-mix drift checks (DESIGN.md §12). Returns 0 when the
+// statistic cannot be computed yet (an empty arm or zero pooled variance).
+double TwoProportionZ(int64_t hits1, int64_t n1, int64_t hits0, int64_t n0);
+
+// Population stability index between two histograms over the same buckets
+// (any non-negative weights; each side is normalized to a distribution
+// internally, with epsilon smoothing so empty buckets stay finite).
+// PSI < 0.1 is conventionally "no shift", 0.1-0.25 "moderate", > 0.25
+// "significant". Returns 0 when either histogram sums to zero or the
+// bucket counts differ.
+double PopulationStabilityIndex(const std::vector<double>& expected,
+                                const std::vector<double>& observed);
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_STATS_H_

@@ -466,10 +466,12 @@ std::string RunProfile::ToJson() const {
           metrics.CounterValue("serving_retry_budget_exhausted_total")));
   return StrFormat(
       "{\"name\":\"%s\",\"total_micros\":%lld,\"spans\":[%s],"
-      "\"stages\":{%s},\"overload\":%s,\"slo\":%s,\"metrics\":%s}",
+      "\"stages\":{%s},\"overload\":%s,\"slo\":%s,\"dataqual\":%s,"
+      "\"metrics\":%s}",
       JsonEscape(name).c_str(), static_cast<long long>(total_micros),
       spans_json.c_str(), stages_json.c_str(), overload_json.c_str(),
       slo_json.empty() ? "{}" : slo_json.c_str(),
+      dataqual_json.empty() ? "{}" : dataqual_json.c_str(),
       metrics.ToJson().c_str());
 }
 

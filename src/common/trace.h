@@ -323,10 +323,13 @@ struct RunProfile {
   std::vector<std::pair<std::string, int64_t>> stages;
   // SLO engine state as JSON ("{}" when no engine is wired in).
   std::string slo_json;
+  // Data-plane sentry verdicts as JSON ("{}" when the sentry is off;
+  // see DESIGN.md §12).
+  std::string dataqual_json;
   RegistrySnapshot metrics;
 
   // {"name": ..., "total_micros": ..., "spans": [...], "stages": {...},
-  //  "overload": {...}, "slo": {...}, "metrics": {...}}
+  //  "overload": {...}, "slo": {...}, "dataqual": {...}, "metrics": {...}}
   // Span durations nest: every span's duration is <= its parent's, and
   // the root's equals total_micros. The overload section summarises the
   // serving plane's shed/brownout/hedge/retry-budget counters from the

@@ -1,0 +1,182 @@
+#include "dataqual/corruptor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/random.h"
+
+namespace sigmund::dataqual {
+
+namespace {
+
+// One RNG per (seed, retailer, day[, mode]): the same keying discipline as
+// the CTR canary and sfs::FaultInjectingFileSystem, so chaos schedules are
+// byte-identical across same-seed reruns regardless of call order.
+Rng MakeRng(uint64_t seed, data::RetailerId retailer, int day,
+            uint64_t salt) {
+  return Rng(SplitMix64(seed * 0x9E3779B97F4A7C15ULL ^
+                        SplitMix64((static_cast<uint64_t>(day) << 32) ^
+                                   static_cast<uint64_t>(retailer) ^
+                                   (salt << 56))));
+}
+
+void DuplicateEvents(data::RetailerData* data, double fraction, Rng* rng) {
+  for (std::vector<data::Interaction>& history : data->histories) {
+    if (history.empty()) continue;
+    std::vector<data::Interaction> poisoned;
+    poisoned.reserve(history.size() * 2);
+    for (const data::Interaction& event : history) {
+      poisoned.push_back(event);
+      if (rng->Bernoulli(fraction)) poisoned.push_back(event);
+    }
+    history = std::move(poisoned);
+  }
+}
+
+void DropPartition(data::RetailerData* data, double fraction, Rng* rng) {
+  const int num_users = data->num_users();
+  if (num_users == 0) return;
+  const int span = std::max(1, static_cast<int>(num_users * fraction));
+  const int start = static_cast<int>(rng->Uniform(num_users));
+  for (int i = 0; i < span; ++i) {
+    data->histories[(start + i) % num_users].clear();
+  }
+}
+
+void BotFlood(data::RetailerData* data, double multiple, Rng* rng) {
+  const int num_users = data->num_users();
+  const int num_items = data->num_items();
+  if (num_users == 0 || num_items == 0) return;
+  int64_t organic = data->TotalInteractions();
+  if (organic == 0) organic = 64;
+  const int64_t flood = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(organic) * multiple));
+  std::vector<data::Interaction>& bot =
+      data->histories[rng->Uniform(num_users)];
+  int64_t t = bot.empty() ? 0 : bot.back().timestamp;
+  for (int64_t i = 0; i < flood; ++i) {
+    data::Interaction event;
+    event.user = 0;  // unused by consumers; history index is the user
+    event.item = static_cast<data::ItemIndex>(rng->Uniform(num_items));
+    event.action = data::ActionType::kView;
+    event.timestamp = ++t;
+    bot.push_back(event);
+  }
+}
+
+void TimestampScramble(data::RetailerData* data, double fraction, Rng* rng) {
+  for (std::vector<data::Interaction>& history : data->histories) {
+    if (history.size() < 2 || !rng->Bernoulli(fraction)) continue;
+    std::vector<int64_t> timestamps;
+    timestamps.reserve(history.size());
+    for (const data::Interaction& event : history) {
+      timestamps.push_back(event.timestamp);
+    }
+    rng->Shuffle(&timestamps);
+    for (size_t i = 0; i < history.size(); ++i) {
+      history[i].timestamp = timestamps[i];
+    }
+  }
+}
+
+void CatalogTruncation(data::RetailerData* data, double fraction) {
+  const int num_items = data->num_items();
+  if (num_items <= 1) return;
+  const int keep = std::max(
+      1, num_items - static_cast<int>(num_items * fraction));
+  data::Catalog truncated(data->catalog.taxonomy());
+  for (int i = 0; i < keep; ++i) {
+    truncated.AddItem(data->catalog.item(i));
+  }
+  truncated.Finalize();
+  data->catalog = std::move(truncated);
+  // Histories are left untouched: events past the new catalog end are the
+  // dangling references the sentry's invalid-item check exists to catch.
+}
+
+void ActionFlip(data::RetailerData* data, double fraction, Rng* rng) {
+  for (std::vector<data::Interaction>& history : data->histories) {
+    for (data::Interaction& event : history) {
+      if (rng->Bernoulli(fraction)) {
+        event.action = data::ActionType::kConversion;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* CorruptionName(Corruption corruption) {
+  switch (corruption) {
+    case Corruption::kNone:
+      return "none";
+    case Corruption::kDuplicateEvents:
+      return "duplicate_events";
+    case Corruption::kDropPartition:
+      return "drop_partition";
+    case Corruption::kBotFlood:
+      return "bot_flood";
+    case Corruption::kTimestampScramble:
+      return "timestamp_scramble";
+    case Corruption::kCatalogTruncation:
+      return "catalog_truncation";
+    case Corruption::kActionFlip:
+      return "action_flip";
+  }
+  return "unknown";
+}
+
+Corruption FeedCorruptor::Plan(data::RetailerId retailer, int day) const {
+  if (options_.corruption_probability <= 0.0) return Corruption::kNone;
+  Rng rng = MakeRng(options_.seed, retailer, day, /*salt=*/1);
+  if (!rng.Bernoulli(options_.corruption_probability)) {
+    return Corruption::kNone;
+  }
+  if (!options_.enabled.empty()) {
+    return options_.enabled[rng.Uniform(options_.enabled.size())];
+  }
+  // All real modes, excluding kNone.
+  return static_cast<Corruption>(1 + rng.Uniform(kNumCorruptions - 1));
+}
+
+data::RetailerData FeedCorruptor::Corrupt(const data::RetailerData& data,
+                                          int day) {
+  if (!enabled_) return data;
+  return Apply(data, Plan(data.id, day), data.id, day);
+}
+
+data::RetailerData FeedCorruptor::Apply(const data::RetailerData& data,
+                                        Corruption mode,
+                                        data::RetailerId retailer, int day) {
+  data::RetailerData poisoned = data;
+  if (mode == Corruption::kNone || !enabled_) return poisoned;
+  Rng rng = MakeRng(options_.seed, retailer, day,
+                    /*salt=*/2 + static_cast<uint64_t>(mode));
+  switch (mode) {
+    case Corruption::kNone:
+      break;
+    case Corruption::kDuplicateEvents:
+      DuplicateEvents(&poisoned, options_.duplicate_fraction, &rng);
+      break;
+    case Corruption::kDropPartition:
+      DropPartition(&poisoned, options_.drop_fraction, &rng);
+      break;
+    case Corruption::kBotFlood:
+      BotFlood(&poisoned, options_.bot_flood_multiple, &rng);
+      break;
+    case Corruption::kTimestampScramble:
+      TimestampScramble(&poisoned, options_.scramble_fraction, &rng);
+      break;
+    case Corruption::kCatalogTruncation:
+      CatalogTruncation(&poisoned, options_.truncate_fraction);
+      break;
+    case Corruption::kActionFlip:
+      ActionFlip(&poisoned, options_.flip_fraction, &rng);
+      break;
+  }
+  ++counters_.total;
+  ++counters_.per_mode[static_cast<int>(mode)];
+  return poisoned;
+}
+
+}  // namespace sigmund::dataqual

@@ -1,0 +1,109 @@
+#include "dataqual/feed_profile.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sigmund::dataqual {
+
+namespace {
+
+int Log2Bucket(int64_t count) {
+  int bucket = 0;
+  while (count > 1 && bucket < kUserHistBuckets - 1) {
+    count >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+double FeedProfile::ActionFraction(data::ActionType action) const {
+  if (events == 0) return 0.0;
+  return static_cast<double>(action_counts[static_cast<int>(action)]) /
+         static_cast<double>(events);
+}
+
+double FeedProfile::TopUserShare() const {
+  if (events == 0) return 0.0;
+  return static_cast<double>(max_user_events) / static_cast<double>(events);
+}
+
+std::vector<double> FeedProfile::UserHistDistribution() const {
+  std::vector<double> out(user_events_hist.begin(), user_events_hist.end());
+  return out;
+}
+
+std::vector<double> FeedProfile::ActionMix() const {
+  std::vector<double> out(action_counts.begin(), action_counts.end());
+  return out;
+}
+
+std::string FeedProfile::ToString() const {
+  return StrFormat(
+      "retailer=%d events=%lld active_users=%d/%d items=%d/%d "
+      "mix=[v=%lld s=%lld c=%lld b=%lld] dups=%lld ooo=%lld invalid=%lld "
+      "top_user_share=%.3f",
+      retailer, static_cast<long long>(events), active_users, num_users,
+      distinct_items, num_items,
+      static_cast<long long>(action_counts[0]),
+      static_cast<long long>(action_counts[1]),
+      static_cast<long long>(action_counts[2]),
+      static_cast<long long>(action_counts[3]),
+      static_cast<long long>(duplicate_events),
+      static_cast<long long>(out_of_order_events),
+      static_cast<long long>(invalid_item_events), TopUserShare());
+}
+
+FeedProfile BuildFeedProfile(const data::RetailerData& data) {
+  FeedProfile profile;
+  profile.retailer = data.id;
+  profile.num_users = data.num_users();
+  profile.num_items = data.num_items();
+
+  std::vector<char> item_seen(
+      static_cast<size_t>(std::max(0, data.num_items())), 0);
+  bool first_event = true;
+  for (const std::vector<data::Interaction>& history : data.histories) {
+    if (history.empty()) continue;
+    ++profile.active_users;
+    profile.events += static_cast<int64_t>(history.size());
+    profile.max_user_events =
+        std::max(profile.max_user_events,
+                 static_cast<int64_t>(history.size()));
+    ++profile.user_events_hist[Log2Bucket(
+        static_cast<int64_t>(history.size()))];
+    for (size_t i = 0; i < history.size(); ++i) {
+      const data::Interaction& event = history[i];
+      ++profile.action_counts[static_cast<int>(event.action) &
+                              (data::kNumActionTypes - 1)];
+      if (event.item < 0 || event.item >= data.num_items()) {
+        ++profile.invalid_item_events;
+      } else if (!item_seen[static_cast<size_t>(event.item)]) {
+        item_seen[static_cast<size_t>(event.item)] = 1;
+        ++profile.distinct_items;
+      }
+      if (i > 0) {
+        const data::Interaction& prev = history[i - 1];
+        if (event.timestamp < prev.timestamp) ++profile.out_of_order_events;
+        if (event.item == prev.item && event.action == prev.action &&
+            event.timestamp == prev.timestamp) {
+          ++profile.duplicate_events;
+        }
+      }
+      if (first_event) {
+        profile.min_timestamp = profile.max_timestamp = event.timestamp;
+        first_event = false;
+      } else {
+        profile.min_timestamp = std::min(profile.min_timestamp,
+                                         event.timestamp);
+        profile.max_timestamp = std::max(profile.max_timestamp,
+                                         event.timestamp);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace sigmund::dataqual

@@ -1,0 +1,75 @@
+#ifndef SIGMUND_DATAQUAL_FEED_PROFILE_H_
+#define SIGMUND_DATAQUAL_FEED_PROFILE_H_
+
+#include <stdint.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/retailer_data.h"
+#include "data/types.h"
+
+namespace sigmund::dataqual {
+
+// Log2 buckets for the interactions-per-active-user histogram: bucket b
+// counts users whose event count falls in [2^b, 2^(b+1)); the last bucket
+// is open-ended. 12 buckets cover 1 .. 4096+ events per user.
+inline constexpr int kUserHistBuckets = 12;
+
+// One retailer's daily feed, summarised (DESIGN.md §12): everything the
+// DataSentry needs to judge a feed, and nothing else — profiles are tiny
+// (O(1) per retailer), so keeping yesterday's around for drift tests is
+// free even at the paper's 10k-retailer scale.
+struct FeedProfile {
+  data::RetailerId retailer = 0;
+
+  // Volume.
+  int64_t events = 0;        // total interactions across all users
+  int num_users = 0;         // history slots (including empty ones)
+  int active_users = 0;      // users with >= 1 event
+  int num_items = 0;         // catalog size
+  int distinct_items = 0;    // items with >= 1 valid event
+
+  // Action mix, indexed by data::ActionType.
+  std::array<int64_t, data::kNumActionTypes> action_counts = {};
+
+  // Integrity. A duplicate is an event identical to its predecessor in
+  // the same user's history (same item, action, timestamp) — the
+  // signature of a replayed partition. Out-of-order events violate the
+  // ascending-timestamp contract of RetailerData::histories. Invalid-item
+  // events reference an item outside [0, num_items).
+  int64_t duplicate_events = 0;
+  int64_t out_of_order_events = 0;
+  int64_t invalid_item_events = 0;
+
+  // Timestamps (over valid events; 0/0 when the feed is empty).
+  int64_t min_timestamp = 0;
+  int64_t max_timestamp = 0;
+
+  // Concentration: the single busiest user's event count. A bot flood
+  // shows up as one user owning an outsized share of the feed.
+  int64_t max_user_events = 0;
+
+  // Interactions-per-active-user histogram (log2 buckets, see above).
+  std::array<int64_t, kUserHistBuckets> user_events_hist = {};
+
+  // --- Derived views -----------------------------------------------------
+
+  double ActionFraction(data::ActionType action) const;
+  // max_user_events / events (0 when empty).
+  double TopUserShare() const;
+  // The two histograms the drift tests run PSI over.
+  std::vector<double> UserHistDistribution() const;
+  std::vector<double> ActionMix() const;
+
+  // One-line human-readable summary (for logs and the demo).
+  std::string ToString() const;
+};
+
+// Profiles one retailer's feed in a single pass over the histories.
+FeedProfile BuildFeedProfile(const data::RetailerData& data);
+
+}  // namespace sigmund::dataqual
+
+#endif  // SIGMUND_DATAQUAL_FEED_PROFILE_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/stats.h"
 
 namespace sigmund::pipeline {
 
@@ -57,18 +58,12 @@ void CanaryController::Count(const Outcome& outcome) const {
 
 namespace {
 
-// Two-proportion z statistic of canary vs. control CTR; 0 when it cannot
-// be computed yet (an empty arm or zero pooled variance).
+// Two-proportion z statistic of canary vs. control CTR (the shared
+// sequential-test math in common/stats.h, also used by the data sentry's
+// drift checks).
 double CtrZ(int canary_clicks, int canary_n, int control_clicks,
             int control_n) {
-  if (canary_n == 0 || control_n == 0) return 0.0;
-  const double p1 = static_cast<double>(canary_clicks) / canary_n;
-  const double p0 = static_cast<double>(control_clicks) / control_n;
-  const double pooled = static_cast<double>(canary_clicks + control_clicks) /
-                        static_cast<double>(canary_n + control_n);
-  const double se = std::sqrt(pooled * (1.0 - pooled) *
-                              (1.0 / canary_n + 1.0 / control_n));
-  return se > 0.0 ? (p1 - p0) / se : 0.0;
+  return TwoProportionZ(canary_clicks, canary_n, control_clicks, control_n);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "pipeline/service.h"
 
+#include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -94,6 +96,12 @@ std::string DailyReport::ToString() const {
       static_cast<long long>(hedges_suppressed),
       static_cast<long long>(retry_budget_exhausted),
       static_cast<long long>(canary_samples_ignored));
+  out += StrFormat(
+      "\n  dataqual: quarantined=%d feed_quarantines=%lld feed_warns=%lld "
+      "releases=%lld",
+      quarantined_retailers, static_cast<long long>(feed_quarantines),
+      static_cast<long long>(feed_warns),
+      static_cast<long long>(quarantine_releases));
   if (!slo_json.empty()) {
     out += StrFormat(
         "\n  slo: firing=%d fired=%lld resolved=%lld",
@@ -121,6 +129,10 @@ SigmundService::SigmundService(sfs::SharedFileSystem* fs,
   }
   io_.SetMetrics(metrics_, clock_);
   monitor_.set_metrics(metrics_);
+  if (options_.dataqual.enabled) {
+    sentry_ = std::make_unique<dataqual::DataSentry>(
+        options_.dataqual.sentry, metrics_);
+  }
   store_group_ = std::make_unique<serving::ReplicatedStoreGroup>(
       options_.serving, metrics_);
   canary_ = std::make_unique<CanaryController>(options_.canary, metrics_);
@@ -224,6 +236,64 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
     end_stage(span, "placement");
   }
 
+  // --- Data-plane sentry (DESIGN.md §12): profile every retailer's feed
+  // and judge it before any training is planned. Quarantined retailers
+  // are cut out of the sweep, inference, and index rebuild below; they
+  // keep serving their last-known-good batch/index until a later feed
+  // passes.
+  std::set<data::RetailerId> quarantined;
+  std::string dataqual_json;
+  if (sentry_ != nullptr) {
+    obs::Span span = tracer_->StartSpan("dataqual");
+    std::string retailers_json;
+    for (data::RetailerId id : registry_.Ids()) {
+      StatusOr<const data::RetailerData*> data = registry_.Get(id);
+      if (!data.ok()) continue;
+      const dataqual::FeedProfile feed_profile =
+          dataqual::BuildFeedProfile(**data);
+      const dataqual::DataSentry::Observation observation =
+          sentry_->Observe(feed_profile);
+      if (observation.verdict == dataqual::DataSentry::Verdict::kQuarantine) {
+        quarantined.insert(id);
+        SIGLOG(WARNING) << "dataqual quarantined retailer " << id << " ("
+                        << feed_profile.ToString() << ")";
+        for (const dataqual::DataSentry::Finding& finding :
+             observation.findings) {
+          SIGLOG(WARNING) << "  " << finding.ToString();
+        }
+      } else if (observation.released) {
+        SIGLOG(INFO) << "dataqual released retailer " << id
+                     << " from quarantine";
+      }
+      // The profile JSON only carries non-pass verdicts: at 10k retailers
+      // a per-retailer dump would dwarf the rest of the profile.
+      if (observation.verdict != dataqual::DataSentry::Verdict::kPass ||
+          observation.released) {
+        std::string findings_json;
+        for (const dataqual::DataSentry::Finding& finding :
+             observation.findings) {
+          if (!findings_json.empty()) findings_json += ",";
+          findings_json += StrFormat(
+              "{\"check\":\"%s\",\"severity\":\"%s\",\"value\":%.6f,"
+              "\"threshold\":%.6f}",
+              obs::JsonEscape(finding.check).c_str(),
+              dataqual::VerdictName(finding.severity), finding.value,
+              finding.threshold);
+        }
+        if (!retailers_json.empty()) retailers_json += ",";
+        retailers_json += StrFormat(
+            "\"%d\":{\"verdict\":\"%s\",\"released\":%s,\"findings\":[%s]}",
+            id, dataqual::VerdictName(observation.verdict),
+            observation.released ? "true" : "false", findings_json.c_str());
+      }
+    }
+    report.quarantined_retailers = sentry_->QuarantinedCount();
+    dataqual_json = StrFormat(
+        "{\"quarantined_retailers\":%d,\"retailers\":{%s}}",
+        report.quarantined_retailers, retailers_json.c_str());
+    end_stage(span, "dataqual");
+  }
+
   // --- Plan the sweep.
   const bool periodic_restart =
       options_.full_sweep_every_days > 0 && days_run_ > 0 &&
@@ -241,6 +311,16 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       plan = planner.PlanFullSweep(registry_);
     } else {
       plan = planner.PlanIncrementalSweep(registry_, previous_results_);
+    }
+    // Quarantined retailers train nothing today: their last-good models
+    // keep serving, and their previous sweep results are carried forward
+    // (below) so the release day warm-starts instead of re-gridding.
+    if (!quarantined.empty()) {
+      std::erase_if(plan, [&](const ConfigRecord& record) {
+        return quarantined.count(record.retailer) > 0;
+      });
+    }
+    if (!full) {
       // Count retailers that got a full grid (new sign-ups).
       std::map<data::RetailerId, int> per_retailer;
       for (const ConfigRecord& record : plan) ++per_retailer[record.retailer];
@@ -315,7 +395,24 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
     }
     end_stage(span, "select_models");
   }
+  // Quarantined retailers trained nothing, so today's results carry no
+  // records for them. Splice their previous records forward: without
+  // them, the release day would plan a full grid (cold start) instead of
+  // warm-starting from the last-good checkpoint.
+  std::vector<ConfigRecord> carried;
+  if (!quarantined.empty()) {
+    for (const ConfigRecord& record : previous_results_) {
+      if (quarantined.count(record.retailer) > 0) carried.push_back(record);
+    }
+  }
   previous_results_ = std::move(results).value();
+  previous_results_.insert(previous_results_.end(),
+                           std::make_move_iterator(carried.begin()),
+                           std::make_move_iterator(carried.end()));
+  // A quarantined retailer is degraded for rollout purposes: even if a
+  // fresh artifact for it existed, the serving planes below would keep
+  // its previous version.
+  degraded.insert(quarantined.begin(), quarantined.end());
 
   std::set<data::RetailerId> hold_back;
   if (options_.guard_quality) {
@@ -341,7 +438,16 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   inference_options.tracer = tracer_;
   inference_options.clock = clock_;
   InferenceJob inference(fs_, &registry_, inference_options);
-  auto recommendations = inference.Run(registry_.Ids());
+  // Quarantined retailers are excluded: no fresh batch is materialized,
+  // so the store and retrieval loops below never see them and their
+  // last-known-good versions keep serving untouched.
+  std::vector<data::RetailerId> serve_ids = registry_.Ids();
+  if (!quarantined.empty()) {
+    std::erase_if(serve_ids, [&](data::RetailerId id) {
+      return quarantined.count(id) > 0;
+    });
+  }
+  auto recommendations = inference.Run(serve_ids);
   end_stage(inference_span, "inference");
   if (!recommendations.ok()) return recommendations.status();
 
@@ -584,6 +690,12 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       after.CounterValue("serving_retry_budget_exhausted_total", none);
   report.canary_samples_ignored =
       delta("canary_samples_ignored_total", none);
+  // Data-plane sentry verdicts, per-run deltas like the rest of the
+  // pipeline counters.
+  report.feed_quarantines =
+      delta("dataqual_verdicts_total", {{"verdict", "quarantine"}});
+  report.feed_warns = delta("dataqual_verdicts_total", {{"verdict", "warn"}});
+  report.quarantine_releases = delta("dataqual_releases_total", none);
   // Per-path request counts: cumulative like the rest of serving health
   // (traffic arrives between runs, so per-run deltas would read zero).
   report.requests_materialized =
@@ -609,6 +721,7 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       StrFormat("day%d", days_run_), *tracer_, day_span.id(), after);
   profile.stages = report.stage_wall_micros;
   if (!report.slo_json.empty()) profile.slo_json = report.slo_json;
+  if (!dataqual_json.empty()) profile.dataqual_json = dataqual_json;
   report.profile_json = profile.ToJson();
 
   ++days_run_;

@@ -15,6 +15,7 @@
 #include "common/slo.h"
 #include "common/trace.h"
 #include "common/status.h"
+#include "dataqual/sentry.h"
 #include "pipeline/canary.h"
 #include "pipeline/data_placement.h"
 #include "pipeline/inference_job.h"
@@ -109,6 +110,13 @@ struct DailyReport {
   // Training-data shard bytes migrated across cells this run (§IV-B1);
   // 0 when data placement is disabled.
   int64_t shard_bytes_moved = 0;
+  // Data-plane sentry (DESIGN.md §12), this run: feeds quarantined /
+  // flagged, retailers released from quarantine (per-run deltas), and the
+  // number of retailers sitting in quarantine after this run.
+  int64_t feed_quarantines = 0;
+  int64_t feed_warns = 0;
+  int64_t quarantine_releases = 0;
+  int quarantined_retailers = 0;
 
   // Robustness counters for this run. Transient SFS errors that a retry
   // absorbed, checksum failures caught (and healed on the write path),
@@ -205,6 +213,20 @@ class SigmundService {
     };
     RetrievalOptions retrieval;
 
+    // Data-plane sentry (DESIGN.md §12). When enabled, every RunDaily
+    // profiles each retailer's feed before the sweep is planned and asks
+    // the DataSentry for a verdict. A quarantined retailer skips
+    // retraining and the retrieval-index rebuild, keeps serving its
+    // last-known-good batch/index, and auto-releases when a later feed
+    // passes — releases warm-start from the last-good checkpoint because
+    // the retailer's previous sweep results are carried forward across
+    // quarantined days.
+    struct DataQualOptions {
+      bool enabled = false;
+      dataqual::DataSentry::Options sentry;
+    };
+    DataQualOptions dataqual;
+
     // Retry policy for the service's own SFS access (best-model copies,
     // sweep results, data placement, store batch loads). The training and
     // inference jobs carry their own policies in `training.sfs_retry` /
@@ -283,6 +305,9 @@ class SigmundService {
 
   const QualityMonitor& quality_monitor() const { return monitor_; }
 
+  // The data-plane sentry (null unless Options::dataqual.enabled).
+  const dataqual::DataSentry* sentry() const { return sentry_.get(); }
+
   // The registry / tracer every run records into (service-owned unless
   // injected through Options).
   obs::MetricRegistry* metrics() const { return metrics_; }
@@ -312,6 +337,9 @@ class SigmundService {
   std::unique_ptr<retrieval::OnlineRetrievalReader> retrieval_reader_;
   std::unique_ptr<CanaryController> retrieval_canary_;
   QualityMonitor monitor_;
+  // Data-plane sentry (null unless Options::dataqual.enabled); judges
+  // every feed before the sweep and owns quarantine state across days.
+  std::unique_ptr<dataqual::DataSentry> sentry_;
   std::vector<ConfigRecord> previous_results_;
   // Where each retailer's data shard currently lives (data placement).
   std::map<data::RetailerId, std::string> shard_homes_;

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/random.h"
 #include "data/world_generator.h"
 #include "pipeline/service.h"
 #include "retrieval/artifact.h"
@@ -184,6 +185,51 @@ TEST(IndexArtifactTest, RejectsTruncatedAndMangledEncodings) {
   // Trailing garbage is also rejected: the frame must parse exactly.
   EXPECT_EQ(retrieval::IndexArtifact::Deserialize(bytes + "x").status().code(),
             StatusCode::kDataLoss);
+}
+
+TEST(IndexArtifactTest, FuzzTruncationsBitFlipsAndOverlengthNeverCrash) {
+  // Fuzz-style hostile-input sweep, mirroring the BinaryReader fuzz test:
+  // the index loader parses bytes staged by another process, so every
+  // mutation must produce a clean non-ok Status — never a crash, hang, or
+  // out-of-bounds read. A decode that happens to succeed must round-trip.
+  const retrieval::IndexArtifact artifact = ToyArtifact(3, 24);
+  const std::string good = artifact.Serialize();
+  ASSERT_TRUE(retrieval::IndexArtifact::Deserialize(good).ok());
+
+  auto decode = [](const std::string& bytes) {
+    StatusOr<retrieval::IndexArtifact> decoded =
+        retrieval::IndexArtifact::Deserialize(bytes);
+    if (decoded.ok()) {
+      // Anything accepted must be a faithful frame, not a lucky parse.
+      EXPECT_EQ(decoded->Serialize(), bytes);
+    }
+  };
+
+  // Every strict prefix (all truncation points, not just a sample).
+  for (size_t len = 0; len < good.size(); ++len) {
+    decode(good.substr(0, len));
+  }
+
+  Rng rng(987654);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = good;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+    }
+    if (rng.Bernoulli(0.15)) {
+      // Truncate to a random length.
+      mutated.resize(rng.Uniform(mutated.size() + 1));
+    } else if (rng.Bernoulli(0.15)) {
+      // Overlength frame: pad with random garbage past the real payload.
+      const size_t pad = 1 + rng.Uniform(64);
+      for (size_t i = 0; i < pad; ++i) {
+        mutated.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+    }
+    decode(mutated);
+  }
 }
 
 // --- Reader: version chain, corruption, serving ---------------------------
