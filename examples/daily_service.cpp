@@ -26,11 +26,18 @@
 //        index rebuild, serving continues from last-known-good); day 10's
 //        clean feed releases the quarantine and training resumes
 //        warm-started.
+// Day 11/12: crash and resume — the run ledger journals every durable
+//        transition. Day 11 completes cleanly and snapshots control
+//        state; on day 12 the coordinator is killed mid-rollout, a fresh
+//        process replays the journal, skips the committed stages, and
+//        finishes the day.
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <vector>
 
+#include "common/crash_point.h"
 #include "data/world_generator.h"
 #include "dataqual/corruptor.h"
 #include "pipeline/service.h"
@@ -363,6 +370,83 @@ int main() {
               static_cast<long long>(
                   dq_service.store().RetailerVersion(medium.data.id)));
   ShowSample(dq_service, medium.data.id);
+
+  // --- Days 11/12: crash and resume (DESIGN.md §13). The run ledger
+  // journals every stage commit and per-retailer rollout intent, and the
+  // day boundary snapshots control state. Day 11 runs clean under the
+  // ledger; on day 12 the coordinator "process" dies mid-rollout (a
+  // CrashInjector throws at the batch.staged kill-point), its in-memory
+  // state is abandoned, and a fresh service recovers from the surviving
+  // filesystem: committed stages are skipped, the half-staged version is
+  // rehydrated, and the day finishes as if nothing happened.
+  CrashInjector injector;
+  pipeline::SigmundService::Options durable = options;
+  durable.ledger.enabled = true;
+  durable.crash = &injector;
+  auto boot_durable = [&] {
+    auto booted =
+        std::make_unique<pipeline::SigmundService>(&fs, durable);
+    StatusOr<pipeline::SigmundService::RecoveryReport> recovered =
+        booted->RecoverDay();
+    if (!recovered.ok()) {
+      std::printf("recovery failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return std::unique_ptr<pipeline::SigmundService>();
+    }
+    if (recovered->resumed) {
+      std::printf("  -> recovered mid-flight day %d: %lld ledger entries "
+                  "replayed, %lld versions rehydrated, %lld tmp partials "
+                  "swept, %lld orphaned versions removed\n",
+                  recovered->day,
+                  static_cast<long long>(recovered->ledger_entries),
+                  static_cast<long long>(recovered->versions_rehydrated),
+                  static_cast<long long>(recovered->tmp_files_swept),
+                  static_cast<long long>(recovered->orphan_versions_deleted));
+    }
+    for (data::RetailerWorld* world : worlds) {
+      booted->UpsertRetailer(&world->data);
+    }
+    return booted;
+  };
+  std::unique_ptr<pipeline::SigmundService> durable_service = boot_durable();
+  if (durable_service == nullptr) return 1;
+  StatusOr<pipeline::DailyReport> day11 = durable_service->RunDaily();
+  if (!day11.ok()) {
+    std::printf("day 11 failed: %s\n", day11.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 11 (ledgered run): %s\n", day11->ToString().c_str());
+
+  data::AdvanceOneDay(generator, &small, 2, 909);
+  data::AdvanceOneDay(generator, &medium, 5, 910);
+  data::AdvanceOneDay(generator, &large, 12, 911);
+  data::AdvanceOneDay(generator, &newcomer, 2, 912);
+  for (data::RetailerWorld* world : worlds) {
+    durable_service->UpsertRetailer(&world->data);
+  }
+  injector.ResetCounts();  // day 11's hits don't count against the arm
+  injector.ArmAt("batch.staged");
+  StatusOr<pipeline::DailyReport> day12 = OkStatus();
+  bool crashed = false;
+  try {
+    day12 = durable_service->RunDaily();
+  } catch (const CrashException& e) {
+    crashed = true;
+    std::printf("day 12: coordinator killed at kill-point \"%s\" — "
+                "training done, first batch staged but not activated\n",
+                e.point.c_str());
+    durable_service = boot_durable();
+    if (durable_service == nullptr) return 1;
+    day12 = durable_service->RunDaily();
+  }
+  if (!day12.ok()) {
+    std::printf("day 12 failed: %s\n", day12.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 12 (crash + resume%s): %s\n",
+              crashed ? "" : " — crash point not reached?",
+              day12->ToString().c_str());
+  ShowSample(*durable_service, 0);
 
   // Full trace of the chaos day, span by span.
   std::printf("\nday 4 trace:\n%s",

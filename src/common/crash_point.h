@@ -1,0 +1,88 @@
+#ifndef SIGMUND_COMMON_CRASH_POINT_H_
+#define SIGMUND_COMMON_CRASH_POINT_H_
+
+#include <stdint.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sigmund {
+
+// Thrown by CrashInjector::Hit when an armed kill-point fires. Tests
+// catch it at the RunDaily call site and abandon the service object: the
+// simulated "process" dies mid-stage with every byte of in-memory state
+// lost, while everything already written to the SharedFileSystem
+// survives — exactly the wreckage a machine crash leaves behind.
+// Deliberately not derived from std::exception so no generic handler in
+// the stack can swallow a simulated machine death.
+struct CrashException {
+  std::string point;   // the kill-point that fired
+  int64_t global_hit;  // 1-based index among all Hit() calls so far
+};
+
+// Named, deterministic kill-points threaded through the daily pipeline's
+// stage boundaries and the Stage/Activate seams (DESIGN.md §13) — the
+// crash-simulation sibling of sfs::FaultInjectingFileSystem, which
+// models I/O faults rather than process death. Disarmed (the default),
+// Hit() only counts and records, so the production overhead of an
+// instrumented seam is one null-pointer branch.
+//
+// Three arming modes:
+//   ArmAt(point, nth)  crash the nth time `point` is hit (kill a specific
+//                      seam — "between snapshot tmp-write and rename").
+//   ArmGlobal(nth)     crash at the nth Hit() overall, regardless of
+//                      name. The kill-anywhere harness first records a
+//                      clean run's hit sequence, then replays the run
+//                      once per index — every instrumented point dies
+//                      exactly once.
+//   ArmSeeded(seed, p) crash each hit independently with probability p,
+//                      derived deterministically from (seed, point, nth)
+//                      like FaultProfile's fault schedule.
+//
+// Firing is one-shot: the injector disarms itself as it throws, so the
+// recovered run resumes through the same seams without dying again.
+// Thread-safe, though the pipeline only hits points from the coordinator
+// thread.
+class CrashInjector {
+ public:
+  void ArmAt(std::string_view point, int64_t nth = 1);
+  void ArmGlobal(int64_t nth);
+  void ArmSeeded(uint64_t seed, double probability);
+  void Disarm();
+
+  // Records the hit and throws CrashException when the armed condition
+  // is met.
+  void Hit(const char* point);
+
+  // Total Hit() calls since construction / the last ResetCounts.
+  int64_t hits() const;
+  // Every point name in hit order (the kill-anywhere harness enumerates
+  // this from a clean run to know how many scenarios to replay).
+  std::vector<std::string> Sequence() const;
+  // Clears counts and the recorded sequence; arming is untouched.
+  void ResetCounts();
+
+ private:
+  enum class Mode { kDisarmed, kAt, kGlobal, kSeeded };
+
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kDisarmed;
+  std::string armed_point_;
+  int64_t armed_nth_ = 0;
+  uint64_t seed_ = 0;
+  double probability_ = 0.0;
+  int64_t hits_ = 0;
+  std::map<std::string, int64_t, std::less<>> per_point_;
+  std::vector<std::string> sequence_;
+};
+
+// Null-tolerant helper for call sites holding a borrowed injector.
+inline void MaybeCrash(CrashInjector* injector, const char* point) {
+  if (injector != nullptr) injector->Hit(point);
+}
+
+}  // namespace sigmund
+
+#endif  // SIGMUND_COMMON_CRASH_POINT_H_

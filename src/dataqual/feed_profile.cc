@@ -106,4 +106,34 @@ FeedProfile BuildFeedProfile(const data::RetailerData& data) {
   return profile;
 }
 
+void FeedProfile::SerializeTo(BinaryWriter* writer) const {
+  writer->Write<int32_t>(retailer);
+  writer->Write<int64_t>(events);
+  writer->Write<int32_t>(num_users);
+  writer->Write<int32_t>(active_users);
+  writer->Write<int32_t>(num_items);
+  writer->Write<int32_t>(distinct_items);
+  for (int64_t count : action_counts) writer->Write<int64_t>(count);
+  writer->Write<int64_t>(duplicate_events);
+  writer->Write<int64_t>(out_of_order_events);
+  writer->Write<int64_t>(invalid_item_events);
+  writer->Write<int64_t>(min_timestamp);
+  writer->Write<int64_t>(max_timestamp);
+  writer->Write<int64_t>(max_user_events);
+  for (int64_t count : user_events_hist) writer->Write<int64_t>(count);
+}
+
+bool FeedProfile::ReadFrom(BinaryReader* reader) {
+  bool ok = reader->Read(&retailer) && reader->Read(&events) &&
+            reader->Read(&num_users) && reader->Read(&active_users) &&
+            reader->Read(&num_items) && reader->Read(&distinct_items);
+  for (int64_t& count : action_counts) ok = ok && reader->Read(&count);
+  ok = ok && reader->Read(&duplicate_events) &&
+       reader->Read(&out_of_order_events) &&
+       reader->Read(&invalid_item_events) && reader->Read(&min_timestamp) &&
+       reader->Read(&max_timestamp) && reader->Read(&max_user_events);
+  for (int64_t& count : user_events_hist) ok = ok && reader->Read(&count);
+  return ok;
+}
+
 }  // namespace sigmund::dataqual

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "data/retailer_data.h"
 #include "data/types.h"
 
@@ -65,6 +66,15 @@ struct FeedProfile {
 
   // One-line human-readable summary (for logs and the demo).
   std::string ToString() const;
+
+  // Binary codec for the crash-recovery state snapshot (DESIGN.md §13):
+  // last-good baselines must survive a coordinator restart or the first
+  // post-crash day would run without drift tests.
+  void SerializeTo(BinaryWriter* writer) const;
+  // False on truncation; never aborts.
+  bool ReadFrom(BinaryReader* reader);
+
+  bool operator==(const FeedProfile&) const = default;
 };
 
 // Profiles one retailer's feed in a single pass over the histories.

@@ -49,6 +49,50 @@ const FeedProfile* DataSentry::LastGoodProfile(
   return it == last_good_.end() ? nullptr : &it->second;
 }
 
+std::string DataSentry::SerializeState() const {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(last_good_.size());
+  for (const auto& [retailer, profile] : last_good_) {
+    writer.Write<int32_t>(retailer);
+    profile.SerializeTo(&writer);
+  }
+  writer.Write<uint64_t>(quarantined_.size());
+  for (data::RetailerId retailer : quarantined_) {
+    writer.Write<int32_t>(retailer);
+  }
+  return writer.Take();
+}
+
+Status DataSentry::RestoreState(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  uint64_t count = 0;
+  if (!reader.Read(&count)) return DataLossError("truncated sentry state");
+  std::map<data::RetailerId, FeedProfile> last_good;
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t retailer = 0;
+    FeedProfile profile;
+    if (!reader.Read(&retailer) || !profile.ReadFrom(&reader)) {
+      return DataLossError("truncated sentry state (baselines)");
+    }
+    last_good[retailer] = profile;
+  }
+  if (!reader.Read(&count)) {
+    return DataLossError("truncated sentry state (quarantine)");
+  }
+  std::set<data::RetailerId> quarantined;
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t retailer = 0;
+    if (!reader.Read(&retailer)) {
+      return DataLossError("truncated sentry state (quarantine)");
+    }
+    quarantined.insert(retailer);
+  }
+  if (!reader.Done()) return DataLossError("trailing bytes in sentry state");
+  last_good_ = std::move(last_good);
+  quarantined_ = std::move(quarantined);
+  return OkStatus();
+}
+
 void DataSentry::CheckInvariants(const FeedProfile& profile,
                                  std::vector<Finding>* findings) const {
   if (profile.events == 0) return;

@@ -6,9 +6,11 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "dataqual/feed_profile.h"
 
 namespace sigmund::dataqual {
@@ -134,6 +136,15 @@ class DataSentry {
 
   // The retailer's last feed that passed (or warned); null before one.
   const FeedProfile* LastGoodProfile(data::RetailerId retailer) const;
+
+  // Crash-recovery snapshot of the sentry's durable control state
+  // (DESIGN.md §13): the last-good baselines and the quarantine set. A
+  // restarted coordinator that forgot either would treat a poisoned feed
+  // as its new baseline, or silently release a quarantined retailer.
+  // Deterministic encoding; Observe() on the restored state produces
+  // bit-identical verdicts.
+  std::string SerializeState() const;
+  Status RestoreState(std::string_view bytes);
 
  private:
   void CheckInvariants(const FeedProfile& profile,

@@ -96,4 +96,12 @@ std::string SweepResultPath(data::RetailerId retailer) {
   return StrFormat("sweep_results/r%d", retailer);
 }
 
+std::string RecommendationVersionPath(data::RetailerId retailer,
+                                      int64_t version) {
+  return StrFormat("recommendations/r%d.v%06lld", retailer,
+                   static_cast<long long>(version));
+}
+
+std::string TmpPath(const std::string& path) { return path + ".tmp"; }
+
 }  // namespace sigmund::pipeline

@@ -53,6 +53,16 @@ std::string BestModelPath(data::RetailerId retailer);
 std::string CheckpointDir(data::RetailerId retailer, int model_number);
 std::string RecommendationPath(data::RetailerId retailer);
 std::string SweepResultPath(data::RetailerId retailer);
+// Immutable per-version copy of a recommendation batch (ledger mode,
+// DESIGN.md §13): RecommendationPath is overwritten by every day's
+// inference, but crash rehydration and rollback need each retained
+// version's bytes as they were staged. The "." separator keeps prefix
+// listings of one retailer from matching another (r1. vs r10.).
+std::string RecommendationVersionPath(data::RetailerId retailer,
+                                      int64_t version);
+// Scratch name for write-tmp-then-rename sequences; anything matching
+// this suffix at startup is debris from a crash mid-write.
+std::string TmpPath(const std::string& path);
 
 }  // namespace sigmund::pipeline
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/binary_io.h"
+
 namespace sigmund::pipeline {
 
 const char* VerdictName(QualityMonitor::Verdict verdict) {
@@ -51,6 +53,38 @@ double QualityMonitor::TrailingBest(data::RetailerId retailer) const {
 int QualityMonitor::days_observed(data::RetailerId retailer) const {
   auto it = history_.find(retailer);
   return it == history_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::string QualityMonitor::SerializeState() const {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(history_.size());
+  for (const auto& [retailer, history] : history_) {
+    writer.Write<int32_t>(retailer);
+    writer.WriteVector(std::vector<double>(history.begin(), history.end()));
+  }
+  return writer.Take();
+}
+
+Status QualityMonitor::RestoreState(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  uint64_t count = 0;
+  if (!reader.Read(&count)) {
+    return DataLossError("truncated quality-monitor state");
+  }
+  std::map<data::RetailerId, std::deque<double>> history;
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t retailer = 0;
+    std::vector<double> days;
+    if (!reader.Read(&retailer) || !reader.ReadVector(&days)) {
+      return DataLossError("truncated quality-monitor state");
+    }
+    history[retailer].assign(days.begin(), days.end());
+  }
+  if (!reader.Done()) {
+    return DataLossError("trailing bytes in quality-monitor state");
+  }
+  history_ = std::move(history);
+  return OkStatus();
 }
 
 }  // namespace sigmund::pipeline

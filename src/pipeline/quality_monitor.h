@@ -3,9 +3,12 @@
 
 #include <deque>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "data/types.h"
 
 namespace sigmund::pipeline {
@@ -55,6 +58,13 @@ class QualityMonitor {
   double TrailingBest(data::RetailerId retailer) const;
 
   int days_observed(data::RetailerId retailer) const;
+
+  // Crash-recovery snapshot of the trailing-MAP history (DESIGN.md §13):
+  // a guardrail that forgets its baselines on restart would wave a
+  // regressed batch straight into serving. Deterministic encoding; the
+  // restored monitor produces bit-identical verdicts.
+  std::string SerializeState() const;
+  Status RestoreState(std::string_view bytes);
 
  private:
   Options options_;

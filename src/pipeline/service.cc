@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/model.h"
@@ -12,6 +13,175 @@
 #include "retrieval/artifact.h"
 
 namespace sigmund::pipeline {
+
+namespace {
+
+using Op = RunLedger::Op;
+
+// --- Stage-commit payload codecs (DESIGN.md §13). Payloads are replay
+// data, not archival formats: each stage encodes exactly what the resumed
+// run needs to skip the stage (restore its outputs) or cross-check a
+// deterministic re-run against what the crashed process committed.
+
+std::string JoinIds(const std::set<data::RetailerId>& ids) {
+  std::string out;
+  for (data::RetailerId id : ids) {
+    if (!out.empty()) out += ',';
+    out += StrFormat("%d", id);
+  }
+  return out;
+}
+
+std::string EncodeIdList(const std::vector<data::RetailerId>& ids) {
+  std::string out;
+  for (data::RetailerId id : ids) {
+    if (!out.empty()) out += ',';
+    out += StrFormat("%d", id);
+  }
+  return out;
+}
+
+bool DecodeIdList(const std::string& text,
+                  std::vector<data::RetailerId>* ids) {
+  ids->clear();
+  if (text.empty()) return true;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    int64_t value = 0;
+    if (!ParseInt64(piece, &value)) return false;
+    ids->push_back(static_cast<data::RetailerId>(value));
+  }
+  return true;
+}
+
+std::string EncodeShardHomes(
+    const std::map<data::RetailerId, std::string>& homes) {
+  BinaryWriter writer;
+  writer.Write<uint64_t>(homes.size());
+  for (const auto& [retailer, cell] : homes) {
+    writer.Write<int32_t>(retailer);
+    writer.WriteString(cell);
+  }
+  return writer.Take();
+}
+
+bool DecodeShardHomes(const std::string& bytes,
+                      std::map<data::RetailerId, std::string>* homes) {
+  BinaryReader reader(bytes);
+  uint64_t count = 0;
+  if (!reader.Read(&count)) return false;
+  std::map<data::RetailerId, std::string> parsed;
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t retailer = 0;
+    std::string cell;
+    if (!reader.Read(&retailer) || !reader.ReadString(&cell)) return false;
+    parsed[static_cast<data::RetailerId>(retailer)] = std::move(cell);
+  }
+  if (!reader.Done()) return false;
+  homes->swap(parsed);
+  return true;
+}
+
+std::string EncodeSelect(double mean_best_map,
+                         const std::map<data::RetailerId, double>& best_map,
+                         const std::set<data::RetailerId>& degraded) {
+  BinaryWriter writer;
+  writer.Write<double>(mean_best_map);
+  writer.Write<uint64_t>(best_map.size());
+  for (const auto& [retailer, map_at_10] : best_map) {
+    writer.Write<int32_t>(retailer);
+    writer.Write<double>(map_at_10);
+    writer.Write<uint8_t>(degraded.count(retailer) > 0 ? 1 : 0);
+  }
+  return writer.Take();
+}
+
+bool DecodeSelect(const std::string& bytes, double* mean_best_map,
+                  std::map<data::RetailerId, double>* best_map,
+                  std::set<data::RetailerId>* degraded) {
+  BinaryReader reader(bytes);
+  uint64_t count = 0;
+  if (!reader.Read(mean_best_map) || !reader.Read(&count)) return false;
+  std::map<data::RetailerId, double> parsed_map;
+  std::set<data::RetailerId> parsed_degraded;
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t retailer = 0;
+    double map_at_10 = 0.0;
+    uint8_t is_degraded = 0;
+    if (!reader.Read(&retailer) || !reader.Read(&map_at_10) ||
+        !reader.Read(&is_degraded)) {
+      return false;
+    }
+    parsed_map[static_cast<data::RetailerId>(retailer)] = map_at_10;
+    if (is_degraded != 0) {
+      parsed_degraded.insert(static_cast<data::RetailerId>(retailer));
+    }
+  }
+  if (!reader.Done()) return false;
+  best_map->swap(parsed_map);
+  degraded->swap(parsed_degraded);
+  return true;
+}
+
+// ConfigRecord::Serialize uses %.17g for the metric doubles, so the text
+// round-trip is lossless — the restored records warm-start the next
+// incremental sweep bit-identically.
+std::string EncodeResults(const std::vector<ConfigRecord>& results) {
+  std::string out;
+  for (const ConfigRecord& record : results) {
+    out += record.Serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<std::vector<ConfigRecord>> DecodeResults(const std::string& text) {
+  std::vector<ConfigRecord> results;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    StatusOr<ConfigRecord> record = ConfigRecord::Deserialize(line);
+    SIGMUND_RETURN_IF_ERROR(record.status());
+    results.push_back(*std::move(record));
+  }
+  return results;
+}
+
+// FNV-1a over the serialized plan: the plan is cheap to recompute
+// deterministically, so the ledger stores only a fingerprint to
+// cross-check the resumed run against.
+uint64_t FingerprintPlan(const std::vector<ConfigRecord>& plan) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const ConfigRecord& record : plan) {
+    const std::string bytes = record.Serialize() + "\n";
+    for (unsigned char c : bytes) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+// Parses "<prefix>r<id>.v<NNNNNN>" into (retailer, version). Returns
+// false for anything else under the directory (day batch files, tmp
+// partials, unrelated artifacts).
+bool ParseVersionFilePath(const std::string& path, const std::string& dir,
+                          data::RetailerId* retailer, int64_t* version) {
+  if (path.size() <= dir.size() || path.compare(0, dir.size(), dir) != 0) {
+    return false;
+  }
+  std::string_view rest = std::string_view(path).substr(dir.size());
+  if (rest.empty() || rest[0] != 'r') return false;
+  rest.remove_prefix(1);
+  const size_t dot = rest.find(".v");
+  if (dot == std::string_view::npos) return false;
+  int64_t id = 0, v = 0;
+  if (!ParseInt64(rest.substr(0, dot), &id)) return false;
+  if (!ParseInt64(rest.substr(dot + 2), &v)) return false;
+  *retailer = static_cast<data::RetailerId>(id);
+  *version = v;
+  return true;
+}
+
+}  // namespace
 
 std::string DailyReport::ToString() const {
   std::string out = StrFormat(
@@ -102,6 +272,15 @@ std::string DailyReport::ToString() const {
       quarantined_retailers, static_cast<long long>(feed_quarantines),
       static_cast<long long>(feed_warns),
       static_cast<long long>(quarantine_releases));
+  // Per-run deltas only: a day run after a recovery earlier in the
+  // service's life must print the same line as the same day in an
+  // uninterrupted run (cumulative GC totals would differ).
+  if (ledger_appends > 0 || recovered_day) {
+    out += StrFormat(
+        "\n  ledger: appends=%lld units_skipped=%lld recovered=%d",
+        static_cast<long long>(ledger_appends),
+        static_cast<long long>(replay_units_skipped), recovered_day ? 1 : 0);
+  }
   if (!slo_json.empty()) {
     out += StrFormat(
         "\n  slo: firing=%d fired=%lld resolved=%lld",
@@ -133,6 +312,11 @@ SigmundService::SigmundService(sfs::SharedFileSystem* fs,
     sentry_ = std::make_unique<dataqual::DataSentry>(
         options_.dataqual.sentry, metrics_);
   }
+  if (options_.ledger.enabled) {
+    ledger_ = std::make_unique<RunLedger>(fs_, options_.ledger.ledger,
+                                          options_.sfs_retry, &io_, metrics_);
+  }
+  crash_ = options_.crash;
   store_group_ = std::make_unique<serving::ReplicatedStoreGroup>(
       options_.serving, metrics_);
   canary_ = std::make_unique<CanaryController>(options_.canary, metrics_);
@@ -199,6 +383,341 @@ Status SigmundService::SelectBestModels(
   return OkStatus();
 }
 
+ServiceSnapshot SigmundService::BuildSnapshot() const {
+  ServiceSnapshot snapshot;
+  snapshot.days_run = days_run_ + 1;
+  snapshot.previous_results.reserve(previous_results_.size());
+  for (const ConfigRecord& record : previous_results_) {
+    snapshot.previous_results.push_back(record.Serialize());
+  }
+  snapshot.shard_homes = shard_homes_;
+  snapshot.monitor_state = monitor_.SerializeState();
+  if (sentry_ != nullptr) snapshot.sentry_state = sentry_->SerializeState();
+  const serving::RecommendationStore& primary = *store_group_->primary();
+  for (data::RetailerId id : registry_.Ids()) {
+    VersionChainState chain;
+    chain.active = primary.RetailerVersion(id);
+    chain.next_version = primary.NextVersion(id);
+    chain.retained = primary.RetainedVersions(id);
+    if (chain.active != 0 || chain.next_version != 1 ||
+        !chain.retained.empty()) {
+      snapshot.store_versions[id] = std::move(chain);
+    }
+    VersionChainState index_chain;
+    index_chain.active = retrieval_reader_->RetailerVersion(id);
+    index_chain.next_version = retrieval_reader_->NextVersion(id);
+    index_chain.retained = retrieval_reader_->RetainedVersions(id);
+    if (index_chain.active != 0 || index_chain.next_version != 1 ||
+        !index_chain.retained.empty()) {
+      snapshot.index_versions[id] = std::move(index_chain);
+    }
+  }
+  return snapshot;
+}
+
+Status SigmundService::DeleteVersionFile(const std::string& path) {
+  return RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+    Status status = fs_->Delete(path);
+    return status.code() == StatusCode::kNotFound ? OkStatus() : status;
+  });
+}
+
+Status SigmundService::RetireVersionFiles(
+    const std::string& prefix, const std::vector<int64_t>& retained) {
+  StatusOr<std::vector<std::string>> paths =
+      RetryWithPolicy<std::vector<std::string>>(
+          options_.sfs_retry, &io_.retry, [&] { return fs_->List(prefix); });
+  SIGMUND_RETURN_IF_ERROR(paths.status());
+  int64_t deleted = 0;
+  for (const std::string& path : *paths) {
+    int64_t version = 0;
+    if (!ParseInt64(std::string_view(path).substr(prefix.size()), &version)) {
+      continue;  // a tmp partial or unrelated file; not ours to touch here
+    }
+    if (std::find(retained.begin(), retained.end(), version) !=
+        retained.end()) {
+      continue;
+    }
+    SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(path));
+    ++deleted;
+  }
+  if (deleted > 0) {
+    metrics_->GetCounter("pipeline_version_files_retired_total")
+        ->Add(deleted);
+  }
+  return OkStatus();
+}
+
+Status SigmundService::GcOrphanVersionFiles(const std::string& dir,
+                                            bool index_plane,
+                                            const char* kind,
+                                            int64_t* deleted) {
+  StatusOr<std::vector<std::string>> paths =
+      RetryWithPolicy<std::vector<std::string>>(
+          options_.sfs_retry, &io_.retry, [&] { return fs_->List(dir); });
+  SIGMUND_RETURN_IF_ERROR(paths.status());
+  int64_t count = 0;
+  for (const std::string& path : *paths) {
+    data::RetailerId retailer = 0;
+    int64_t version = 0;
+    if (!ParseVersionFilePath(path, dir, &retailer, &version)) continue;
+    const std::vector<int64_t> retained =
+        index_plane ? retrieval_reader_->RetainedVersions(retailer)
+                    : store_group_->primary()->RetainedVersions(retailer);
+    if (std::find(retained.begin(), retained.end(), version) !=
+        retained.end()) {
+      continue;
+    }
+    SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(path));
+    ++count;
+  }
+  if (count > 0) {
+    metrics_->GetCounter("pipeline_orphans_gc_total", {{"kind", kind}})
+        ->Add(count);
+    *deleted += count;
+  }
+  return OkStatus();
+}
+
+StatusOr<SigmundService::RecoveryReport> SigmundService::RecoverDay() {
+  RecoveryReport recovery;
+  // 1. Sweep `*.tmp` partials everywhere the two-phase commit idiom
+  // writes them. Safe (and useful) on a clean first boot and with the
+  // ledger disabled: a tmp file is uncommitted by construction.
+  const std::string state_prefix = options_.ledger.ledger.state_dir + "/";
+  for (const std::string& prefix :
+       {std::string("recommendations/"), std::string("retrieval/"),
+        state_prefix}) {
+    StatusOr<int64_t> swept =
+        sfs::SweepPartialFiles(fs_, prefix, options_.sfs_retry, &io_);
+    SIGMUND_RETURN_IF_ERROR(swept.status());
+    recovery.tmp_files_swept += *swept;
+  }
+  if (recovery.tmp_files_swept > 0) {
+    metrics_->GetCounter("pipeline_orphans_gc_total", {{"kind", "tmp"}})
+        ->Add(recovery.tmp_files_swept);
+  }
+  if (ledger_ == nullptr) {
+    recovery.day = days_run_;
+    return recovery;
+  }
+  metrics_->GetCounter("pipeline_recoveries_total")->Add(1);
+
+  // 2. Rehydrate durable control state from the newest readable snapshot
+  // (a corrupt one is skipped inside ReadLatestSnapshot; kNotFound means
+  // a true first boot).
+  ServiceSnapshot snapshot;
+  StatusOr<std::pair<int, std::string>> latest =
+      ledger_->ReadLatestSnapshot();
+  if (latest.ok()) {
+    StatusOr<ServiceSnapshot> decoded =
+        ServiceSnapshot::Deserialize(latest->second);
+    SIGMUND_RETURN_IF_ERROR(decoded.status());
+    snapshot = *std::move(decoded);
+    recovery.snapshot_day = latest->first;
+    days_run_ = snapshot.days_run;
+    previous_results_.clear();
+    for (const std::string& line : snapshot.previous_results) {
+      StatusOr<ConfigRecord> record = ConfigRecord::Deserialize(line);
+      SIGMUND_RETURN_IF_ERROR(record.status());
+      previous_results_.push_back(*std::move(record));
+    }
+    shard_homes_ = snapshot.shard_homes;
+    if (!snapshot.monitor_state.empty()) {
+      SIGMUND_RETURN_IF_ERROR(monitor_.RestoreState(snapshot.monitor_state));
+    }
+    if (sentry_ != nullptr && !snapshot.sentry_state.empty()) {
+      SIGMUND_RETURN_IF_ERROR(sentry_->RestoreState(snapshot.sentry_state));
+    }
+    // force_full_sweep_ is deliberately not persisted: it records an
+    // operator's *request*, not pipeline state; a crashed coordinator's
+    // operator re-issues it.
+  } else if (latest.status().code() != StatusCode::kNotFound) {
+    return latest.status();
+  }
+  recovery.day = days_run_;
+
+  // 3. Decode the current day's log. kDayStart without kDayComplete
+  // means the crashed process died mid-day: the next RunDaily resumes
+  // it, replaying committed work from these entries.
+  RecoveredDay rec;
+  rec.day = days_run_;
+  std::vector<RunLedger::Entry> entries;
+  StatusOr<RunLedger::DecodeResult> day_log = ledger_->ReadDay(days_run_);
+  if (day_log.ok()) {
+    entries = std::move(day_log->entries);
+    recovery.ledger_entries = static_cast<int64_t>(entries.size());
+    recovery.torn_tail_dropped = day_log->torn_tail;
+    bool started = false;
+    bool complete = false;
+    for (const RunLedger::Entry& entry : entries) {
+      switch (entry.op) {
+        case Op::kDayStart:
+          started = true;
+          break;
+        case Op::kDayComplete:
+          complete = true;
+          break;
+        case Op::kStageCommit:
+          rec.committed_stages[entry.tag] = entry.payload;
+          break;
+        case Op::kBatchCanary:
+          rec.batch_canary[{entry.retailer, entry.version}] = entry.tag;
+          break;
+        case Op::kBatchActivate:
+          rec.batch_activated[entry.retailer] = entry.version;
+          break;
+        case Op::kBatchDiscard:
+          rec.batch_discarded[entry.retailer] = entry.version;
+          break;
+        case Op::kIndexCanary:
+          rec.index_canary[{entry.retailer, entry.version}] = entry.tag;
+          break;
+        case Op::kIndexActivate:
+          rec.index_activated[entry.retailer] = entry.version;
+          break;
+        case Op::kIndexDiscard:
+          rec.index_discarded[entry.retailer] = entry.version;
+          break;
+        case Op::kBatchStageIntent:
+        case Op::kIndexStageIntent:
+          // Intents without a matching commit are exactly the debris the
+          // GC pass below removes; nothing to replay.
+          break;
+      }
+    }
+    rec.resumed = started && !complete;
+  } else if (day_log.status().code() != StatusCode::kNotFound) {
+    return day_log.status();
+  }
+
+  // 4. Rebuild the serving planes: snapshot chains first (retained
+  // versions re-staged pinned, in ascending order, then the active
+  // pointer), then this day's already-committed rollouts on top — so the
+  // in-memory version chains land exactly where the crashed process had
+  // them.
+  serving::RecommendationStore* primary = store_group_->primary();
+  for (const auto& [retailer, chain] : snapshot.store_versions) {
+    for (int64_t version : chain.retained) {
+      StatusOr<int64_t> staged = primary->StageRetailerFromFile(
+          retailer, *fs_, RecommendationVersionPath(retailer, version),
+          options_.sfs_retry, &io_, version);
+      if (!staged.ok()) {
+        // A retained version evicted by a committed same-day activation
+        // has already lost its file; only the active version is
+        // load-bearing.
+        if (staged.status().code() == StatusCode::kNotFound &&
+            version != chain.active) {
+          continue;
+        }
+        return staged.status();
+      }
+      ++recovery.versions_rehydrated;
+    }
+    if (chain.active > 0) {
+      SIGMUND_RETURN_IF_ERROR(
+          primary->ActivateVersion(retailer, chain.active));
+    }
+    primary->EnsureNextVersion(retailer, chain.next_version);
+  }
+  for (const auto& [retailer, version] : rec.batch_activated) {
+    StatusOr<int64_t> staged = primary->StageRetailerFromFile(
+        retailer, *fs_, RecommendationVersionPath(retailer, version),
+        options_.sfs_retry, &io_, version);
+    SIGMUND_RETURN_IF_ERROR(staged.status());
+    SIGMUND_RETURN_IF_ERROR(primary->ActivateVersion(retailer, version));
+    ++recovery.versions_rehydrated;
+  }
+  // A canary-discarded version consumed a version number even though no
+  // file survives; restore the counter so the resumed (and every later)
+  // day assigns the same numbers a crash-free run would.
+  for (const auto& [retailer, version] : rec.batch_discarded) {
+    primary->EnsureNextVersion(retailer, version + 1);
+  }
+  if (store_group_->num_replicas() > 1) {
+    std::map<data::RetailerId, int64_t> final_active;
+    for (const auto& [retailer, chain] : snapshot.store_versions) {
+      if (chain.active > 0) final_active[retailer] = chain.active;
+    }
+    for (const auto& [retailer, version] : rec.batch_activated) {
+      final_active[retailer] = version;
+    }
+    for (const auto& [retailer, version] : final_active) {
+      SIGMUND_RETURN_IF_ERROR(store_group_->CutoverFollowersFromFile(
+          retailer, *fs_, RecommendationVersionPath(retailer, version),
+          version, options_.sfs_retry, &io_));
+    }
+  }
+
+  for (const auto& [retailer, chain] : snapshot.index_versions) {
+    for (int64_t version : chain.retained) {
+      StatusOr<int64_t> staged = retrieval_reader_->StageFromFile(
+          retailer, *fs_, retrieval::IndexArtifactVersionPath(retailer,
+                                                              version),
+          options_.sfs_retry, &io_, version);
+      if (!staged.ok()) {
+        if (staged.status().code() == StatusCode::kNotFound &&
+            version != chain.active) {
+          continue;
+        }
+        return staged.status();
+      }
+      ++recovery.versions_rehydrated;
+    }
+    if (chain.active > 0) {
+      SIGMUND_RETURN_IF_ERROR(
+          retrieval_reader_->ActivateVersion(retailer, chain.active));
+    }
+    retrieval_reader_->EnsureNextVersion(retailer, chain.next_version);
+  }
+  for (const auto& [retailer, version] : rec.index_activated) {
+    StatusOr<int64_t> staged = retrieval_reader_->StageFromFile(
+        retailer, *fs_,
+        retrieval::IndexArtifactVersionPath(retailer, version),
+        options_.sfs_retry, &io_, version);
+    SIGMUND_RETURN_IF_ERROR(staged.status());
+    SIGMUND_RETURN_IF_ERROR(
+        retrieval_reader_->ActivateVersion(retailer, version));
+    ++recovery.versions_rehydrated;
+  }
+  for (const auto& [retailer, version] : rec.index_discarded) {
+    retrieval_reader_->EnsureNextVersion(retailer, version + 1);
+  }
+
+  // 5. GC: every versioned file the rehydrated planes do not retain is
+  // debris — an uncommitted intent's copy, or an eviction whose file
+  // delete the crash preempted.
+  SIGMUND_RETURN_IF_ERROR(GcOrphanVersionFiles(
+      "recommendations/", /*index_plane=*/false, "batch",
+      &recovery.orphan_versions_deleted));
+  SIGMUND_RETURN_IF_ERROR(GcOrphanVersionFiles(
+      "retrieval/", /*index_plane=*/true, "index",
+      &recovery.orphan_versions_deleted));
+
+  // 6. Retention, with the restored day counter. Normally the day-end
+  // retention already ran and these are no-ops, but a crash inside the
+  // day-boundary window (snapshot committed, retention not yet run)
+  // would otherwise strand old snapshots that a crash-free run deletes —
+  // and retention always deletes *everything* below its cutoff, so
+  // re-running it here converges the crashed filesystem to the clean
+  // run's bytes no matter where in the window the process died.
+  SIGMUND_RETURN_IF_ERROR(ledger_->RetireOldDays(days_run_));
+  SIGMUND_RETURN_IF_ERROR(ledger_->RetireOldSnapshots(days_run_));
+
+  // 7. Re-open the mid-flight day so resumed appends extend (and
+  // tail-truncate) the durable log.
+  if (rec.resumed) {
+    ledger_->ResumeDay(days_run_, entries);
+    recovery.resumed = true;
+    recovery_ = std::move(rec);
+    SIGLOG(INFO) << "recovered mid-flight day " << days_run_ << " ("
+                 << recovery.ledger_entries << " ledger entries, "
+                 << recovery.versions_rehydrated << " versions rehydrated, "
+                 << recovery.orphan_versions_deleted << " orphans removed)";
+  }
+  return recovery;
+}
+
 StatusOr<DailyReport> SigmundService::RunDaily() {
   DailyReport report;
   report.retailers = registry_.size();
@@ -220,19 +739,82 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         ->Observe(static_cast<double>(span.DurationMicros()));
   };
 
+  // --- Ledger plumbing (DESIGN.md §13). With the ledger disabled every
+  // helper below is a no-op and the run is byte-identical to the
+  // pre-ledger pipeline.
+  const bool ledgered = ledger_ != nullptr;
+  RecoveredDay* rec = nullptr;
+  if (ledgered && recovery_.has_value() && recovery_->resumed &&
+      recovery_->day == days_run_) {
+    rec = &*recovery_;
+  }
+  report.recovered_day = rec != nullptr;
+  const int64_t appends_before = ledgered ? ledger_->appends() : 0;
+  int64_t units_skipped = 0;
+
+  auto make_entry = [&](Op op, data::RetailerId retailer, int64_t version,
+                        std::string tag, std::string payload) {
+    RunLedger::Entry entry;
+    entry.op = op;
+    entry.day = days_run_;
+    entry.retailer = retailer;
+    entry.version = version;
+    entry.tag = std::move(tag);
+    entry.payload = std::move(payload);
+    return entry;
+  };
+  auto append = [&](const RunLedger::Entry& entry) {
+    return ledger_->Append(entry);
+  };
+  // Payload of a stage already committed this day (replay), or null.
+  auto stage_committed = [&](const char* tag) -> const std::string* {
+    if (rec == nullptr) return nullptr;
+    auto it = rec->committed_stages.find(tag);
+    return it == rec->committed_stages.end() ? nullptr : &it->second;
+  };
+  // Durably commits a stage, then exposes the stage-boundary kill-point.
+  auto commit_stage = [&](const char* tag, std::string payload,
+                          const char* point) -> Status {
+    if (!ledgered) return OkStatus();
+    SIGMUND_RETURN_IF_ERROR(
+        append(make_entry(Op::kStageCommit, -1, 0, tag, std::move(payload))));
+    MaybeCrash(crash_, point);
+    return OkStatus();
+  };
+
+  if (ledgered) {
+    if (rec == nullptr) {
+      ledger_->StartDay(days_run_);
+      SIGMUND_RETURN_IF_ERROR(
+          append(make_entry(Op::kDayStart, -1, 0, "", "")));
+    }
+    MaybeCrash(crash_, "day.start");
+  }
+
   // --- Data placement: rebalance shards across cells and account the
-  // migrated bytes (§IV-B1).
+  // migrated bytes (§IV-B1). Replay: shard migration is durable, so a
+  // committed stage restores the placement map and skips the move.
   if (!options_.placement.cells.empty()) {
     obs::Span span = tracer_->StartSpan("placement");
-    DataPlacementPlanner placement_planner(fs_, options_.placement);
-    DataPlacementPlanner::Plan placement =
-        placement_planner.PlanPlacement(registry_);
-    int64_t bytes_before = transfer_ledger_.total_bytes();
-    SIGMUND_RETURN_IF_ERROR(placement_planner.Materialize(
-        registry_, placement, shard_homes_, &transfer_ledger_,
-        options_.sfs_retry, &io_));
-    report.shard_bytes_moved = transfer_ledger_.total_bytes() - bytes_before;
-    shard_homes_ = std::move(placement.home_cell);
+    if (const std::string* payload = stage_committed("placement")) {
+      if (!DecodeShardHomes(*payload, &shard_homes_)) {
+        return InternalError("ledger: undecodable placement payload");
+      }
+      ++units_skipped;
+    } else {
+      DataPlacementPlanner placement_planner(fs_, options_.placement);
+      DataPlacementPlanner::Plan placement =
+          placement_planner.PlanPlacement(registry_);
+      int64_t bytes_before = transfer_ledger_.total_bytes();
+      SIGMUND_RETURN_IF_ERROR(placement_planner.Materialize(
+          registry_, placement, shard_homes_, &transfer_ledger_,
+          options_.sfs_retry, &io_));
+      report.shard_bytes_moved =
+          transfer_ledger_.total_bytes() - bytes_before;
+      shard_homes_ = std::move(placement.home_cell);
+      SIGMUND_RETURN_IF_ERROR(commit_stage(
+          "placement", EncodeShardHomes(shard_homes_), "placement.done"));
+    }
     end_stage(span, "placement");
   }
 
@@ -240,7 +822,9 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   // and judge it before any training is planned. Quarantined retailers
   // are cut out of the sweep, inference, and index rebuild below; they
   // keep serving their last-known-good batch/index until a later feed
-  // passes.
+  // passes. Replay: Observe mutates sentry state, so the stage re-runs
+  // (deterministic from the snapshot-restored state) and a committed
+  // entry only cross-checks the verdict set.
   std::set<data::RetailerId> quarantined;
   std::string dataqual_json;
   if (sentry_ != nullptr) {
@@ -291,10 +875,20 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
     dataqual_json = StrFormat(
         "{\"quarantined_retailers\":%d,\"retailers\":{%s}}",
         report.quarantined_retailers, retailers_json.c_str());
+    if (const std::string* payload = stage_committed("dataqual")) {
+      if (JoinIds(quarantined) != *payload) {
+        return InternalError(
+            "ledger: dataqual replay diverged from committed verdicts");
+      }
+    } else {
+      SIGMUND_RETURN_IF_ERROR(
+          commit_stage("dataqual", JoinIds(quarantined), "dataqual.done"));
+    }
     end_stage(span, "dataqual");
   }
 
-  // --- Plan the sweep.
+  // --- Plan the sweep. Replay: pure function of restored state, so it
+  // re-runs and cross-checks a fingerprint against the committed one.
   const bool periodic_restart =
       options_.full_sweep_every_days > 0 && days_run_ > 0 &&
       days_run_ % options_.full_sweep_every_days == 0;
@@ -328,70 +922,194 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         if (count > options_.sweep.incremental_top_k) ++report.new_retailers;
       }
     }
+    const std::string fingerprint = StrFormat(
+        "full=%d;n=%d;fp=%llu", full ? 1 : 0, static_cast<int>(plan.size()),
+        static_cast<unsigned long long>(FingerprintPlan(plan)));
+    if (const std::string* payload = stage_committed("plan_sweep")) {
+      if (fingerprint != *payload) {
+        return InternalError(
+            "ledger: sweep plan replay diverged from committed fingerprint");
+      }
+    } else {
+      SIGMUND_RETURN_IF_ERROR(
+          commit_stage("plan_sweep", fingerprint, "plan_sweep.done"));
+    }
     end_stage(span, "plan_sweep");
   }
 
   // --- Train: one MapReduce, or one per cell when data placement routes
   // each retailer's work to the cell holding its shard (§IV-B1).
+  // Replay: the committed payload carries every trained ConfigRecord, so
+  // the resumed run restores the results and skips the MapReduce — the
+  // big recovery-time win (models and checkpoints are already durable).
   obs::Span train_span = tracer_->StartSpan("train");
-  StatusOr<std::vector<ConfigRecord>> results = [&] {
-    // All training counters (checkpoints, preemptions, restores, retries,
-    // corruptions, ...) reach the report through the registry mirrors the
-    // jobs maintain — no per-job bookkeeping here.
-    if (!options_.placement.cells.empty()) {
-      MultiCellTrainingJob::Options multi_options;
-      multi_options.cells = options_.placement.cells;
-      multi_options.per_cell = options_.training;
-      multi_options.per_cell.metrics = metrics_;
-      multi_options.per_cell.tracer = tracer_;
-      multi_options.per_cell.clock = clock_;
-      MultiCellTrainingJob training(fs_, &registry_, multi_options);
-      return training.Run(plan, shard_homes_);
+  StatusOr<std::vector<ConfigRecord>> results = std::vector<ConfigRecord>();
+  // Drops the train-stage undo copies (below); idempotent, called from
+  // both the commit path and the replay path so a crash between the
+  // commit append and the cleanup converges on resume.
+  auto clear_train_undo = [&]() -> Status {
+    for (const ConfigRecord& record : plan) {
+      SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(record.model_path + ".prev"));
     }
-    TrainingJob::Options training_options = options_.training;
-    training_options.metrics = metrics_;
-    training_options.tracer = tracer_;
-    training_options.clock = clock_;
-    TrainingJob training(fs_, &registry_, training_options);
-    return training.Run(plan);
-  }();
+    return OkStatus();
+  };
+  if (const std::string* payload = stage_committed("train")) {
+    results = DecodeResults(*payload);
+    if (!results.ok()) return results.status();
+    SIGMUND_RETURN_IF_ERROR(clear_train_undo());
+    ++units_skipped;
+  } else {
+    if (ledgered) {
+      // Undo log (DESIGN.md §13): incremental records warm-start from —
+      // and then overwrite — yesterday's model files, so training is not
+      // idempotent once it starts publishing. Before the first model
+      // write, copy every file today's plan will overwrite aside; a
+      // resumed run whose train stage never committed restores them
+      // first, so its re-run reads exactly the bytes the crashed attempt
+      // read and trains bit-identically.
+      if (stage_committed("train_undo") != nullptr) {
+        for (const ConfigRecord& record : plan) {
+          const std::string prev = record.model_path + ".prev";
+          StatusOr<std::string> bytes =
+              RetryWithPolicy<std::string>(options_.sfs_retry, &io_.retry,
+                                           [&] { return fs_->Read(prev); });
+          if (bytes.ok()) {
+            SIGMUND_RETURN_IF_ERROR(
+                RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+                  return fs_->Write(record.model_path, *bytes);
+                }));
+          } else if (bytes.status().code() == StatusCode::kNotFound) {
+            // No undo copy means the file did not exist when the crashed
+            // attempt started; a warm-start record must see it absent
+            // again or it would warm from the half-published model.
+            if (record.warm_start) {
+              SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(record.model_path));
+            }
+          } else {
+            return bytes.status();
+          }
+        }
+        // A mid-train crash can also strand per-task checkpoints; a
+        // resumed task would warm-resume from them instead of training
+        // from scratch, diverging from the uninterrupted run.
+        StatusOr<std::vector<std::string>> stale =
+            RetryWithPolicy<std::vector<std::string>>(
+                options_.sfs_retry, &io_.retry,
+                [&] { return fs_->List("checkpoints/"); });
+        SIGMUND_RETURN_IF_ERROR(stale.status());
+        for (const std::string& path : *stale) {
+          SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(path));
+        }
+      } else {
+        for (const ConfigRecord& record : plan) {
+          StatusOr<std::string> bytes = RetryWithPolicy<std::string>(
+              options_.sfs_retry, &io_.retry,
+              [&] { return fs_->Read(record.model_path); });
+          if (!bytes.ok()) {
+            if (bytes.status().code() == StatusCode::kNotFound) continue;
+            return bytes.status();
+          }
+          SIGMUND_RETURN_IF_ERROR(
+              RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+                return fs_->Write(record.model_path + ".prev", *bytes);
+              }));
+        }
+        SIGMUND_RETURN_IF_ERROR(
+            commit_stage("train_undo", "", "train.undo_logged"));
+      }
+    }
+    results = [&] {
+      // All training counters (checkpoints, preemptions, restores,
+      // retries, corruptions, ...) reach the report through the registry
+      // mirrors the jobs maintain — no per-job bookkeeping here.
+      if (!options_.placement.cells.empty()) {
+        MultiCellTrainingJob::Options multi_options;
+        multi_options.cells = options_.placement.cells;
+        multi_options.per_cell = options_.training;
+        multi_options.per_cell.metrics = metrics_;
+        multi_options.per_cell.tracer = tracer_;
+        multi_options.per_cell.clock = clock_;
+        MultiCellTrainingJob training(fs_, &registry_, multi_options);
+        return training.Run(plan, shard_homes_);
+      }
+      TrainingJob::Options training_options = options_.training;
+      training_options.metrics = metrics_;
+      training_options.tracer = tracer_;
+      training_options.clock = clock_;
+      TrainingJob training(fs_, &registry_, training_options);
+      return training.Run(plan);
+    }();
+    if (ledgered) MaybeCrash(crash_, "train.ran");
+    if (results.ok()) {
+      SIGMUND_RETURN_IF_ERROR(
+          commit_stage("train", EncodeResults(*results), "train.done"));
+      if (ledgered) {
+        SIGMUND_RETURN_IF_ERROR(clear_train_undo());
+        MaybeCrash(crash_, "train.undo_cleared");
+      }
+    }
+  }
   end_stage(train_span, "train");
   if (!results.ok()) return results.status();
   report.models_trained = static_cast<int>(results->size());
 
-  // Persist sweep results per retailer (debuggability).
+  // Persist sweep results per retailer (debuggability). Replay: the
+  // writes are idempotent whole-file overwrites; a committed stage skips
+  // them outright.
   {
     obs::Span span = tracer_->StartSpan("persist_sweep_results");
-    std::map<data::RetailerId, std::string> blobs;
-    for (const ConfigRecord& record : *results) {
-      blobs[record.retailer] += record.Serialize();
-      blobs[record.retailer] += '\n';
-    }
-    for (const auto& [retailer, blob] : blobs) {
-      // Debug artifact: plain text (not framed) so it stays greppable, but
-      // still retried through transient storage errors.
-      const std::string path = SweepResultPath(retailer);
-      const std::string& data = blob;
+    if (stage_committed("persist_sweep") != nullptr) {
+      ++units_skipped;
+    } else {
+      std::map<data::RetailerId, std::string> blobs;
+      for (const ConfigRecord& record : *results) {
+        blobs[record.retailer] += record.Serialize();
+        blobs[record.retailer] += '\n';
+      }
+      for (const auto& [retailer, blob] : blobs) {
+        // Debug artifact: plain text (not framed) so it stays greppable,
+        // but still retried through transient storage errors.
+        const std::string path = SweepResultPath(retailer);
+        const std::string& data = blob;
+        SIGMUND_RETURN_IF_ERROR(
+            RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+              return fs_->Write(path, data);
+            }));
+      }
       SIGMUND_RETURN_IF_ERROR(
-          RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
-            return fs_->Write(path, data);
-          }));
+          commit_stage("persist_sweep", "", "persist_sweep.done"));
     }
     end_stage(span, "persist_sweep_results");
   }
 
-  // --- Model selection + quality guardrail.
+  // --- Model selection + quality guardrail. Replay: the best-model
+  // copies are durable, so a committed stage restores best_map /
+  // degraded / mean MAP from the payload and skips the copies.
   std::map<data::RetailerId, double> best_map;
   std::set<data::RetailerId> degraded;
   {
     obs::Span span = tracer_->StartSpan("select_models");
-    SIGMUND_RETURN_IF_ERROR(
-        SelectBestModels(*results, &report, &best_map, &degraded));
-    report.degraded_retailers = static_cast<int>(degraded.size());
-    // Mirrored so the degradation shows up in RunProfile snapshots.
-    if (!degraded.empty()) {
-      metrics_->GetCounter("pipeline_degraded_retailers_total")
-          ->Add(static_cast<int64_t>(degraded.size()));
+    if (const std::string* payload = stage_committed("select_models")) {
+      if (!DecodeSelect(*payload, &report.mean_best_map, &best_map,
+                        &degraded)) {
+        return InternalError("ledger: undecodable select_models payload");
+      }
+      report.degraded_retailers = static_cast<int>(degraded.size());
+      ++units_skipped;
+    } else {
+      SIGMUND_RETURN_IF_ERROR(
+          SelectBestModels(*results, &report, &best_map, &degraded));
+      report.degraded_retailers = static_cast<int>(degraded.size());
+      // Mirrored so the degradation shows up in RunProfile snapshots.
+      if (!degraded.empty()) {
+        metrics_->GetCounter("pipeline_degraded_retailers_total")
+            ->Add(static_cast<int64_t>(degraded.size()));
+      }
+      if (ledgered) MaybeCrash(crash_, "select_models.ran");
+      SIGMUND_RETURN_IF_ERROR(commit_stage(
+          "select_models",
+          EncodeSelect(report.mean_best_map, best_map, degraded),
+          "select_models.done"));
     }
     end_stage(span, "select_models");
   }
@@ -414,6 +1132,9 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   // its previous version.
   degraded.insert(quarantined.begin(), quarantined.end());
 
+  // Quality guardrail. Replay: Record mutates the monitor, so the stage
+  // re-runs (deterministic from the snapshot-restored baselines) and a
+  // committed entry cross-checks the hold-back set.
   std::set<data::RetailerId> hold_back;
   if (options_.guard_quality) {
     obs::Span span = tracer_->StartSpan("quality_guard");
@@ -428,16 +1149,23 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       }
     }
     report.quality_regressions = static_cast<int>(hold_back.size());
+    if (const std::string* payload = stage_committed("quality_guard")) {
+      if (JoinIds(hold_back) != *payload) {
+        return InternalError(
+            "ledger: quality-guard replay diverged from committed verdicts");
+      }
+    } else {
+      SIGMUND_RETURN_IF_ERROR(commit_stage("quality_guard",
+                                           JoinIds(hold_back),
+                                           "quality_guard.done"));
+    }
     end_stage(span, "quality_guard");
   }
 
   // --- Inference. Counters flow through the registry, like training.
+  // Replay: batch files are durable, so a committed stage restores the
+  // materialized-retailer list and skips the MapReduce.
   obs::Span inference_span = tracer_->StartSpan("inference");
-  InferenceJob::Options inference_options = options_.inference;
-  inference_options.metrics = metrics_;
-  inference_options.tracer = tracer_;
-  inference_options.clock = clock_;
-  InferenceJob inference(fs_, &registry_, inference_options);
   // Quarantined retailers are excluded: no fresh batch is materialized,
   // so the store and retrieval loops below never see them and their
   // last-known-good versions keep serving untouched.
@@ -447,9 +1175,30 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       return quarantined.count(id) > 0;
     });
   }
-  auto recommendations = inference.Run(serve_ids);
-  end_stage(inference_span, "inference");
-  if (!recommendations.ok()) return recommendations.status();
+  std::vector<data::RetailerId> materialized_ids;
+  if (const std::string* payload = stage_committed("inference")) {
+    if (!DecodeIdList(*payload, &materialized_ids)) {
+      return InternalError("ledger: undecodable inference payload");
+    }
+    ++units_skipped;
+    end_stage(inference_span, "inference");
+  } else {
+    InferenceJob::Options inference_options = options_.inference;
+    inference_options.metrics = metrics_;
+    inference_options.tracer = tracer_;
+    inference_options.clock = clock_;
+    InferenceJob inference(fs_, &registry_, inference_options);
+    auto recommendations = inference.Run(serve_ids);
+    end_stage(inference_span, "inference");
+    if (!recommendations.ok()) return recommendations.status();
+    for (const auto& [retailer, recs] : *recommendations) {
+      (void)recs;
+      materialized_ids.push_back(retailer);
+    }
+    if (ledgered) MaybeCrash(crash_, "inference.ran");
+    SIGMUND_RETURN_IF_ERROR(commit_stage(
+        "inference", EncodeIdList(materialized_ids), "inference.done"));
+  }
 
   // --- Safe rollout into the serving plane (DESIGN.md §7). For each
   // retailer that passed the offline gates: stage the new batch on the
@@ -462,6 +1211,11 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   // 100%. A batch that fails its checksum is rejected and the retailer
   // keeps its previous recommendations; a bad refresh never takes down
   // serving.
+  //
+  // Ledger mode turns each retailer into one journaled unit: the day
+  // batch is copied to an immutable versioned file (two-phase: tmp +
+  // rename) under a StageIntent, the canary verdict is logged before it
+  // is acted on, and exactly one of Activate / Discard commits the unit.
   obs::Span store_span = tracer_->StartSpan("store_load");
   serving::RecommendationStore* primary = store_group_->primary();
   if (store_group_->num_replicas() > 1) {
@@ -472,46 +1226,142 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         store_group_->WriteHeartbeats(fs_, options_.sfs_retry));
     store_group_->ProbeReplicas(*fs_, options_.sfs_retry);
   }
-  for (const auto& [retailer, recs] : *recommendations) {
-    (void)recs;
+  for (data::RetailerId retailer : materialized_ids) {
     if ((hold_back.count(retailer) > 0 || degraded.count(retailer) > 0) &&
         primary->RetailerVersion(retailer) > 0) {
       continue;
     }
-    const std::string path = RecommendationPath(retailer);
-    StatusOr<int64_t> staged = primary->StageRetailerFromFile(
-        retailer, *fs_, path, options_.sfs_retry, &io_);
-    if (!staged.ok()) {
-      if (staged.status().code() == StatusCode::kDataLoss) {
-        // Counted through serving_batch_loads_total{outcome=rejected}.
-        SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
-                        << "retailer " << retailer << ": "
-                        << staged.status().ToString();
-        continue;
-      }
-      return staged.status();
-    }
-    if (options_.canary.enabled && primary->RetailerVersion(retailer) > 0) {
-      StatusOr<const data::RetailerData*> retailer_data =
-          registry_.Get(retailer);
-      if (retailer_data.ok()) {
-        const CanaryController::Outcome canary = canary_->Evaluate(
-            retailer, *primary, *staged, **retailer_data, days_run_);
-        if (canary.verdict == CanaryController::Verdict::kRolledBack) {
-          SIGLOG(WARNING) << "canary rolled back batch v" << *staged
-                          << " for retailer " << retailer
-                          << ": canary_ctr=" << canary.CanaryCtr()
-                          << " control_ctr=" << canary.ControlCtr()
-                          << "; keeping previous recommendations";
-          SIGMUND_RETURN_IF_ERROR(
-              primary->DiscardVersion(retailer, *staged));
+    if (!ledgered) {
+      // Pre-ledger path, byte-for-byte: stage straight off the day batch
+      // file and resolve in place.
+      const std::string path = RecommendationPath(retailer);
+      StatusOr<int64_t> staged = primary->StageRetailerFromFile(
+          retailer, *fs_, path, options_.sfs_retry, &io_);
+      if (!staged.ok()) {
+        if (staged.status().code() == StatusCode::kDataLoss) {
+          // Counted through serving_batch_loads_total{outcome=rejected}.
+          SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
+                          << "retailer " << retailer << ": "
+                          << staged.status().ToString();
           continue;
         }
+        return staged.status();
       }
+      if (options_.canary.enabled && primary->RetailerVersion(retailer) > 0) {
+        StatusOr<const data::RetailerData*> retailer_data =
+            registry_.Get(retailer);
+        if (retailer_data.ok()) {
+          const CanaryController::Outcome canary = canary_->Evaluate(
+              retailer, *primary, *staged, **retailer_data, days_run_);
+          if (canary.verdict == CanaryController::Verdict::kRolledBack) {
+            SIGLOG(WARNING) << "canary rolled back batch v" << *staged
+                            << " for retailer " << retailer
+                            << ": canary_ctr=" << canary.CanaryCtr()
+                            << " control_ctr=" << canary.ControlCtr()
+                            << "; keeping previous recommendations";
+            SIGMUND_RETURN_IF_ERROR(
+                primary->DiscardVersion(retailer, *staged));
+            continue;
+          }
+        }
+      }
+      SIGMUND_RETURN_IF_ERROR(primary->ActivateVersion(retailer, *staged));
+      SIGMUND_RETURN_IF_ERROR(store_group_->CutoverFollowersFromFile(
+          retailer, *fs_, path, *staged, options_.sfs_retry, &io_));
+      continue;
     }
-    SIGMUND_RETURN_IF_ERROR(primary->ActivateVersion(retailer, *staged));
+
+    // Ledgered unit. Already committed (this process or the one that
+    // crashed): the recovery rehydration has the store where the commit
+    // says it should be.
+    if (rec != nullptr && (rec->batch_activated.count(retailer) > 0 ||
+                           rec->batch_discarded.count(retailer) > 0)) {
+      ++units_skipped;
+      continue;
+    }
+    const int64_t version = primary->NextVersion(retailer);
+    const std::string vpath = RecommendationVersionPath(retailer, version);
+    StatusOr<std::string> raw =
+        RetryWithPolicy<std::string>(options_.sfs_retry, &io_.retry, [&] {
+          return fs_->Read(RecommendationPath(retailer));
+        });
+    if (!raw.ok()) return raw.status();
+    SIGMUND_RETURN_IF_ERROR(append(
+        make_entry(Op::kBatchStageIntent, retailer, version, "", vpath)));
+    MaybeCrash(crash_, "batch.intent");
+    const std::string tmp = TmpPath(vpath);
+    SIGMUND_RETURN_IF_ERROR(
+        RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+          return fs_->Write(tmp, *raw);
+        }));
+    MaybeCrash(crash_, "batch.tmp_written");
+    SIGMUND_RETURN_IF_ERROR(
+        RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+          return fs_->Rename(tmp, vpath);
+        }));
+    StatusOr<int64_t> staged = primary->StageRetailerFromFile(
+        retailer, *fs_, vpath, options_.sfs_retry, &io_, version);
+    MaybeCrash(crash_, "batch.staged");
+    if (!staged.ok()) {
+      if (staged.status().code() != StatusCode::kDataLoss) {
+        return staged.status();
+      }
+      SIGLOG(WARNING) << "rejecting corrupt recommendation batch for "
+                      << "retailer " << retailer << ": "
+                      << staged.status().ToString();
+      SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(vpath));
+      SIGMUND_RETURN_IF_ERROR(append(
+          make_entry(Op::kBatchDiscard, retailer, version, "corrupt", "")));
+      continue;
+    }
+    std::string verdict = "promoted";
+    if (options_.canary.enabled && primary->RetailerVersion(retailer) > 0) {
+      const std::string* replayed = nullptr;
+      if (rec != nullptr) {
+        auto it = rec->batch_canary.find({retailer, version});
+        if (it != rec->batch_canary.end()) replayed = &it->second;
+      }
+      if (replayed != nullptr) {
+        // The crashed process already drew this verdict and made it
+        // durable; reuse it rather than re-simulating.
+        verdict = *replayed;
+      } else {
+        StatusOr<const data::RetailerData*> retailer_data =
+            registry_.Get(retailer);
+        if (retailer_data.ok()) {
+          const CanaryController::Outcome canary = canary_->Evaluate(
+              retailer, *primary, version, **retailer_data, days_run_);
+          if (canary.verdict == CanaryController::Verdict::kRolledBack) {
+            verdict = "rolled_back";
+            SIGLOG(WARNING) << "canary rolled back batch v" << version
+                            << " for retailer " << retailer
+                            << ": canary_ctr=" << canary.CanaryCtr()
+                            << " control_ctr=" << canary.ControlCtr()
+                            << "; keeping previous recommendations";
+          }
+        }
+        SIGMUND_RETURN_IF_ERROR(append(
+            make_entry(Op::kBatchCanary, retailer, version, verdict, "")));
+      }
+      MaybeCrash(crash_, "batch.canary_logged");
+    }
+    if (verdict == "rolled_back") {
+      SIGMUND_RETURN_IF_ERROR(primary->DiscardVersion(retailer, version));
+      SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(vpath));
+      SIGMUND_RETURN_IF_ERROR(append(make_entry(
+          Op::kBatchDiscard, retailer, version, "rolled_back", "")));
+      MaybeCrash(crash_, "batch.discarded");
+      continue;
+    }
+    SIGMUND_RETURN_IF_ERROR(primary->ActivateVersion(retailer, version));
     SIGMUND_RETURN_IF_ERROR(store_group_->CutoverFollowersFromFile(
-        retailer, *fs_, path, *staged, options_.sfs_retry, &io_));
+        retailer, *fs_, vpath, version, options_.sfs_retry, &io_));
+    SIGMUND_RETURN_IF_ERROR(
+        append(make_entry(Op::kBatchActivate, retailer, version, "", "")));
+    MaybeCrash(crash_, "batch.activated");
+    SIGMUND_RETURN_IF_ERROR(
+        RetireVersionFiles(StrFormat("recommendations/r%d.v", retailer),
+                           primary->RetainedVersions(retailer)));
   }
   end_stage(store_span, "store_load");
 
@@ -521,12 +1371,18 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   // gate activation with a retrieval-plane canary against the live
   // materialized plane. A corrupt artifact is rejected at stage time and
   // the previous index (or the materialized-only route) keeps serving.
+  // Ledger mode journals each retailer's index exactly like a batch.
   if (options_.retrieval.enabled) {
     obs::Span retrieval_span = tracer_->StartSpan("retrieval_index");
-    for (const auto& [retailer, recs] : *recommendations) {
-      (void)recs;
+    for (data::RetailerId retailer : materialized_ids) {
       if ((hold_back.count(retailer) > 0 || degraded.count(retailer) > 0) &&
           retrieval_reader_->RetailerVersion(retailer) > 0) {
+        continue;
+      }
+      if (ledgered && rec != nullptr &&
+          (rec->index_activated.count(retailer) > 0 ||
+           rec->index_discarded.count(retailer) > 0)) {
+        ++units_skipped;
         continue;
       }
       StatusOr<const data::RetailerData*> retailer_data =
@@ -557,11 +1413,35 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       if (options_.retrieval.build_hook_for_testing) {
         options_.retrieval.build_hook_for_testing(retailer, &artifact);
       }
-      const std::string index_path = retrieval::IndexArtifactPath(retailer);
-      SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
-          fs_, index_path, artifact.Serialize(), options_.sfs_retry, &io_));
-      StatusOr<int64_t> staged = retrieval_reader_->StageFromFile(
-          retailer, *fs_, index_path, options_.sfs_retry, &io_);
+      StatusOr<int64_t> staged = 0;
+      int64_t version = 0;
+      std::string vpath;
+      if (!ledgered) {
+        const std::string index_path = retrieval::IndexArtifactPath(retailer);
+        SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+            fs_, index_path, artifact.Serialize(), options_.sfs_retry,
+            &io_));
+        staged = retrieval_reader_->StageFromFile(
+            retailer, *fs_, index_path, options_.sfs_retry, &io_);
+        if (staged.ok()) version = *staged;
+      } else {
+        version = retrieval_reader_->NextVersion(retailer);
+        vpath = retrieval::IndexArtifactVersionPath(retailer, version);
+        SIGMUND_RETURN_IF_ERROR(append(make_entry(
+            Op::kIndexStageIntent, retailer, version, "", vpath)));
+        MaybeCrash(crash_, "index.intent");
+        SIGMUND_RETURN_IF_ERROR(sfs::WriteChecksummedFile(
+            fs_, TmpPath(vpath), artifact.Serialize(), options_.sfs_retry,
+            &io_));
+        MaybeCrash(crash_, "index.tmp_written");
+        SIGMUND_RETURN_IF_ERROR(
+            RetryWithPolicy(options_.sfs_retry, &io_.retry, [&] {
+              return fs_->Rename(TmpPath(vpath), vpath);
+            }));
+        staged = retrieval_reader_->StageFromFile(
+            retailer, *fs_, vpath, options_.sfs_retry, &io_, version);
+        MaybeCrash(crash_, "index.staged");
+      }
       if (!staged.ok()) {
         if (staged.status().code() == StatusCode::kDataLoss) {
           SIGLOG(WARNING) << "rejecting corrupt retrieval index for retailer "
@@ -570,6 +1450,11 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
               ->GetCounter("retrieval_index_builds_total",
                            {{"outcome", "rejected"}})
               ->Add(1);
+          if (ledgered) {
+            SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(vpath));
+            SIGMUND_RETURN_IF_ERROR(append(make_entry(
+                Op::kIndexDiscard, retailer, version, "corrupt", "")));
+          }
           continue;
         }
         return staged.status();
@@ -578,22 +1463,55 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       metrics_
           ->GetCounter("retrieval_index_builds_total", {{"outcome", "ok"}})
           ->Add(1);
+      std::string verdict = "promoted";
       if (retrieval_canary_ != nullptr) {
-        const CanaryController::Outcome canary = retrieval_canary_->Evaluate(
-            retailer, *primary, *staged, **retailer_data, days_run_);
-        if (canary.verdict == CanaryController::Verdict::kRolledBack) {
-          SIGLOG(WARNING) << "retrieval canary rolled back index v" << *staged
-                          << " for retailer " << retailer
-                          << ": canary_ctr=" << canary.CanaryCtr()
-                          << " control_ctr=" << canary.ControlCtr()
-                          << "; retailer stays on the materialized plane";
-          SIGMUND_RETURN_IF_ERROR(
-              retrieval_reader_->DiscardVersion(retailer, *staged));
-          continue;
+        const std::string* replayed = nullptr;
+        if (ledgered && rec != nullptr) {
+          auto it = rec->index_canary.find({retailer, version});
+          if (it != rec->index_canary.end()) replayed = &it->second;
         }
+        if (replayed != nullptr) {
+          verdict = *replayed;
+        } else {
+          const CanaryController::Outcome canary =
+              retrieval_canary_->Evaluate(retailer, *primary, version,
+                                          **retailer_data, days_run_);
+          if (canary.verdict == CanaryController::Verdict::kRolledBack) {
+            verdict = "rolled_back";
+            SIGLOG(WARNING) << "retrieval canary rolled back index v"
+                            << version << " for retailer " << retailer
+                            << ": canary_ctr=" << canary.CanaryCtr()
+                            << " control_ctr=" << canary.ControlCtr()
+                            << "; retailer stays on the materialized plane";
+          }
+          if (ledgered) {
+            SIGMUND_RETURN_IF_ERROR(append(make_entry(
+                Op::kIndexCanary, retailer, version, verdict, "")));
+          }
+        }
+        if (ledgered) MaybeCrash(crash_, "index.canary_logged");
+      }
+      if (verdict == "rolled_back") {
+        SIGMUND_RETURN_IF_ERROR(
+            retrieval_reader_->DiscardVersion(retailer, version));
+        if (ledgered) {
+          SIGMUND_RETURN_IF_ERROR(DeleteVersionFile(vpath));
+          SIGMUND_RETURN_IF_ERROR(append(make_entry(
+              Op::kIndexDiscard, retailer, version, "rolled_back", "")));
+          MaybeCrash(crash_, "index.discarded");
+        }
+        continue;
       }
       SIGMUND_RETURN_IF_ERROR(
-          retrieval_reader_->ActivateVersion(retailer, *staged));
+          retrieval_reader_->ActivateVersion(retailer, version));
+      if (ledgered) {
+        SIGMUND_RETURN_IF_ERROR(append(
+            make_entry(Op::kIndexActivate, retailer, version, "", "")));
+        MaybeCrash(crash_, "index.activated");
+        SIGMUND_RETURN_IF_ERROR(RetireVersionFiles(
+            StrFormat("retrieval/r%d.v", retailer),
+            retrieval_reader_->RetainedVersions(retailer)));
+      }
     }
     end_stage(retrieval_span, "retrieval_index");
   }
@@ -607,6 +1525,32 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
         metrics_->Snapshot().CounterValue("sfs_faults_injected_total");
     metrics_->GetCounter("sfs_faults_injected_total")
         ->Add(options_.injected_faults->total() - recorded);
+  }
+
+  // --- Day boundary (ledger mode): two-phase control-state snapshot,
+  // then the kDayComplete marker, then retention. Order matters — a
+  // crash before the rename leaves only a sweepable tmp, a crash before
+  // kDayComplete resumes an all-committed day that replays to the same
+  // bytes, a crash before retention is converged by the next boundary.
+  if (ledgered) {
+    obs::Span span = tracer_->StartSpan("commit_day");
+    const ServiceSnapshot snapshot = BuildSnapshot();
+    SIGMUND_RETURN_IF_ERROR(ledger_->WriteSnapshotTmp(snapshot.Serialize()));
+    MaybeCrash(crash_, "day.snapshot_tmp");
+    SIGMUND_RETURN_IF_ERROR(ledger_->CommitSnapshot(days_run_ + 1));
+    MaybeCrash(crash_, "day.snapshot_committed");
+    SIGMUND_RETURN_IF_ERROR(
+        append(make_entry(Op::kDayComplete, -1, 0, "", "")));
+    MaybeCrash(crash_, "day.complete");
+    SIGMUND_RETURN_IF_ERROR(ledger_->RetireOldDays(days_run_));
+    SIGMUND_RETURN_IF_ERROR(ledger_->RetireOldSnapshots(days_run_ + 1));
+    end_stage(span, "commit_day");
+    report.ledger_appends = ledger_->appends() - appends_before;
+    report.replay_units_skipped = units_skipped;
+    if (units_skipped > 0) {
+      metrics_->GetCounter("pipeline_replay_units_skipped_total")
+          ->Add(units_skipped);
+    }
   }
 
   day_span.End();
@@ -704,6 +1648,12 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
       "serving_requests_total", {{"path", "online_retrieval"}});
   report.requests_fallback =
       after.CounterValue("serving_requests_total", {{"path", "fallback"}});
+  // Orphan GC is cumulative (startup GC happens before any run; a delta
+  // would always be zero) and deliberately absent from ToString.
+  for (const char* kind : {"tmp", "batch", "index"}) {
+    report.orphans_gc +=
+        after.CounterValue("pipeline_orphans_gc_total", {{"kind", kind}});
+  }
 
   // --- SLO evaluation: burn rates over the run-end snapshot. Runs after
   // the pipeline finished, so it is passive by construction.
@@ -724,6 +1674,7 @@ StatusOr<DailyReport> SigmundService::RunDaily() {
   if (!dataqual_json.empty()) profile.dataqual_json = dataqual_json;
   report.profile_json = profile.ToJson();
 
+  recovery_.reset();
   ++days_run_;
   return report;
 }

@@ -4,12 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/crash_point.h"
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "common/slo.h"
@@ -19,6 +21,7 @@
 #include "pipeline/canary.h"
 #include "pipeline/data_placement.h"
 #include "pipeline/inference_job.h"
+#include "pipeline/ledger.h"
 #include "pipeline/quality_monitor.h"
 #include "pipeline/registry.h"
 #include "pipeline/sweep.h"
@@ -131,6 +134,21 @@ struct DailyReport {
   int64_t corrupt_batches_rejected = 0;
   int64_t faults_injected = 0;
 
+  // Run ledger (DESIGN.md §13), per-run deltas: intent/commit entries
+  // appended this run, stage/rollout units skipped because the ledger
+  // already recorded their commit, and whether this run resumed a day a
+  // crashed coordinator left mid-flight.
+  bool recovered_day = false;
+  int64_t ledger_appends = 0;
+  int64_t replay_units_skipped = 0;
+  // Orphaned artifacts garbage-collected since the service started
+  // (cumulative registry value of pipeline_orphans_gc_total across
+  // kinds; startup GC runs before any daily run, so a per-run delta
+  // would always read zero). Deliberately kept out of ToString: the
+  // daily line must stay byte-identical between a clean day and the
+  // same day after a crash-recovery earlier in the service's life.
+  int64_t orphans_gc = 0;
+
   // --- Timing (from the service's tracer; simulated when the service
   // runs under a SimClock). One (stage name, wall micros) pair per
   // pipeline stage actually run, in execution order.
@@ -227,6 +245,27 @@ class SigmundService {
     };
     DataQualOptions dataqual;
 
+    // Durable run ledger + crash recovery (DESIGN.md §13). When enabled,
+    // every RunDaily journals a StageIntent before each externally
+    // visible per-retailer mutation and a StageCommit after it, batch /
+    // index activations publish immutable versioned SFS copies
+    // (recommendations/r<id>.v<NNNNNN>, retrieval/r<id>.v<NNNNNN>), and
+    // each day boundary writes a versioned control-state snapshot — so a
+    // coordinator killed anywhere mid-day can be reconstructed, call
+    // RecoverDay(), and finish the day byte-identical to an
+    // uninterrupted same-seed run.
+    struct LedgerOptions {
+      bool enabled = false;
+      RunLedger::Options ledger;
+    };
+    LedgerOptions ledger;
+
+    // Seeded kill-point injector threaded through the stage boundaries
+    // and Stage/Activate seams — the process-death sibling of
+    // sfs::FaultInjectingFileSystem. Borrowed; null (the default) makes
+    // every instrumented seam a single null-pointer branch.
+    CrashInjector* crash = nullptr;
+
     // Retry policy for the service's own SFS access (best-model copies,
     // sweep results, data placement, store batch loads). The training and
     // inference jobs carry their own policies in `training.sfs_retry` /
@@ -266,6 +305,33 @@ class SigmundService {
   // Runs one full day of the pipeline. Choice of full vs. incremental
   // sweep is automatic.
   StatusOr<DailyReport> RunDaily();
+
+  // What RecoverDay found and repaired on startup.
+  struct RecoveryReport {
+    // A mid-flight day was found in the ledger: the next RunDaily
+    // resumes it, skipping every unit of work whose commit is already
+    // durable.
+    bool resumed = false;
+    int day = 0;           // the day the next RunDaily will run
+    int snapshot_day = -1; // control-state snapshot rehydrated (-1 = none)
+    int64_t ledger_entries = 0;
+    bool torn_tail_dropped = false;
+    int64_t tmp_files_swept = 0;
+    int64_t orphan_versions_deleted = 0;
+    int64_t versions_rehydrated = 0;
+  };
+
+  // Crash-anywhere startup path (DESIGN.md §13). Always sweeps orphaned
+  // `*.tmp` partials (safe on a clean first boot too); with the ledger
+  // enabled it additionally rehydrates durable control state from the
+  // newest readable snapshot (warm-start results, quality baselines,
+  // sentry quarantine state, shard placement), rebuilds the serving
+  // store and retrieval reader version chains from their versioned SFS
+  // files, garbage-collects version files orphaned by uncommitted
+  // intents, and re-opens a day the crashed process left mid-flight so
+  // the next RunDaily replays it idempotently. Call once on a freshly
+  // constructed service, before UpsertRetailer data is served.
+  StatusOr<RecoveryReport> RecoverDay();
 
   // Forces the next RunDaily to perform a full sweep (used after the
   // periodic model restart or a catastrophic loss of models).
@@ -308,12 +374,38 @@ class SigmundService {
   // The data-plane sentry (null unless Options::dataqual.enabled).
   const dataqual::DataSentry* sentry() const { return sentry_.get(); }
 
+  // The run ledger (null unless Options::ledger.enabled).
+  const RunLedger* ledger() const { return ledger_.get(); }
+
+  // Days completed so far. After RecoverDay this is the day the next
+  // RunDaily will run — which may be one past the day a crashed caller
+  // thinks it was on, when the crash landed after the day's snapshot
+  // commit (the day was durably complete; only its report was lost).
+  int days_run() const { return days_run_; }
+
   // The registry / tracer every run records into (service-owned unless
   // injected through Options).
   obs::MetricRegistry* metrics() const { return metrics_; }
   obs::Tracer* tracer() const { return tracer_; }
 
  private:
+  // Everything RecoverDay decoded from a mid-flight day's ledger; the
+  // next RunDaily consumes it to skip committed work and reuse durable
+  // canary verdicts.
+  struct RecoveredDay {
+    bool resumed = false;
+    int day = 0;
+    // Stage tag -> commit payload, for every kStageCommit already durable.
+    std::map<std::string, std::string> committed_stages;
+    // Per-retailer rollout outcomes already committed this day.
+    std::map<data::RetailerId, int64_t> batch_activated;
+    std::map<data::RetailerId, int64_t> batch_discarded;
+    std::map<std::pair<data::RetailerId, int64_t>, std::string> batch_canary;
+    std::map<data::RetailerId, int64_t> index_activated;
+    std::map<data::RetailerId, int64_t> index_discarded;
+    std::map<std::pair<data::RetailerId, int64_t>, std::string> index_canary;
+  };
+
   // Picks the best record per retailer, copies its model to BestModelPath
   // and fills `best_map` per retailer. Retailers whose winning record is
   // marked degraded (deadline/preemption budget exhausted during
@@ -322,6 +414,25 @@ class SigmundService {
                           DailyReport* report,
                           std::map<data::RetailerId, double>* best_map,
                           std::set<data::RetailerId>* degraded);
+
+  // Serializes everything a restarted coordinator cannot rederive from
+  // code + SFS artifacts alone, with days_run = days_run_ + 1 (the day
+  // about to complete).
+  ServiceSnapshot BuildSnapshot() const;
+
+  // Deletes `path` with retry; a file already gone is success.
+  Status DeleteVersionFile(const std::string& path);
+  // Deletes version files under `prefix` (e.g. "recommendations/r7.v")
+  // whose version is not in `retained` — the files evicted from the
+  // in-memory chain by the activation that just committed. Counted in
+  // pipeline_version_files_retired_total.
+  Status RetireVersionFiles(const std::string& prefix,
+                            const std::vector<int64_t>& retained);
+  // Recovery-time GC: deletes every `<dir>r<id>.v<NNNNNN>` file whose
+  // version the rehydrated plane does not retain (debris of uncommitted
+  // intents). Counted in pipeline_orphans_gc_total{kind}.
+  Status GcOrphanVersionFiles(const std::string& dir, bool index_plane,
+                              const char* kind, int64_t* deleted);
 
   sfs::SharedFileSystem* fs_;
   Options options_;
@@ -340,6 +451,13 @@ class SigmundService {
   // Data-plane sentry (null unless Options::dataqual.enabled); judges
   // every feed before the sweep and owns quarantine state across days.
   std::unique_ptr<dataqual::DataSentry> sentry_;
+  // Durable run ledger (null unless Options::ledger.enabled) and the
+  // borrowed kill-point injector.
+  std::unique_ptr<RunLedger> ledger_;
+  CrashInjector* crash_ = nullptr;
+  // Set by RecoverDay when a mid-flight day was found; consumed (and
+  // cleared) by the next RunDaily.
+  std::optional<RecoveredDay> recovery_;
   std::vector<ConfigRecord> previous_results_;
   // Where each retailer's data shard currently lives (data placement).
   std::map<data::RetailerId, std::string> shard_homes_;

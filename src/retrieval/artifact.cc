@@ -101,6 +101,12 @@ std::string IndexArtifactPath(data::RetailerId retailer) {
   return StrFormat("retrieval/r%d", retailer);
 }
 
+std::string IndexArtifactVersionPath(data::RetailerId retailer,
+                                     int64_t version) {
+  return StrFormat("retrieval/r%d.v%06lld", retailer,
+                   static_cast<long long>(version));
+}
+
 IndexArtifact BuildArtifactFromModel(data::RetailerId retailer,
                                      const core::BprModel& model,
                                      const AnnIndex::Options& options) {

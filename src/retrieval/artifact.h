@@ -52,6 +52,10 @@ struct IndexArtifact {
 
 // Canonical SFS location, alongside models/ and recommendations/.
 std::string IndexArtifactPath(data::RetailerId retailer);
+// Immutable per-version artifact copy (ledger mode, DESIGN.md §13):
+// crash rehydration re-stages retained index versions from these.
+std::string IndexArtifactVersionPath(data::RetailerId retailer,
+                                     int64_t version);
 
 // Snapshots a trained BPR model into an artifact: exports phi(i) per
 // item (item embedding + additive taxonomy/brand/price features, exactly

@@ -200,4 +200,17 @@ std::vector<int64_t> OnlineRetrievalReader::RetainedVersions(
   return versions;
 }
 
+int64_t OnlineRetrievalReader::NextVersion(data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  return it == entries_.end() ? 1 : it->second.next_version;
+}
+
+void OnlineRetrievalReader::EnsureNextVersion(data::RetailerId retailer,
+                                              int64_t next_version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[retailer];
+  entry.next_version = std::max(entry.next_version, next_version);
+}
+
 }  // namespace sigmund::retrieval

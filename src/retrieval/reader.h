@@ -87,6 +87,10 @@ class OnlineRetrievalReader : public serving::ServingReader {
   int64_t RetailerVersion(data::RetailerId retailer) const override;
   int64_t LatestVersion(data::RetailerId retailer) const;
   std::vector<int64_t> RetainedVersions(data::RetailerId retailer) const;
+  // Next auto-assigned version / counter restore for crash rehydration,
+  // mirroring RecommendationStore (see store.h).
+  int64_t NextVersion(data::RetailerId retailer) const;
+  void EnsureNextVersion(data::RetailerId retailer, int64_t next_version);
 
   const Options& options() const { return options_; }
 

@@ -319,4 +319,17 @@ std::vector<int64_t> RecommendationStore::RetainedVersions(
   return versions;
 }
 
+int64_t RecommendationStore::NextVersion(data::RetailerId retailer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(retailer);
+  return it == entries_.end() ? 1 : it->second.next_version;
+}
+
+void RecommendationStore::EnsureNextVersion(data::RetailerId retailer,
+                                            int64_t next_version) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = entries_[retailer];
+  entry.next_version = std::max(entry.next_version, next_version);
+}
+
 }  // namespace sigmund::serving

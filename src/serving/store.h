@@ -173,6 +173,17 @@ class RecommendationStore : public ServingReader {
   // All resident versions, ascending.
   std::vector<int64_t> RetainedVersions(data::RetailerId retailer) const;
 
+  // The version number the next auto-assigned stage would receive. The
+  // run ledger logs it in the StageIntent before staging, so recovery
+  // knows which versioned batch file an uncommitted intent refers to.
+  int64_t NextVersion(data::RetailerId retailer) const;
+
+  // Raises the auto-assignment counter to at least `next_version`
+  // (never lowers it). Crash rehydration restores the counter through
+  // this: re-staging only the *retained* versions would under-count when
+  // the crashed process had also assigned (and discarded) higher ones.
+  void EnsureNextVersion(data::RetailerId retailer, int64_t next_version);
+
  private:
   struct Shard {
     std::vector<core::ItemRecommendations> by_item;  // index = query item

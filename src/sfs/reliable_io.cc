@@ -1,5 +1,7 @@
 #include "sfs/reliable_io.h"
 
+#include <string_view>
+
 #include "common/binary_io.h"
 #include "common/string_util.h"
 
@@ -125,6 +127,35 @@ StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
   StatusOr<std::string> payload = ReadChecksummedFrame(*stored);
   if (!payload.ok() && io != nullptr) io->CountCorruptionDetected();
   return payload;
+}
+
+StatusOr<int64_t> SweepPartialFiles(SharedFileSystem* fs,
+                                    const std::string& prefix,
+                                    const RetryPolicy& policy,
+                                    ReliableIoCounters* io) {
+  RetryStats* retry_stats = io != nullptr ? &io->retry : nullptr;
+  StatusOr<std::vector<std::string>> paths =
+      RetryWithPolicy<std::vector<std::string>>(policy, retry_stats, [&] {
+        return fs->List(prefix);
+      });
+  SIGMUND_RETURN_IF_ERROR(paths.status());
+  int64_t deleted = 0;
+  constexpr std::string_view kTmpSuffix = ".tmp";
+  for (const std::string& path : *paths) {
+    if (path.size() < kTmpSuffix.size() ||
+        std::string_view(path).substr(path.size() - kTmpSuffix.size()) !=
+            kTmpSuffix) {
+      continue;
+    }
+    Status status = RetryWithPolicy(policy, retry_stats, [&] {
+      Status s = fs->Delete(path);
+      // Already gone: someone else swept it; that is success.
+      return s.code() == StatusCode::kNotFound ? OkStatus() : s;
+    });
+    SIGMUND_RETURN_IF_ERROR(status);
+    ++deleted;
+  }
+  return deleted;
 }
 
 }  // namespace sigmund::sfs

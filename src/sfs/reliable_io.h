@@ -63,6 +63,16 @@ StatusOr<std::string> ReadChecksummedFile(const SharedFileSystem* fs,
                                           const RetryPolicy& policy = {},
                                           ReliableIoCounters* io = nullptr);
 
+// Deletes every "*.tmp" file under `prefix` and returns how many were
+// removed. Tmp files are the write half of the write-then-rename commit
+// idiom; any that survive a process death are by definition uncommitted
+// and safe to drop. Transient delete errors retry per `policy`; a file
+// already gone (raced away) is not an error.
+StatusOr<int64_t> SweepPartialFiles(SharedFileSystem* fs,
+                                    const std::string& prefix,
+                                    const RetryPolicy& policy = {},
+                                    ReliableIoCounters* io = nullptr);
+
 }  // namespace sigmund::sfs
 
 #endif  // SIGMUND_SFS_RELIABLE_IO_H_
